@@ -1,0 +1,63 @@
+"""Ablation: iterative back-off vs fail-fast acquisition.
+
+The paper's back-off (scale the request down one NIC+VM at a time)
+turns would-be failures on resource-pinched sites into degraded-but-
+useful runs.  This ablation drains sites to varying NIC levels and
+compares acquisition outcomes with and without back-off.
+"""
+
+from repro.core.backoff import acquire_with_backoff
+from repro.core.logs import InstanceLog
+from repro.testbed import FederationBuilder, TestbedAPI
+from repro.testbed.slice_model import NodeRequest, SliceRequest
+from repro.util.tables import Table
+
+
+def drain_to(api, site, leave):
+    free = api.available_resources(site).dedicated_nics
+    take = int(free) - leave
+    if take > 0:
+        api.create_slice(SliceRequest(site=site, nodes=[
+            NodeRequest(name=f"u{i}") for i in range(take)],
+            name=f"drain-{site}-{leave}"))
+
+
+def test_ablation_backoff(benchmark):
+    def run():
+        table = Table(["free_nics", "with_backoff", "granted", "fail_fast"],
+                      title="Acquisition outcome vs free dedicated NICs "
+                            "(requesting 3 listening nodes)")
+        outcomes = {}
+        for leave in (3, 2, 1, 0):
+            federation = FederationBuilder(seed=42).build(
+                site_names=["STAR", "MICH"])
+            api = TestbedAPI(federation)
+            drain_to(api, "STAR", leave)
+            with_backoff = acquire_with_backoff(
+                api, "STAR", 3, InstanceLog("STAR", "a"), max_backoffs=4)
+            if with_backoff.acquired:
+                api.delete_slice(with_backoff.live_slice.name)
+            fail_fast = acquire_with_backoff(
+                api, "STAR", 3, InstanceLog("STAR", "b"), max_backoffs=0)
+            outcomes[leave] = (with_backoff, fail_fast)
+            table.add_row([
+                leave,
+                "acquired" if with_backoff.acquired else "failed",
+                with_backoff.granted_nodes,
+                "acquired" if fail_fast.acquired else "failed",
+            ])
+        return table, outcomes
+
+    table, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + table.render())
+
+    # With 3 NICs both succeed at full size.
+    assert outcomes[3][0].granted_nodes == 3
+    assert outcomes[3][1].acquired
+    # With 1-2 NICs, back-off still profiles (degraded); fail-fast dies.
+    for leave in (2, 1):
+        assert outcomes[leave][0].acquired
+        assert outcomes[leave][0].granted_nodes == leave
+        assert not outcomes[leave][1].acquired
+    # With nothing left, both fail.
+    assert not outcomes[0][0].acquired

@@ -1,0 +1,28 @@
+"""Fig 2: distribution of ports across all production FABRIC sites.
+
+Paper shape: every site has many more downlinks than uplinks, and
+uplink counts are similar (low single digits) across sites.
+"""
+
+from repro.study.ports import port_distribution_table, uplink_summary
+from repro.testbed import FederationBuilder
+
+
+def test_fig02_port_distribution(benchmark):
+    federation = FederationBuilder(seed=42).build()
+
+    def run():
+        return port_distribution_table(federation), uplink_summary(federation)
+
+    table, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n" + table.render())
+    print(f"\ntotal downlinks={summary.total_downlinks} "
+          f"uplinks={summary.total_uplinks} "
+          f"uplink range=[{summary.min_uplinks}, {summary.max_uplinks}]")
+
+    # Paper shape assertions.
+    assert summary.sites == 30
+    assert summary.every_site_downlink_heavy
+    assert summary.total_downlinks > 3 * summary.total_uplinks
+    assert summary.max_uplinks <= 8

@@ -1,0 +1,19 @@
+"""Fig 3: FABRIC slices tend to use resources spread across few sites.
+
+Paper: 66.5 % of all FABRIC slices use a single site.
+"""
+
+from repro.study.slices import spread_table
+
+
+def test_fig03_slice_spread(benchmark, slice_schedule):
+    table = benchmark.pedantic(lambda: spread_table(slice_schedule),
+                               rounds=1, iterations=1)
+    print("\n" + table.render())
+    single = table.rows[0]
+    assert single[0] == 1
+    # Paper: 66.5 % single-site.
+    assert 0.62 <= single[1] <= 0.71
+    # The CDF rises steeply: >= 90 % of slices within 4 sites.
+    within_four = table.rows[3][2]
+    assert within_four >= 0.9

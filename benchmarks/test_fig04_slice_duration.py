@@ -1,0 +1,20 @@
+"""Fig 4: duration of slices on FABRIC.
+
+Paper: 75 % of slices last for 24 hours.
+"""
+
+from repro.study.slices import duration_table
+
+
+def test_fig04_slice_duration(benchmark, slice_schedule):
+    table = benchmark.pedantic(lambda: duration_table(slice_schedule),
+                               rounds=1, iterations=1)
+    print("\n" + table.render())
+    cdf = dict(zip(table.column("duration_hours"), table.column("cdf")))
+    # Paper anchor: P(duration <= 24 h) ~ 0.75.
+    assert 0.69 <= cdf[24] <= 0.81
+    # Long tail exists: some slices run for weeks.
+    assert cdf[672] < 1.0
+    # CDF is monotone.
+    values = table.column("cdf")
+    assert values == sorted(values)

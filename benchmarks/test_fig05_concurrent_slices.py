@@ -1,0 +1,27 @@
+"""Fig 5: number of simultaneous slices on FABRIC.
+
+Paper: mean 85, standard deviation 52, at most 272 simultaneous slices.
+"""
+
+import numpy as np
+
+from repro.study.slices import concurrency_summary
+
+
+def test_fig05_concurrent_slices(benchmark, slice_schedule):
+    def run():
+        return slice_schedule.concurrency_series()
+
+    times, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + concurrency_summary(slice_schedule).render())
+    mean = float(np.mean(counts))
+    std = float(np.std(counts))
+    peak = int(np.max(counts))
+    print(f"mean={mean:.1f} (paper 85)  std={std:.1f} (paper 52)  "
+          f"max={peak} (paper 272)")
+    assert 60 <= mean <= 115
+    assert 30 <= std <= 85
+    assert 180 <= peak <= 400
+    # The testbed is always active (paper: never empty once warmed up).
+    warm = counts[len(counts) // 10:]
+    assert warm.min() > 0

@@ -1,0 +1,37 @@
+"""Fig 6: utilization of FABRIC's network over each week of 2024.
+
+Paper shape: activity ramps into deadline seasons (April, November)
+and peaks the week before SC'24 with an average of 3.968 Tbps.
+"""
+
+import numpy as np
+
+from repro.study.activity import SC24_WEEK, NetworkActivityModel
+
+
+def test_fig06_weekly_utilization(benchmark, slice_schedule):
+    model = NetworkActivityModel(slice_schedule)
+    series = benchmark.pedantic(model.weekly_series, rounds=1, iterations=1)
+
+    print("\nweek  mean_tbps")
+    for entry in series:
+        bar = "#" * int(entry.mean_tbps * 8) if entry.has_data else "(no data)"
+        print(f"{entry.week:>4}  {entry.mean_tbps:7.3f}  {bar}")
+
+    with_data = [w for w in series if w.has_data]
+    peak = max(with_data, key=lambda w: w.mean_tbps)
+    median = float(np.median([w.mean_tbps for w in with_data]))
+    print(f"\npeak week={peak.week} (paper: week before SC'24 ~{SC24_WEEK}), "
+          f"peak={peak.mean_tbps:.3f} Tbps (paper 3.968), median={median:.3f}")
+
+    # Shape: the peak lands at the SC'24 run-up and towers over a
+    # typical week; an April-season bump exists.
+    assert abs(peak.week - SC24_WEEK) <= 2
+    assert 1.5 <= peak.mean_tbps <= 10.0
+    assert peak.mean_tbps > 3 * median
+    spring = max(w.mean_tbps for w in with_data if 14 <= w.week <= 20)
+    summer = float(np.median([w.mean_tbps for w in with_data
+                              if 27 <= w.week <= 33]))
+    assert spring > summer
+    # The gray no-data bands exist, as in the figure.
+    assert any(not w.has_data for w in series)

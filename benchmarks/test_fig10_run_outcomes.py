@@ -1,0 +1,47 @@
+"""Fig 10: behaviour of Patchwork on FABRIC over a campaign of runs.
+
+Paper: Patchwork profiled all sites in 79 % of cases; ~20 % of failures
+were sites lacking resources or transient back-end trouble; the rest
+were instance crashes ("Incomplete").
+"""
+
+from repro.core import PatchworkConfig, SamplingPlan
+from repro.core.status import RunOutcome
+from repro.study.behavior import run_campaign
+from repro.testbed import FederationBuilder, TestbedAPI
+
+SITES = ["STAR", "MICH", "UTAH", "TACC", "NCSA", "WASH", "DALL", "SALT",
+         "MASS", "MAXG", "UCSD", "CLEM"]
+
+
+def test_fig10_run_outcomes(benchmark, tmp_path):
+    federation = FederationBuilder(seed=42).build(site_names=SITES)
+    api = TestbedAPI(federation)
+    config = PatchworkConfig(
+        output_dir=tmp_path,
+        plan=SamplingPlan(sample_duration=2, sample_interval=10,
+                          samples_per_run=1, runs_per_cycle=1, cycles=1),
+        desired_instances=2,
+    )
+
+    def campaign():
+        return run_campaign(
+            api, config, occasions=8, seed=23,
+            total_shortage_fraction=0.10, partial_shortage_fraction=0.10,
+            outage_fraction=0.25, outage_site_fraction=0.4,
+            crash_probability=0.01,
+        )
+
+    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print("\n" + result.to_table().render())
+    print(result.timeline_table().render())
+    print(f"\nsuccess rate: {result.success_rate:.1%} (paper: 79%)")
+
+    fractions = result.fractions()
+    # Paper shape: a solid majority of runs profile their site...
+    assert 0.6 <= result.success_rate <= 0.95
+    # ...failures exist and dominate the non-profiled remainder...
+    assert fractions[RunOutcome.FAILED] > 0.03
+    assert fractions[RunOutcome.FAILED] >= fractions[RunOutcome.INCOMPLETE]
+    # ...and back-off produces degraded-but-profiled runs.
+    assert fractions[RunOutcome.DEGRADED] > 0

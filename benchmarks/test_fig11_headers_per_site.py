@@ -1,0 +1,35 @@
+"""Fig 11: per-site protocol diversity.
+
+Paper shape: sites differ widely in the number of distinct dissected
+headers (diverse yet persistent workloads per site), and the deepest
+header stack at every site is between 6 and 12 headers.
+"""
+
+from repro.analysis.analyze import site_header_diversity
+
+
+def test_fig11_headers_per_site(benchmark, paper_profile):
+    _bundle, report = paper_profile
+    table = benchmark.pedantic(
+        lambda: report.tables["header_diversity"], rounds=1, iterations=1)
+    print("\n" + table.render())
+
+    # The paper's figure covers sites with captured traffic; sites whose
+    # sampled ports stayed idle have no dissected frames to count.
+    rows = [row for row in table.rows if row[3] > 0]  # frames > 0
+    distinct = [row[1] for row in rows]
+    depth = [row[2] for row in rows]
+
+    assert len(rows) >= 15
+    # A spread of protocol diversity across sites (Fig 11 y1-axis).
+    # Cross-site flows homogenize sites at simulation scale, so the
+    # spread is narrower than the paper's, but it is present.
+    assert max(distinct) >= min(distinct) + 2
+    assert len(set(distinct)) >= 3     # not all sites identical
+    assert max(distinct) >= 8          # protocol-diverse sites exist
+    assert min(distinct) >= 3
+    # Deepest stacks per site fall in the paper's 6-12 band (y2-axis)
+    # for most sites that saw encapsulated traffic.
+    deep_sites = [d for d in depth if d >= 6]
+    assert len(deep_sites) >= len(depth) * 0.5
+    assert max(depth) <= 12

@@ -1,0 +1,25 @@
+"""Fig 12: occurrence of protocol headers in FABRIC traffic.
+
+Paper shape: Ethernet exceeds 100 % (Ethernet-in-Ethernet via
+pseudowires); most traffic is VLAN/MPLS-tagged IPv4 carrying TCP;
+IPv6 is only 1.93 % of frames.
+"""
+
+
+def test_fig12_header_occurrence(benchmark, paper_profile):
+    _bundle, report = paper_profile
+    table = benchmark.pedantic(
+        lambda: report.tables["header_occurrence"], rounds=1, iterations=1)
+    print("\n" + table.render(max_rows=20))
+    print(f"ipv6 fraction: {report.ipv6_fraction:.4f} (paper 0.0193)")
+
+    occurrence = dict(zip(table.column("header"),
+                          table.column("percent_of_frames")))
+    assert occurrence["eth"] > 100.0          # Ethernet-in-Ethernet
+    assert occurrence["vlan"] > 80.0          # tagging is pervasive
+    assert occurrence["mpls"] > 50.0
+    assert occurrence["ipv4"] > 90.0          # IPv4 dominates
+    assert occurrence["tcp"] > 60.0           # mostly TCP streams
+    assert occurrence.get("ipv6", 0.0) < 6.0  # IPv6 rare (paper 1.93 %)
+    assert 0.002 <= report.ipv6_fraction <= 0.06
+    assert occurrence["ipv4"] > 20 * occurrence.get("ipv6", 0.05)

@@ -1,0 +1,30 @@
+"""Fig 13: frequency of distinct flow counts per traffic sample.
+
+Paper shape: most samples contain few flows (under ~3000), while a
+handful of samples catch storms of far more -- a strongly right-skewed
+distribution.  (At simulation scale the absolute counts are smaller;
+the skew is the reproduced shape.)
+"""
+
+import numpy as np
+
+
+def test_fig13_flows_per_sample(benchmark, paper_profile):
+    _bundle, report = paper_profile
+    table = benchmark.pedantic(
+        lambda: report.tables["flows_per_sample"], rounds=1, iterations=1)
+    print("\n" + table.render())
+
+    counts = np.array(report.flows_per_sample)
+    nonzero = counts[counts > 0]
+    print(f"samples={len(counts)} median={np.median(nonzero):.0f} "
+          f"p90={np.percentile(nonzero, 90):.0f} max={nonzero.max()}")
+
+    assert len(counts) >= 100          # plenty of samples across sites
+    assert nonzero.size >= 50
+    median = float(np.median(nonzero))
+    # Right-skewed: the busiest samples dwarf the typical sample.
+    assert nonzero.max() > 5 * max(median, 1.0)
+    assert float(np.mean(nonzero)) > median
+    # The majority of samples are small (the "fewer than 3000" mass).
+    assert float(np.mean(nonzero <= 4 * median)) >= 0.7

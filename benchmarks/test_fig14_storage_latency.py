@@ -1,0 +1,44 @@
+"""Fig 14 / Appendix B: summed sys_writev latency vs page-cache usage.
+
+Paper anchors: with (10:20) thresholds the summed latency at 21 % RAM
+usage is 3283 ms; with (20:50) it is 13 ms -- two orders of magnitude
+apart -- and the steep rise begins at the *midpoint* of the two
+thresholds, before dirty_ratio is reached.
+"""
+
+from repro.capture.storage import PageCacheModel
+
+
+def sweep(bg, ratio, max_percent=30):
+    model = PageCacheModel(dirty_background_ratio=bg, dirty_ratio=ratio)
+    return {p.usage_percent: p.summed_latency_ms
+            for p in model.fill_sweep(max_usage_percent=max_percent)}
+
+
+def test_fig14_storage_latency(benchmark):
+    results = benchmark.pedantic(
+        lambda: (sweep(10, 20), sweep(20, 50)), rounds=1, iterations=1)
+    tight, loose = results
+
+    print("\n%used   10:20 (ms)   20:50 (ms)")
+    for percent in sorted(set(tight) & set(loose)):
+        print(f"{percent:>5}   {tight[percent]:>10.1f}   {loose[percent]:>10.1f}")
+    print(f"\nat 21% usage: 10:20 -> {tight[21]:.0f} ms (paper 3283), "
+          f"20:50 -> {loose[21]:.0f} ms (paper 13)")
+
+    # The paper's two anchor points, within half an order of magnitude.
+    assert 1000 <= tight[21] <= 15000
+    assert 2 <= loose[21] <= 90
+    # Two orders of magnitude apart at the same usage.
+    assert tight[21] / loose[21] > 30
+
+    # Steep rise at the midpoint (15 % for 10:20), before dirty_ratio.
+    assert tight[17] > 100 * max(tight[5], 0.001)
+    # For 20:50 the midpoint is 35 %: at 21-30 % there is no cliff yet.
+    assert loose[28] < 100
+
+    # Appendix B's write budget: 8.5 GB/s against 60:80 stalls in ~8-9 s.
+    budget = PageCacheModel(dirty_background_ratio=60,
+                            dirty_ratio=80).seconds_until_throttle(8.5e9)
+    print(f"60:80 budget at 8.5 GB/s: {budget:.1f} s (paper ~8-9 s)")
+    assert 7.0 <= budget <= 10.0

@@ -1,0 +1,35 @@
+"""Fig 15 / Appendix C: frame-size distribution at different sites.
+
+Paper shape: significant variety across sites -- most sites carry a
+proportion of smaller frames, and several sites are notable for
+carrying jumbo frames.
+"""
+
+import numpy as np
+
+
+def test_fig15_per_site_frame_sizes(benchmark, paper_profile):
+    _bundle, report = paper_profile
+    table = benchmark.pedantic(
+        lambda: report.tables["frame_sizes_by_site"], rounds=1, iterations=1)
+    print("\n" + table.render())
+
+    sites = table.column("site")
+    jumbo = [float(x) for x in table.column("jumbo_fraction")]
+    small = [float(x) for x in table.column("65-127")]
+    super_jumbo = [float(x) for x in table.column("8192-16000")]
+
+    # Keep only sites whose samples actually caught traffic.
+    active = [i for i, s in enumerate(sites)
+              if jumbo[i] + small[i] + super_jumbo[i] > 0]
+    assert len(active) >= 10
+
+    jumbo_active = [jumbo[i] for i in active]
+    # Variety across sites: jumbo share spans a wide range (Fig 15).
+    assert max(jumbo_active) - min(jumbo_active) > 0.3
+    # Several sites are jumbo-dominated...
+    assert sum(1 for j in jumbo_active if j > 0.6) >= 3
+    # ...and jumbo-MTU (~9000 B) experiments show up at some sites.
+    assert any(super_jumbo[i] > 0.1 for i in active)
+    # Most sites carry some small frames.
+    assert sum(1 for i in active if small[i] > 0.02) >= len(active) * 0.5

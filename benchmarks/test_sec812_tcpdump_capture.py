@@ -1,0 +1,34 @@
+"""Section 8.1.2: software-based capture with tcpdump.
+
+Paper: with a 32 MB buffer and 64 B truncation, tcpdump "was able to
+capture packets without packet loss until about 8.5 Gbps" for 1500 B
+frames, while the iperf3 pair sustained 11 Gbps.
+"""
+
+from repro.capture.tcpdump import TcpdumpModel
+from repro.util.tables import Table
+
+
+def test_sec812_tcpdump_capture(benchmark):
+    model = TcpdumpModel(buffer_bytes="32MB", snaplen=64)
+
+    def sweep():
+        table = Table(["rate_gbps", "loss_percent"],
+                      title="tcpdump capture of 1500B frames (64B snaplen)")
+        for gbps in (2, 4, 6, 8, 8.5, 9, 10, 11, 12):
+            result = model.offer_constant_load(gbps * 1e9, 1500, duration=30.0)
+            table.add_row([gbps, round(result.loss_fraction * 100, 3)])
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + table.render())
+    knee = model.max_lossless_rate_bps(1500) / 1e9
+    print(f"loss-free knee: {knee:.2f} Gbps (paper ~8.5)")
+
+    loss = dict(zip(table.column("rate_gbps"), table.column("loss_percent")))
+    # Loss-free through 8 Gbps; lossy by 10 Gbps; knee near 8.5.
+    assert loss[8] == 0.0
+    assert loss[10] > 0.0
+    assert 8.0 <= knee <= 9.2
+    # Loss grows monotonically past the knee.
+    assert loss[12] > loss[10]

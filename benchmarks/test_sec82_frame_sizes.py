@@ -1,0 +1,28 @@
+"""Section 8.2 "Frame sizes": the aggregate frame-size shares.
+
+Paper: the most frequent bins are 1519-2047 B (74.7 %), 65-127 B
+(14.15 %), and 128-255 B (5.79 %).  The 1519-2047 dominance is the
+underlay's VLAN/MPLS/PW overhead pushing standard-MTU frames past
+1518 B -- i.e. FABRIC's jumbo-frame prevalence (finding B5).
+"""
+
+
+def test_sec82_frame_sizes(benchmark, paper_profile):
+    _bundle, report = paper_profile
+    table = benchmark.pedantic(
+        lambda: report.tables["frame_sizes_overall"], rounds=1, iterations=1)
+    print("\n" + table.render())
+    print(f"jumbo fraction: {report.jumbo_fraction:.3f}")
+
+    shares = dict(zip(table.column("size_bin"), table.column("fraction")))
+    ranked = sorted(shares, key=shares.get, reverse=True)
+    print("top bins:", ranked[:3])
+
+    # Bin ordering: 1519-2047 dominates, 65-127 second.
+    assert ranked[0] == "1519-2047"
+    assert ranked[1] == "65-127"
+    # Magnitudes within tolerance of the paper's 74.7 % / 14.15 %.
+    assert 0.55 <= shares["1519-2047"] <= 0.88
+    assert 0.08 <= shares["65-127"] <= 0.30
+    # Jumbo-class frames (>= 1519 B) dominate the byte/frame mix.
+    assert report.jumbo_fraction > 0.5

@@ -1,0 +1,66 @@
+"""Table 1: DPDK capture with 200 B truncation, 60:80 thresholds.
+
+Paper rows (Frame size, Rate, Cores, Loss%):
+    1514 B  100 Gbps   5 cores  0.67 %
+    1024 B  100 Gbps  10 cores  0.13 %
+     512 B   60 Gbps  15 cores  0.03 %
+     128 B   15 Gbps  15 cores  0.10 %
+
+The harness reproduces the measurement procedure: for each frame size,
+find the fewest cores that carry 100 Gbps at < 1 % loss; if no core
+count manages 100 Gbps, report the highest rate 15 cores can carry.
+"""
+
+import pytest
+
+from repro.capture.dpdk import DpdkCaptureModel, MAX_WORKER_CORES, OfferedLoad
+from repro.capture.storage import PageCacheModel
+from repro.util.tables import Table
+
+PAPER_ROWS = {1514: (100, 5), 1024: (100, 10), 512: (60, 15), 128: (15, 15)}
+
+
+def reproduce_table(truncation: int) -> Table:
+    table = Table(["Frame Size (B)", "Rate (Gbps)", "Cores", "Loss (%)"],
+                  title=f"{truncation}B truncation, 60:80 threshold")
+    storage = PageCacheModel(dirty_background_ratio=60, dirty_ratio=80)
+    for frame in (1514, 1024, 512, 128):
+        probe = DpdkCaptureModel(truncation=truncation, storage=storage)
+        full = OfferedLoad(100e9, frame, duration=10.0)
+        cores = probe.min_cores_for(full)
+        if cores is not None:
+            rate_gbps = 100.0
+        else:
+            cores = MAX_WORKER_CORES
+            model = DpdkCaptureModel(cores=cores, truncation=truncation,
+                                     storage=storage)
+            rate_gbps = model.max_rate_bps(frame) / 1e9
+            rate_gbps = float(int(rate_gbps))  # report whole Gbps
+        result = DpdkCaptureModel(cores=cores, truncation=truncation,
+                                  storage=storage).offer(
+            OfferedLoad(rate_gbps * 1e9, frame, duration=10.0))
+        table.add_row([frame, rate_gbps, cores, round(result.loss_percent, 2)])
+    return table
+
+
+def test_table1_trunc200(benchmark):
+    table = benchmark.pedantic(lambda: reproduce_table(200),
+                               rounds=1, iterations=1)
+    print("\n" + table.render())
+    print("paper:", PAPER_ROWS)
+
+    rows = {row[0]: (row[1], row[2], row[3]) for row in table.rows}
+    # 100 Gbps reachable for 1514 and 1024 B at roughly the paper's cores.
+    for frame in (1514, 1024):
+        rate, cores, loss = rows[frame]
+        assert rate == 100
+        assert abs(cores - PAPER_ROWS[frame][1]) <= 1
+        assert loss < 1.0
+    # 512 B tops out near 60 Gbps, 128 B near 15 Gbps, both at 15 cores.
+    assert 50 <= rows[512][0] <= 75 and rows[512][1] == 15
+    assert 12 <= rows[128][0] <= 19 and rows[128][1] == 15
+    # Cores needed never decrease as frames shrink.
+    cores_by_frame = [rows[f][1] for f in (1514, 1024, 512, 128)]
+    assert cores_by_frame == sorted(cores_by_frame)
+    # Every reported operating point keeps loss under 1 %.
+    assert all(rows[f][2] < 1.0 for f in rows)

@@ -1,0 +1,46 @@
+"""Table 2: DPDK capture with 64 B truncation, 60:80 thresholds.
+
+Paper rows (Frame size, Rate, Cores, Loss%):
+    1514 B  100 Gbps   3 cores  0.17 %
+    1024 B  100 Gbps   5 cores  0.32 %
+     512 B  100 Gbps  15 cores  0.07 %
+     128 B   28 Gbps  15 cores  0.13 %
+
+Headline: harsher truncation (64 B vs 200 B) reaches the same rates
+with fewer cores, and extends 100 Gbps capture down to 512 B frames.
+"""
+
+from repro.capture.dpdk import DpdkCaptureModel, MAX_WORKER_CORES, OfferedLoad
+
+from test_table1_trunc200 import reproduce_table
+
+PAPER_ROWS = {1514: (100, 3), 1024: (100, 5), 512: (100, 15), 128: (28, 15)}
+
+
+def test_table2_trunc64(benchmark):
+    table = benchmark.pedantic(lambda: reproduce_table(64),
+                               rounds=1, iterations=1)
+    print("\n" + table.render())
+    print("paper:", PAPER_ROWS)
+
+    rows = {row[0]: (row[1], row[2], row[3]) for row in table.rows}
+    # 100 Gbps reachable down to 512 B frames.
+    for frame in (1514, 1024, 512):
+        assert rows[frame][0] == 100
+        assert rows[frame][2] < 1.0
+    # Core counts near the paper's for the easy rows.
+    assert abs(rows[1514][1] - 3) <= 1
+    assert abs(rows[1024][1] - 5) <= 1
+    assert rows[512][1] <= MAX_WORKER_CORES
+    # 128 B tops out near 28 Gbps.
+    assert 24 <= rows[128][0] <= 33
+
+    # The Table 1 vs Table 2 comparison: fewer cores at 64 B truncation.
+    table200 = reproduce_table(200)
+    rows200 = {row[0]: row[2] for row in table200.rows}
+    for frame in (1514, 1024):
+        assert rows[frame][1] < rows200[frame]
+    # And higher max rates for small frames.
+    t64 = DpdkCaptureModel(cores=15, truncation=64)
+    t200 = DpdkCaptureModel(cores=15, truncation=200)
+    assert t64.max_rate_bps(128) > t200.max_rate_bps(128)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Anonymized trace release: close-to-source anonymization.
+
+The paper motivates "close-to-source traffic processing -- such as
+anonymization" (intro, requirement 6) and proposes federated testbeds
+as regular sources of anonymized high-fidelity traces.  This example
+captures with the prefix-preserving anonymizer plugged into Patchwork's
+pre-processing hook, then demonstrates that the released trace is both
+scrubbed and still analyzable.
+
+Run:  python examples/anonymized_release.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import quickstart_federation
+from repro.analysis import AnalysisPipeline, Anonymizer
+from repro.analysis.acap import digest_pcap
+from repro.core import Coordinator, PatchworkConfig, SamplingPlan
+
+
+def main() -> None:
+    federation, api, poller, orchestrator = quickstart_federation(
+        site_names=["STAR", "MICH"], traffic_scale=0.05)
+    orchestrator.generate_window(0.0, 200.0)
+
+    anonymizer = Anonymizer(key=b"release-2024-key")
+    out = Path(tempfile.mkdtemp(prefix="patchwork-anon-"))
+    config = PatchworkConfig(
+        output_dir=out,
+        plan=SamplingPlan(sample_duration=5, sample_interval=30,
+                          samples_per_run=2, runs_per_cycle=1, cycles=1),
+        desired_instances=1,
+        transform=anonymizer.transform,  # runs before frames hit storage
+    )
+    bundle = Coordinator(api, config, poller=poller).run_profile()
+    print(f"captured {len(bundle.pcap_paths)} anonymized pcaps under {out}")
+
+    # --- Verify the release is scrubbed.
+    real_prefixes = ("10.",)  # the testbed's experiment address space
+    leaked = 0
+    checked = 0
+    for path in bundle.pcap_paths:
+        for record in digest_pcap(path).records:
+            if record.is_ip and record.ip_version == 4:
+                checked += 1
+                if record.src.startswith(real_prefixes) or \
+                        record.dst.startswith(real_prefixes):
+                    leaked += 1
+    print(f"scrub check: {checked} IPv4 frames inspected, "
+          f"{leaked} original 10/8 addresses visible")
+
+    # --- And still useful: flows classify, sizes and protocols survive.
+    report = AnalysisPipeline().run(bundle.pcap_paths)
+    print(f"\npost-anonymization analysis: {report.total_frames} frames, "
+          f"{len(report.aggregated_flows)} flows")
+    print(report.tables["header_occurrence"].render(max_rows=10))
+    print("\nprefix preservation means subnet structure survives: hosts "
+          "sharing an original /24 still share an anonymized /24.")
+
+
+if __name__ == "__main__":
+    main()

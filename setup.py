@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+`pip install -e . --no-build-isolation --no-use-pep517` (the offline,
+legacy editable path) also works.
+"""
+from setuptools import setup
+
+setup()

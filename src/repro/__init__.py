@@ -1,0 +1,60 @@
+"""Patchwork reproduction: traffic capture and analysis for a federated testbed.
+
+This library reproduces, in pure Python, the system and evaluation of
+*"Patchwork: A Traffic Capture and Analysis Platform for Network
+Experiments on a Federated Testbed"* (IMC '25): the Patchwork profiler
+itself (:mod:`repro.core`, :mod:`repro.analysis`) plus every substrate
+it needs -- a FABRIC-like federated testbed model (:mod:`repro.testbed`)
+over a discrete-event dataplane (:mod:`repro.netsim`), SNMP/MFlib
+telemetry (:mod:`repro.telemetry`), researcher workloads
+(:mod:`repro.traffic`), calibrated capture-path performance models
+(:mod:`repro.capture`), and the Section-5 infrastructure study
+(:mod:`repro.study`).
+
+Quickstart::
+
+    from repro import quickstart_federation
+    from repro.core import Coordinator, PatchworkConfig, SamplingPlan
+
+    federation, api, poller, orchestrator = quickstart_federation()
+    orchestrator.generate_window(0.0, 60.0)
+    config = PatchworkConfig(output_dir="out", plan=SamplingPlan(
+        sample_duration=5, sample_interval=30, samples_per_run=2,
+        runs_per_cycle=1, cycles=2))
+    bundle = Coordinator(api, config, poller=poller).run_profile()
+
+See ``examples/quickstart.py`` for the full walk-through.
+"""
+
+from typing import Optional, Sequence
+
+__version__ = "1.0.0"
+
+__all__ = ["quickstart_federation", "__version__"]
+
+
+def quickstart_federation(
+    site_names: "Optional[Sequence[str]]" = None,
+    seed: int = 42,
+    traffic_seed: int = 7,
+    traffic_scale: float = 0.1,
+    poll_interval: float = 30.0,
+):
+    """Build a ready-to-profile testbed in one call.
+
+    Returns ``(federation, api, poller, orchestrator)``: a FABRIC-like
+    federation, its user-facing API, a started SNMP poller, and a
+    traffic orchestrator with endpoints already set up.
+    """
+    from repro.telemetry import SNMPPoller
+    from repro.testbed import FederationBuilder, TestbedAPI
+    from repro.traffic.workloads import TrafficOrchestrator
+
+    federation = FederationBuilder(seed=seed).build(site_names=site_names)
+    api = TestbedAPI(federation)
+    poller = SNMPPoller(federation, interval=poll_interval)
+    poller.start()
+    orchestrator = TrafficOrchestrator(federation, seed=traffic_seed,
+                                       scale=traffic_scale)
+    orchestrator.setup()
+    return federation, api, poller, orchestrator

@@ -1,0 +1,200 @@
+"""Abstract captures ("acap").
+
+"Using the dissectors' output, for each frame prefix this analysis
+produces an abstract stack of headers ('acap')" -- a compact record
+retaining the header names, the fields the Analyze step needs (tags,
+addresses, ports, flags), and the timing and frame-size metadata from
+the original pcap.  Everything else is discarded, which is what makes
+later analyses cheap.
+
+Acap files serialize as tab-separated text, one record per line, so
+they stay greppable like the real system's intermediate files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.dissect import DissectedFrame, Dissector
+from repro.packets.pcap import PcapReader
+
+ACAP_VERSION = 1
+_HEADER_LINE = f"#acap v{ACAP_VERSION}"
+
+
+@dataclass(frozen=True)
+class AcapRecord:
+    """One frame's abstraction."""
+
+    timestamp: float
+    wire_len: int
+    captured_len: int
+    stack: Tuple[str, ...]          # header names, outermost first
+    vlan_ids: Tuple[int, ...] = ()
+    mpls_labels: Tuple[int, ...] = ()
+    ip_version: int = 0             # 0 = non-IP
+    src: str = ""
+    dst: str = ""
+    proto: int = 0
+    sport: int = 0
+    dport: int = 0
+    tcp_flags: int = 0
+    truncated: bool = False
+
+    @property
+    def is_ip(self) -> bool:
+        return self.ip_version in (4, 6)
+
+    @property
+    def depth(self) -> int:
+        return len(self.stack)
+
+
+@dataclass
+class AcapFile:
+    """A digested pcap: its records plus provenance."""
+
+    source: str
+    records: List[AcapRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def time_range(self) -> Tuple[float, float]:
+        if not self.records:
+            return (0.0, 0.0)
+        times = [r.timestamp for r in self.records]
+        return (min(times), max(times))
+
+    def protocols(self) -> set:
+        names = set()
+        for record in self.records:
+            names.update(record.stack)
+        return names
+
+
+def abstract(dissected: DissectedFrame, timestamp: float, wire_len: int,
+             captured_len: int) -> AcapRecord:
+    """Collapse a dissection into an :class:`AcapRecord`."""
+    vlan_ids = tuple(int(h.fields["vid"]) for h in dissected.all("vlan"))
+    mpls_labels = tuple(int(h.fields["label"]) for h in dissected.all("mpls"))
+    ip_version, src, dst, proto = 0, "", "", 0
+    ipv4 = dissected.first("ipv4")
+    ipv6 = dissected.first("ipv6")
+    if ipv4 is not None:
+        ip_version = 4
+        src, dst = str(ipv4.fields["src"]), str(ipv4.fields["dst"])
+        proto = int(ipv4.fields["proto"])
+    elif ipv6 is not None:
+        ip_version = 6
+        src, dst = str(ipv6.fields["src"]), str(ipv6.fields["dst"])
+        proto = int(ipv6.fields["next_header"])
+    sport = dport = tcp_flags = 0
+    tcp = dissected.first("tcp")
+    udp = dissected.first("udp")
+    if tcp is not None:
+        sport, dport = int(tcp.fields["sport"]), int(tcp.fields["dport"])
+        tcp_flags = int(tcp.fields["flags"])
+    elif udp is not None:
+        sport, dport = int(udp.fields["sport"]), int(udp.fields["dport"])
+    return AcapRecord(
+        timestamp=timestamp,
+        wire_len=wire_len,
+        captured_len=captured_len,
+        stack=dissected.names,
+        vlan_ids=vlan_ids,
+        mpls_labels=mpls_labels,
+        ip_version=ip_version,
+        src=src,
+        dst=dst,
+        proto=proto,
+        sport=sport,
+        dport=dport,
+        tcp_flags=tcp_flags,
+        truncated=dissected.truncated,
+    )
+
+
+def digest_pcap(pcap_path: Union[str, Path],
+                dissector: Optional[Dissector] = None) -> AcapFile:
+    """The Digest step for one pcap file."""
+    dissector = dissector or Dissector()
+    acap = AcapFile(source=str(pcap_path))
+    with PcapReader(pcap_path) as reader:
+        for record in reader:
+            dissected = dissector.dissect(record.data)
+            acap.records.append(
+                abstract(dissected, record.timestamp, record.orig_len, len(record.data))
+            )
+    return acap
+
+
+# -- serialization ------------------------------------------------------------
+
+def _encode_ints(values: Iterable[int]) -> str:
+    text = ",".join(str(v) for v in values)
+    return text or "-"
+
+
+def _decode_ints(text: str) -> Tuple[int, ...]:
+    if text == "-":
+        return ()
+    return tuple(int(v) for v in text.split(","))
+
+
+def write_acap(acap: AcapFile, path: Union[str, Path]) -> Path:
+    """Write an acap file (tab-separated, one record per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(f"{_HEADER_LINE} source={acap.source}\n")
+        for r in acap.records:
+            handle.write(
+                "\t".join([
+                    f"{r.timestamp:.6f}", str(r.wire_len), str(r.captured_len),
+                    "/".join(r.stack) or "-",
+                    _encode_ints(r.vlan_ids), _encode_ints(r.mpls_labels),
+                    str(r.ip_version), r.src or "-", r.dst or "-",
+                    str(r.proto), str(r.sport), str(r.dport), str(r.tcp_flags),
+                    "1" if r.truncated else "0",
+                ]) + "\n"
+            )
+    return path
+
+
+def read_acap(path: Union[str, Path]) -> AcapFile:
+    """Read an acap file written by :func:`write_acap`."""
+    path = Path(path)
+    with open(path) as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith(_HEADER_LINE):
+            raise ValueError(f"{path}: not an acap file")
+        source = header.partition("source=")[2] or str(path)
+        acap = AcapFile(source=source)
+        for line in handle:
+            parts = line.rstrip("\n").split("\t")
+            if len(parts) != 14:
+                raise ValueError(f"{path}: malformed acap line")
+            acap.records.append(AcapRecord(
+                timestamp=float(parts[0]),
+                wire_len=int(parts[1]),
+                captured_len=int(parts[2]),
+                stack=tuple(parts[3].split("/")) if parts[3] != "-" else (),
+                vlan_ids=_decode_ints(parts[4]),
+                mpls_labels=_decode_ints(parts[5]),
+                ip_version=int(parts[6]),
+                src=parts[7] if parts[7] != "-" else "",
+                dst=parts[8] if parts[8] != "-" else "",
+                proto=int(parts[9]),
+                sport=int(parts[10]),
+                dport=int(parts[11]),
+                tcp_flags=int(parts[12]),
+                truncated=parts[13] == "1",
+            ))
+    return acap

@@ -1,0 +1,107 @@
+"""The Analyze step: profile statistics over acap records.
+
+Implements the analyses behind the paper's profile figures:
+
+* frame-size distributions, overall and per site (Section 8.2 "Frame
+  sizes", Fig 15);
+* header occurrence -- the fraction of frames containing each protocol
+  header, where Ethernet exceeds 100 % because pseudowires nest
+  Ethernet in Ethernet (Fig 12);
+* per-site protocol diversity -- distinct headers observed and the
+  deepest header stack (Fig 11).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.acap import AcapRecord
+from repro.traffic.distributions import FrameSizeBins, JUMBO_THRESHOLD, PAPER_FRAME_BINS
+
+
+def frame_size_distribution(
+    records: Iterable[AcapRecord], bins: FrameSizeBins = PAPER_FRAME_BINS
+) -> Dict[str, float]:
+    """Fraction of frames per size bin, keyed by bin label."""
+    sizes = [r.wire_len for r in records]
+    shares = bins.shares(sizes)
+    return dict(zip(bins.labels(), (float(s) for s in shares)))
+
+
+def jumbo_fraction(records: Iterable[AcapRecord]) -> float:
+    """Fraction of frames at/above the jumbo threshold (1519 B)."""
+    sizes = [r.wire_len for r in records]
+    if not sizes:
+        return 0.0
+    return float(np.mean(np.asarray(sizes) >= JUMBO_THRESHOLD))
+
+
+def header_occurrence(records: Sequence[AcapRecord]) -> Dict[str, float]:
+    """Occurrences of each header per frame, as percentages.
+
+    A header appearing twice in one frame (Ethernet inside a
+    pseudowire) counts twice, which is why Ethernet can exceed 100 % --
+    matching how the paper's Fig 12 is computed.
+    """
+    if not records:
+        return {}
+    counts: Counter = Counter()
+    for record in records:
+        counts.update(record.stack)
+    total = len(records)
+    return {name: 100.0 * count / total for name, count in sorted(counts.items())}
+
+
+@dataclass(frozen=True)
+class HeaderDiversity:
+    """Fig 11's two y-values for one site."""
+
+    site: str
+    distinct_headers: int
+    max_stack_depth: int
+    frames: int
+
+
+def site_header_diversity(
+    records_by_site: Mapping[str, Sequence[AcapRecord]]
+) -> List[HeaderDiversity]:
+    """Per-site distinct header counts and deepest stacks."""
+    result = []
+    for site in sorted(records_by_site):
+        records = records_by_site[site]
+        names = set()
+        deepest = 0
+        for record in records:
+            names.update(record.stack)
+            deepest = max(deepest, record.depth)
+        result.append(HeaderDiversity(
+            site=site,
+            distinct_headers=len(names),
+            max_stack_depth=deepest,
+            frames=len(records),
+        ))
+    return result
+
+
+def ip_version_shares(records: Sequence[AcapRecord]) -> Dict[str, float]:
+    """Fraction of frames by IP version (finding B6: IPv6 < 2 %)."""
+    if not records:
+        return {"ipv4": 0.0, "ipv6": 0.0, "non-ip": 0.0}
+    total = len(records)
+    v4 = sum(1 for r in records if r.ip_version == 4)
+    v6 = sum(1 for r in records if r.ip_version == 6)
+    return {
+        "ipv4": v4 / total,
+        "ipv6": v6 / total,
+        "non-ip": (total - v4 - v6) / total,
+    }
+
+
+def encapsulation_examples(records: Sequence[AcapRecord], top: int = 5) -> List[Tuple[str, int]]:
+    """The most common full header stacks, rendered tshark-style."""
+    counts: Counter = Counter("/".join(r.stack) for r in records)
+    return counts.most_common(top)

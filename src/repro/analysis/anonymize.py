@@ -1,0 +1,144 @@
+"""Close-to-source anonymization (requirement 6 in the paper's intro).
+
+Researchers sharing testbed traces need addresses anonymized *before*
+frames reach storage.  The :class:`Anonymizer` provides a frame-bytes
+transform suitable for Patchwork's ``transform`` hook (it runs inside
+the capture session, before the pcap write):
+
+* MAC addresses are replaced with a keyed pseudonym (locally-
+  administered range, so anonymized traces stay recognizably synthetic);
+* IPv4 addresses are anonymized *prefix-preservingly*: two addresses
+  sharing a k-bit prefix map to pseudonyms sharing a k-bit prefix, so
+  subnet structure (and therefore most analyses) survive;
+* IPv6 addresses are pseudonymized per 16-bit group with the same
+  prefix-preserving property.
+
+The mapping is deterministic per key, so the same host maps to the
+same pseudonym across samples -- flows still aggregate correctly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+from typing import Dict, Optional
+
+from repro.analysis.dissect import Dissector
+from repro.packets.headers import EtherType
+
+
+class Anonymizer:
+    """Keyed, deterministic, prefix-preserving address anonymization."""
+
+    def __init__(self, key: bytes = b"patchwork-anon"):
+        if not key:
+            raise ValueError("anonymization key must be non-empty")
+        self.key = key
+        self._ipv4_cache: Dict[int, int] = {}
+
+    # -- primitives ------------------------------------------------------------
+
+    def _bit(self, prefix_bits: str) -> int:
+        """One keyed pseudo-random bit for a given bit-prefix."""
+        digest = hmac.new(self.key, prefix_bits.encode("ascii"), hashlib.sha256).digest()
+        return digest[0] & 1
+
+    def anonymize_ipv4_int(self, addr: int) -> int:
+        """Crypto-PAn-style prefix-preserving permutation of 32 bits.
+
+        Each output bit is the input bit XOR a keyed function of the
+        preceding input bits, which is exactly the structure that makes
+        the mapping prefix-preserving and invertible.
+        """
+        cached = self._ipv4_cache.get(addr)
+        if cached is not None:
+            return cached
+        bits = f"{addr:032b}"
+        out = 0
+        for i in range(32):
+            flip = self._bit(f"v4/{bits[:i]}")
+            out = (out << 1) | (int(bits[i]) ^ flip)
+        self._ipv4_cache[addr] = out
+        return out
+
+    def anonymize_ipv4(self, raw: bytes) -> bytes:
+        (addr,) = struct.unpack("!I", raw)
+        return struct.pack("!I", self.anonymize_ipv4_int(addr))
+
+    def anonymize_ipv6(self, raw: bytes) -> bytes:
+        """Prefix-preserving per 16-bit group."""
+        groups = struct.unpack("!8H", raw)
+        out = []
+        prefix = ""
+        for group in groups:
+            digest = hmac.new(self.key, f"v6/{prefix}".encode("ascii"),
+                              hashlib.sha256).digest()
+            mask = struct.unpack("!H", digest[:2])[0]
+            out.append(group ^ mask)
+            prefix += f"{group:04x}:"
+        return struct.pack("!8H", *out)
+
+    def anonymize_mac(self, raw: bytes) -> bytes:
+        digest = hmac.new(self.key, b"mac/" + raw, hashlib.sha256).digest()
+        pseudo = bytearray(digest[:6])
+        pseudo[0] = (pseudo[0] | 0x02) & 0xFE  # locally administered, unicast
+        return bytes(pseudo)
+
+    # -- the frame transform ------------------------------------------------
+
+    def transform(self, data: bytes) -> bytes:
+        """Anonymize every address in a captured frame prefix.
+
+        Walks the header chain the same way the dissector does and
+        rewrites MAC and IP addresses in place.  Unknown or truncated
+        regions are left untouched.
+        """
+        out = bytearray(data)
+        offset = 0
+        # Outer (and possibly inner, via pseudowire) Ethernet chains.
+        while True:
+            if len(out) - offset < 14:
+                return bytes(out)
+            out[offset:offset + 6] = self.anonymize_mac(bytes(out[offset:offset + 6]))
+            out[offset + 6:offset + 12] = self.anonymize_mac(bytes(out[offset + 6:offset + 12]))
+            (ethertype,) = struct.unpack_from("!H", out, offset + 12)
+            offset += 14
+            # VLAN tags.
+            while ethertype == EtherType.VLAN and len(out) - offset >= 4:
+                (ethertype,) = struct.unpack_from("!H", out, offset + 2)
+                offset += 4
+            if ethertype == EtherType.MPLS_UNICAST:
+                bottom = False
+                while not bottom and len(out) - offset >= 4:
+                    (entry,) = struct.unpack_from("!I", out, offset)
+                    bottom = bool((entry >> 8) & 1)
+                    offset += 4
+                if len(out) - offset < 1:
+                    return bytes(out)
+                nibble = out[offset] >> 4
+                if nibble == 0:
+                    offset += 4  # pseudowire control word, then inner Ethernet
+                    continue
+                ethertype = EtherType.IPV4 if nibble == 4 else EtherType.IPV6
+            if ethertype == EtherType.IPV4:
+                if len(out) - offset >= 20:
+                    out[offset + 12:offset + 16] = self.anonymize_ipv4(
+                        bytes(out[offset + 12:offset + 16]))
+                    out[offset + 16:offset + 20] = self.anonymize_ipv4(
+                        bytes(out[offset + 16:offset + 20]))
+                    self._clear_ipv4_checksum(out, offset)
+            elif ethertype == EtherType.IPV6:
+                if len(out) - offset >= 40:
+                    out[offset + 8:offset + 24] = self.anonymize_ipv6(
+                        bytes(out[offset + 8:offset + 24]))
+                    out[offset + 24:offset + 40] = self.anonymize_ipv6(
+                        bytes(out[offset + 24:offset + 40]))
+            return bytes(out)
+
+    @staticmethod
+    def _clear_ipv4_checksum(out: bytearray, ip_offset: int) -> None:
+        """Zero the header checksum: it no longer matches and keeping a
+        stale value would leak information about the original addresses."""
+        out[ip_offset + 10] = 0
+        out[ip_offset + 11] = 0

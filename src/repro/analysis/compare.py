@@ -1,0 +1,139 @@
+"""Profile evolution: comparing occasions over time.
+
+Patchwork "now runs weekly to create a profile of FABRIC's network
+traffic" and the paper proposes "regular updates to the analysis" as a
+community service (Section 9).  This module supports that recurring
+use: it diffs two :class:`~repro.analysis.pipeline.ProfileReport`
+objects (what changed between last week's profile and this week's?) and
+accumulates a longitudinal :class:`ProfileHistory` whose trend series
+feed the visualization layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.pipeline import ProfileReport
+from repro.util.tables import Table
+
+
+@dataclass
+class ProfileDelta:
+    """What changed between two profiles."""
+
+    frame_share_changes: Dict[str, Tuple[float, float]]  # bin -> (old, new)
+    total_variation: float            # half L1 distance of size shares
+    protocols_gained: List[str]
+    protocols_lost: List[str]
+    sites_gained: List[str]
+    sites_lost: List[str]
+    ipv6_change: Tuple[float, float]
+    jumbo_change: Tuple[float, float]
+
+    @property
+    def materially_different(self) -> bool:
+        """A coarse 'worth a look' flag for the weekly report."""
+        return (self.total_variation > 0.1
+                or bool(self.protocols_gained)
+                or bool(self.protocols_lost))
+
+    def to_table(self) -> Table:
+        table = Table(["aspect", "before", "after"], title="Profile delta")
+        for label, (old, new) in sorted(self.frame_share_changes.items()):
+            if abs(new - old) >= 0.01:
+                table.add_row([f"frame share {label}", round(old, 4),
+                               round(new, 4)])
+        table.add_row(["ipv6 fraction", round(self.ipv6_change[0], 4),
+                       round(self.ipv6_change[1], 4)])
+        table.add_row(["jumbo fraction", round(self.jumbo_change[0], 4),
+                       round(self.jumbo_change[1], 4)])
+        if self.protocols_gained:
+            table.add_row(["protocols gained", "-",
+                           " ".join(sorted(self.protocols_gained))])
+        if self.protocols_lost:
+            table.add_row(["protocols lost",
+                           " ".join(sorted(self.protocols_lost)), "-"])
+        return table
+
+
+def _size_shares(report: ProfileReport) -> Dict[str, float]:
+    table = report.tables["frame_sizes_overall"]
+    return {label: float(fraction)
+            for label, fraction in zip(table.column("size_bin"),
+                                       table.column("fraction"))}
+
+
+def _protocols(report: ProfileReport) -> set:
+    table = report.tables["header_occurrence"]
+    return {name for name, pct in zip(table.column("header"),
+                                      table.column("percent_of_frames"))
+            if float(pct) > 0}
+
+
+def compare_profiles(before: ProfileReport, after: ProfileReport) -> ProfileDelta:
+    """Diff two profiles (typically consecutive weekly occasions)."""
+    old_shares, new_shares = _size_shares(before), _size_shares(after)
+    bins = set(old_shares) | set(new_shares)
+    changes = {b: (old_shares.get(b, 0.0), new_shares.get(b, 0.0))
+               for b in bins}
+    total_variation = 0.5 * sum(abs(new - old) for old, new in changes.values())
+    old_protocols, new_protocols = _protocols(before), _protocols(after)
+    return ProfileDelta(
+        frame_share_changes=changes,
+        total_variation=total_variation,
+        protocols_gained=sorted(new_protocols - old_protocols),
+        protocols_lost=sorted(old_protocols - new_protocols),
+        sites_gained=sorted(set(after.sites) - set(before.sites)),
+        sites_lost=sorted(set(before.sites) - set(after.sites)),
+        ipv6_change=(before.ipv6_fraction, after.ipv6_fraction),
+        jumbo_change=(before.jumbo_fraction, after.jumbo_fraction),
+    )
+
+
+@dataclass
+class ProfileHistory:
+    """A longitudinal series of profiles (the weekly-run archive)."""
+
+    labels: List[str] = field(default_factory=list)
+    reports: List[ProfileReport] = field(default_factory=list)
+
+    def add(self, label: str, report: ProfileReport) -> None:
+        self.labels.append(label)
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def series(self, metric: str) -> List[float]:
+        """A named trend series: 'frames', 'ipv6', 'jumbo', 'flows',
+        or 'share:<bin-label>'."""
+        if metric == "frames":
+            return [float(r.total_frames) for r in self.reports]
+        if metric == "ipv6":
+            return [r.ipv6_fraction for r in self.reports]
+        if metric == "jumbo":
+            return [r.jumbo_fraction for r in self.reports]
+        if metric == "flows":
+            return [float(sum(r.flows_per_sample)) for r in self.reports]
+        if metric.startswith("share:"):
+            label = metric.split(":", 1)[1]
+            return [_size_shares(r).get(label, 0.0) for r in self.reports]
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def trend_table(self) -> Table:
+        table = Table(["occasion", "frames", "flows", "ipv6", "jumbo"],
+                      title="Profile evolution")
+        for i, label in enumerate(self.labels):
+            report = self.reports[i]
+            table.add_row([label, report.total_frames,
+                           sum(report.flows_per_sample),
+                           round(report.ipv6_fraction, 4),
+                           round(report.jumbo_fraction, 4)])
+        return table
+
+    def latest_delta(self) -> Optional[ProfileDelta]:
+        """The delta between the two most recent occasions."""
+        if len(self.reports) < 2:
+            return None
+        return compare_profiles(self.reports[-2], self.reports[-1])

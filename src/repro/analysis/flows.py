@@ -1,0 +1,144 @@
+"""Flow classification and aggregation (Section 6.2.4, Fig 13).
+
+"Flows are classified by using the virtualization tags (MPLS and VLAN)
+and network- and transport-layer fields -- thus even if the same 10/8
+addresses are used in different slices, they are treated as different
+flows."  The flow key therefore includes the tag tuples, and two
+conversations with identical 5-tuples in different slices never merge.
+
+Keys are direction-normalized so a flow's two directions count as one
+flow, matching how flow counts are usually reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.acap import AcapRecord
+from repro.packets.headers import TCP_FIN, TCP_RST, TCP_SYN
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The classification key: tags + network + transport fields."""
+
+    vlan_ids: Tuple[int, ...]
+    mpls_labels: Tuple[int, ...]
+    ip_version: int
+    endpoint_a: Tuple[str, int]
+    endpoint_b: Tuple[str, int]
+    proto: int
+
+    @classmethod
+    def from_record(cls, record: AcapRecord) -> "FlowKey":
+        """Build the direction-normalized key for one acap record."""
+        side_src = (record.src, record.sport)
+        side_dst = (record.dst, record.dport)
+        a, b = (side_src, side_dst) if side_src <= side_dst else (side_dst, side_src)
+        return cls(
+            vlan_ids=record.vlan_ids,
+            mpls_labels=tuple(sorted(record.mpls_labels)),
+            ip_version=record.ip_version,
+            endpoint_a=a,
+            endpoint_b=b,
+            proto=record.proto,
+        )
+
+
+@dataclass
+class FlowStats:
+    """Aggregated statistics for one flow (or flow snippet)."""
+
+    key: FlowKey
+    frames: int = 0
+    wire_bytes: int = 0
+    first_seen: float = float("inf")
+    last_seen: float = float("-inf")
+    syn_seen: bool = False
+    fin_seen: bool = False
+    rst_seen: bool = False
+    samples: int = 1
+
+    @property
+    def duration(self) -> float:
+        if self.frames == 0:
+            return 0.0
+        return max(0.0, self.last_seen - self.first_seen)
+
+    def add(self, record: AcapRecord) -> None:
+        self.frames += 1
+        self.wire_bytes += record.wire_len
+        self.first_seen = min(self.first_seen, record.timestamp)
+        self.last_seen = max(self.last_seen, record.timestamp)
+        if record.tcp_flags & TCP_SYN:
+            self.syn_seen = True
+        if record.tcp_flags & TCP_FIN:
+            self.fin_seen = True
+        if record.tcp_flags & TCP_RST:
+            self.rst_seen = True
+
+    def merge(self, other: "FlowStats") -> None:
+        """Piece a snippet from another sample into this flow."""
+        if other.key != self.key:
+            raise ValueError("cannot merge different flows")
+        self.frames += other.frames
+        self.wire_bytes += other.wire_bytes
+        self.first_seen = min(self.first_seen, other.first_seen)
+        self.last_seen = max(self.last_seen, other.last_seen)
+        self.syn_seen = self.syn_seen or other.syn_seen
+        self.fin_seen = self.fin_seen or other.fin_seen
+        self.rst_seen = self.rst_seen or other.rst_seen
+        self.samples += other.samples
+
+
+def classify_flows(records: Iterable[AcapRecord]) -> Dict[FlowKey, FlowStats]:
+    """Group one sample's records into flows.
+
+    Non-IP records (ARP, unparseable) are excluded -- they have no
+    transport-layer identity to classify on.
+    """
+    flows: Dict[FlowKey, FlowStats] = {}
+    for record in records:
+        if not record.is_ip:
+            continue
+        key = FlowKey.from_record(record)
+        stats = flows.get(key)
+        if stats is None:
+            stats = FlowStats(key=key)
+            flows[key] = stats
+        stats.add(record)
+    return flows
+
+
+def aggregate_flows(per_sample: Iterable[Dict[FlowKey, FlowStats]]) -> Dict[FlowKey, FlowStats]:
+    """Piece together flow snippets across samples (Section 8.2).
+
+    The same flow observed in several 20-second samples merges into one
+    aggregate; this is the analysis behind "most flows are short ...
+    but some flows were around 100 GB in size".
+    """
+    merged: Dict[FlowKey, FlowStats] = {}
+    for sample in per_sample:
+        for key, stats in sample.items():
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = FlowStats(
+                    key=key,
+                    frames=stats.frames,
+                    wire_bytes=stats.wire_bytes,
+                    first_seen=stats.first_seen,
+                    last_seen=stats.last_seen,
+                    syn_seen=stats.syn_seen,
+                    fin_seen=stats.fin_seen,
+                    rst_seen=stats.rst_seen,
+                    samples=stats.samples,
+                )
+            else:
+                existing.merge(stats)
+    return merged
+
+
+def flows_per_sample_counts(per_sample: Iterable[Dict[FlowKey, FlowStats]]) -> List[int]:
+    """Fig 13's x-values: distinct flows seen in each sample."""
+    return [len(sample) for sample in per_sample]

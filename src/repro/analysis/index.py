@@ -1,0 +1,127 @@
+"""The Index step.
+
+"Since a single profile often produces dozens of gigabytes of data, an
+Index step is carried out to allow subsequent analyses to more quickly
+locate the acap files needed."  An :class:`AcapIndex` summarizes each
+acap file -- frame count, time range, protocols seen, site (parsed
+from Patchwork's output layout) -- and supports the selection queries
+the Analyze step uses.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Set, Union
+
+from repro.analysis.acap import AcapFile, read_acap
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Summary of one acap file."""
+
+    path: str
+    site: str
+    frames: int
+    start: float
+    end: float
+    protocols: frozenset
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+
+def _site_from_path(path: Path) -> str:
+    """Patchwork writes captures under ``<out>/<SITE>/...``."""
+    if len(path.parts) >= 2:
+        return path.parts[-2]
+    return ""
+
+
+class AcapIndex:
+    """An index over a set of acap files."""
+
+    def __init__(self, entries: Optional[List[IndexEntry]] = None):
+        self.entries: List[IndexEntry] = entries or []
+
+    @classmethod
+    def build(cls, acap_paths: Iterable[Union[str, Path]]) -> "AcapIndex":
+        """Index acap files on disk (reads each once)."""
+        entries = []
+        for raw in acap_paths:
+            path = Path(raw)
+            acap = read_acap(path)
+            entries.append(cls.entry_for(acap, path))
+        return cls(entries)
+
+    @classmethod
+    def build_from_memory(cls, acaps: Iterable[AcapFile]) -> "AcapIndex":
+        """Index in-memory acap objects (used by the pipeline)."""
+        return cls([cls.entry_for(acap, Path(acap.source)) for acap in acaps])
+
+    @staticmethod
+    def entry_for(acap: AcapFile, path: Path) -> IndexEntry:
+        start, end = acap.time_range
+        return IndexEntry(
+            path=str(path),
+            site=_site_from_path(path),
+            frames=len(acap),
+            start=start,
+            end=end,
+            protocols=frozenset(acap.protocols()),
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    def sites(self) -> List[str]:
+        return sorted({e.site for e in self.entries if e.site})
+
+    def for_site(self, site: str) -> List[IndexEntry]:
+        return [e for e in self.entries if e.site == site]
+
+    def with_protocol(self, protocol: str) -> List[IndexEntry]:
+        return [e for e in self.entries if protocol in e.protocols]
+
+    def in_window(self, start: float, end: float) -> List[IndexEntry]:
+        """Entries overlapping [start, end]."""
+        return [e for e in self.entries if e.end >= start and e.start <= end]
+
+    def total_frames(self) -> int:
+        return sum(e.frames for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence ------------------------------------------------------------
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["path", "site", "frames", "start", "end", "protocols"])
+            for e in self.entries:
+                writer.writerow([
+                    e.path, e.site, e.frames, f"{e.start:.6f}", f"{e.end:.6f}",
+                    " ".join(sorted(e.protocols)),
+                ])
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "AcapIndex":
+        entries = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                entries.append(IndexEntry(
+                    path=row["path"],
+                    site=row["site"],
+                    frames=int(row["frames"]),
+                    start=float(row["start"]),
+                    end=float(row["end"]),
+                    protocols=frozenset(row["protocols"].split()),
+                ))
+        return cls(entries)

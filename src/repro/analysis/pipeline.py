@@ -1,0 +1,128 @@
+"""The end-to-end analysis pipeline (Fig 9).
+
+``pcaps -> Digest -> acap -> Index -> Analyze -> Process -> CSVs``
+
+:class:`AnalysisPipeline` drives the whole offline phase over the
+output directory a Patchwork profile produced (or any set of pcap
+files), and returns a :class:`ProfileReport` holding every table the
+Process step emits plus the headline statistics the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.acap import AcapFile, AcapRecord, digest_pcap, write_acap
+from repro.analysis.analyze import ip_version_shares, jumbo_fraction
+from repro.analysis.flows import (
+    FlowKey,
+    FlowStats,
+    aggregate_flows,
+    classify_flows,
+    flows_per_sample_counts,
+)
+from repro.analysis.index import AcapIndex
+from repro.analysis.report import (
+    aggregated_flow_size_table,
+    flows_per_sample_table,
+    frame_size_table,
+    header_diversity_table,
+    header_occurrence_table,
+    ip_version_table,
+    overall_frame_size_table,
+    tcp_flag_table,
+)
+from repro.util.tables import Table
+
+
+@dataclass
+class ProfileReport:
+    """Everything the Process step produced for one profile."""
+
+    tables: Dict[str, Table] = field(default_factory=dict)
+    total_frames: int = 0
+    sites: List[str] = field(default_factory=list)
+    ipv6_fraction: float = 0.0
+    jumbo_fraction: float = 0.0
+    flows_per_sample: List[int] = field(default_factory=list)
+    aggregated_flows: Dict[FlowKey, FlowStats] = field(default_factory=dict)
+
+    def write_csvs(self, out_dir: Union[str, Path]) -> List[Path]:
+        out_dir = Path(out_dir)
+        return [table.to_csv(out_dir / f"{name}.csv")
+                for name, table in sorted(self.tables.items())]
+
+    def render(self) -> str:
+        parts = [table.render(max_rows=40) for _name, table in sorted(self.tables.items())]
+        return "\n\n".join(parts)
+
+
+class AnalysisPipeline:
+    """Digest/Index/Analyze/Process over a set of pcaps."""
+
+    def __init__(self, acap_dir: Optional[Union[str, Path]] = None):
+        self.acap_dir = Path(acap_dir) if acap_dir is not None else None
+        self.acaps: List[AcapFile] = []
+        self.index: Optional[AcapIndex] = None
+
+    # -- Digest ------------------------------------------------------------
+
+    def digest(self, pcap_paths: Sequence[Union[str, Path]]) -> List[AcapFile]:
+        """Dissect every pcap into an acap (optionally persisted)."""
+        self.acaps = []
+        for path in pcap_paths:
+            acap = digest_pcap(path)
+            self.acaps.append(acap)
+            if self.acap_dir is not None:
+                name = Path(path)
+                out = self.acap_dir / name.parent.name / (name.stem + ".acap")
+                write_acap(acap, out)
+        return self.acaps
+
+    # -- Index ------------------------------------------------------------
+
+    def build_index(self) -> AcapIndex:
+        self.index = AcapIndex.build_from_memory(self.acaps)
+        return self.index
+
+    # -- Analyze + Process ----------------------------------------------------
+
+    def analyze(self) -> ProfileReport:
+        """Run every analysis and emit the report tables."""
+        if self.index is None:
+            self.build_index()
+        records_by_site: Dict[str, List[AcapRecord]] = {}
+        all_records: List[AcapRecord] = []
+        per_sample_flows = []
+        for acap in self.acaps:
+            site = Path(acap.source).parent.name or "unknown"
+            records_by_site.setdefault(site, []).extend(acap.records)
+            all_records.extend(acap.records)
+            per_sample_flows.append(classify_flows(acap.records))
+        aggregated = aggregate_flows(per_sample_flows)
+        counts = flows_per_sample_counts(per_sample_flows)
+        report = ProfileReport(
+            total_frames=len(all_records),
+            sites=sorted(records_by_site),
+            ipv6_fraction=ip_version_shares(all_records)["ipv6"],
+            jumbo_fraction=jumbo_fraction(all_records),
+            flows_per_sample=counts,
+            aggregated_flows=aggregated,
+        )
+        report.tables["frame_sizes_by_site"] = frame_size_table(records_by_site)
+        report.tables["frame_sizes_overall"] = overall_frame_size_table(all_records)
+        report.tables["header_occurrence"] = header_occurrence_table(all_records)
+        report.tables["header_diversity"] = header_diversity_table(records_by_site)
+        report.tables["ip_versions"] = ip_version_table(all_records)
+        report.tables["flows_per_sample"] = flows_per_sample_table(counts)
+        report.tables["aggregated_flow_sizes"] = aggregated_flow_size_table(aggregated)
+        report.tables["tcp_flags"] = tcp_flag_table(aggregated)
+        return report
+
+    def run(self, pcap_paths: Sequence[Union[str, Path]]) -> ProfileReport:
+        """Convenience: digest + index + analyze in one call."""
+        self.digest(pcap_paths)
+        self.build_index()
+        return self.analyze()

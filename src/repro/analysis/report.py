@@ -1,0 +1,129 @@
+"""The Process step: CSV tables describing the profile.
+
+"From the results of analyses, the Process step produces CSV files
+that describe different aspects of the profile -- such as the
+distribution of different types of frames across FABRIC sites, and the
+composition of flows.  Finally, this information is processed by other
+scripts to produce graphs or summary statistics."
+
+Each function here turns one analysis into a :class:`~repro.util.tables.Table`
+that can be rendered or written as CSV; the benchmark harnesses print
+these tables as the paper-figure reproductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.acap import AcapRecord
+from repro.analysis.analyze import (
+    frame_size_distribution,
+    header_occurrence,
+    ip_version_shares,
+    jumbo_fraction,
+    site_header_diversity,
+)
+from repro.analysis.flows import FlowKey, FlowStats
+from repro.traffic.distributions import PAPER_FRAME_BINS
+from repro.util.tables import Table
+
+
+def frame_size_table(records_by_site: Mapping[str, Sequence[AcapRecord]]) -> Table:
+    """Fig 15: per-site frame-size distribution (plus jumbo share)."""
+    labels = PAPER_FRAME_BINS.labels()
+    table = Table(["site"] + labels + ["jumbo_fraction"],
+                  title="Frame-size distribution by site")
+    for site in sorted(records_by_site):
+        records = list(records_by_site[site])
+        dist = frame_size_distribution(records)
+        table.add_row([site] + [round(dist[label], 5) for label in labels]
+                      + [round(jumbo_fraction(records), 5)])
+    return table
+
+
+def overall_frame_size_table(records: Sequence[AcapRecord]) -> Table:
+    """Section 8.2's headline frame-size shares, aggregated."""
+    dist = frame_size_distribution(records)
+    table = Table(["size_bin", "fraction"], title="Frame sizes (all sites)")
+    for label, fraction in dist.items():
+        table.add_row([label, round(fraction, 5)])
+    return table
+
+
+def header_occurrence_table(records: Sequence[AcapRecord]) -> Table:
+    """Fig 12: occurrence of protocol headers (percent of frames)."""
+    table = Table(["header", "percent_of_frames"],
+                  title="Occurrence of protocol headers")
+    occurrence = header_occurrence(records)
+    for name, percent in sorted(occurrence.items(), key=lambda kv: -kv[1]):
+        table.add_row([name, round(percent, 3)])
+    return table
+
+
+def header_diversity_table(records_by_site: Mapping[str, Sequence[AcapRecord]]) -> Table:
+    """Fig 11: distinct headers and deepest stack per (anonymized) site."""
+    table = Table(["site", "distinct_headers", "max_stack_depth", "frames"],
+                  title="Per-site protocol diversity")
+    for d in site_header_diversity(records_by_site):
+        table.add_row([d.site, d.distinct_headers, d.max_stack_depth, d.frames])
+    return table
+
+
+def ip_version_table(records: Sequence[AcapRecord]) -> Table:
+    """Finding B6: IPv4 dominance."""
+    table = Table(["family", "fraction"], title="IP version shares")
+    for family, fraction in ip_version_shares(records).items():
+        table.add_row([family, round(fraction, 5)])
+    return table
+
+
+def flows_per_sample_table(counts: Sequence[int],
+                           edges: Sequence[int] = (0, 10, 30, 100, 300, 1000,
+                                                   3000, 10000, 20000)) -> Table:
+    """Fig 13: frequency of flow counts per 20 s sample."""
+    table = Table(["flows_bin", "samples"], title="Flows per sample")
+    arr = np.asarray(list(counts))
+    previous = None
+    for edge in edges:
+        if previous is None:
+            previous = edge
+            continue
+        n = int(np.count_nonzero((arr > previous) & (arr <= edge)))
+        table.add_row([f"{previous + 1}-{edge}", n])
+        previous = edge
+    table.add_row([f">{edges[-1]}", int(np.count_nonzero(arr > edges[-1]))])
+    # The zero/low bin goes first for readability.
+    low = int(np.count_nonzero(arr <= edges[0]))
+    table.rows.insert(0, [f"<={edges[0]}", low])
+    return table
+
+
+def aggregated_flow_size_table(flows: Mapping[FlowKey, FlowStats],
+                               decade_max: int = 12) -> Table:
+    """Section 8.2's cross-sample flow-size analysis.
+
+    Buckets aggregated flow sizes by decade of bytes: most flows are
+    tiny, a few are enormous.
+    """
+    table = Table(["size_decade_bytes", "flows"], title="Aggregated flow sizes")
+    sizes = np.array([stats.wire_bytes for stats in flows.values()])
+    for decade in range(decade_max):
+        lo, hi = 10 ** decade, 10 ** (decade + 1)
+        count = int(np.count_nonzero((sizes >= lo) & (sizes < hi)))
+        table.add_row([f"1e{decade}-1e{decade + 1}", count])
+    return table
+
+
+def tcp_flag_table(flows: Mapping[FlowKey, FlowStats]) -> Table:
+    """Control-information summary: SYN/FIN/RST presence across flows."""
+    table = Table(["flag", "flows", "fraction"], title="TCP control flags seen")
+    total = max(1, len(flows))
+    for flag, present in (
+        ("syn", sum(1 for f in flows.values() if f.syn_seen)),
+        ("fin", sum(1 for f in flows.values() if f.fin_seen)),
+        ("rst", sum(1 for f in flows.values() if f.rst_seen)),
+    ):
+        table.add_row([flag, present, round(present / total, 5)])
+    return table

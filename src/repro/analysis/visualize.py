@@ -1,0 +1,317 @@
+"""Chart generation for profile reports.
+
+The real Patchwork carries ~2 kLOC of visualization code that renders
+the paper's graphs from the Process step's CSVs.  This module provides
+a dependency-free equivalent: simple, self-contained SVG renderers for
+the three chart shapes the paper uses (bar charts for Figs 2/6/12/15,
+CDF/line charts for Figs 3/4, and scatter/series charts for Figs 5/11/
+13), plus terminal-friendly ASCII sparklines used by the examples.
+
+The renderers intentionally know nothing about the analyses: they take
+labelled series, so any :class:`~repro.util.tables.Table` column can be
+plotted.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+# A small qualitative palette (colorblind-safe Okabe-Ito subset).
+PALETTE = ("#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9")
+
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode sparkline (used by example scripts)."""
+    if not values:
+        return ""
+    values = list(values)
+    if len(values) > width:
+        # Downsample by taking bucket maxima (peaks matter for traffic).
+        bucket = len(values) / width
+        values = [max(values[int(i * bucket):max(int(i * bucket) + 1,
+                                                 int((i + 1) * bucket))])
+                  for i in range(width)]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(BLOCKS[1 + int((v - low) / span * (len(BLOCKS) - 2))]
+                   for v in values)
+
+
+@dataclass
+class Series:
+    """One named data series."""
+
+    name: str
+    values: List[float]
+    color: Optional[str] = None
+
+
+class SvgCanvas:
+    """Minimal SVG assembly: elements accumulate, then render."""
+
+    def __init__(self, width: int = 720, height: int = 400):
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def add(self, element: str) -> None:
+        self._elements.append(element)
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str,
+             opacity: float = 1.0, title: str = "") -> None:
+        tooltip = f"<title>{html.escape(title)}</title>" if title else ""
+        self.add(f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+                 f'height="{h:.1f}" fill="{fill}" opacity="{opacity}">'
+                 f'{tooltip}</rect>')
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#555", width: float = 1.0,
+             dash: str = "") -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.add(f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+                 f'y2="{y2:.1f}" stroke="{stroke}" '
+                 f'stroke-width="{width}"{dash_attr}/>')
+
+    def polyline(self, points: Sequence[Tuple[float, float]], stroke: str,
+                 width: float = 2.0) -> None:
+        text = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.add(f'<polyline points="{text}" fill="none" stroke="{stroke}" '
+                 f'stroke-width="{width}"/>')
+
+    def circle(self, x: float, y: float, r: float, fill: str,
+               title: str = "") -> None:
+        tooltip = f"<title>{html.escape(title)}</title>" if title else ""
+        self.add(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r:.1f}" '
+                 f'fill="{fill}">{tooltip}</circle>')
+
+    def text(self, x: float, y: float, content: str, size: int = 12,
+             anchor: str = "start", rotate: Optional[float] = None) -> None:
+        transform = (f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+                     if rotate is not None else "")
+        self.add(f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+                 f'font-family="sans-serif" text-anchor="{anchor}"'
+                 f'{transform}>{html.escape(content)}</text>')
+
+    def render(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'  <rect width="100%" height="100%" fill="white"/>\n'
+                f'  {body}\n</svg>\n')
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path
+
+
+@dataclass
+class ChartLayout:
+    """Shared axes/margins geometry."""
+
+    width: int = 720
+    height: int = 400
+    margin_left: int = 70
+    margin_right: int = 20
+    margin_top: int = 40
+    margin_bottom: int = 80
+
+    @property
+    def plot_width(self) -> float:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> float:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def x(self, fraction: float) -> float:
+        return self.margin_left + fraction * self.plot_width
+
+    def y(self, fraction: float) -> float:
+        """fraction 0 = axis bottom, 1 = top."""
+        return self.margin_top + (1.0 - fraction) * self.plot_height
+
+
+def _axes(canvas: SvgCanvas, layout: ChartLayout, title: str,
+          y_max: float, y_label: str = "") -> None:
+    canvas.text(layout.width / 2, 20, title, size=14, anchor="middle")
+    canvas.line(layout.x(0), layout.y(0), layout.x(1), layout.y(0))
+    canvas.line(layout.x(0), layout.y(0), layout.x(0), layout.y(1))
+    for i in range(5):
+        fraction = i / 4
+        value = y_max * fraction
+        canvas.line(layout.x(0) - 4, layout.y(fraction), layout.x(0),
+                    layout.y(fraction))
+        canvas.text(layout.x(0) - 8, layout.y(fraction) + 4,
+                    f"{value:g}", size=10, anchor="end")
+    if y_label:
+        canvas.text(16, layout.height / 2, y_label, size=11,
+                    anchor="middle", rotate=-90)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    series: Sequence[Series],
+    title: str = "",
+    y_label: str = "",
+    stacked: bool = False,
+    layout: Optional[ChartLayout] = None,
+) -> SvgCanvas:
+    """Grouped or stacked bars (Figs 2, 6, 12, 15 shapes)."""
+    if not labels or not series:
+        raise ValueError("bar chart needs labels and at least one series")
+    for s in series:
+        if len(s.values) != len(labels):
+            raise ValueError(f"series {s.name!r} length != labels length")
+    layout = layout or ChartLayout()
+    canvas = SvgCanvas(layout.width, layout.height)
+    if stacked:
+        totals = [sum(s.values[i] for s in series) for i in range(len(labels))]
+        y_max = max(totals) or 1.0
+    else:
+        y_max = max(max(s.values) for s in series) or 1.0
+    _axes(canvas, layout, title, y_max, y_label)
+    slot = layout.plot_width / len(labels)
+    bar_gap = slot * 0.15
+    for i, label in enumerate(labels):
+        x0 = layout.x(0) + i * slot + bar_gap
+        usable = slot - 2 * bar_gap
+        if stacked:
+            base = 0.0
+            for j, s in enumerate(series):
+                h = s.values[i] / y_max * layout.plot_height
+                y_top = layout.y(base / y_max) - h
+                canvas.rect(x0, y_top, usable, h,
+                            s.color or PALETTE[j % len(PALETTE)],
+                            title=f"{label} {s.name}: {s.values[i]:g}")
+                base += s.values[i]
+        else:
+            width = usable / len(series)
+            for j, s in enumerate(series):
+                h = s.values[i] / y_max * layout.plot_height
+                canvas.rect(x0 + j * width, layout.y(0) - h, width, h,
+                            s.color or PALETTE[j % len(PALETTE)],
+                            title=f"{label} {s.name}: {s.values[i]:g}")
+        if len(labels) <= 40:
+            canvas.text(x0 + usable / 2, layout.y(0) + 14, str(label),
+                        size=9, anchor="end", rotate=-45)
+    _legend(canvas, layout, series)
+    return canvas
+
+
+def line_chart(
+    x_values: Sequence[float],
+    series: Sequence[Series],
+    title: str = "",
+    y_label: str = "",
+    markers: bool = False,
+    layout: Optional[ChartLayout] = None,
+) -> SvgCanvas:
+    """Line/CDF charts (Figs 3, 4, 5, 11 shapes)."""
+    if not x_values or not series:
+        raise ValueError("line chart needs x values and at least one series")
+    for s in series:
+        if len(s.values) != len(x_values):
+            raise ValueError(f"series {s.name!r} length != x length")
+    layout = layout or ChartLayout()
+    canvas = SvgCanvas(layout.width, layout.height)
+    y_max = max(max(s.values) for s in series) or 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    x_span = (x_max - x_min) or 1.0
+    _axes(canvas, layout, title, y_max, y_label)
+    for i in range(5):
+        value = x_min + x_span * i / 4
+        canvas.text(layout.x(i / 4), layout.y(0) + 16, f"{value:g}",
+                    size=10, anchor="middle")
+    for j, s in enumerate(series):
+        color = s.color or PALETTE[j % len(PALETTE)]
+        points = [
+            (layout.x((x - x_min) / x_span), layout.y(v / y_max))
+            for x, v in zip(x_values, s.values)
+        ]
+        canvas.polyline(points, color)
+        if markers:
+            for (px, py), v in zip(points, s.values):
+                canvas.circle(px, py, 2.5, color, title=f"{s.name}: {v:g}")
+    _legend(canvas, layout, series)
+    return canvas
+
+
+def histogram_chart(
+    counts: Sequence[int],
+    bin_labels: Sequence[str],
+    title: str = "",
+    y_label: str = "samples",
+    layout: Optional[ChartLayout] = None,
+) -> SvgCanvas:
+    """Frequency histogram (Fig 13 shape)."""
+    return bar_chart(bin_labels, [Series(y_label, list(map(float, counts)))],
+                     title=title, y_label=y_label, layout=layout)
+
+
+def _legend(canvas: SvgCanvas, layout: ChartLayout,
+            series: Sequence[Series]) -> None:
+    if len(series) < 2:
+        return
+    x = layout.x(0) + 10
+    y = layout.margin_top + 6
+    for j, s in enumerate(series):
+        color = s.color or PALETTE[j % len(PALETTE)]
+        canvas.rect(x, y + j * 16 - 8, 10, 10, color)
+        canvas.text(x + 16, y + j * 16, s.name, size=10)
+
+
+def render_report_charts(report, out_dir: Union[str, Path]) -> List[Path]:
+    """Render the standard chart set for a ProfileReport.
+
+    Produces SVGs mirroring the paper's profile figures: header
+    occurrence (Fig 12), per-site diversity (Fig 11), flows per sample
+    (Fig 13), and per-site frame sizes (Fig 15).
+    """
+    out_dir = Path(out_dir)
+    written = []
+
+    occurrence = report.tables["header_occurrence"]
+    written.append(bar_chart(
+        occurrence.column("header"),
+        [Series("percent of frames",
+                [float(v) for v in occurrence.column("percent_of_frames")])],
+        title="Occurrence of protocol headers (Fig 12)",
+        y_label="% of frames",
+    ).save(out_dir / "fig12_header_occurrence.svg"))
+
+    diversity = report.tables["header_diversity"]
+    sites = diversity.column("site")
+    written.append(bar_chart(
+        sites,
+        [Series("distinct headers",
+                [float(v) for v in diversity.column("distinct_headers")]),
+         Series("deepest stack",
+                [float(v) for v in diversity.column("max_stack_depth")])],
+        title="Per-site protocol diversity (Fig 11)",
+    ).save(out_dir / "fig11_header_diversity.svg"))
+
+    flows = report.tables["flows_per_sample"]
+    written.append(histogram_chart(
+        [int(v) for v in flows.column("samples")],
+        flows.column("flows_bin"),
+        title="Flows per sample (Fig 13)",
+    ).save(out_dir / "fig13_flows_per_sample.svg"))
+
+    sizes = report.tables["frame_sizes_by_site"]
+    size_bins = [c for c in sizes.columns if c not in ("site", "jumbo_fraction")]
+    written.append(bar_chart(
+        sizes.column("site"),
+        [Series(b, [float(v) for v in sizes.column(b)]) for b in size_bins],
+        title="Frame-size distribution by site (Fig 15)",
+        y_label="fraction",
+        stacked=True,
+    ).save(out_dir / "fig15_frame_sizes_by_site.svg"))
+    return written

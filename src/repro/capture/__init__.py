@@ -1,0 +1,41 @@
+"""Capture-path models.
+
+The paper captures frames three ways (Section 6.2.2): tcpdump with an
+enlarged buffer, a custom DPDK application, and Alveo-FPGA
+pre-processing feeding the DPDK writer.  All three produce pcap files.
+Their performance envelopes -- the content of Section 8.1, Tables 1-2,
+and Fig 14 -- come from host effects we model explicitly:
+
+* :mod:`repro.capture.storage` -- the Linux page-cache write-back
+  model: ``vm.dirty_background_ratio`` / ``vm.dirty_ratio`` thresholds,
+  the midpoint throttle, and the log2 ``sys_writev`` latency histogram.
+* :mod:`repro.capture.tcpdump` -- the kernel capture path: a fixed
+  per-packet cost bounds loss-free capture near 8.5 Gbps for 1500 B
+  frames.
+* :mod:`repro.capture.dpdk` -- the multicore kernel-bypass writer,
+  calibrated to the paper's measured host (16 cores, 128 GB RAM,
+  single NUMA node).
+* :mod:`repro.capture.fpga` -- Alveo offload: filter/truncate/sample at
+  line rate ahead of the DPDK writer.
+* :mod:`repro.capture.session` -- the online capture session Patchwork
+  uses inside the simulation: frames in, pcap files + logs out.
+"""
+
+from repro.capture.storage import PageCacheModel, WritevLatencyHistogram
+from repro.capture.tcpdump import TcpdumpModel
+from repro.capture.dpdk import DpdkCaptureModel, OfferedLoad, LoadResult
+from repro.capture.fpga import FpgaOffloadModel
+from repro.capture.session import CaptureSession, CaptureStats, CaptureMethod
+
+__all__ = [
+    "PageCacheModel",
+    "WritevLatencyHistogram",
+    "TcpdumpModel",
+    "DpdkCaptureModel",
+    "OfferedLoad",
+    "LoadResult",
+    "FpgaOffloadModel",
+    "CaptureSession",
+    "CaptureStats",
+    "CaptureMethod",
+]

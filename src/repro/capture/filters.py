@@ -1,0 +1,187 @@
+"""Capture filters: a small BPF-like predicate language.
+
+The paper's first requirement for usable port mirroring is "filtering
+to exclude unwanted traffic", and the FPGA path "offloads operations
+like sampling, truncation, filtering".  This module provides the filter
+expression language both software capture and the FPGA offload config
+accept -- a deliberately tcpdump-flavoured subset:
+
+========================  =========================================
+``tcp`` / ``udp`` / ...    protocol presence (any dissected layer)
+``port 443``               TCP/UDP source or destination port
+``src 10.0.0.1``           IP source address
+``dst 10.0.0.2``           IP destination address
+``host 10.0.0.1``          IP source or destination
+``vlan 100``               802.1Q VLAN ID present in the tag stack
+``mpls 16001``             MPLS label present in the stack
+``ip`` / ``ip6``           IPv4 / IPv6
+``not EXPR``               negation
+``EXPR and EXPR``          conjunction (binds tighter than ``or``)
+``EXPR or EXPR``           disjunction
+``( EXPR )``               grouping
+==========================================================
+
+Compilation produces a plain ``bytes -> bool`` predicate (frames are
+dissected once per evaluation), directly usable as
+:class:`~repro.capture.session.CaptureSession`'s or
+:class:`~repro.capture.fpga.FpgaOffloadConfig`'s ``frame_filter``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.analysis.acap import AcapRecord, abstract
+from repro.analysis.dissect import Dissector
+
+FramePredicate = Callable[[bytes], bool]
+RecordPredicate = Callable[[AcapRecord], bool]
+
+_TOKEN_RE = re.compile(r"\(|\)|[\w.:]+")
+
+_PROTO_KEYWORDS = {
+    "tcp", "udp", "icmp", "arp", "tls", "ssh", "dns", "http", "ntp",
+    "iperf", "eth", "vlan", "mpls", "pw", "data",
+}
+
+
+class FilterSyntaxError(ValueError):
+    """The filter expression could not be parsed."""
+
+
+@dataclass
+class CaptureFilter:
+    """A compiled filter: evaluate on raw frames or acap records."""
+
+    expression: str
+    _record_predicate: RecordPredicate
+
+    _dissector = Dissector()
+
+    def matches_record(self, record: AcapRecord) -> bool:
+        return self._record_predicate(record)
+
+    def __call__(self, data: bytes) -> bool:
+        dissected = self._dissector.dissect(data)
+        record = abstract(dissected, 0.0, max(len(data), 1), len(data))
+        return self._record_predicate(record)
+
+
+def compile_filter(expression: str) -> CaptureFilter:
+    """Parse and compile a filter expression.
+
+    >>> f = compile_filter("vlan 100 and tcp and not port 22")
+    """
+    tokens = _TOKEN_RE.findall(expression.lower())
+    if not tokens:
+        raise FilterSyntaxError("empty filter expression")
+    parser = _Parser(tokens)
+    predicate = parser.parse_or()
+    if parser.peek() is not None:
+        raise FilterSyntaxError(f"unexpected token {parser.peek()!r}")
+    return CaptureFilter(expression=expression, _record_predicate=predicate)
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FilterSyntaxError("unexpected end of expression")
+        self.position += 1
+        return token
+
+    # Grammar: or := and ("or" and)* ; and := unary ("and" unary)* ;
+    #          unary := "not" unary | "(" or ")" | primitive
+
+    def parse_or(self) -> RecordPredicate:
+        left = self.parse_and()
+        while self.peek() == "or":
+            self.take()
+            right = self.parse_and()
+            left = _or(left, right)
+        return left
+
+    def parse_and(self) -> RecordPredicate:
+        left = self.parse_unary()
+        while self.peek() == "and":
+            self.take()
+            right = self.parse_unary()
+            left = _and(left, right)
+        return left
+
+    def parse_unary(self) -> RecordPredicate:
+        token = self.peek()
+        if token == "not":
+            self.take()
+            inner = self.parse_unary()
+            return lambda r: not inner(r)
+        if token == "(":
+            self.take()
+            inner = self.parse_or()
+            if self.take() != ")":
+                raise FilterSyntaxError("missing closing parenthesis")
+            return inner
+        return self.parse_primitive()
+
+    def parse_primitive(self) -> RecordPredicate:
+        token = self.take()
+        if token == "ip":
+            return lambda r: r.ip_version == 4
+        if token == "ip6":
+            return lambda r: r.ip_version == 6
+        if token == "port":
+            port = self._int_argument("port")
+            return lambda r, p=port: p in (r.sport, r.dport)
+        # "vlan"/"mpls" are both presence tests ("vlan") and
+        # parameterized ("vlan 100"); a numeric lookahead disambiguates.
+        if token == "vlan" and self._next_is_number():
+            vid = self._int_argument("vlan")
+            return lambda r, v=vid: v in r.vlan_ids
+        if token == "mpls" and self._next_is_number():
+            label = self._int_argument("mpls")
+            return lambda r, l=label: l in r.mpls_labels
+        if token in _PROTO_KEYWORDS:
+            return lambda r, name=token: name in r.stack
+        if token == "src":
+            addr = self.take()
+            return lambda r, a=addr: r.src == a
+        if token == "dst":
+            addr = self.take()
+            return lambda r, a=addr: r.dst == a
+        if token == "host":
+            addr = self.take()
+            return lambda r, a=addr: a in (r.src, r.dst)
+        raise FilterSyntaxError(f"unknown filter keyword {token!r}")
+
+    def _next_is_number(self) -> bool:
+        token = self.peek()
+        return token is not None and token.isdigit()
+
+    def _int_argument(self, keyword: str) -> int:
+        token = self.take()
+        try:
+            return int(token)
+        except ValueError:
+            raise FilterSyntaxError(
+                f"{keyword} expects a number, got {token!r}") from None
+
+
+def _and(a: RecordPredicate, b: RecordPredicate) -> RecordPredicate:
+    return lambda r: a(r) and b(r)
+
+
+def _or(a: RecordPredicate, b: RecordPredicate) -> RecordPredicate:
+    return lambda r: a(r) or b(r)

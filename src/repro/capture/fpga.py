@@ -1,0 +1,107 @@
+"""The Alveo FPGA offload model.
+
+For line-rate capture Patchwork "offloads operations like sampling,
+truncation, filtering, and pre-processing to Alveo FPGA cards" (Section
+6.2.1); a P4 program compiled with the ESnet smart-NIC framework runs on
+the card, and the host-side DPDK application only serializes what the
+card lets through.
+
+The card operates at line rate, so it introduces no loss of its own;
+what it changes is the load the host sees:
+
+* **filtering** removes non-matching frames entirely;
+* **sampling** passes 1-in-N frames;
+* **truncation** shrinks every frame to the capture length *before* it
+  crosses PCIe, cutting both bus and writev pressure.
+
+Pre-processing (the paper's close-to-source anonymization) is applied
+to the frame bytes the host receives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.capture.dpdk import DpdkCaptureModel, LoadResult, OfferedLoad
+
+FrameFilter = Callable[[bytes], bool]
+FrameTransform = Callable[[bytes], bytes]
+
+
+@dataclass
+class FpgaOffloadConfig:
+    """What the P4 bitstream is configured to do."""
+
+    truncation: int = 200
+    sample_one_in: int = 1
+    frame_filter: Optional[FrameFilter] = None
+    transform: Optional[FrameTransform] = None
+    bitstream: str = "patchwork-esnet-smartnic"
+
+    def __post_init__(self) -> None:
+        if self.truncation <= 0:
+            raise ValueError("truncation must be positive")
+        if self.sample_one_in < 1:
+            raise ValueError("sample_one_in must be >= 1")
+
+
+class FpgaOffloadModel:
+    """Line-rate front-end ahead of the DPDK writer."""
+
+    def __init__(self, config: Optional[FpgaOffloadConfig] = None,
+                 line_rate_bps: float = 100e9):
+        self.config = config or FpgaOffloadConfig()
+        self.line_rate_bps = line_rate_bps
+        self.seen = 0
+        self.passed = 0
+        self.filtered = 0
+        self.sampled_out = 0
+
+    # -- per-frame path (online use) --------------------------------------
+
+    def process(self, data: bytes) -> Optional[bytes]:
+        """Run one frame through the card; None if it does not pass."""
+        self.seen += 1
+        config = self.config
+        if config.frame_filter is not None and not config.frame_filter(data):
+            self.filtered += 1
+            return None
+        if config.sample_one_in > 1 and (self.seen % config.sample_one_in) != 0:
+            self.sampled_out += 1
+            return None
+        out = data[: config.truncation]
+        if config.transform is not None:
+            out = config.transform(out)
+        self.passed += 1
+        return out
+
+    # -- load transformation (offline analysis) -------------------------------
+
+    def host_load(self, offered: OfferedLoad, match_fraction: float = 1.0) -> OfferedLoad:
+        """The load the DPDK writer sees after offload.
+
+        ``match_fraction`` is the filter's pass rate.  The FPGA truncates
+        in hardware, so the host-side frame size becomes the truncation
+        length (this is what makes FPGA-assisted capture cheaper than
+        raw DPDK for the same wire rate).
+        """
+        if not 0.0 <= match_fraction <= 1.0:
+            raise ValueError("match_fraction must be a fraction")
+        pass_pps = offered.pps * match_fraction / self.config.sample_one_in
+        host_frame = min(self.config.truncation, offered.frame_bytes)
+        return OfferedLoad(
+            rate_bps=pass_pps * host_frame * 8.0,
+            frame_bytes=host_frame,
+            duration=offered.duration,
+        )
+
+    def offer_through(self, writer: DpdkCaptureModel, offered: OfferedLoad,
+                      match_fraction: float = 1.0) -> LoadResult:
+        """Evaluate an offered wire load end-to-end (card + writer).
+
+        Frames beyond the card's line rate never arrive (the mirror
+        port cannot exceed it), so the card itself is lossless; the
+        result is the writer's outcome on the reduced load.
+        """
+        return writer.offer(self.host_load(offered, match_fraction))

@@ -1,0 +1,156 @@
+"""Online capture sessions.
+
+A :class:`CaptureSession` is the receiving half of one Patchwork sample:
+it subscribes to a NIC port, runs each arriving frame through the chosen
+capture-method model, and writes what survives to a real pcap file.  At
+the end it reports :class:`CaptureStats`, which Patchwork folds into its
+per-run logs ("Patchwork creates logs at every instance to capture a
+variety of network- and host-related statistics").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.capture.dpdk import DpdkCaptureModel
+from repro.capture.fpga import FpgaOffloadConfig, FpgaOffloadModel
+from repro.capture.tcpdump import TcpdumpModel
+from repro.netsim.engine import Simulator
+from repro.netsim.frame import Frame
+from repro.packets.pcap import PcapRecord, PcapWriter
+from repro.testbed.nic import NicPort
+
+FrameTransform = Callable[[bytes], bytes]
+
+
+class CaptureMethod(enum.Enum):
+    """The paper's three capture methods (Section 6.2.2)."""
+
+    TCPDUMP = "tcpdump"
+    DPDK = "dpdk"
+    FPGA_DPDK = "fpga+dpdk"
+
+
+@dataclass
+class CaptureStats:
+    """Counters for one completed capture session."""
+
+    method: CaptureMethod
+    pcap_path: Optional[Path]
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    frames_seen: int = 0
+    frames_captured: int = 0
+    frames_dropped: int = 0
+    bytes_captured: int = 0
+    bytes_on_wire: int = 0
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.frames_seen == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_seen
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.ended_at - self.started_at)
+
+
+class CaptureSession:
+    """Captures one port's mirrored traffic into a pcap file."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic_port: NicPort,
+        pcap_path: Union[str, Path, None],
+        method: CaptureMethod = CaptureMethod.TCPDUMP,
+        snaplen: int = 200,
+        transform: Optional[FrameTransform] = None,
+        tcpdump_model: Optional[TcpdumpModel] = None,
+        dpdk_model: Optional[DpdkCaptureModel] = None,
+        fpga_config: Optional[FpgaOffloadConfig] = None,
+    ):
+        if snaplen <= 0:
+            raise ValueError("snaplen must be positive")
+        self.sim = sim
+        self.nic_port = nic_port
+        self.pcap_path = Path(pcap_path) if pcap_path is not None else None
+        self.method = method
+        self.snaplen = snaplen
+        self.transform = transform
+        self._tcpdump = tcpdump_model or TcpdumpModel(snaplen=snaplen)
+        self._dpdk = dpdk_model or DpdkCaptureModel(truncation=snaplen)
+        if method is CaptureMethod.FPGA_DPDK:
+            config = fpga_config or FpgaOffloadConfig(truncation=snaplen)
+            self._fpga: Optional[FpgaOffloadModel] = FpgaOffloadModel(config)
+        else:
+            self._fpga = None
+        self._writer: Optional[PcapWriter] = None
+        self._active = False
+        self.stats = CaptureStats(method=method, pcap_path=self.pcap_path)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin capturing (subscribes to the NIC port now)."""
+        if self._active:
+            raise RuntimeError("capture session already active")
+        self._tcpdump.reset()
+        self._dpdk.reset()
+        if self.pcap_path is not None:
+            self.pcap_path.parent.mkdir(parents=True, exist_ok=True)
+            self._writer = PcapWriter(self.pcap_path, snaplen=self.snaplen)
+        self.stats.started_at = self.sim.now
+        self.nic_port.receive(self._on_frame)
+        self._active = True
+
+    def stop(self) -> CaptureStats:
+        """Stop capturing and return the final statistics."""
+        if self._active:
+            self.nic_port.stop_receiving(self._on_frame)
+            self._active = False
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self.stats.ended_at = self.sim.now
+        return self.stats
+
+    def run_for(self, duration: float) -> None:
+        """Convenience: schedule stop after ``duration`` (start first)."""
+        if not self._active:
+            self.start()
+        self.sim.schedule(duration, self.stop)
+
+    # -- dataplane ------------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        if not self._active:
+            return
+        self.stats.frames_seen += 1
+        self.stats.bytes_on_wire += frame.wire_len
+        if self.method is CaptureMethod.TCPDUMP:
+            kept = self._tcpdump.on_frame(frame.wire_len, self.sim.now)
+            data = frame.captured_bytes(self.snaplen) if kept else None
+        elif self.method is CaptureMethod.DPDK:
+            kept = self._dpdk.on_frame(frame.wire_len, self.sim.now)
+            data = frame.captured_bytes(self.snaplen) if kept else None
+        else:  # FPGA front-end, then the DPDK writer
+            processed = self._fpga.process(frame.captured_bytes(self.snaplen))
+            if processed is None:
+                # Filtered/sampled out by the card: not a loss.
+                return
+            kept = self._dpdk.on_frame(len(processed), self.sim.now)
+            data = processed if kept else None
+        if data is None:
+            self.stats.frames_dropped += 1
+            return
+        if self.transform is not None:
+            data = self.transform(data)
+        if self._writer is not None:
+            self._writer.write(PcapRecord(self.sim.now, data, orig_len=frame.wire_len))
+        self.stats.frames_captured += 1
+        self.stats.bytes_captured += len(data)

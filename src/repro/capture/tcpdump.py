@@ -1,0 +1,137 @@
+"""The software (kernel-path) capture model.
+
+Patchwork's default capture method is tcpdump with its buffer raised to
+32 MB (paper Section 8.1.2): mature, simple, no special requirements --
+but bounded by the kernel path's per-packet cost.  The paper measured
+the bound on FABRIC: with 1500 B frames and 64 B truncation, capture is
+loss-free "until about 8.5 Gbps", while the iperf3 pair itself sustained
+11 Gbps.
+
+The model is a single-server queue with deterministic service:
+
+* Each frame costs ``per_packet_ns`` plus ``per_byte_ns`` for the bytes
+  actually copied (after truncation).  The defaults put loss-free
+  capture of 1500 B frames at ~8.5 Gbps.
+* The 32 MB capture buffer absorbs bursts; when it is full, frames are
+  dropped ("packets dropped by kernel").
+
+The model supports both *online* use (frame by frame, inside the
+simulation) and *offline* analytic evaluation at full line rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import parse_size
+
+
+@dataclass
+class TcpdumpLoadResult:
+    """Outcome of offering a constant load to the model."""
+
+    offered_pps: float
+    offered_bps: float
+    captured_pps: float
+    loss_fraction: float
+
+    @property
+    def lossless(self) -> bool:
+        return self.loss_fraction <= 0.0
+
+
+class TcpdumpModel:
+    """Kernel-path capture with a finite ring buffer."""
+
+    def __init__(
+        self,
+        buffer_bytes: "int | str" = "32MB",
+        snaplen: int = 64,
+        per_packet_ns: float = 1350.0,
+        per_byte_ns: float = 0.55,
+    ):
+        self.buffer_bytes = parse_size(buffer_bytes)
+        self.snaplen = snaplen
+        self.per_packet_ns = per_packet_ns
+        self.per_byte_ns = per_byte_ns
+        # Online state: a virtual backlog drained at the service rate.
+        self._backlog_bytes = 0.0
+        self._last_time = 0.0
+        self.received = 0
+        self.captured = 0
+        self.dropped = 0
+
+    # -- capacity ------------------------------------------------------------
+
+    def service_time(self, frame_bytes: int) -> float:
+        """Seconds of kernel-path work for one frame."""
+        copied = min(frame_bytes, self.snaplen)
+        return (self.per_packet_ns + self.per_byte_ns * copied) * 1e-9
+
+    def capacity_pps(self, frame_bytes: int) -> float:
+        """Sustainable packets per second for a given frame size."""
+        return 1.0 / self.service_time(frame_bytes)
+
+    def max_lossless_rate_bps(self, frame_bytes: int) -> float:
+        """Highest loss-free line rate for a given frame size."""
+        return self.capacity_pps(frame_bytes) * frame_bytes * 8.0
+
+    def offer_constant_load(
+        self, rate_bps: float, frame_bytes: int, duration: float = 10.0
+    ) -> TcpdumpLoadResult:
+        """Analytic steady-state outcome of a constant offered load.
+
+        The buffer absorbs the first moments of overload; for a
+        sustained run the loss fraction is the excess over capacity.
+        """
+        if rate_bps <= 0 or frame_bytes <= 0 or duration <= 0:
+            raise ValueError("rate, frame size, and duration must be positive")
+        offered_pps = rate_bps / (frame_bytes * 8.0)
+        capacity = self.capacity_pps(frame_bytes)
+        if offered_pps <= capacity:
+            return TcpdumpLoadResult(offered_pps, rate_bps, offered_pps, 0.0)
+        # Excess packets beyond what the buffer can hold are dropped.
+        excess_pps = offered_pps - capacity
+        buffered_packets = self.buffer_bytes / min(frame_bytes, self.snaplen + 66)
+        absorbed = min(buffered_packets, excess_pps * duration)
+        dropped = excess_pps * duration - absorbed
+        loss = dropped / (offered_pps * duration)
+        return TcpdumpLoadResult(offered_pps, rate_bps, offered_pps * (1 - loss), loss)
+
+    # -- online (simulation) path ----------------------------------------------
+
+    def on_frame(self, frame_bytes: int, now: float) -> bool:
+        """Process one frame arrival; True if captured, False if dropped.
+
+        Maintains a virtual backlog: work arrives with each frame and
+        drains continuously at one second of service per second.
+        """
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        elapsed = now - self._last_time
+        self._last_time = now
+        self._backlog_bytes = max(0.0, self._backlog_bytes - elapsed * self._drain_Bps())
+        self.received += 1
+        stored = min(frame_bytes, self.snaplen) + 66  # pcap + kernel overhead
+        if self._backlog_bytes + stored > self.buffer_bytes:
+            self.dropped += 1
+            return False
+        self._backlog_bytes += stored
+        self.captured += 1
+        return True
+
+    def _drain_Bps(self) -> float:
+        """Backlog drain rate in stored-bytes per second.
+
+        Stored bytes per frame are roughly constant (truncation), so the
+        drain rate is capacity_pps x stored bytes.  We use the snaplen
+        as the reference frame size.
+        """
+        stored = self.snaplen + 66
+        return self.capacity_pps(1500) * stored
+
+    def reset(self) -> None:
+        """Clear online state between capture sessions."""
+        self._backlog_bytes = 0.0
+        self._last_time = 0.0
+        self.received = self.captured = self.dropped = 0

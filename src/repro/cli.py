@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+FABRIC users drive the real Patchwork through scripts; this CLI packages
+the reproduction's workflows the same way:
+
+``python -m repro study``
+    Run the Section-5 infrastructure study and print the Fig 2-6 data.
+``python -m repro profile``
+    Build a testbed with traffic, run one Patchwork occasion, analyze
+    the captures, and write CSV tables (+ SVG charts) to the output dir.
+``python -m repro campaign``
+    Run a Fig 10-style campaign under injected disturbances.
+``python -m repro analyze PCAP [PCAP ...]``
+    Run the offline pipeline over existing pcap files.
+``python -m repro plan RATE FRAME_SIZE``
+    Recommend a capture method for a target load.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Patchwork reproduction: testbed traffic capture & analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="Section-5 infrastructure study")
+    study.add_argument("--seed", type=int, default=11)
+    study.add_argument("--weeks", type=int, default=52)
+
+    profile = sub.add_parser("profile", help="run one profiling occasion")
+    profile.add_argument("--sites", nargs="*", default=None,
+                         help="sites to profile (default: a 4-site testbed)")
+    profile.add_argument("--out", type=Path, default=Path("patchwork-out"))
+    profile.add_argument("--scale", type=float, default=0.05,
+                         help="traffic scale factor")
+    profile.add_argument("--sample-duration", type=float, default=5.0)
+    profile.add_argument("--sample-interval", type=float, default=30.0)
+    profile.add_argument("--samples", type=int, default=2)
+    profile.add_argument("--cycles", type=int, default=2)
+    profile.add_argument("--instances", type=int, default=2)
+    profile.add_argument("--snaplen", type=int, default=200)
+    profile.add_argument("--method", choices=["tcpdump", "dpdk", "fpga+dpdk"],
+                         default="tcpdump")
+    profile.add_argument("--anonymize", action="store_true")
+    profile.add_argument("--charts", action="store_true",
+                         help="also render SVG charts")
+    profile.add_argument("--seed", type=int, default=42)
+
+    campaign = sub.add_parser("campaign", help="Fig 10-style campaign")
+    campaign.add_argument("--sites", type=int, default=10,
+                          help="number of sites")
+    campaign.add_argument("--occasions", type=int, default=6)
+    campaign.add_argument("--seed", type=int, default=23)
+    campaign.add_argument("--out", type=Path, default=Path("campaign-out"))
+
+    analyze = sub.add_parser("analyze", help="analyze existing pcaps")
+    analyze.add_argument("pcaps", nargs="+", type=Path)
+    analyze.add_argument("--out", type=Path, default=None,
+                         help="write CSVs (and charts) here")
+    analyze.add_argument("--charts", action="store_true")
+
+    plan = sub.add_parser("plan", help="recommend a capture method")
+    plan.add_argument("rate", help="target rate, e.g. 100Gbps")
+    plan.add_argument("frame_size", type=int, help="frame size in bytes")
+    plan.add_argument("--snaplen", type=int, default=200)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "study": _cmd_study,
+        "profile": _cmd_profile,
+        "campaign": _cmd_campaign,
+        "analyze": _cmd_analyze,
+        "plan": _cmd_plan,
+    }[args.command]
+    return handler(args)
+
+
+# -- handlers ------------------------------------------------------------
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.study import (NetworkActivityModel, concurrency_summary,
+                             duration_table, port_distribution_table,
+                             slice_study, spread_table)
+    from repro.testbed import FederationBuilder
+    from repro.testbed.federation import DEFAULT_SITE_NAMES
+
+    federation = FederationBuilder(seed=args.seed).build()
+    print(port_distribution_table(federation).render())
+    result = slice_study(DEFAULT_SITE_NAMES, weeks=args.weeks, seed=args.seed)
+    print()
+    print(spread_table(result.schedule).render())
+    print()
+    print(duration_table(result.schedule).render())
+    print()
+    print(concurrency_summary(result.schedule).render())
+    activity = NetworkActivityModel(result.schedule)
+    peak = activity.peak()
+    print(f"\npeak network week: {peak.week} at {peak.mean_tbps:.2f} Tbps")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro import quickstart_federation
+    from repro.analysis import AnalysisPipeline, Anonymizer
+    from repro.capture.session import CaptureMethod
+    from repro.core import Coordinator, PatchworkConfig, SamplingPlan
+
+    sites = args.sites or ["STAR", "MICH", "UTAH", "TACC"]
+    federation, api, poller, orchestrator = quickstart_federation(
+        site_names=sites, seed=args.seed, traffic_scale=args.scale)
+    plan = SamplingPlan(
+        sample_duration=args.sample_duration,
+        sample_interval=args.sample_interval,
+        samples_per_run=args.samples, runs_per_cycle=1, cycles=args.cycles)
+    span = plan.approximate_duration * len(sites) + 600.0
+    window = 0.0
+    while window < span:
+        orchestrator.generate_window(window, min(150.0, span - window))
+        window += 150.0
+    method = {"tcpdump": CaptureMethod.TCPDUMP, "dpdk": CaptureMethod.DPDK,
+              "fpga+dpdk": CaptureMethod.FPGA_DPDK}[args.method]
+    transform = Anonymizer().transform if args.anonymize else None
+    config = PatchworkConfig(
+        output_dir=args.out, plan=plan, desired_instances=args.instances,
+        snaplen=args.snaplen, capture_method=method, transform=transform)
+    bundle = Coordinator(api, config, poller=poller).run_profile()
+    for record in bundle.run_records:
+        print(f"{record.site}: {record.outcome.value} "
+              f"({record.samples_taken} samples, {record.pcap_files} pcaps)")
+    bundle.write_logs(args.out / "logs")
+    from repro.core.gather import gather_bundle
+    gathered = gather_bundle(bundle, args.out / "gathered")
+    for site_bundle in gathered:
+        print(f"gathered {site_bundle.site}: "
+              f"{site_bundle.archive_path.name} "
+              f"({site_bundle.compression_ratio:.1f}x compression)")
+    report = AnalysisPipeline(acap_dir=args.out / "acap").run(bundle.pcap_paths)
+    print(f"\n{report.total_frames} frames captured across "
+          f"{len(report.sites)} sites")
+    print(report.tables["frame_sizes_overall"].render())
+    csvs = report.write_csvs(args.out / "csv")
+    print(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
+    if args.charts:
+        from repro.analysis.visualize import render_report_charts
+        charts = render_report_charts(report, args.out / "charts")
+        print(f"wrote {len(charts)} charts under {args.out / 'charts'}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core import PatchworkConfig, SamplingPlan
+    from repro.study.behavior import run_campaign
+    from repro.testbed import FederationBuilder, TestbedAPI
+    from repro.testbed.federation import DEFAULT_SITE_NAMES
+
+    sites = DEFAULT_SITE_NAMES[:args.sites]
+    federation = FederationBuilder(seed=42).build(site_names=sites)
+    api = TestbedAPI(federation)
+    config = PatchworkConfig(
+        output_dir=args.out,
+        plan=SamplingPlan(sample_duration=2, sample_interval=10,
+                          samples_per_run=1, runs_per_cycle=1, cycles=1),
+        desired_instances=2)
+    result = run_campaign(api, config, occasions=args.occasions,
+                          seed=args.seed)
+    print(result.to_table().render())
+    print()
+    print(result.timeline_table().render())
+    print(f"\nsuccess rate: {result.success_rate:.1%}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisPipeline
+
+    missing = [p for p in args.pcaps if not p.exists()]
+    if missing:
+        print(f"error: no such pcap: {missing[0]}", file=sys.stderr)
+        return 2
+    acap_dir = args.out / "acap" if args.out else None
+    report = AnalysisPipeline(acap_dir=acap_dir).run(args.pcaps)
+    print(report.render())
+    if args.out:
+        csvs = report.write_csvs(args.out / "csv")
+        print(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
+        if args.charts:
+            from repro.analysis.visualize import render_report_charts
+            charts = render_report_charts(report, args.out / "charts")
+            print(f"wrote {len(charts)} charts under {args.out / 'charts'}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.capture.dpdk import (DpdkCaptureModel, MAX_WORKER_CORES,
+                                    OfferedLoad)
+    from repro.capture.fpga import FpgaOffloadConfig, FpgaOffloadModel
+    from repro.capture.tcpdump import TcpdumpModel
+    from repro.util.units import parse_rate
+
+    rate = parse_rate(args.rate)
+    frame = args.frame_size
+    tcpdump = TcpdumpModel(snaplen=args.snaplen)
+    if tcpdump.offer_constant_load(rate, frame, 30.0).loss_fraction < 0.01:
+        print("tcpdump suffices (the default method).")
+        return 0
+    load = OfferedLoad(rate, frame, duration=30.0)
+    cores = DpdkCaptureModel(truncation=args.snaplen).min_cores_for(load)
+    if cores is not None:
+        print(f"use the DPDK writer with {cores} cores "
+              f"(truncation {args.snaplen} B).")
+        return 0
+    fpga = FpgaOffloadModel(FpgaOffloadConfig(truncation=args.snaplen,
+                                              sample_one_in=8))
+    writer = DpdkCaptureModel(cores=MAX_WORKER_CORES, truncation=args.snaplen)
+    if fpga.offer_through(writer, load).loss_percent < 1.0:
+        print("use FPGA offload (hardware truncation + 1-in-8 sampling) "
+              "feeding the DPDK writer on 15 cores.")
+        return 0
+    print("not capturable on this host profile; lower the rate or sample "
+          "more aggressively.")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Iterative back-off during resource acquisition (Sections 6.2.1, 8.3).
+
+Patchwork requests one listening node (VM + dedicated dual-port NIC)
+per desired profiling instance.  If the site cannot satisfy the
+request, Patchwork scales it down by one node and tries again --
+"trading off resources for sample quality" -- until the request fits
+or nothing is left to trim.  Transient back-end errors are retried a
+bounded number of times before the run is declared failed.
+
+Before each attempt the request is checked with a client-side
+allocation simulation (the paper: Patchwork "carries out its own
+allocation simulations to ensure that resource requests can always be
+satisfied"), which turns predictable rejections into immediate
+back-offs without a control-plane round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.logs import InstanceLog
+from repro.testbed.api import TestbedAPI
+from repro.testbed.errors import AllocationError, TransientBackendError
+from repro.testbed.slice_model import NodeRequest, Slice, SliceRequest
+
+
+@dataclass
+class AcquisitionResult:
+    """What came out of the acquisition phase at one site."""
+
+    site: str
+    live_slice: Optional[Slice]
+    requested_nodes: int
+    granted_nodes: int
+    backoffs: int
+    transient_failures: int
+    failure_reason: str = ""
+
+    @property
+    def acquired(self) -> bool:
+        return self.live_slice is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Acquired, but with fewer instances than desired."""
+        return self.acquired and self.granted_nodes < self.requested_nodes
+
+
+def patchwork_request(site: str, nodes: int, name: str = "") -> SliceRequest:
+    """Build Patchwork's slice request for a site.
+
+    Each listening node is the paper's default shape: 2 cores, 8 GB
+    RAM, 100 GB storage, one dedicated dual-port NIC.
+    """
+    return SliceRequest(
+        site=site,
+        nodes=[NodeRequest(name=f"listener{i}") for i in range(nodes)],
+        name=name or f"patchwork-{site}",
+    )
+
+
+def acquire_with_backoff(
+    api: TestbedAPI,
+    site: str,
+    desired_nodes: int,
+    log: InstanceLog,
+    max_backoffs: int = 4,
+    transient_retries: int = 2,
+    slice_name: str = "",
+) -> AcquisitionResult:
+    """Acquire a Patchwork slice at a site, scaling down as needed."""
+    request = patchwork_request(site, desired_nodes, slice_name)
+    backoffs = 0
+    transient_failures = 0
+    while True:
+        shortfall = api.simulate_allocation(request)
+        if shortfall is not None:
+            resource, need, have = shortfall
+            log.warning(api.now, "acquire",
+                        f"allocation simulation predicts shortfall of {resource}",
+                        requested=need, available=have, nodes=len(request.nodes))
+            smaller = request.scaled_down()
+            if smaller is None or backoffs >= max_backoffs:
+                return AcquisitionResult(
+                    site, None, desired_nodes, 0, backoffs, transient_failures,
+                    failure_reason=f"insufficient {resource}",
+                )
+            backoffs += 1
+            request = smaller
+            continue
+        try:
+            live = api.create_slice(request)
+        except TransientBackendError as exc:
+            transient_failures += 1
+            log.error(api.now, "acquire", f"transient backend error: {exc}")
+            if transient_failures > transient_retries:
+                return AcquisitionResult(
+                    site, None, desired_nodes, 0, backoffs, transient_failures,
+                    failure_reason="transient backend error",
+                )
+            continue
+        except AllocationError as exc:
+            # The dry run passed but the testbed still refused (racing
+            # users, placement fragmentation): treat as a back-off.
+            log.warning(api.now, "acquire", f"allocation refused: {exc}")
+            smaller = request.scaled_down()
+            if smaller is None or backoffs >= max_backoffs:
+                return AcquisitionResult(
+                    site, None, desired_nodes, 0, backoffs, transient_failures,
+                    failure_reason=str(exc),
+                )
+            backoffs += 1
+            request = smaller
+            continue
+        log.info(api.now, "acquire", "slice allocated",
+                 slice=live.name, nodes=len(live.vms), backoffs=backoffs)
+        return AcquisitionResult(
+            site, live, desired_nodes, len(live.vms), backoffs, transient_failures
+        )

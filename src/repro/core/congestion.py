@@ -1,0 +1,78 @@
+"""Switch-congestion detection (requirement R3, Section 6.2.2).
+
+Port mirroring copies both the Rx and Tx channels of the mirrored port
+into the single Tx channel toward Patchwork's NIC, so whenever
+``Mirrored(Tx) + Mirrored(Rx) > line rate`` the switch silently drops
+clones and the sample is incomplete.  Patchwork cannot prevent this --
+it does not control the traffic -- so it *detects* it: around every
+sample it queries the switch's rates for the mirrored port and infers
+whether loss was likely, logging the verdict as part of the profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.logs import InstanceLog
+from repro.telemetry.mflib import MFlib
+
+
+@dataclass(frozen=True)
+class CongestionVerdict:
+    """The congestion inference for one sample."""
+
+    site: str
+    mirrored_port: str
+    mirror_rate_bps: Optional[float]   # Tx+Rx of the mirrored port
+    dest_rate_bps: float               # line rate of the mirror destination
+    overloaded: Optional[bool]         # None = telemetry could not answer
+
+    @property
+    def answerable(self) -> bool:
+        return self.overloaded is not None
+
+    def describe(self) -> str:
+        if not self.answerable:
+            return "telemetry unavailable; congestion unknown"
+        if self.overloaded:
+            return (
+                f"mirror overload likely: mirrored Tx+Rx "
+                f"{self.mirror_rate_bps / 1e9:.2f} Gbps exceeds destination "
+                f"line rate {self.dest_rate_bps / 1e9:.2f} Gbps"
+            )
+        return "no mirror congestion inferred"
+
+
+class CongestionDetector:
+    """Runs the inference and logs verdicts."""
+
+    def __init__(self, mflib: MFlib, headroom: float = 1.0):
+        if headroom <= 0:
+            raise ValueError("headroom must be positive")
+        self.mflib = mflib
+        self.headroom = headroom
+
+    def check(
+        self,
+        site: str,
+        mirrored_port: str,
+        dest_rate_bps: float,
+        start: float,
+        end: float,
+        log: Optional[InstanceLog] = None,
+    ) -> CongestionVerdict:
+        """Infer whether the sample window overloaded the mirror."""
+        rates = self.mflib.port_rates(site, mirrored_port, start, end)
+        if rates is None:
+            verdict = CongestionVerdict(site, mirrored_port, None, dest_rate_bps, None)
+        else:
+            overloaded = rates.total_bps > dest_rate_bps * self.headroom
+            verdict = CongestionVerdict(
+                site, mirrored_port, rates.total_bps, dest_rate_bps, overloaded
+            )
+        if log is not None:
+            level = "warning" if verdict.overloaded else "info"
+            log.log(end, level, "congestion", verdict.describe(),
+                    port=mirrored_port)
+        return verdict

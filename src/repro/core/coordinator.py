@@ -1,0 +1,153 @@
+"""The Patchwork coordinator (Fig 7).
+
+The coordinator runs *outside* the testbed.  It (1) decides which sites
+to profile and with what configuration, (2) starts an independent
+Patchwork instance at each site, (3) lets the instances sample and
+cycle on their own (no inter-instance coordination, per R3), then
+(4) gathers each instance's captures and logs into a
+:class:`ProfileBundle` and (5) yields all testbed resources back.
+
+One ``run_profile()`` call is one *occasion* in the paper's terms --
+the unit of Fig 10's success/degraded/failed/incomplete accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import PatchworkConfig
+from repro.core.instance import InstanceResult, PatchworkInstance
+from repro.core.status import RunOutcome, RunRecord
+from repro.telemetry.mflib import MFlib
+from repro.telemetry.snmp import SNMPPoller
+from repro.testbed.api import TestbedAPI
+from repro.util.rng import SeedSequenceFactory
+
+
+@dataclass
+class ProfileBundle:
+    """The gathered output of one profiling occasion."""
+
+    started_at: float
+    finished_at: float
+    results: Dict[str, InstanceResult] = field(default_factory=dict)
+
+    @property
+    def run_records(self) -> List[RunRecord]:
+        """Fig 10 rows: one record per site."""
+        records = []
+        for site, result in sorted(self.results.items()):
+            acquisition = result.acquisition
+            records.append(RunRecord(
+                site=site,
+                started_at=self.started_at,
+                outcome=result.outcome,
+                reason=result.abort_reason or (
+                    acquisition.failure_reason if acquisition else ""
+                ),
+                backoffs=acquisition.backoffs if acquisition else 0,
+                instances=acquisition.granted_nodes if acquisition else 0,
+                samples_taken=len(result.samples),
+                pcap_files=len(result.pcap_paths),
+            ))
+        return records
+
+    @property
+    def pcap_paths(self) -> List[Path]:
+        paths: List[Path] = []
+        for result in self.results.values():
+            paths.extend(result.pcap_paths)
+        return sorted(paths)
+
+    def write_logs(self, out_dir: "str | Path") -> List[Path]:
+        """Persist every instance log (the gather step's log half)."""
+        out_dir = Path(out_dir)
+        written = []
+        for site, result in sorted(self.results.items()):
+            if result.log is None:
+                continue
+            written.append(result.log.write_to(out_dir / site / "instance.log"))
+        return written
+
+    def outcome_counts(self) -> Dict[RunOutcome, int]:
+        counts = {outcome: 0 for outcome in RunOutcome}
+        for result in self.results.values():
+            counts[result.outcome] += 1
+        return counts
+
+
+class Coordinator:
+    """Runs profiling occasions over a federation."""
+
+    def __init__(
+        self,
+        api: TestbedAPI,
+        config: PatchworkConfig,
+        poller: Optional[SNMPPoller] = None,
+        seed: int = 5,
+    ):
+        self.api = api
+        self.config = config
+        self.poller = poller or SNMPPoller(api.federation)
+        self.mflib = MFlib(self.poller.store)
+        self.seeds = SeedSequenceFactory(seed)
+        self.occasions_run = 0
+
+    def target_sites(self) -> List[str]:
+        """Sites this occasion will profile."""
+        if self.config.sites is not None:
+            return list(self.config.sites)
+        return self.api.list_sites()
+
+    def run_profile(
+        self,
+        crash_probability: float = 0.0,
+        deadline_margin: float = 3.0,
+        stagger: float = 5.0,
+    ) -> ProfileBundle:
+        """Run one occasion across the target sites and gather results.
+
+        ``crash_probability`` is the per-watchdog-check chance of an
+        injected instance crash (reproducing the paper's "Incomplete"
+        class).  ``stagger`` spaces instance start-ups so site
+        acquisitions do not pile onto the allocator at one instant.
+        """
+        sim = self.api.federation.sim
+        started_at = sim.now
+        occasion = self.occasions_run
+        self.occasions_run += 1
+        instances: List[PatchworkInstance] = []
+        for i, site in enumerate(self.target_sites()):
+            instance = PatchworkInstance(
+                api=self.api,
+                mflib=self.mflib,
+                config=self.config,
+                site=site,
+                poller=self.poller,
+                rng=self.seeds.rng(f"occasion{occasion}/{site}"),
+                crash_probability=crash_probability,
+            )
+            instances.append(instance)
+            sim.schedule(i * stagger, instance.start)
+        # The sampling phase is bounded; give stragglers headroom, then
+        # run until every instance reports done.
+        budget = (
+            len(instances) * stagger
+            + self.config.plan.approximate_duration * deadline_margin
+            + 600.0
+        )
+        deadline = sim.now + budget
+        while sim.now < deadline and not all(inst.finished for inst in instances):
+            if not sim.step():
+                break
+        for instance in instances:
+            if not instance.finished:
+                instance.abort("coordinator deadline reached")
+        bundle = ProfileBundle(started_at=started_at, finished_at=sim.now)
+        for instance in instances:
+            bundle.results[instance.site] = instance.result
+        return bundle

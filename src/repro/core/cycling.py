@@ -1,0 +1,176 @@
+"""Port-cycling selection heuristics (Section 6.2.2).
+
+Patchwork usually has far fewer mirror destinations (dedicated NIC
+ports) than there are switch ports worth sampling, so it cycles.  Which
+port each mirror slot turns to next is the *selection method*:
+
+* :class:`BusiestBiasSelector` -- the default "busiest ports bias,
+  1/n other non-idle port" heuristic: during every n-1 cycles it picks
+  a random non-idle port, and during the other cycles it picks the
+  busiest port that has not been sampled during the last n cycles.
+  Designed to sample fairly across all non-idle ports while not
+  starving quiet ones.
+* :class:`FixedPortsSelector` -- no cycling; sample the given ports.
+* :class:`UplinksOnlySelector` -- round-robin over uplink ports only.
+* :class:`AllPortsSelector` -- round-robin over every port, idle ones
+  included.
+
+Users can add their own heuristics by implementing
+:class:`PortSelector` (the paper: "Users can also add their own
+heuristics").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry.mflib import MFlib
+
+
+@dataclass
+class SelectionContext:
+    """Everything a selector may consult when picking ports."""
+
+    site: str
+    candidates: List[str]            # eligible switch port ids
+    uplink_ids: List[str]
+    mflib: MFlib
+    now: float
+    window: float                    # how far back to look at telemetry
+    idle_threshold_bps: float
+    cycle_index: int
+    history: Dict[str, int]          # port id -> cycle index last sampled
+    rng: np.random.Generator
+
+    def busiest(self, among: Sequence[str]) -> List[str]:
+        """Candidate ports by descending recent Tx+Rx rate."""
+        ranked = self.mflib.busiest_ports(
+            self.site, self.now - self.window, self.now, restrict_to=among
+        )
+        return [r.port_id for r in ranked]
+
+    def non_idle(self, among: Sequence[str]) -> List[str]:
+        """Candidates above the idle threshold in the recent window."""
+        return self.mflib.non_idle_ports(
+            self.site, self.now - self.window, self.now,
+            idle_threshold_bps=self.idle_threshold_bps, restrict_to=among,
+        )
+
+
+class PortSelector(abc.ABC):
+    """A port-cycling heuristic."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(self, ctx: SelectionContext, slots: int) -> List[str]:
+        """Pick up to ``slots`` distinct ports to mirror this cycle."""
+
+    def _fill_random(self, ctx: SelectionContext, chosen: List[str], slots: int) -> List[str]:
+        """Top up with random unchosen candidates (never starve a slot)."""
+        pool = [p for p in ctx.candidates if p not in chosen]
+        while len(chosen) < slots and pool:
+            pick = pool.pop(int(ctx.rng.integers(0, len(pool))))
+            chosen.append(pick)
+        return chosen
+
+
+class BusiestBiasSelector(PortSelector):
+    """The paper's default heuristic."""
+
+    name = "busiest-bias"
+
+    def __init__(self, n: int = 4):
+        if n < 2:
+            raise ValueError("n must be at least 2")
+        self.n = n
+
+    def select(self, ctx: SelectionContext, slots: int) -> List[str]:
+        chosen: List[str] = []
+        busiest_cycle = ctx.cycle_index % self.n == 0
+        for _slot in range(slots):
+            pick = self._pick_one(ctx, chosen, busiest_cycle)
+            if pick is None:
+                break
+            chosen.append(pick)
+        return self._fill_random(ctx, chosen, slots)
+
+    def _pick_one(self, ctx: SelectionContext, chosen: List[str],
+                  busiest_cycle: bool) -> Optional[str]:
+        remaining = [p for p in ctx.candidates if p not in chosen]
+        if not remaining:
+            return None
+        if busiest_cycle:
+            # Busiest port not sampled during the last n cycles.
+            fresh = [
+                p for p in remaining
+                if ctx.cycle_index - ctx.history.get(p, -10**9) >= self.n
+            ]
+            ranked = ctx.busiest(fresh or remaining)
+            if ranked:
+                return ranked[0]
+            return None
+        non_idle = ctx.non_idle(remaining)
+        if non_idle:
+            return non_idle[int(ctx.rng.integers(0, len(non_idle)))]
+        return None
+
+
+class FixedPortsSelector(PortSelector):
+    """Sample fixed ports; no cycling."""
+
+    name = "fixed"
+
+    def __init__(self, ports: Sequence[str]):
+        if not ports:
+            raise ValueError("fixed selector needs at least one port")
+        self.ports = list(ports)
+
+    def select(self, ctx: SelectionContext, slots: int) -> List[str]:
+        eligible = [p for p in self.ports if p in ctx.candidates]
+        return eligible[:slots]
+
+
+class UplinksOnlySelector(PortSelector):
+    """Round-robin over uplink ports (inter-site traffic only)."""
+
+    name = "uplinks"
+
+    def select(self, ctx: SelectionContext, slots: int) -> List[str]:
+        uplinks = [p for p in ctx.candidates if p in set(ctx.uplink_ids)]
+        if not uplinks:
+            return []
+        start = (ctx.cycle_index * slots) % len(uplinks)
+        rotated = uplinks[start:] + uplinks[:start]
+        return rotated[:slots]
+
+
+class AllPortsSelector(PortSelector):
+    """Round-robin over every candidate port, idle ones included."""
+
+    name = "all"
+
+    def select(self, ctx: SelectionContext, slots: int) -> List[str]:
+        if not ctx.candidates:
+            return []
+        ordered = sorted(ctx.candidates)
+        start = (ctx.cycle_index * slots) % len(ordered)
+        rotated = ordered[start:] + ordered[:start]
+        return rotated[:slots]
+
+
+def make_selector(name: str, n: int = 4, fixed_ports: Sequence[str] = ()) -> PortSelector:
+    """Factory used by :class:`~repro.core.config.PatchworkConfig`."""
+    if name == BusiestBiasSelector.name:
+        return BusiestBiasSelector(n=n)
+    if name == FixedPortsSelector.name:
+        return FixedPortsSelector(fixed_ports)
+    if name == UplinksOnlySelector.name:
+        return UplinksOnlySelector()
+    if name == AllPortsSelector.name:
+        return AllPortsSelector()
+    raise ValueError(f"unknown selector {name!r}")

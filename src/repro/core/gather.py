@@ -1,0 +1,143 @@
+"""The gathering phase (paper Section 6.2.3).
+
+"When the sampling phase ends, the captured traffic (as pcap files)
+and logs are compressed and downloaded to the coordinator."
+
+:func:`gather_bundle` packages each profiled site's pcaps and instance
+log into one ``<site>.tar.gz`` with a manifest of SHA-256 checksums, so
+the coordinator can verify transfers; :func:`verify_archive` and
+:func:`extract_archive` are the coordinator-side half.  Compressing
+before transfer is also what lets Patchwork release its testbed
+resources quickly -- the paper's point about keeping leases short.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import tarfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+@dataclass
+class GatheredSite:
+    """One site's compressed capture bundle."""
+
+    site: str
+    archive_path: Path
+    files: int
+    raw_bytes: int
+    compressed_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return 0.0
+        return self.raw_bytes / self.compressed_bytes
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def gather_site(site: str, site_dir: Path, out_dir: Path,
+                log_text: Optional[str] = None) -> GatheredSite:
+    """Compress one site's output directory into ``<site>.tar.gz``."""
+    site_dir = Path(site_dir)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    archive_path = out_dir / f"{site}.tar.gz"
+    manifest: Dict[str, str] = {}
+    raw_bytes = 0
+    files = sorted(p for p in site_dir.rglob("*") if p.is_file())
+    with tarfile.open(archive_path, "w:gz") as archive:
+        for path in files:
+            arcname = f"{site}/{path.relative_to(site_dir)}"
+            archive.add(path, arcname=arcname)
+            manifest[arcname] = _sha256(path)
+            raw_bytes += path.stat().st_size
+        if log_text is not None:
+            data = log_text.encode("utf-8")
+            info = tarfile.TarInfo(f"{site}/instance.log")
+            info.size = len(data)
+            archive.addfile(info, io.BytesIO(data))
+            manifest[f"{site}/instance.log"] = hashlib.sha256(data).hexdigest()
+            raw_bytes += len(data)
+        manifest_data = json.dumps(manifest, indent=2, sort_keys=True).encode()
+        info = tarfile.TarInfo(f"{site}/{MANIFEST_NAME}")
+        info.size = len(manifest_data)
+        archive.addfile(info, io.BytesIO(manifest_data))
+    return GatheredSite(
+        site=site,
+        archive_path=archive_path,
+        files=len(manifest),
+        raw_bytes=raw_bytes,
+        compressed_bytes=archive_path.stat().st_size,
+    )
+
+
+def gather_bundle(bundle, out_dir: Union[str, Path]) -> List[GatheredSite]:
+    """Compress every profiled site of a ProfileBundle.
+
+    ``bundle`` is a :class:`~repro.core.coordinator.ProfileBundle`; each
+    site that produced pcaps gets one archive containing its captures,
+    its instance log, and a checksum manifest.
+    """
+    out_dir = Path(out_dir)
+    gathered = []
+    for site, result in sorted(bundle.results.items()):
+        if not result.pcap_paths:
+            continue
+        site_dir = result.pcap_paths[0].parent
+        log_text = result.log.render() if result.log is not None else None
+        gathered.append(gather_site(site, site_dir, out_dir, log_text))
+    return gathered
+
+
+def verify_archive(archive_path: Union[str, Path]) -> bool:
+    """Check every archived file against the embedded manifest."""
+    archive_path = Path(archive_path)
+    with tarfile.open(archive_path, "r:gz") as archive:
+        manifest = None
+        for member in archive.getmembers():
+            if member.name.endswith(MANIFEST_NAME):
+                manifest = json.loads(archive.extractfile(member).read())
+                break
+        if manifest is None:
+            return False
+        for name, expected in manifest.items():
+            member = archive.getmember(name)
+            data = archive.extractfile(member).read()
+            if hashlib.sha256(data).hexdigest() != expected:
+                return False
+    return True
+
+
+def extract_archive(archive_path: Union[str, Path],
+                    dest: Union[str, Path]) -> List[Path]:
+    """Unpack a gathered archive (the coordinator's download step)."""
+    archive_path = Path(archive_path)
+    dest = Path(dest)
+    dest.mkdir(parents=True, exist_ok=True)
+    extracted = []
+    with tarfile.open(archive_path, "r:gz") as archive:
+        for member in archive.getmembers():
+            if not member.isfile():
+                continue
+            target = dest / member.name
+            if not str(target.resolve()).startswith(str(dest.resolve())):
+                raise ValueError(f"unsafe path in archive: {member.name}")
+            target.parent.mkdir(parents=True, exist_ok=True)
+            with open(target, "wb") as handle:
+                handle.write(archive.extractfile(member).read())
+            extracted.append(target)
+    return extracted

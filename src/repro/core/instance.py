@@ -1,0 +1,435 @@
+"""One site's Patchwork profiling instance (Fig 7, Fig 8).
+
+An instance owns a slice at its site (listening VMs + dedicated NICs),
+creates port mirrors toward its NIC ports, and runs the sampling loop:
+
+    for each cycle:            # ports change here (port cycling)
+        select ports, point the mirrors at them
+        for each run:
+            for each sample:
+                capture sample_duration seconds on every slot
+                congestion-check the mirrored ports via telemetry
+
+Each dedicated NIC contributes two mirror *slots* (it is dual-port).
+Everything is event-driven on the shared simulator so instances at
+different sites genuinely run concurrently, like the real system's
+independent per-site instances (finding A1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.capture.session import CaptureSession, CaptureStats
+from repro.core.backoff import AcquisitionResult, acquire_with_backoff
+from repro.core.config import PatchworkConfig
+from repro.core.congestion import CongestionDetector, CongestionVerdict
+from repro.core.cycling import PortSelector, SelectionContext, make_selector
+from repro.core.logs import InstanceLog
+from repro.core.scaling import ScalingAction, ScalingController
+from repro.core.status import RunOutcome
+from repro.core.watchdog import Watchdog
+from repro.telemetry.mflib import MFlib
+from repro.telemetry.snmp import SNMPPoller
+from repro.testbed.api import TestbedAPI
+from repro.testbed.errors import MirrorConflictError, TestbedError
+from repro.testbed.nic import NicPort
+from repro.testbed.switch import MirrorSession
+
+_instance_ids = itertools.count(1)
+
+
+@dataclass
+class SampleRecord:
+    """One completed sample on one slot."""
+
+    cycle: int
+    run: int
+    sample: int
+    slot: int
+    mirrored_port: str
+    pcap_path: Optional[Path]
+    stats: CaptureStats
+    congestion: Optional[CongestionVerdict]
+
+
+@dataclass
+class InstanceResult:
+    """Everything one instance produced."""
+
+    site: str
+    outcome: RunOutcome
+    acquisition: Optional[AcquisitionResult]
+    samples: List[SampleRecord] = field(default_factory=list)
+    log: Optional[InstanceLog] = None
+    abort_reason: str = ""
+
+    @property
+    def pcap_paths(self) -> List[Path]:
+        return [s.pcap_path for s in self.samples if s.pcap_path is not None]
+
+    @property
+    def bytes_captured(self) -> int:
+        return sum(s.stats.bytes_captured for s in self.samples)
+
+
+class _MirrorSlot:
+    """One (NIC port, mirror session) pair."""
+
+    def __init__(self, index: int, nic_port: NicPort, dest_port_id: str, rate_bps: float):
+        self.index = index
+        self.nic_port = nic_port
+        self.dest_port_id = dest_port_id
+        self.rate_bps = rate_bps
+        self.session: Optional[MirrorSession] = None
+        self.current_source: Optional[str] = None
+        self.capture: Optional[CaptureSession] = None
+
+
+class PatchworkInstance:
+    """The per-site profiler."""
+
+    def __init__(
+        self,
+        api: TestbedAPI,
+        mflib: MFlib,
+        config: PatchworkConfig,
+        site: str,
+        poller: Optional[SNMPPoller] = None,
+        rng: Optional[np.random.Generator] = None,
+        crash_probability: float = 0.0,
+        on_done: Optional[Callable[["PatchworkInstance"], None]] = None,
+        scaling: Optional[ScalingController] = None,
+    ):
+        self.api = api
+        self.mflib = mflib
+        self.config = config
+        self.site = site
+        self.poller = poller
+        self.rng = rng or np.random.default_rng(0)
+        self.crash_probability = crash_probability
+        self.on_done = on_done
+        self.instance_id = f"pw{next(_instance_ids)}"
+        self.log = InstanceLog(site, self.instance_id)
+        self.selector: PortSelector = make_selector(
+            config.selector, n=config.selector_n, fixed_ports=config.fixed_ports
+        )
+        self.detector = CongestionDetector(mflib)
+        self.scaling = scaling
+        self.acquisition: Optional[AcquisitionResult] = None
+        self.result: Optional[InstanceResult] = None
+        self.samples: List[SampleRecord] = []
+        self._slots: List[_MirrorSlot] = []
+        self._extra_slices: List = []  # slices added by dynamic scaling
+        self._history: Dict[str, int] = {}
+        self._cycle = 0
+        self._run = 0
+        self._sample = 0
+        self._watchdog: Optional[Watchdog] = None
+        self._finished = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def start(self) -> None:
+        """Run the setup phase and arm the sampling loop."""
+        self.log.info(self.api.now, "setup", "starting instance",
+                      mode="all" if self.config.all_experiment else "single")
+        self.acquisition = acquire_with_backoff(
+            self.api, self.site, self.config.desired_instances, self.log,
+            max_backoffs=self.config.max_backoffs,
+            transient_retries=self.config.transient_retries,
+            slice_name=f"patchwork-{self.site}-{self.instance_id}",
+        )
+        if not self.acquisition.acquired:
+            self.log.error(self.api.now, "setup",
+                           f"acquisition failed: {self.acquisition.failure_reason}")
+            self._finish(RunOutcome.FAILED, self.acquisition.failure_reason)
+            return
+        self._build_slots()
+        if not self._slots:
+            self._finish(RunOutcome.FAILED, "no usable NIC ports")
+            return
+        disk_quota = sum(vm.disk_gb for vm in self.acquisition.live_slice.vms.values()) * 1e9
+        self._watchdog = Watchdog(
+            sim=self.api.federation.sim,
+            log=self.log,
+            disk_quota_bytes=disk_quota,
+            used_bytes_fn=self._bytes_used,
+            on_abort=self.abort,
+            interval=max(1.0, self.config.plan.sample_duration / 2),
+            crash_probability_per_check=self.crash_probability,
+            rng=self.rng,
+        )
+        self._watchdog.start()
+        self._start_cycle()
+
+    def abort(self, reason: str) -> None:
+        """Unsuccessful termination (watchdog or external)."""
+        if self._finished:
+            return
+        self.log.error(self.api.now, "abort", reason)
+        self._finish(RunOutcome.INCOMPLETE, reason)
+
+    # -- setup internals ------------------------------------------------------
+
+    def _build_slots(self) -> None:
+        live = self.acquisition.live_slice
+        index = 0
+        for vm in live.vms.values():
+            for nic_port in vm.nic_ports:
+                dest = self.api.switch_port_for_nic_port(self.site, nic_port)
+                rate = self.api.port_rate_bps(self.site, dest)
+                self._slots.append(_MirrorSlot(index, nic_port, dest, rate))
+                index += 1
+        self.log.info(self.api.now, "setup", "mirror slots ready",
+                      slots=len(self._slots))
+
+    def _eligible_ports(self) -> List[str]:
+        """Ports this instance may mirror.
+
+        All-experiment mode: every port except our own mirror
+        destinations.  Single-experiment mode: only ports named in
+        ``config.fixed_ports`` (the user's slice attachment points).
+        """
+        ours = {slot.dest_port_id for slot in self._slots}
+        ports = [pid for pid, _kind in self.api.list_switch_ports(self.site)
+                 if pid not in ours]
+        if not self.config.all_experiment:
+            allowed = set(self.config.fixed_ports)
+            ports = [p for p in ports if p in allowed]
+        return ports
+
+    def _bytes_used(self) -> float:
+        live_bytes = sum(
+            slot.capture.stats.bytes_captured
+            for slot in self._slots if slot.capture is not None
+        )
+        return sum(s.stats.bytes_captured for s in self.samples) + live_bytes
+
+    # -- the sampling loop ------------------------------------------------------
+
+    def _start_cycle(self) -> None:
+        if self._finished:
+            return
+        ctx = SelectionContext(
+            site=self.site,
+            candidates=self._eligible_ports(),
+            uplink_ids=[pid for pid, kind in self.api.list_switch_ports(self.site)
+                        if kind == "uplink"],
+            mflib=self.mflib,
+            now=self.api.now,
+            window=self.config.telemetry_window,
+            idle_threshold_bps=self.config.idle_threshold_bps,
+            cycle_index=self._cycle,
+            history=self._history,
+            rng=self.rng,
+        )
+        targets = self.selector.select(ctx, slots=len(self._slots))
+        if not targets:
+            self.log.warning(self.api.now, "cycle", "no ports selected; skipping cycle",
+                             cycle=self._cycle)
+            self._advance_after_cycle()
+            return
+        assignments = list(zip(self._slots, targets))
+        # Tear down mirrors that must move first: pointing slot A at a
+        # port still mirrored by slot B would otherwise conflict.
+        live = self.acquisition.live_slice
+        for slot, port_id in assignments:
+            if slot.session is not None and slot.current_source != port_id:
+                try:
+                    self.api.delete_port_mirror(live, slot.session)
+                except TestbedError as exc:
+                    self.log.warning(self.api.now, "cycle",
+                                     f"mirror teardown failed: {exc}")
+                slot.session = None
+                slot.current_source = None
+        for slot, port_id in assignments:
+            try:
+                self._point_mirror(slot, port_id)
+            except (MirrorConflictError, TestbedError) as exc:
+                self.log.warning(self.api.now, "cycle",
+                                 f"could not mirror {port_id}: {exc}")
+                slot.current_source = None
+        for port_id in targets:
+            self._history[port_id] = self._cycle
+        self.log.info(self.api.now, "cycle", "mirrors pointed",
+                      cycle=self._cycle, ports=",".join(targets))
+        self._run = 0
+        self._sample = 0
+        self._begin_sample()
+
+    def _point_mirror(self, slot: _MirrorSlot, port_id: str) -> None:
+        live = self.acquisition.live_slice
+        if slot.session is None:
+            slot.session = self.api.create_port_mirror(live, port_id, slot.dest_port_id)
+            slot.current_source = port_id
+
+    def _begin_sample(self) -> None:
+        if self._finished:
+            return
+        if self.poller is not None:
+            self.poller.poll_now()  # fresh rates bracketing the sample
+        start = self.api.now
+        for slot in self._slots:
+            if slot.current_source is None:
+                continue
+            pcap = (self.config.output_dir / self.site /
+                    f"c{self._cycle}_r{self._run}_s{self._sample}"
+                    f"_slot{slot.index}_{slot.current_source}.pcap")
+            slot.capture = CaptureSession(
+                sim=self.api.federation.sim,
+                nic_port=slot.nic_port,
+                pcap_path=pcap,
+                method=self.config.capture_method,
+                snaplen=self.config.snaplen,
+                transform=self.config.transform,
+            )
+            slot.capture.start()
+        self.api.federation.sim.schedule(
+            self.config.plan.sample_duration, self._end_sample, start
+        )
+
+    def _end_sample(self, sample_start: float) -> None:
+        if self._finished:
+            return
+        if self.poller is not None:
+            self.poller.poll_now()
+        for slot in self._slots:
+            if slot.capture is None:
+                continue
+            stats = slot.capture.stop()
+            verdict = self.detector.check(
+                self.site, slot.current_source, slot.rate_bps,
+                sample_start, self.api.now, log=self.log,
+            )
+            self.samples.append(SampleRecord(
+                cycle=self._cycle, run=self._run, sample=self._sample,
+                slot=slot.index, mirrored_port=slot.current_source,
+                pcap_path=stats.pcap_path, stats=stats, congestion=verdict,
+            ))
+            slot.capture = None
+        self.log.info(self.api.now, "sample", "sample complete",
+                      cycle=self._cycle, run=self._run, sample=self._sample)
+        self._sample += 1
+        plan = self.config.plan
+        if self._sample < plan.samples_per_run:
+            gap = plan.sample_interval - plan.sample_duration
+            self.api.federation.sim.schedule(gap, self._begin_sample)
+            return
+        self._sample = 0
+        self._run += 1
+        if self._run < plan.runs_per_cycle:
+            gap = plan.sample_interval - plan.sample_duration
+            self.api.federation.sim.schedule(gap, self._begin_sample)
+            return
+        self._advance_after_cycle()
+
+    def _apply_scaling(self) -> None:
+        """Consult the dynamic-scaling policy at a cycle boundary."""
+        if self.scaling is None or self.acquisition is None or \
+                self.acquisition.live_slice is None:
+            return
+        decision = self.scaling.decide(
+            self.site, len(self._eligible_ports()), len(self._slots),
+            len(self._extra_slices))
+        if decision.action is ScalingAction.GROW:
+            extra = self.scaling.grow(
+                self.site, self.acquisition.live_slice.name)
+            if extra is None:
+                self.log.info(self.api.now, "scaling", "grow refused")
+                return
+            self._extra_slices.append(extra)
+            for vm in extra.vms.values():
+                for nic_port in vm.nic_ports:
+                    dest = self.api.switch_port_for_nic_port(self.site, nic_port)
+                    rate = self.api.port_rate_bps(self.site, dest)
+                    self._slots.append(_MirrorSlot(len(self._slots), nic_port,
+                                                   dest, rate))
+            self.log.info(self.api.now, "scaling",
+                          f"grew by one node: {decision.reason}",
+                          slots=len(self._slots))
+        elif decision.action is ScalingAction.SHRINK and self._extra_slices:
+            extra = self._extra_slices.pop()
+            doomed = {self.api.switch_port_for_nic_port(self.site, p)
+                      for vm in extra.vms.values() for p in vm.nic_ports}
+            keep = []
+            main = self.acquisition.live_slice
+            for slot in self._slots:
+                if slot.dest_port_id in doomed:
+                    if slot.session is not None:
+                        try:
+                            # Mirror sessions are registered on the main
+                            # slice regardless of which node's NIC they
+                            # feed.
+                            self.api.delete_port_mirror(main, slot.session)
+                        except TestbedError:
+                            pass
+                else:
+                    keep.append(slot)
+            self._slots = keep
+            self.scaling.shrink(extra)
+            self.log.info(self.api.now, "scaling",
+                          f"shrank by one node: {decision.reason}",
+                          slots=len(self._slots))
+
+    def _advance_after_cycle(self) -> None:
+        self._cycle += 1
+        if self._cycle < self.config.plan.cycles:
+            # Scaling decisions only make sense with cycles left to run.
+            self._apply_scaling()
+        if self._cycle < self.config.plan.cycles:
+            gap = self.config.plan.sample_interval - self.config.plan.sample_duration
+            self.api.federation.sim.schedule(gap, self._start_cycle)
+            return
+        if not self.samples:
+            self._finish(RunOutcome.FAILED, "no samples taken")
+            return
+        outcome = (RunOutcome.DEGRADED if self.acquisition and self.acquisition.degraded
+                   else RunOutcome.SUCCESS)
+        self._finish(outcome)
+
+    # -- teardown ------------------------------------------------------------
+
+    def _finish(self, outcome: RunOutcome, reason: str = "") -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if self._watchdog is not None:
+            self._watchdog.stop()
+        for slot in self._slots:
+            if slot.capture is not None:
+                slot.capture.stop()
+                slot.capture = None
+        for extra in self._extra_slices:
+            try:
+                self.api.delete_slice(extra.name)
+            except TestbedError as exc:
+                self.log.warning(self.api.now, "teardown",
+                                 f"extra-slice delete failed: {exc}")
+        self._extra_slices.clear()
+        if self.acquisition is not None and self.acquisition.live_slice is not None:
+            try:
+                self.api.delete_slice(self.acquisition.live_slice.name)
+            except TestbedError as exc:
+                self.log.warning(self.api.now, "teardown", f"delete failed: {exc}")
+        self.log.info(self.api.now, "teardown", "instance finished",
+                      outcome=outcome.value, samples=len(self.samples))
+        self.result = InstanceResult(
+            site=self.site,
+            outcome=outcome,
+            acquisition=self.acquisition,
+            samples=self.samples,
+            log=self.log,
+            abort_reason=reason,
+        )
+        if self.on_done is not None:
+            self.on_done(self)

@@ -1,0 +1,84 @@
+"""Instance logging.
+
+"To meet (R3), Patchwork creates logs at every instance to capture a
+variety of network- and host-related statistics that can help users
+notice problems" (Section 6.2.2) -- and those logs are what the paper's
+Fig 10 analysis was mined from.  :class:`InstanceLog` is a structured,
+append-only event list that serializes to text and travels with the
+captures in the gathered bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One structured log line."""
+
+    time: float
+    level: str
+    kind: str
+    message: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
+        body = f"[{self.time:014.3f}] {self.level:<7} {self.kind}: {self.message}"
+        return f"{body} {extras}".rstrip()
+
+
+class InstanceLog:
+    """Append-only event log for one Patchwork instance."""
+
+    LEVELS = ("debug", "info", "warning", "error")
+
+    def __init__(self, site: str, instance: str):
+        self.site = site
+        self.instance = instance
+        self.events: List[LogEvent] = []
+
+    def log(self, time: float, level: str, kind: str, message: str, **data: Any) -> LogEvent:
+        if level not in self.LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        event = LogEvent(time, level, kind, message, dict(data))
+        self.events.append(event)
+        return event
+
+    def info(self, time: float, kind: str, message: str, **data: Any) -> LogEvent:
+        return self.log(time, "info", kind, message, **data)
+
+    def warning(self, time: float, kind: str, message: str, **data: Any) -> LogEvent:
+        return self.log(time, "warning", kind, message, **data)
+
+    def error(self, time: float, kind: str, message: str, **data: Any) -> LogEvent:
+        return self.log(time, "error", kind, message, **data)
+
+    # -- queries ------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[LogEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def errors(self) -> List[LogEvent]:
+        return [e for e in self.events if e.level == "error"]
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialization --------------------------------------------------------
+
+    def render(self) -> str:
+        header = f"# patchwork instance log site={self.site} instance={self.instance}\n"
+        return header + "\n".join(event.render() for event in self.events) + "\n"
+
+    def write_to(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.render())
+        return path

@@ -1,0 +1,128 @@
+"""Dynamic resource scaling (paper Section 6.3 limitation 2 / Section 9).
+
+"Except for mirrored ports, all of the resources used by Patchwork are
+reserved at start-up time.  Adding dynamic scaling could improve
+Patchwork's performance (e.g., by taking advantage of offloading
+opportunities that become available at runtime) and flexibility (e.g.,
+by having a 'nice' factor for the profiler to scale down its use of
+resources if the testbed is being highly utilized by other
+researchers)."
+
+:class:`ScalingController` implements both directions as a policy the
+instance consults at every cycle boundary:
+
+* **scale up** when the instance has far more eligible ports than
+  mirror slots *and* the site has spare dedicated NICs beyond a
+  reserve -- it grows by one listening node (VM + dual-port NIC),
+  adding two slots;
+* **scale down** (the "nice" factor) when the site's dedicated NICs
+  are nearly all taken by other researchers -- it releases its
+  most-recently-added node.
+
+The paper notes scale-down needs a signal Patchwork cannot currently
+get; here the signal is the allocator's own availability view, which
+is the obvious candidate a testbed could expose.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.testbed.api import TestbedAPI
+from repro.testbed.errors import AllocationError, TestbedError
+from repro.testbed.resources import ResourceCapacity
+from repro.testbed.slice_model import NodeRequest, Slice, SliceRequest
+
+
+class ScalingAction(enum.Enum):
+    HOLD = "hold"
+    GROW = "grow"
+    SHRINK = "shrink"
+
+
+@dataclass
+class ScalingDecision:
+    """What the policy chose and why (for the instance log)."""
+
+    action: ScalingAction
+    reason: str
+
+
+class ScalingController:
+    """The scale-up / nice-down policy."""
+
+    def __init__(
+        self,
+        api: TestbedAPI,
+        ports_per_slot_threshold: float = 4.0,
+        nic_reserve: int = 1,
+        nice_free_nic_floor: int = 1,
+        max_extra_nodes: int = 2,
+    ):
+        """``ports_per_slot_threshold``: grow when eligible ports per
+        mirror slot exceed this.  ``nic_reserve``: dedicated NICs to
+        always leave for other users when growing.  ``nice_free_nic_floor``:
+        shrink when the site's free NICs fall to this or below (other
+        researchers are squeezed).  ``max_extra_nodes``: growth bound.
+        """
+        if ports_per_slot_threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.api = api
+        self.ports_per_slot_threshold = ports_per_slot_threshold
+        self.nic_reserve = nic_reserve
+        self.nice_free_nic_floor = nice_free_nic_floor
+        self.max_extra_nodes = max_extra_nodes
+        self.grows = 0
+        self.shrinks = 0
+
+    # -- policy ------------------------------------------------------------
+
+    def decide(self, site: str, eligible_ports: int, slots: int,
+               extra_nodes: int) -> ScalingDecision:
+        """Choose an action for the coming cycle."""
+        free = self.api.available_resources(site).dedicated_nics
+        if extra_nodes > 0 and free <= self.nice_free_nic_floor:
+            return ScalingDecision(
+                ScalingAction.SHRINK,
+                f"nice factor: only {free} dedicated NICs left site-wide",
+            )
+        if slots == 0:
+            return ScalingDecision(ScalingAction.HOLD, "no slots yet")
+        if (eligible_ports / slots > self.ports_per_slot_threshold
+                and extra_nodes < self.max_extra_nodes
+                and free > self.nic_reserve):
+            return ScalingDecision(
+                ScalingAction.GROW,
+                f"{eligible_ports} ports over {slots} slots with "
+                f"{free} NICs free",
+            )
+        return ScalingDecision(ScalingAction.HOLD, "within bounds")
+
+    # -- mechanics ------------------------------------------------------------
+
+    def grow(self, site: str, base_slice_name: str) -> Optional[Slice]:
+        """Allocate one additional listening node as its own slice.
+
+        Returns the new slice, or None if the testbed refused (racing
+        users) -- growth is opportunistic, never fatal.
+        """
+        request = SliceRequest(
+            site=site,
+            nodes=[NodeRequest(name="listener-extra")],
+            name=f"{base_slice_name}/grow{self.grows}",
+        )
+        if self.api.simulate_allocation(request) is not None:
+            return None
+        try:
+            live = self.api.create_slice(request)
+        except (AllocationError, TestbedError):
+            return None
+        self.grows += 1
+        return live
+
+    def shrink(self, extra_slice: Slice) -> None:
+        """Release a previously-grown node's slice."""
+        self.api.delete_slice(extra_slice.name)
+        self.shrinks += 1

@@ -1,0 +1,62 @@
+"""Run outcomes: the vocabulary of the paper's Fig 10.
+
+Every per-site Patchwork run ends in one of four states:
+
+* **SUCCESS** -- the site was profiled as requested.
+* **DEGRADED** -- profiling happened, but only after back-off scaled
+  the resource request down ("low resources available in a FABRIC
+  site, requiring the scaling-down of requests through back-off").
+* **FAILED** -- no profiling happened: transient back-end problems or
+  no resources at all.
+* **INCOMPLETE** -- the Patchwork instance crashed mid-run (e.g. the
+  VM ran out of storage, or the paper's since-fixed bug).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class RunOutcome(enum.Enum):
+    SUCCESS = "success"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+    INCOMPLETE = "incomplete"
+
+
+@dataclass
+class RunRecord:
+    """One (site, run) outcome, as mined from Patchwork's logs."""
+
+    site: str
+    started_at: float
+    outcome: RunOutcome
+    reason: str = ""
+    backoffs: int = 0
+    instances: int = 0
+    samples_taken: int = 0
+    pcap_files: int = 0
+
+    @property
+    def profiled(self) -> bool:
+        return self.outcome in (RunOutcome.SUCCESS, RunOutcome.DEGRADED)
+
+
+def outcome_fractions(records: List[RunRecord]) -> Dict[RunOutcome, float]:
+    """Share of each outcome across a set of run records."""
+    if not records:
+        return {outcome: 0.0 for outcome in RunOutcome}
+    total = len(records)
+    return {
+        outcome: sum(1 for r in records if r.outcome is outcome) / total
+        for outcome in RunOutcome
+    }
+
+
+def success_rate(records: List[RunRecord]) -> float:
+    """Fraction of runs that profiled their site (paper: 79 %)."""
+    if not records:
+        return 0.0
+    return sum(1 for r in records if r.profiled) / len(records)

@@ -1,0 +1,83 @@
+"""The instance watchdog (Section 6.2.2).
+
+"During the sampling phase, a watchdog process checks for both
+successful and unsuccessful termination of the Patchwork instance --
+e.g., in case the FABRIC VM hosting a Patchwork instance ran out of
+storage."
+
+The watchdog polls the instance's storage accounting against the VM's
+disk quota, and supports injected crash probability so the harness can
+reproduce the paper's "Incomplete" runs (a since-fixed Patchwork bug).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.logs import InstanceLog
+from repro.netsim.engine import Event, Simulator
+
+
+class Watchdog:
+    """Periodically checks one instance's health."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        log: InstanceLog,
+        disk_quota_bytes: float,
+        used_bytes_fn: Callable[[], float],
+        on_abort: Callable[[str], None],
+        interval: float = 60.0,
+        crash_probability_per_check: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if interval <= 0:
+            raise ValueError("watchdog interval must be positive")
+        if not 0.0 <= crash_probability_per_check <= 1.0:
+            raise ValueError("crash probability must be in [0, 1]")
+        self.sim = sim
+        self.log = log
+        self.disk_quota_bytes = disk_quota_bytes
+        self.used_bytes_fn = used_bytes_fn
+        self.on_abort = on_abort
+        self.interval = interval
+        self.crash_probability = crash_probability_per_check
+        self.rng = rng or np.random.default_rng(0)
+        self.checks = 0
+        self.tripped = False
+        self._event: Optional[Event] = None
+
+    def start(self) -> None:
+        if self._event is not None:
+            raise RuntimeError("watchdog already running")
+        self._event = self.sim.schedule(self.interval, self._check)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _check(self) -> None:
+        self._event = None
+        if self.tripped:
+            return
+        self.checks += 1
+        used = self.used_bytes_fn()
+        if used > self.disk_quota_bytes:
+            self.tripped = True
+            self.log.error(self.sim.now, "watchdog",
+                           "instance storage exhausted",
+                           used=int(used), quota=int(self.disk_quota_bytes))
+            self.on_abort("storage exhausted")
+            return
+        if self.crash_probability > 0 and self.rng.random() < self.crash_probability:
+            self.tripped = True
+            self.log.error(self.sim.now, "watchdog", "instance crashed")
+            self.on_abort("instance crashed")
+            return
+        self.log.info(self.sim.now, "watchdog", "healthy",
+                      used=int(used), quota=int(self.disk_quota_bytes))
+        self._event = self.sim.schedule(self.interval, self._check)

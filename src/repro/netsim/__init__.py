@@ -1,0 +1,27 @@
+"""Discrete-event dataplane simulation.
+
+This is the substrate that stands in for FABRIC's physical network: a
+frame-granularity discrete-event simulator with unidirectional channels
+(rate + propagation delay + finite egress queue), duplex links built from
+channel pairs, and byte/frame counters that the telemetry layer polls the
+way FABRIC's SNMP collector polls switch counters.
+
+The crucial behaviour preserved from the paper: a channel is a
+fixed-capacity serializer, so when port mirroring copies both the Rx and
+Tx of a mirrored port onto a single egress channel, frames are dropped at
+the switch whenever Mirrored(Tx) + Mirrored(Rx) exceeds the line rate
+(Section 6.2.2 of the paper).
+"""
+
+from repro.netsim.engine import Event, Simulator
+from repro.netsim.frame import Frame
+from repro.netsim.link import Channel, ChannelStats, DuplexLink
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Frame",
+    "Channel",
+    "ChannelStats",
+    "DuplexLink",
+]

@@ -1,0 +1,70 @@
+"""The unit of dataplane traffic.
+
+A :class:`Frame` carries its full on-the-wire length plus only the *head*
+bytes of the serialized frame.  This mirrors what the reproduction needs:
+the paper's captures truncate every frame to its first 200 bytes anyway,
+so simulating megabytes of opaque payload content would buy nothing.  The
+head always contains the complete header stack (built by
+:mod:`repro.packets.builder`), so the analysis dissectors see real bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_frame_ids = itertools.count(1)
+
+# How many leading bytes of each frame the generators serialize.  This
+# comfortably exceeds the deepest encapsulation stack the paper reports
+# (12 headers) plus the paper's largest truncation length (200 B).
+DEFAULT_HEAD_BYTES = 256
+
+
+@dataclass
+class Frame:
+    """One Ethernet frame in flight.
+
+    ``wire_len`` is the frame's size on the wire excluding FCS (matching
+    pcap's ``orig_len``).  ``head`` holds at least the header stack.  The
+    metadata fields (``flow_id``, ``slice_id``, ``site``) exist for
+    bookkeeping and validation in tests -- the capture and analysis code
+    never reads them, it works from the bytes like the real system.
+    """
+
+    wire_len: int
+    head: bytes
+    created_at: float = 0.0
+    flow_id: int = 0
+    slice_id: str = ""
+    site: str = ""
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.wire_len <= 0:
+            raise ValueError("frame must have positive wire length")
+        if len(self.head) > self.wire_len:
+            raise ValueError("head cannot exceed wire length")
+
+    def captured_bytes(self, snaplen: int) -> bytes:
+        """The bytes a capture with the given snap length would record.
+
+        If the requested snaplen exceeds the serialized head, the head is
+        zero-padded -- payload bytes are opaque filler by construction.
+        """
+        if snaplen <= len(self.head):
+            return self.head[:snaplen]
+        want = min(snaplen, self.wire_len)
+        return self.head + b"\x00" * (want - len(self.head))
+
+    def clone(self) -> "Frame":
+        """A copy with its own frame id (used by port mirroring)."""
+        return Frame(
+            wire_len=self.wire_len,
+            head=self.head,
+            created_at=self.created_at,
+            flow_id=self.flow_id,
+            slice_id=self.slice_id,
+            site=self.site,
+        )

@@ -1,0 +1,62 @@
+"""Packet construction and pcap I/O.
+
+This package implements the wire formats the reproduction needs end to
+end: frames are *built* here by the traffic generators
+(:mod:`repro.traffic`), written to real libpcap-format files by the
+capture models (:mod:`repro.capture`), and parsed back by the analysis
+dissectors (:mod:`repro.analysis.dissect`).
+
+The protocols implemented cover every header the paper reports seeing on
+FABRIC: Ethernet, 802.1Q VLAN, MPLS (stacked), PseudoWire (Ethernet over
+MPLS with control word), IPv4, IPv6, TCP, UDP, ICMP, ARP, and the
+port-classified application layers (TLS, SSH, DNS, HTTP, NTP, iperf).
+"""
+
+from repro.packets.headers import (
+    ARP,
+    DNSHeader,
+    Ethernet,
+    HTTPPayload,
+    ICMP,
+    IPv4,
+    IPv6,
+    MPLS,
+    NTPPayload,
+    Payload,
+    PseudoWireControlWord,
+    SSHBanner,
+    TCP,
+    TLSRecord,
+    UDP,
+    VLAN,
+    EtherType,
+    IPProto,
+)
+from repro.packets.builder import FrameBuilder, FrameSpec
+from repro.packets.pcap import PcapReader, PcapWriter, PcapRecord
+
+__all__ = [
+    "ARP",
+    "DNSHeader",
+    "Ethernet",
+    "HTTPPayload",
+    "ICMP",
+    "IPv4",
+    "IPv6",
+    "MPLS",
+    "NTPPayload",
+    "Payload",
+    "PseudoWireControlWord",
+    "SSHBanner",
+    "TCP",
+    "TLSRecord",
+    "UDP",
+    "VLAN",
+    "EtherType",
+    "IPProto",
+    "FrameBuilder",
+    "FrameSpec",
+    "PcapReader",
+    "PcapWriter",
+    "PcapRecord",
+]

@@ -1,0 +1,46 @@
+"""Internet checksum (RFC 1071) and helpers.
+
+IPv4 headers, and TCP/UDP/ICMP segments, carry the one's-complement
+checksum.  The traffic generators fill real checksums so the captures are
+well-formed, and the dissectors can optionally validate them.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """Return the 16-bit one's-complement sum over ``data``.
+
+    Odd-length input is zero-padded on the right, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return total & 0xFFFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """Return the Internet checksum of ``data`` (RFC 1071)."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def pseudo_header_v4(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
+    """IPv4 pseudo-header used by the TCP/UDP checksum."""
+    return src + dst + struct.pack("!BBH", 0, proto, length)
+
+
+def pseudo_header_v6(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
+    """IPv6 pseudo-header used by the TCP/UDP checksum (RFC 8200 §8.1)."""
+    return src + dst + struct.pack("!IHBB", length, 0, 0, proto)
+
+
+def transport_checksum(pseudo: bytes, segment: bytes) -> int:
+    """Checksum of a transport segment under the given pseudo-header."""
+    checksum = internet_checksum(pseudo + segment)
+    # An all-zero computed UDP checksum is transmitted as 0xFFFF.
+    return checksum if checksum != 0 else 0xFFFF

@@ -1,0 +1,647 @@
+"""Wire-format header definitions.
+
+Each header class knows how to *pack* itself around an inner payload
+(used by the traffic generators) and how to *parse* itself from raw bytes
+(used by the analysis dissectors).  Packing composes inside-out: the
+innermost payload is produced first and each enclosing header's
+``pack(inner)`` wraps it.
+
+Only the fields the paper's analysis cares about are modelled faithfully
+(types, lengths, tags, addresses, ports, TCP flags); option fields are
+omitted for clarity.  All multi-byte fields are network byte order.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, Tuple
+
+from repro.packets.checksum import (
+    internet_checksum,
+    pseudo_header_v4,
+    pseudo_header_v6,
+    transport_checksum,
+)
+
+
+class EtherType(IntEnum):
+    """EtherType values used on FABRIC traffic."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    IPV6 = 0x86DD
+    MPLS_UNICAST = 0x8847
+
+
+class IPProto(IntEnum):
+    """IP protocol numbers used in the reproduction."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+    ICMPV6 = 58
+
+
+# Well-known ports used by the dissectors to classify application payloads,
+# mirroring how tshark's heuristics label the layer above TCP/UDP.
+PORT_SSH = 22
+PORT_DNS = 53
+PORT_HTTP = 80
+PORT_NTP = 123
+PORT_HTTPS = 443
+PORT_IPERF = 5201
+
+
+def mac_bytes(mac: str) -> bytes:
+    """Convert ``aa:bb:cc:dd:ee:ff`` notation to 6 raw bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"bad MAC address: {mac!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+def mac_str(raw: bytes) -> str:
+    """Render 6 raw bytes as colon-separated hex."""
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+def ipv4_bytes(addr: str) -> bytes:
+    """Convert dotted-quad notation to 4 raw bytes."""
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"bad IPv4 address: {addr!r}")
+    return bytes(int(p) for p in parts)
+
+
+def ipv4_str(raw: bytes) -> str:
+    """Render 4 raw bytes as dotted-quad."""
+    return ".".join(str(b) for b in raw)
+
+
+def ipv6_bytes(addr: str) -> bytes:
+    """Convert (possibly ``::``-compressed) IPv6 notation to 16 raw bytes."""
+    if "::" in addr:
+        head, _, tail = addr.partition("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 0:
+            raise ValueError(f"bad IPv6 address: {addr!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = addr.split(":")
+    if len(groups) != 8:
+        raise ValueError(f"bad IPv6 address: {addr!r}")
+    return b"".join(struct.pack("!H", int(g or "0", 16)) for g in groups)
+
+
+def ipv6_str(raw: bytes) -> str:
+    """Render 16 raw bytes as full (uncompressed) IPv6 notation."""
+    return ":".join(f"{word:x}" for (word,) in struct.iter_unpack("!H", raw))
+
+
+@dataclass
+class Ethernet:
+    """Ethernet II frame header (no FCS)."""
+
+    src: str
+    dst: str
+    ethertype: int = EtherType.IPV4
+
+    name = "eth"
+    header_len = 14
+
+    def pack(self, inner: bytes) -> bytes:
+        return mac_bytes(self.dst) + mac_bytes(self.src) + struct.pack("!H", self.ethertype) + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, int]:
+        if len(data) < 14:
+            raise ValueError("truncated Ethernet header")
+        dst, src = bytes(data[0:6]), bytes(data[6:12])
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        fields = {"dst": mac_str(dst), "src": mac_str(src), "ethertype": ethertype}
+        return fields, 14, ethertype
+
+
+@dataclass
+class VLAN:
+    """802.1Q VLAN tag (follows an Ethernet header)."""
+
+    vid: int
+    pcp: int = 0
+    ethertype: int = EtherType.IPV4
+
+    name = "vlan"
+    header_len = 4
+
+    def pack(self, inner: bytes) -> bytes:
+        if not 0 <= self.vid < 4096:
+            raise ValueError(f"VLAN ID out of range: {self.vid}")
+        tci = (self.pcp & 0x7) << 13 | (self.vid & 0xFFF)
+        return struct.pack("!HH", tci, self.ethertype) + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, int]:
+        if len(data) < 4:
+            raise ValueError("truncated VLAN tag")
+        tci, ethertype = struct.unpack_from("!HH", data, 0)
+        fields = {"vid": tci & 0xFFF, "pcp": tci >> 13, "ethertype": ethertype}
+        return fields, 4, ethertype
+
+
+@dataclass
+class MPLS:
+    """One MPLS label-stack entry.
+
+    ``bottom`` marks the S bit; stacked labels are packed by wrapping one
+    MPLS header around another.
+    """
+
+    label: int
+    tc: int = 0
+    bottom: bool = True
+    ttl: int = 64
+
+    name = "mpls"
+    header_len = 4
+
+    def pack(self, inner: bytes) -> bytes:
+        if not 0 <= self.label < (1 << 20):
+            raise ValueError(f"MPLS label out of range: {self.label}")
+        entry = (self.label << 12) | ((self.tc & 0x7) << 9) | (int(self.bottom) << 8) | (self.ttl & 0xFF)
+        return struct.pack("!I", entry) + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, bool]:
+        if len(data) < 4:
+            raise ValueError("truncated MPLS entry")
+        (entry,) = struct.unpack_from("!I", data, 0)
+        fields = {
+            "label": entry >> 12,
+            "tc": (entry >> 9) & 0x7,
+            "bottom": bool((entry >> 8) & 0x1),
+            "ttl": entry & 0xFF,
+        }
+        return fields, 4, fields["bottom"]
+
+
+@dataclass
+class PseudoWireControlWord:
+    """Ethernet-over-MPLS pseudowire control word (RFC 4448).
+
+    The first nibble is zero, which is how a parser below the bottom MPLS
+    label distinguishes a control word from an IP payload (whose first
+    nibble is the IP version, 4 or 6).
+    """
+
+    sequence: int = 0
+
+    name = "pw"
+    header_len = 4
+
+    def pack(self, inner: bytes) -> bytes:
+        return struct.pack("!I", self.sequence & 0xFFFF) + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        if len(data) < 4:
+            raise ValueError("truncated PW control word")
+        (word,) = struct.unpack_from("!I", data, 0)
+        if word >> 28 != 0:
+            raise ValueError("first nibble of a PW control word must be 0")
+        return {"sequence": word & 0xFFFF}, 4, None
+
+
+@dataclass
+class IPv4:
+    """IPv4 header (no options); total length and checksum are computed."""
+
+    src: str
+    dst: str
+    proto: int = IPProto.TCP
+    ttl: int = 64
+    dscp: int = 0
+    ident: int = 0
+    flags_df: bool = True
+
+    name = "ipv4"
+    header_len = 20
+
+    def pack(self, inner: bytes) -> bytes:
+        total_len = 20 + len(inner)
+        if total_len > 0xFFFF:
+            raise ValueError("IPv4 datagram too large")
+        flags_frag = (0x4000 if self.flags_df else 0x0000)
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,
+            self.dscp << 2,
+            total_len,
+            self.ident & 0xFFFF,
+            flags_frag,
+            self.ttl,
+            self.proto,
+            0,
+            ipv4_bytes(self.src),
+            ipv4_bytes(self.dst),
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, int]:
+        if len(data) < 20:
+            raise ValueError("truncated IPv4 header")
+        (ver_ihl, tos, total_len, ident, flags_frag, ttl, proto, checksum) = struct.unpack_from(
+            "!BBHHHBB H", data, 0
+        )
+        version, ihl = ver_ihl >> 4, (ver_ihl & 0xF) * 4
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        if ihl < 20 or len(data) < ihl:
+            raise ValueError("bad IPv4 IHL")
+        fields = {
+            "src": ipv4_str(bytes(data[12:16])),
+            "dst": ipv4_str(bytes(data[16:20])),
+            "proto": proto,
+            "ttl": ttl,
+            "total_len": total_len,
+            "ident": ident,
+            "df": bool(flags_frag & 0x4000),
+        }
+        return fields, ihl, proto
+
+
+@dataclass
+class IPv6:
+    """IPv6 fixed header; payload length computed on pack."""
+
+    src: str
+    dst: str
+    next_header: int = IPProto.TCP
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    name = "ipv6"
+    header_len = 40
+
+    def pack(self, inner: bytes) -> bytes:
+        if len(inner) > 0xFFFF:
+            raise ValueError("IPv6 payload too large")
+        word0 = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | (self.flow_label & 0xFFFFF)
+        header = struct.pack(
+            "!IHBB16s16s",
+            word0,
+            len(inner),
+            self.next_header,
+            self.hop_limit,
+            ipv6_bytes(self.src),
+            ipv6_bytes(self.dst),
+        )
+        return header + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, int]:
+        if len(data) < 40:
+            raise ValueError("truncated IPv6 header")
+        word0, payload_len, next_header, hop_limit = struct.unpack_from("!IHBB", data, 0)
+        if word0 >> 28 != 6:
+            raise ValueError("not IPv6")
+        fields = {
+            "src": ipv6_str(bytes(data[8:24])),
+            "dst": ipv6_str(bytes(data[24:40])),
+            "next_header": next_header,
+            "hop_limit": hop_limit,
+            "payload_len": payload_len,
+        }
+        return fields, 40, next_header
+
+
+# TCP flag bits.
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+@dataclass
+class TCP:
+    """TCP header (no options); checksum needs the enclosing IP addresses."""
+
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = TCP_ACK
+    window: int = 65535
+
+    name = "tcp"
+    header_len = 20
+
+    def pack(self, inner: bytes, ip_src: bytes = b"", ip_dst: bytes = b"") -> bytes:
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.sport,
+            self.dport,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            5 << 4,
+            self.flags,
+            self.window,
+            0,
+            0,
+        )
+        segment = header + inner
+        if ip_src and ip_dst:
+            if len(ip_src) == 4:
+                pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.TCP, len(segment))
+            else:
+                pseudo = pseudo_header_v6(ip_src, ip_dst, IPProto.TCP, len(segment))
+            checksum = transport_checksum(pseudo, segment)
+            segment = segment[:16] + struct.pack("!H", checksum) + segment[18:]
+        return segment
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, Tuple[int, int]]:
+        if len(data) < 20:
+            raise ValueError("truncated TCP header")
+        sport, dport, seq, ack, offset_byte, flags, window = struct.unpack_from("!HHIIBBH", data, 0)
+        data_offset = (offset_byte >> 4) * 4
+        if data_offset < 20:
+            raise ValueError("bad TCP data offset")
+        consumed = min(data_offset, len(data))
+        fields = {
+            "sport": sport,
+            "dport": dport,
+            "seq": seq,
+            "ack": ack,
+            "flags": flags,
+            "window": window,
+            "syn": bool(flags & TCP_SYN),
+            "fin": bool(flags & TCP_FIN),
+            "rst": bool(flags & TCP_RST),
+        }
+        return fields, consumed, (sport, dport)
+
+
+@dataclass
+class UDP:
+    """UDP header; length and checksum computed on pack."""
+
+    sport: int
+    dport: int
+
+    name = "udp"
+    header_len = 8
+
+    def pack(self, inner: bytes, ip_src: bytes = b"", ip_dst: bytes = b"") -> bytes:
+        length = 8 + len(inner)
+        header = struct.pack("!HHHH", self.sport, self.dport, length, 0)
+        datagram = header + inner
+        if ip_src and ip_dst:
+            if len(ip_src) == 4:
+                pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.UDP, length)
+            else:
+                pseudo = pseudo_header_v6(ip_src, ip_dst, IPProto.UDP, length)
+            checksum = transport_checksum(pseudo, datagram)
+            datagram = datagram[:6] + struct.pack("!H", checksum)[:2] + datagram[8:]
+        return datagram
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, Tuple[int, int]]:
+        if len(data) < 8:
+            raise ValueError("truncated UDP header")
+        sport, dport, length, _checksum = struct.unpack_from("!HHHH", data, 0)
+        return {"sport": sport, "dport": dport, "length": length}, 8, (sport, dport)
+
+
+@dataclass
+class ICMP:
+    """ICMP header (echo request/reply by default)."""
+
+    icmp_type: int = 8
+    code: int = 0
+    ident: int = 0
+    sequence: int = 0
+
+    name = "icmp"
+    header_len = 8
+
+    def pack(self, inner: bytes) -> bytes:
+        header = struct.pack("!BBHHH", self.icmp_type, self.code, 0, self.ident, self.sequence)
+        message = header + inner
+        checksum = internet_checksum(message)
+        return message[:2] + struct.pack("!H", checksum) + message[4:]
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        if len(data) < 8:
+            raise ValueError("truncated ICMP header")
+        icmp_type, code = struct.unpack_from("!BB", data, 0)
+        return {"type": icmp_type, "code": code}, 8, None
+
+
+@dataclass
+class ARP:
+    """ARP request/reply for IPv4 over Ethernet."""
+
+    sender_mac: str
+    sender_ip: str
+    target_mac: str = "00:00:00:00:00:00"
+    target_ip: str = "0.0.0.0"
+    opcode: int = 1  # 1 = request, 2 = reply
+
+    name = "arp"
+    header_len = 28
+
+    def pack(self, inner: bytes = b"") -> bytes:
+        return (
+            struct.pack("!HHBBH", 1, EtherType.IPV4, 6, 4, self.opcode)
+            + mac_bytes(self.sender_mac)
+            + ipv4_bytes(self.sender_ip)
+            + mac_bytes(self.target_mac)
+            + ipv4_bytes(self.target_ip)
+            + inner
+        )
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        if len(data) < 28:
+            raise ValueError("truncated ARP")
+        _htype, _ptype, _hlen, _plen, opcode = struct.unpack_from("!HHBBH", data, 0)
+        fields = {
+            "opcode": opcode,
+            "sender_mac": mac_str(bytes(data[8:14])),
+            "sender_ip": ipv4_str(bytes(data[14:18])),
+            "target_mac": mac_str(bytes(data[18:24])),
+            "target_ip": ipv4_str(bytes(data[24:28])),
+        }
+        return fields, 28, None
+
+
+@dataclass
+class TLSRecord:
+    """TLS record header followed by opaque ciphertext."""
+
+    content_type: int = 23  # application_data
+    version: int = 0x0303  # TLS 1.2 record version
+    body_len: int = 0
+
+    name = "tls"
+    header_len = 5
+
+    def pack(self, inner: bytes) -> bytes:
+        return struct.pack("!BHH", self.content_type, self.version, len(inner)) + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        if len(data) < 5:
+            raise ValueError("truncated TLS record")
+        content_type, version, length = struct.unpack_from("!BHH", data, 0)
+        if content_type not in (20, 21, 22, 23) or version >> 8 != 3:
+            raise ValueError("not a TLS record")
+        return {"content_type": content_type, "version": version, "length": length}, 5, None
+
+
+@dataclass
+class SSHBanner:
+    """SSH identification string / opaque encrypted packet."""
+
+    software: str = "OpenSSH_8.9"
+
+    name = "ssh"
+    header_len = 0
+
+    def pack(self, inner: bytes = b"") -> bytes:
+        return f"SSH-2.0-{self.software}\r\n".encode("ascii") + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        raw = bytes(data[:255])
+        if not raw.startswith(b"SSH-"):
+            raise ValueError("not an SSH banner")
+        line, _, _rest = raw.partition(b"\r\n")
+        return {"banner": line.decode("ascii", "replace")}, len(line) + 2, None
+
+
+@dataclass
+class DNSHeader:
+    """DNS header plus a single encoded question."""
+
+    ident: int = 0
+    response: bool = False
+    qname: str = "example.org"
+    qtype: int = 1  # A
+
+    name = "dns"
+    header_len = 12
+
+    def pack(self, inner: bytes = b"") -> bytes:
+        flags = 0x8180 if self.response else 0x0100
+        header = struct.pack("!HHHHHH", self.ident, flags, 1, 1 if self.response else 0, 0, 0)
+        question = b"".join(
+            bytes([len(label)]) + label.encode("ascii") for label in self.qname.split(".")
+        ) + b"\x00" + struct.pack("!HH", self.qtype, 1)
+        return header + question + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        if len(data) < 12:
+            raise ValueError("truncated DNS header")
+        ident, flags, qdcount, ancount, _ns, _ar = struct.unpack_from("!HHHHHH", data, 0)
+        fields = {
+            "ident": ident,
+            "response": bool(flags & 0x8000),
+            "qdcount": qdcount,
+            "ancount": ancount,
+        }
+        return fields, 12, None
+
+
+@dataclass
+class HTTPPayload:
+    """Plain-text HTTP/1.1 request or response head."""
+
+    method: str = "GET"
+    path: str = "/"
+    host: str = "example.org"
+    response: bool = False
+    status: int = 200
+
+    name = "http"
+    header_len = 0
+
+    def pack(self, inner: bytes = b"") -> bytes:
+        if self.response:
+            head = f"HTTP/1.1 {self.status} OK\r\nContent-Type: application/octet-stream\r\n\r\n"
+        else:
+            head = f"{self.method} {self.path} HTTP/1.1\r\nHost: {self.host}\r\n\r\n"
+        return head.encode("ascii") + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        raw = bytes(data[:512])
+        line, _, _rest = raw.partition(b"\r\n")
+        text = line.decode("ascii", "replace")
+        if text.startswith("HTTP/1."):
+            parts = text.split(" ", 2)
+            status = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else 0
+            return {"response": True, "status": status}, len(raw), None
+        method = text.split(" ", 1)[0]
+        if method not in ("GET", "POST", "PUT", "HEAD", "DELETE", "OPTIONS", "PATCH"):
+            raise ValueError("not HTTP")
+        return {"response": False, "method": method}, len(raw), None
+
+
+@dataclass
+class NTPPayload:
+    """NTPv4 client/server packet (48 bytes, fixed fields only)."""
+
+    mode: int = 3  # client
+    stratum: int = 0
+
+    name = "ntp"
+    header_len = 48
+
+    def pack(self, inner: bytes = b"") -> bytes:
+        first = (0 << 6) | (4 << 3) | (self.mode & 0x7)
+        return struct.pack("!BBBB", first, self.stratum, 6, 0xEC) + b"\x00" * 44 + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        if len(data) < 48:
+            raise ValueError("truncated NTP")
+        (first,) = struct.unpack_from("!B", data, 0)
+        version, mode = (first >> 3) & 0x7, first & 0x7
+        if version not in (3, 4) or mode == 0:
+            raise ValueError("not NTP")
+        return {"version": version, "mode": mode}, 48, None
+
+
+@dataclass
+class Payload:
+    """Opaque application payload of a given size.
+
+    ``fill`` controls the repeated byte; generators keep it cheap by
+    multiplying a single byte rather than generating random content.
+    """
+
+    size: int
+    fill: int = 0x5A
+
+    name = "data"
+    header_len = 0
+
+    def pack(self, inner: bytes = b"") -> bytes:
+        return bytes([self.fill]) * self.size + inner
+
+    @staticmethod
+    def parse(data: memoryview) -> Tuple[Dict[str, object], int, None]:
+        return {"size": len(data)}, len(data), None

@@ -1,0 +1,169 @@
+"""Classic libpcap file format reader/writer.
+
+All three of the paper's capture methods "produce pcap files", and the
+offline analysis pipeline consumes them.  We implement the classic
+``.pcap`` container (magic ``0xa1b2c3d4``, microsecond timestamps,
+LINKTYPE_ETHERNET) so files written here are readable by tcpdump and
+Wireshark, and vice versa.
+
+Truncation ("snaplen") is a first-class concept: the paper captures the
+first 64/200 bytes of each frame, so a record's ``incl_len`` (captured
+bytes) can be smaller than its ``orig_len`` (bytes on the wire).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterator, List, Optional, Union
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("!IHHiIII")
+_GLOBAL_HEADER_LE = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("!IIII")
+_RECORD_HEADER_LE = struct.Struct("<IIII")
+
+
+@dataclass
+class PcapRecord:
+    """One captured frame.
+
+    ``timestamp`` is seconds since the epoch (float, microsecond
+    resolution survives a round trip); ``orig_len`` is the frame's length
+    on the wire, which exceeds ``len(data)`` when the capture truncated.
+    """
+
+    timestamp: float
+    data: bytes
+    orig_len: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.orig_len is None:
+            self.orig_len = len(self.data)
+        if self.orig_len < len(self.data):
+            raise ValueError("orig_len cannot be smaller than captured data")
+
+    @property
+    def truncated(self) -> bool:
+        """True when the record captured fewer bytes than were on the wire."""
+        return self.orig_len > len(self.data)
+
+
+class PcapWriter:
+    """Writes classic pcap files (big-endian, microsecond timestamps).
+
+    Can be used as a context manager:
+
+    >>> with PcapWriter("/tmp/sample.pcap", snaplen=200) as w:  # doctest: +SKIP
+    ...     w.write(PcapRecord(0.0, frame_bytes))
+    """
+
+    def __init__(self, path: Union[str, Path, BinaryIO], snaplen: int = 65535):
+        if snaplen <= 0:
+            raise ValueError("snaplen must be positive")
+        self.snaplen = snaplen
+        self.records_written = 0
+        self.bytes_written = 0
+        if hasattr(path, "write"):
+            self._handle: BinaryIO = path  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(path, "wb")
+            self._owns_handle = True
+        self._write_global_header()
+
+    def _write_global_header(self) -> None:
+        header = _GLOBAL_HEADER.pack(
+            PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1], 0, 0, self.snaplen, LINKTYPE_ETHERNET
+        )
+        self._handle.write(header)
+        self.bytes_written += len(header)
+
+    def write(self, record: PcapRecord) -> None:
+        """Write one record, truncating its data to the file's snaplen."""
+        data = record.data[: self.snaplen]
+        ts_sec = int(record.timestamp)
+        ts_usec = int(round((record.timestamp - ts_sec) * 1_000_000))
+        if ts_usec >= 1_000_000:
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        header = _RECORD_HEADER.pack(ts_sec, ts_usec, len(data), record.orig_len)
+        self._handle.write(header)
+        self._handle.write(data)
+        self.records_written += 1
+        self.bytes_written += len(header) + len(data)
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Reads classic pcap files in either byte order.
+
+    Iterating yields :class:`PcapRecord` objects:
+
+    >>> for record in PcapReader("/tmp/sample.pcap"):  # doctest: +SKIP
+    ...     dissect(record.data)
+    """
+
+    def __init__(self, path: Union[str, Path, BinaryIO]):
+        if hasattr(path, "read"):
+            self._handle: BinaryIO = path  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            self._handle = open(path, "rb")
+            self._owns_handle = True
+        raw = self._handle.read(_GLOBAL_HEADER.size)
+        if len(raw) < _GLOBAL_HEADER.size:
+            raise ValueError("not a pcap file: truncated global header")
+        (magic,) = struct.unpack("!I", raw[:4])
+        if magic == PCAP_MAGIC:
+            self._record_struct = _RECORD_HEADER
+            fields = _GLOBAL_HEADER.unpack(raw)
+        elif magic == PCAP_MAGIC_SWAPPED:
+            self._record_struct = _RECORD_HEADER_LE
+            fields = _GLOBAL_HEADER_LE.unpack(raw)
+        else:
+            raise ValueError(f"not a pcap file: bad magic 0x{magic:08x}")
+        _, _vmaj, _vmin, _tz, _sig, self.snaplen, self.linktype = fields
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        return self
+
+    def __next__(self) -> PcapRecord:
+        raw = self._handle.read(self._record_struct.size)
+        if not raw:
+            raise StopIteration
+        if len(raw) < self._record_struct.size:
+            raise ValueError("truncated pcap record header")
+        ts_sec, ts_usec, incl_len, orig_len = self._record_struct.unpack(raw)
+        data = self._handle.read(incl_len)
+        if len(data) < incl_len:
+            raise ValueError("truncated pcap record body")
+        return PcapRecord(ts_sec + ts_usec / 1_000_000, data, orig_len)
+
+    def read_all(self) -> List[PcapRecord]:
+        """Read every remaining record into a list."""
+        return list(self)
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,48 @@
+"""The Section-5 resource & infrastructure study.
+
+Before designing Patchwork, the paper studies FABRIC to answer the open
+questions of Section 4: the uplink/downlink balance (Fig 2), how spread
+out slices are (Fig 3), how long they live (Fig 4), how many run at
+once (Fig 5), and how the network's utilization evolves over the year
+(Fig 6).  The study's three data sources were the information model,
+operator-shared slice statistics, and MFlib telemetry; here they are
+the federation model, the synthetic slice history
+(:mod:`repro.traffic.schedule`), and the activity model below.
+
+* :mod:`repro.study.ports` -- Fig 2.
+* :mod:`repro.study.slices` -- Figs 3-5.
+* :mod:`repro.study.activity` -- Fig 6 and the port-utilization facts
+  behind R4.Q1 (50 % of ports <= 38 % utilized; some at line rate).
+* :mod:`repro.study.behavior` -- the Fig 10 campaign driver (runs
+  Patchwork occasions under injected faults and shortages).
+"""
+
+from repro.study.ports import port_distribution_table, uplink_summary
+from repro.study.slices import (
+    concurrency_summary,
+    duration_table,
+    slice_study,
+    spread_table,
+    SliceStudyResult,
+)
+from repro.study.activity import (
+    NetworkActivityModel,
+    WeeklyActivity,
+    port_utilization_quantiles,
+)
+from repro.study.behavior import CampaignResult, run_campaign
+
+__all__ = [
+    "port_distribution_table",
+    "uplink_summary",
+    "concurrency_summary",
+    "duration_table",
+    "slice_study",
+    "spread_table",
+    "SliceStudyResult",
+    "NetworkActivityModel",
+    "WeeklyActivity",
+    "port_utilization_quantiles",
+    "CampaignResult",
+    "run_campaign",
+]

@@ -1,0 +1,116 @@
+"""Fig 6 and the network-activity facts (R1.Q3, R4.Q1).
+
+The paper's Fig 6 sums 5-minute byte-rate samples from every switch
+port into weekly activity for 2024: activity ramps into deadline
+seasons and peaks the week before Supercomputing'24, when an average of
+3.968 Tbps crossed FABRIC's network.  For R4.Q1 it finds that 50 % of
+switch ports are <= 38 % utilized but some run at line rate -- hence
+"expect to need to capture traffic at line rate".
+
+We regenerate both from the slice-history model: weekly traffic is the
+sum of per-slice offered rates (heavy-tailed -- a few slices move
+terabits) modulated by the deadline calendar, and per-port utilization
+is a mixture of mostly-quiet ports and a saturated tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.traffic.schedule import SliceSchedule, WEEKS, deadline_intensity
+from repro.util.rng import SeedSequenceFactory
+from repro.util.tables import Table
+
+SC24_WEEK = 46  # the week before Supercomputing'24
+
+
+@dataclass(frozen=True)
+class WeeklyActivity:
+    """One bar of Fig 6."""
+
+    week: int
+    mean_tbps: float
+    has_data: bool = True
+
+
+class NetworkActivityModel:
+    """Weekly network activity derived from a slice history."""
+
+    def __init__(
+        self,
+        schedule: SliceSchedule,
+        seed: int = 13,
+        per_slice_rate_median_bps: float = 3.9e9,
+        per_slice_rate_sigma: float = 1.6,
+        missing_weeks: Sequence[int] = (0, 1, 5, 6),
+    ):
+        self.schedule = schedule
+        self.seeds = SeedSequenceFactory(seed)
+        self.per_slice_rate_median_bps = per_slice_rate_median_bps
+        self.per_slice_rate_sigma = per_slice_rate_sigma
+        self.missing_weeks: Set[int] = set(missing_weeks)
+
+    def weekly_series(self) -> List[WeeklyActivity]:
+        """Mean testbed-wide rate per week, with the paper's data gaps."""
+        rng = self.seeds.rng("activity/weekly")
+        weeks = int(np.ceil(self.schedule.horizon / WEEKS))
+        # Per-slice offered rates are heavy-tailed and redrawn weekly:
+        # most slices idle along; a few run line-rate experiments.
+        mu = np.log(self.per_slice_rate_median_bps)
+        series = []
+        starts = np.array([r.start for r in self.schedule.records])
+        ends = np.array([r.end for r in self.schedule.records])
+        for week in range(weeks):
+            mid = (week + 0.5) * WEEKS
+            active = int(np.count_nonzero((starts <= mid) & (ends > mid)))
+            if week in self.missing_weeks:
+                series.append(WeeklyActivity(week, 0.0, has_data=False))
+                continue
+            # The deadline calendar already modulates *how many* slices
+            # are active (via the arrival process), so weekly traffic is
+            # just the sum of the active slices' offered rates.
+            rates = rng.lognormal(mu, self.per_slice_rate_sigma, size=active)
+            series.append(WeeklyActivity(week, float(rates.sum()) / 1e12))
+        return series
+
+    def peak(self) -> WeeklyActivity:
+        """The busiest week (the paper's SC'24 observation)."""
+        series = [w for w in self.weekly_series() if w.has_data]
+        return max(series, key=lambda w: w.mean_tbps)
+
+    def to_table(self) -> Table:
+        table = Table(["week", "mean_tbps", "has_data"],
+                      title="Weekly utilization of the testbed network")
+        for w in self.weekly_series():
+            table.add_row([w.week, round(w.mean_tbps, 4), int(w.has_data)])
+        return table
+
+
+def port_utilization_quantiles(
+    ports: int = 1200,
+    seed: int = 17,
+    saturated_fraction: float = 0.03,
+) -> Dict[str, float]:
+    """R4.Q1's port-utilization distribution.
+
+    A Beta-distributed quiet majority (median ~0.38) plus a small
+    fraction of ports pinned at line rate.  Returns the quantiles the
+    paper quotes plus the maximum.
+    """
+    if ports <= 0:
+        raise ValueError("need at least one port")
+    rng = SeedSequenceFactory(seed).rng("activity/ports")
+    quiet = rng.beta(1.05, 1.75, size=ports)
+    saturated = rng.random(ports) < saturated_fraction
+    utilization = np.where(saturated, 1.0, quiet)
+    return {
+        "p25": float(np.quantile(utilization, 0.25)),
+        "p50": float(np.quantile(utilization, 0.50)),
+        "p75": float(np.quantile(utilization, 0.75)),
+        "p99": float(np.quantile(utilization, 0.99)),
+        "max": float(np.max(utilization)),
+        "fraction_at_line_rate": float(np.mean(utilization >= 0.999)),
+    }

@@ -1,0 +1,156 @@
+"""Fig 10: Patchwork's behaviour across a campaign of runs.
+
+The paper analyzed Patchwork's own logs over four months of scheduled
+runs: 79 % of site-runs succeeded, ~20 % failed for lack of site
+resources or transient back-end trouble (including incident clusters
+like 10-15 Sept), and a few crashed ("Incomplete").
+
+:func:`run_campaign` reproduces the experiment: it schedules a series
+of profiling occasions against a federation while injecting the same
+three disturbance classes -- competitor slices that drain dedicated
+NICs (total or partial shortages), back-end outage windows, and a small
+instance-crash probability -- then mines the run records exactly as the
+paper mined its logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import PatchworkConfig
+from repro.core.coordinator import Coordinator
+from repro.core.status import RunOutcome, RunRecord, outcome_fractions, success_rate
+from repro.testbed.api import TestbedAPI
+from repro.testbed.errors import AllocationError, TestbedError
+from repro.testbed.slice_model import NodeRequest, SliceRequest
+from repro.util.rng import SeedSequenceFactory
+from repro.util.tables import Table
+
+
+@dataclass
+class CampaignResult:
+    """All run records plus the Fig 10 aggregates."""
+
+    records: List[RunRecord] = field(default_factory=list)
+    occasions: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return success_rate(self.records)
+
+    def fractions(self) -> Dict[RunOutcome, float]:
+        return outcome_fractions(self.records)
+
+    def to_table(self) -> Table:
+        table = Table(["outcome", "site_runs", "fraction"],
+                      title="Patchwork behaviour across the campaign")
+        fractions = self.fractions()
+        counts = {o: sum(1 for r in self.records if r.outcome is o) for o in RunOutcome}
+        for outcome in RunOutcome:
+            table.add_row([outcome.value, counts[outcome], round(fractions[outcome], 4)])
+        return table
+
+    def timeline_table(self) -> Table:
+        """Per-occasion outcome counts (the Fig 10 time series)."""
+        table = Table(["occasion", "success", "degraded", "failed", "incomplete"],
+                      title="Per-occasion outcomes")
+        by_occasion: Dict[float, List[RunRecord]] = {}
+        for record in self.records:
+            by_occasion.setdefault(record.started_at, []).append(record)
+        for i, (_start, records) in enumerate(sorted(by_occasion.items())):
+            row = [i]
+            for outcome in (RunOutcome.SUCCESS, RunOutcome.DEGRADED,
+                            RunOutcome.FAILED, RunOutcome.INCOMPLETE):
+                row.append(sum(1 for r in records if r.outcome is outcome))
+            table.add_row(row)
+        return table
+
+
+def _drain_site_nics(api: TestbedAPI, site: str, leave: int,
+                     tag: str) -> Optional[str]:
+    """Occupy a site's dedicated NICs with a competitor slice.
+
+    ``leave`` NICs are left free.  Returns the competitor slice name
+    (to delete later), or None if nothing needed draining.
+    """
+    free = api.available_resources(site).dedicated_nics
+    take = max(0, int(free) - leave)
+    if take == 0:
+        return None
+    request = SliceRequest(
+        site=site,
+        nodes=[NodeRequest(name=f"user{i}", cores=2, ram_gb=4, disk_gb=10,
+                           dedicated_nics=1) for i in range(take)],
+        name=f"competitor-{tag}-{site}",
+    )
+    try:
+        return api.create_slice(request).name
+    except (AllocationError, TestbedError):
+        return None
+
+
+def run_campaign(
+    api: TestbedAPI,
+    config: PatchworkConfig,
+    occasions: int = 12,
+    seed: int = 23,
+    total_shortage_fraction: float = 0.14,
+    partial_shortage_fraction: float = 0.12,
+    outage_fraction: float = 0.12,
+    outage_site_fraction: float = 0.5,
+    crash_probability: float = 0.004,
+    occasion_gap: float = 3600.0,
+) -> CampaignResult:
+    """Run a Fig 10 campaign.
+
+    Each occasion, a random subset of sites loses all its dedicated
+    NICs to competitors (-> FAILED at those sites), another subset is
+    left with a single NIC (-> DEGRADED via back-off), and with
+    probability ``outage_fraction`` a back-end incident covers part of
+    the federation for the occasion's start (-> FAILED).  The crash
+    probability feeds the watchdog (-> INCOMPLETE).
+    """
+    seeds = SeedSequenceFactory(seed)
+    rng = seeds.rng("campaign")
+    coordinator = Coordinator(api, config, seed=seeds.integer("coord", 0, 2**31))
+    result = CampaignResult(occasions=occasions)
+    sites = coordinator.target_sites()
+    sim = api.federation.sim
+    for occasion in range(occasions):
+        tag = f"occ{occasion}"
+        shuffled = list(sites)
+        rng.shuffle(shuffled)
+        n_total = int(round(total_shortage_fraction * len(shuffled)))
+        n_partial = int(round(partial_shortage_fraction * len(shuffled)))
+        starved = shuffled[:n_total]
+        pinched = shuffled[n_total:n_total + n_partial]
+        competitors = []
+        for site in starved:
+            name = _drain_site_nics(api, site, leave=0, tag=tag)
+            if name:
+                competitors.append(name)
+        for site in pinched:
+            name = _drain_site_nics(api, site, leave=1, tag=tag)
+            if name:
+                competitors.append(name)
+        if rng.random() < outage_fraction:
+            affected = {
+                s for s in sites
+                if rng.random() < outage_site_fraction
+            }
+            api.federation.faults.add_outage(
+                sim.now, sim.now + config.plan.approximate_duration + 600.0,
+                reason=f"backend incident ({tag})", sites=affected,
+            )
+        bundle = coordinator.run_profile(crash_probability=crash_probability)
+        result.records.extend(bundle.run_records)
+        for name in competitors:
+            try:
+                api.delete_slice(name)
+            except TestbedError:
+                pass
+        sim.run(until=sim.now + occasion_gap)
+    return result

@@ -1,0 +1,56 @@
+"""Fig 2: port distribution across sites.
+
+"We analyzed FABRIC's information model to count ports at each site.
+We found that most sites have a similar number of uplinks, and all
+sites have many more downlinks than uplinks."  (This answers R1.Q1 --
+the profiler must be able to sample both.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.testbed.federation import Federation
+from repro.testbed.information_model import InformationModel, SitePortCount
+from repro.util.tables import Table
+
+
+def port_distribution_table(federation: Federation) -> Table:
+    """The Fig 2 data as a table (one row per site)."""
+    model = InformationModel(federation)
+    table = Table(["site", "downlinks", "uplinks"],
+                  title="Distribution of ports across sites")
+    for count in model.port_distribution():
+        table.add_row([count.site, count.downlinks, count.uplinks])
+    return table
+
+
+@dataclass(frozen=True)
+class UplinkSummary:
+    """Aggregate facts the paper draws from Fig 2."""
+
+    sites: int
+    total_downlinks: int
+    total_uplinks: int
+    min_uplinks: int
+    max_uplinks: int
+    uplink_spread: int               # max - min: "similar across sites"
+    every_site_downlink_heavy: bool  # downlinks > uplinks at every site
+
+
+def uplink_summary(federation: Federation) -> UplinkSummary:
+    """Check Fig 2's two claims over a federation."""
+    counts: List[SitePortCount] = InformationModel(federation).port_distribution()
+    uplinks = [c.uplinks for c in counts]
+    return UplinkSummary(
+        sites=len(counts),
+        total_downlinks=sum(c.downlinks for c in counts),
+        total_uplinks=sum(uplinks),
+        min_uplinks=min(uplinks),
+        max_uplinks=max(uplinks),
+        uplink_spread=max(uplinks) - min(uplinks),
+        every_site_downlink_heavy=all(c.downlinks > c.uplinks for c in counts),
+    )

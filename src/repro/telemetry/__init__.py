@@ -1,0 +1,33 @@
+"""Switch telemetry: SNMP polling, time-series storage, MFlib queries.
+
+FABRIC's Measurement Framework polls switch counters over SNMP into a
+Prometheus database and exposes them through the MFlib API (paper
+Section 3).  Patchwork uses this pipeline twice: the Section-5 study
+characterizes network activity from 5-minute Tx/Rx rate samples, and at
+runtime Patchwork queries recent port rates to pick the busiest port for
+cycling and to detect mirroring congestion.
+
+The reproduction keeps the same three stages:
+
+* :class:`~repro.telemetry.snmp.SNMPPoller` walks every switch's port
+  counters on a fixed interval (default 300 s, the paper's 5 minutes).
+* :class:`~repro.telemetry.timeseries.CounterStore` stores the samples.
+* :class:`~repro.telemetry.mflib.MFlib` answers rate/utilization/drop
+  queries from the stored counters, never from live simulator state --
+  like the real MFlib, it can only see what was polled.
+"""
+
+from repro.telemetry.timeseries import CounterSample, CounterStore
+from repro.telemetry.snmp import SNMPPoller
+from repro.telemetry.mflib import MFlib, PortRates
+from repro.telemetry.netflow import NetFlowExporter, NetFlowRecord
+
+__all__ = [
+    "CounterSample",
+    "CounterStore",
+    "SNMPPoller",
+    "MFlib",
+    "PortRates",
+    "NetFlowExporter",
+    "NetFlowRecord",
+]

@@ -1,0 +1,177 @@
+"""The MFlib-style query front-end.
+
+FABRIC users query switch telemetry through MFlib; Patchwork uses it to
+(a) rank ports by recent traffic for the busiest-port cycling heuristic,
+(b) detect congestion at the mirror destination (is Mirrored(Tx) +
+Mirrored(Rx) above the egress line rate?), and (c) drive the Section-5
+network-activity study.
+
+All answers are computed from *polled counters only*.  Rates are counter
+deltas over the sample interval, just like PromQL ``rate()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.timeseries import CounterSample, CounterStore
+
+
+@dataclass(frozen=True)
+class PortRates:
+    """Average Tx/Rx rates of one port over one query window."""
+
+    site: str
+    port_id: str
+    window_start: float
+    window_end: float
+    tx_bps: float
+    rx_bps: float
+    tx_drops: int
+    rx_drops: int
+
+    @property
+    def total_bps(self) -> float:
+        return self.tx_bps + self.rx_bps
+
+
+class MFlib:
+    """Rate and utilization queries over a counter store."""
+
+    def __init__(self, store: CounterStore):
+        self.store = store
+
+    # -- rates ------------------------------------------------------------
+
+    def port_rates(self, site: str, port_id: str, start: float, end: float) -> Optional[PortRates]:
+        """Average rates between the polls nearest ``start`` and ``end``.
+
+        Returns None when fewer than two samples cover the window (the
+        counters were not polled often enough to answer).
+        """
+        if end <= start:
+            raise ValueError("query window must have positive duration")
+        first_tx = self._anchor(site, port_id, "tx_bytes", start, end)
+        last_tx = self.store.latest_before(site, port_id, "tx_bytes", end)
+        first_rx = self._anchor(site, port_id, "rx_bytes", start, end)
+        last_rx = self.store.latest_before(site, port_id, "rx_bytes", end)
+        if None in (first_tx, last_tx, first_rx, last_rx):
+            return None
+        if last_tx.time <= first_tx.time:
+            return None
+        interval = last_tx.time - first_tx.time
+        tx_bps = (last_tx.value - first_tx.value) * 8.0 / interval
+        rx_bps = (last_rx.value - first_rx.value) * 8.0 / interval
+        tx_drops = self._delta(site, port_id, "tx_drops", first_tx.time, last_tx.time)
+        rx_drops = self._delta(site, port_id, "rx_drops", first_tx.time, last_tx.time)
+        return PortRates(
+            site=site,
+            port_id=port_id,
+            window_start=first_tx.time,
+            window_end=last_tx.time,
+            tx_bps=tx_bps,
+            rx_bps=rx_bps,
+            tx_drops=int(tx_drops),
+            rx_drops=int(rx_drops),
+        )
+
+    def all_port_rates(self, site: str, start: float, end: float) -> List[PortRates]:
+        """Rates for every polled port at a site (skips unanswerable)."""
+        rates = []
+        for port_id in self.store.ports(site):
+            r = self.port_rates(site, port_id, start, end)
+            if r is not None:
+                rates.append(r)
+        return rates
+
+    # -- rankings used by port cycling --------------------------------------
+
+    def busiest_ports(
+        self,
+        site: str,
+        start: float,
+        end: float,
+        restrict_to: Optional[Sequence[str]] = None,
+    ) -> List[PortRates]:
+        """Ports sorted by descending Tx+Rx rate over the window."""
+        rates = self.all_port_rates(site, start, end)
+        if restrict_to is not None:
+            allowed = set(restrict_to)
+            rates = [r for r in rates if r.port_id in allowed]
+        return sorted(rates, key=lambda r: (-r.total_bps, r.port_id))
+
+    def non_idle_ports(
+        self,
+        site: str,
+        start: float,
+        end: float,
+        idle_threshold_bps: float = 1_000.0,
+        restrict_to: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        """Port ids whose Tx+Rx rate exceeded the idle threshold."""
+        return [
+            r.port_id
+            for r in self.busiest_ports(site, start, end, restrict_to)
+            if r.total_bps > idle_threshold_bps
+        ]
+
+    # -- drop / congestion queries ------------------------------------------
+
+    def drop_delta(self, site: str, port_id: str, start: float, end: float) -> int:
+        """Frames dropped at a port's Tx queue during the window."""
+        return int(self._delta(site, port_id, "tx_drops", start, end))
+
+    def mirror_overload(
+        self,
+        site: str,
+        mirrored_port_id: str,
+        dest_rate_bps: float,
+        start: float,
+        end: float,
+        headroom: float = 1.0,
+    ) -> Optional[bool]:
+        """Patchwork's congestion inference (paper Section 6.2.2).
+
+        True when the mirrored port's Tx + Rx rate exceeded
+        ``dest_rate_bps * headroom``, i.e. the mirror destination's line
+        rate cannot carry both cloned directions and frames are being
+        dropped at the switch.  None when telemetry cannot answer.
+        """
+        rates = self.port_rates(site, mirrored_port_id, start, end)
+        if rates is None:
+            return None
+        return rates.total_bps > dest_rate_bps * headroom
+
+    # -- utilization (study queries) ------------------------------------------
+
+    def utilization(
+        self, site: str, port_id: str, line_rate_bps: float, start: float, end: float
+    ) -> Optional[float]:
+        """Tx utilization fraction of a port over the window."""
+        rates = self.port_rates(site, port_id, start, end)
+        if rates is None:
+            return None
+        return rates.tx_bps / line_rate_bps
+
+    def _anchor(self, site: str, port_id: str, counter: str,
+                start: float, end: float) -> Optional[CounterSample]:
+        """The sample anchoring a window's start.
+
+        Prefer the last poll at/before ``start``; when telemetry began
+        after ``start`` (a query window reaching before the collector
+        started), fall back to the earliest poll inside the window --
+        like PromQL's ``rate()`` over a partially-covered range.
+        """
+        sample = self.store.latest_before(site, port_id, counter, start)
+        if sample is not None:
+            return sample
+        window = self.store.window(site, port_id, counter, start, end)
+        return window[0] if window else None
+
+    def _delta(self, site: str, port_id: str, counter: str, start: float, end: float) -> float:
+        first = self._anchor(site, port_id, counter, start, end)
+        last = self.store.latest_before(site, port_id, counter, end)
+        if first is None or last is None:
+            return 0.0
+        return max(0.0, last.value - first.value)

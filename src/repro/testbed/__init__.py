@@ -1,0 +1,66 @@
+"""A model of the FABRIC federated testbed.
+
+This package is the substrate that the paper's system runs on.  It
+implements, in Python, the parts of FABRIC that Patchwork interacts
+with:
+
+* **Sites** (:mod:`repro.testbed.site`): a rack with a ToR switch,
+  worker machines, shared/dedicated ConnectX NICs and Alveo FPGA NICs.
+* **The switch dataplane** (:mod:`repro.testbed.switch`): MAC-table
+  forwarding over :mod:`repro.netsim` channels, per-port counters, and
+  the *port mirroring* primitive with its real overflow behaviour.
+* **Slices and the allocator** (:mod:`repro.testbed.slice_model`,
+  :mod:`repro.testbed.allocator`): admission control over per-site
+  inventories, allocation-latency modelling (large slices are slow,
+  which is why Patchwork prefers small slices), and transient back-end
+  fault injection (the cause of the paper's "Failed" runs in Fig 10).
+* **The information model** (:mod:`repro.testbed.information_model`): a
+  queryable topology graph, like FABRIC's published information model,
+  used by the Section-5 study to count uplinks/downlinks.
+* **The federation builder** (:mod:`repro.testbed.federation`): builds a
+  FABRIC-like deployment -- ~30 heterogeneous sites with realistic
+  uplink degrees, NIC counts, and link speeds.
+
+Everything Patchwork needs is reachable through the facade in
+:mod:`repro.testbed.api`, mirroring how the real Patchwork only touches
+FABRIC through its public APIs (requirement R2, "testbed service
+overlay").
+"""
+
+from repro.testbed.resources import ResourceCapacity
+from repro.testbed.errors import (
+    AllocationError,
+    InsufficientResourcesError,
+    MirrorConflictError,
+    TestbedError,
+    TransientBackendError,
+)
+from repro.testbed.federation import Federation, FederationBuilder, SiteProfile
+from repro.testbed.site import Site
+from repro.testbed.switch import MirrorSession, Switch, SwitchPort
+from repro.testbed.slice_model import NodeRequest, Slice, SliceRequest
+from repro.testbed.allocator import SliceAllocator
+from repro.testbed.information_model import InformationModel
+from repro.testbed.api import TestbedAPI
+
+__all__ = [
+    "ResourceCapacity",
+    "AllocationError",
+    "InsufficientResourcesError",
+    "MirrorConflictError",
+    "TestbedError",
+    "TransientBackendError",
+    "Federation",
+    "FederationBuilder",
+    "SiteProfile",
+    "Site",
+    "MirrorSession",
+    "Switch",
+    "SwitchPort",
+    "NodeRequest",
+    "Slice",
+    "SliceRequest",
+    "SliceAllocator",
+    "InformationModel",
+    "TestbedAPI",
+]

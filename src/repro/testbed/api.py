@@ -1,0 +1,132 @@
+"""The testbed's user-facing API.
+
+Patchwork "is completely encapsulated by FABRIC's management interfaces"
+(requirement R2) -- it acquires resources, sets up port mirrors, and
+reads telemetry only through published APIs.  :class:`TestbedAPI` is
+that boundary in the reproduction: the Patchwork code in
+:mod:`repro.core` holds a ``TestbedAPI`` (and an MFlib client), never a
+raw :class:`~repro.testbed.federation.Federation`.
+
+Keeping the boundary explicit is also the paper's portability story:
+porting Patchwork to another testbed means re-implementing this facade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.testbed.errors import MirrorConflictError, TransientBackendError
+from repro.testbed.federation import Federation
+from repro.testbed.nic import NicPort
+from repro.testbed.resources import ResourceCapacity
+from repro.testbed.slice_model import Slice, SliceRequest
+from repro.testbed.switch import MirrorSession
+
+
+class TestbedAPI:
+    """Facade over a federation's control plane."""
+
+    __test__ = False  # starts with "Test" but is not a test class
+
+    def __init__(self, federation: Federation):
+        self._federation = federation
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current testbed time (seconds)."""
+        return self._federation.sim.now
+
+    def wait(self, seconds: float) -> None:
+        """Let testbed time pass (runs the dataplane meanwhile)."""
+        if seconds < 0:
+            raise ValueError("cannot wait a negative duration")
+        sim = self._federation.sim
+        sim.run(until=sim.now + seconds)
+
+    # -- discovery ------------------------------------------------------------
+
+    def list_sites(self) -> List[str]:
+        """All site names, sorted."""
+        return self._federation.site_names()
+
+    def available_resources(self, site: str) -> ResourceCapacity:
+        """The site's current free-resource vector."""
+        return self._federation.site(site).available_resources()
+
+    def list_switch_ports(self, site: str) -> List[Tuple[str, str]]:
+        """(port_id, kind) for every switch port at a site."""
+        switch = self._federation.site(site).switch
+        return [(p.port_id, p.kind) for p in switch.ports.values()]
+
+    def switch_port_for_nic_port(self, site: str, nic_port: NicPort) -> str:
+        """Which switch port a granted NIC port is cabled to."""
+        return self._federation.site(site).switch_port_for(nic_port)
+
+    def port_rate_bps(self, site: str, port_id: str) -> float:
+        """Line rate of a switch port."""
+        return self._federation.site(site).switch.ports[port_id].rate_bps
+
+    # -- slices ------------------------------------------------------------
+
+    def simulate_allocation(self, request: SliceRequest) -> Optional[Tuple[str, float, float]]:
+        """Client-side dry run; the first shortfall or None."""
+        return self._federation.allocator.simulate(request)
+
+    def create_slice(self, request: SliceRequest) -> Slice:
+        """Allocate a slice (may raise allocation errors)."""
+        return self._federation.allocator.allocate(request)
+
+    def delete_slice(self, slice_name: str) -> None:
+        """Release a slice's resources."""
+        self._federation.allocator.delete(slice_name)
+
+    # -- port mirroring ------------------------------------------------------
+
+    def create_port_mirror(
+        self,
+        live_slice: Slice,
+        source_port_id: str,
+        dest_port_id: str,
+        directions: FrozenSet[str] = frozenset({"rx", "tx"}),
+    ) -> MirrorSession:
+        """Mirror a switch port into one of the slice's ports.
+
+        All-experiment mode mirrors ports carrying *other* users'
+        traffic; access control for that is the testbed operator's
+        discretionary permission (paper Appendix A), which the model
+        grants implicitly.
+        """
+        site = self._federation.site(live_slice.site_name)
+        reason = self._federation.faults.failure_reason(self.now, live_slice.site_name)
+        if reason is not None:
+            raise TransientBackendError(f"{live_slice.site_name}: {reason}")
+        session = site.switch.create_mirror(
+            source_port_id, dest_port_id, directions, owner_slice=live_slice.name
+        )
+        live_slice.mirror_sessions.append(session)
+        return session
+
+    def retarget_port_mirror(
+        self, live_slice: Slice, session: MirrorSession, new_source_port_id: str
+    ) -> MirrorSession:
+        """Move a mirror to a new source port (the port-cycling step)."""
+        site = self._federation.site(live_slice.site_name)
+        new_session = site.switch.retarget_mirror(session.source_port_id, new_source_port_id)
+        live_slice.mirror_sessions.remove(session)
+        live_slice.mirror_sessions.append(new_session)
+        return new_session
+
+    def delete_port_mirror(self, live_slice: Slice, session: MirrorSession) -> None:
+        """Tear down a mirror session."""
+        site = self._federation.site(live_slice.site_name)
+        site.switch.delete_mirror(session.source_port_id)
+        live_slice.mirror_sessions.remove(session)
+
+    # -- escape hatch for tests/examples ------------------------------------
+
+    @property
+    def federation(self) -> Federation:
+        """The underlying federation (not used by Patchwork itself)."""
+        return self._federation

@@ -1,0 +1,56 @@
+"""Exceptions raised by the testbed model.
+
+The hierarchy distinguishes the failure modes the paper's Fig 10
+distinguishes: *transient back-end problems* (retryable; caused clusters
+of "Failed" runs around 10-15 Sept in the paper) versus *insufficient
+resources at a site* (triggers Patchwork's iterative back-off and, when
+back-off bottoms out, a "Degraded" or "Failed" outcome).
+"""
+
+from __future__ import annotations
+
+
+class TestbedError(Exception):
+    """Base class for all testbed-side failures."""
+
+
+class AllocationError(TestbedError):
+    """A slice request was rejected."""
+
+
+class InsufficientResourcesError(AllocationError):
+    """The site cannot satisfy the request's resource totals.
+
+    Carries which resource ran out so back-off logic (and tests) can see
+    why.  The real FABRIC API reports this in the slice's error state.
+    """
+
+    def __init__(self, site: str, resource: str, requested: float, available: float):
+        self.site = site
+        self.resource = resource
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"site {site}: requested {requested:g} {resource} but only {available:g} available"
+        )
+
+
+class TransientBackendError(TestbedError):
+    """The testbed control plane failed for reasons unrelated to capacity.
+
+    Patchwork treats these as retryable-later and records the run as
+    "Failed" if they persist.
+    """
+
+
+class MirrorConflictError(TestbedError):
+    """A port mirror could not be created.
+
+    Only one mirror session may exist per source port ("only a single
+    FABRIC user at a time can mirror a specific switch port" -- paper
+    Section 6.3), and a mirror-destination port can serve one session.
+    """
+
+
+class SliceNotFoundError(TestbedError):
+    """An operation referenced a slice the testbed does not know."""

@@ -1,0 +1,72 @@
+"""Control-plane fault injection.
+
+The paper's Fig 10 shows three failure classes over four months of runs:
+transient back-end errors (clustered -- e.g. the 10-15 Sept incidents),
+sites lacking resources, and Patchwork's own (since-fixed) crash bug.
+The first class is injected here; the second emerges naturally from the
+allocator's inventory; the third is injected by the Patchwork test
+harness itself.
+
+A :class:`FaultInjector` combines (a) scheduled *outage windows* during
+which every control-plane call at the affected sites fails, and (b) a
+small independent per-call failure probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+
+@dataclass
+class OutageWindow:
+    """A back-end incident: all control calls fail in [start, end).
+
+    ``sites`` limits the outage to specific sites; empty means global
+    (FABRIC's central control framework being down).
+    """
+
+    start: float
+    end: float
+    reason: str = "backend incident"
+    sites: Set[str] = field(default_factory=set)
+
+    def covers(self, time: float, site: str) -> bool:
+        if not self.start <= time < self.end:
+            return False
+        return not self.sites or site in self.sites
+
+
+class FaultInjector:
+    """Decides whether a control-plane call fails transiently."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 base_failure_rate: float = 0.0):
+        if not 0.0 <= base_failure_rate < 1.0:
+            raise ValueError("base_failure_rate must be in [0, 1)")
+        self.rng = rng or np.random.default_rng(0)
+        self.base_failure_rate = base_failure_rate
+        self.windows: List[OutageWindow] = []
+        self.injected_failures = 0
+
+    def add_outage(self, start: float, end: float, reason: str = "backend incident",
+                   sites: Optional[Set[str]] = None) -> OutageWindow:
+        """Schedule a back-end incident."""
+        if end <= start:
+            raise ValueError("outage end must follow start")
+        window = OutageWindow(start, end, reason, set(sites or ()))
+        self.windows.append(window)
+        return window
+
+    def failure_reason(self, time: float, site: str) -> Optional[str]:
+        """Reason this call should fail, or None to let it proceed."""
+        for window in self.windows:
+            if window.covers(time, site):
+                self.injected_failures += 1
+                return window.reason
+        if self.base_failure_rate > 0 and self.rng.random() < self.base_failure_rate:
+            self.injected_failures += 1
+            return "transient backend error"
+        return None

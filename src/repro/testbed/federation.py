@@ -1,0 +1,255 @@
+"""The federation: sites wired together into a testbed.
+
+A :class:`Federation` owns the simulator, the sites, the inter-site
+links, the fault injector, and the slice allocator.  The
+:class:`FederationBuilder` constructs a FABRIC-like deployment: ~30
+heterogeneous sites (universities, IXPs, international points of
+presence) with realistic resource spreads -- every site has far more
+downlinks than uplinks, uplink counts are similar across sites, and
+dedicated NICs are scarce (2-6 per site), all matching the paper's
+Section 5 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.netsim.engine import Simulator
+from repro.testbed.allocator import SliceAllocator
+from repro.testbed.faults import FaultInjector
+from repro.testbed.hosts import Worker
+from repro.testbed.nic import DedicatedNIC, FPGANic, SharedNIC
+from repro.testbed.site import Site
+from repro.util.rng import SeedSequenceFactory
+
+# Site codes used for the default FABRIC-like build.  These are
+# pseudonyms in the spirit of the paper's anonymized S0-S29 labels, with
+# a few recognizable FABRIC locations for readability of examples.
+DEFAULT_SITE_NAMES = [
+    "STAR", "MICH", "UTAH", "TACC", "NCSA", "WASH", "DALL", "SALT",
+    "MASS", "MAXG", "UCSD", "CLEM", "GPNN", "INDI", "KANS", "LBNL",
+    "RENC", "UKYT", "FIUM", "SRIC", "PSCA", "CERN", "AMST", "TOKY",
+    "BRIS", "HAWI", "SEAT", "ATLA", "NEWY", "LOSA",
+]
+
+
+@dataclass
+class SiteProfile:
+    """Construction parameters for one site."""
+
+    name: str
+    workers: int = 4
+    cores_per_worker: int = 64
+    ram_gb_per_worker: float = 512.0
+    disk_gb_per_worker: float = 10_000.0
+    dedicated_nics: int = 4
+    shared_nics: int = 2
+    shared_vf_slots: int = 381
+    fpga_nics: int = 1
+    nic_rate_bps: float = 100e9
+
+    def build(self, sim: Simulator) -> Site:
+        """Materialize the site: workers, NICs, switch cabling."""
+        site = Site(sim, self.name, default_rate_bps=self.nic_rate_bps)
+        workers = [
+            site.add_worker(
+                Worker(
+                    f"{self.name}-w{i}",
+                    self.name,
+                    cores=self.cores_per_worker,
+                    ram_gb=self.ram_gb_per_worker,
+                    disk_gb=self.disk_gb_per_worker,
+                )
+            )
+            for i in range(self.workers)
+        ]
+        for i in range(self.dedicated_nics):
+            site.install_nic(
+                workers[i % len(workers)],
+                DedicatedNIC(f"{self.name}-dn{i}", rate_bps=self.nic_rate_bps),
+            )
+        for i in range(self.shared_nics):
+            site.install_nic(
+                workers[i % len(workers)],
+                SharedNIC(f"{self.name}-sn{i}", rate_bps=self.nic_rate_bps,
+                          vf_slots=self.shared_vf_slots),
+            )
+        for i in range(self.fpga_nics):
+            site.install_nic(
+                workers[i % len(workers)],
+                FPGANic(f"{self.name}-fpga{i}", rate_bps=self.nic_rate_bps),
+            )
+        return site
+
+
+class Federation:
+    """A running testbed: sites + inter-site links + control plane."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 faults: Optional[FaultInjector] = None):
+        self.sim = sim or Simulator()
+        self.sites: Dict[str, Site] = {}
+        self.faults = faults or FaultInjector()
+        self.allocator = SliceAllocator(self.sim, self.sites, self.faults)
+        self.graph = nx.Graph()  # site-level topology
+        self._edge_ports: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_site(self, site: Site) -> Site:
+        if site.name in self.sites:
+            raise ValueError(f"duplicate site {site.name}")
+        self.sites[site.name] = site
+        self.graph.add_node(site.name)
+        return site
+
+    def connect_sites(self, a: str, b: str, rate_bps: float = 100e9,
+                      propagation_delay: float = 0.005) -> None:
+        """Create an inter-site link: one uplink port on each ToR, cabled
+        so each side's Tx feeds the other side's ingress."""
+        site_a, site_b = self.sites[a], self.sites[b]
+        port_a = site_a.add_uplink_port(rate_bps=rate_bps)
+        port_b = site_b.add_uplink_port(rate_bps=rate_bps)
+        port_a.attached_to = f"{b}:{port_b.port_id}"
+        port_b.attached_to = f"{a}:{port_a.port_id}"
+        port_a.link.tx.propagation_delay = propagation_delay
+        port_b.link.tx.propagation_delay = propagation_delay
+        port_a.link.tx.connect(port_b.link.rx.offer)
+        port_b.link.tx.connect(port_a.link.rx.offer)
+        self.graph.add_edge(a, b, rate_bps=rate_bps, delay=propagation_delay)
+        self._edge_ports[(a, b)] = (port_a.port_id, port_b.port_id)
+        self._edge_ports[(b, a)] = (port_b.port_id, port_a.port_id)
+
+    # -- routing ------------------------------------------------------------
+
+    def uplink_port_toward(self, from_site: str, to_site: str) -> str:
+        """The uplink port id at ``from_site`` on the shortest path to
+        ``to_site``."""
+        path = nx.shortest_path(self.graph, from_site, to_site)
+        if len(path) < 2:
+            raise ValueError(f"{from_site} and {to_site} are the same site")
+        next_hop = path[1]
+        return self._edge_ports[(from_site, next_hop)][0]
+
+    def register_endpoint(self, mac: bytes, site_name: str, switch_port_id: str) -> None:
+        """Make ``mac`` reachable testbed-wide.
+
+        Registers the local MAC-table entry and installs next-hop
+        entries at every other site along shortest paths, modelling the
+        underlay's learned/provisioned reachability.
+        """
+        self.sites[site_name].switch.register_mac(mac, switch_port_id)
+        for other_name in self.sites:
+            if other_name == site_name:
+                continue
+            if not nx.has_path(self.graph, other_name, site_name):
+                continue
+            uplink = self.uplink_port_toward(other_name, site_name)
+            self.sites[other_name].switch.register_mac(mac, uplink)
+        # Transit sites along paths also need the entry; shortest-path
+        # next hops from every site already cover them because every
+        # site got an entry above.
+
+    # -- queries ------------------------------------------------------------
+
+    def site(self, name: str) -> Site:
+        return self.sites[name]
+
+    def site_names(self) -> List[str]:
+        return sorted(self.sites)
+
+    def __repr__(self) -> str:
+        return f"<Federation sites={len(self.sites)} links={self.graph.number_of_edges()}>"
+
+
+class FederationBuilder:
+    """Builds FABRIC-like federations.
+
+    The default build produces 30 sites whose resource quantities vary
+    (drawn reproducibly from the seed): 2-8 workers, 2-6 dedicated NICs,
+    0-2 FPGA NICs.  The topology is a national-backbone ring over the
+    first several sites with the remaining sites dual- or single-homed
+    onto it, giving every site 1-3 uplinks -- the paper's Fig 2 shape
+    (uplink counts similar across sites, downlinks dominating).
+    """
+
+    def __init__(self, seed: int = 42):
+        self.seeds = SeedSequenceFactory(seed)
+
+    def build(
+        self,
+        site_names: Optional[Iterable[str]] = None,
+        sim: Optional[Simulator] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> Federation:
+        names = list(site_names) if site_names is not None else list(DEFAULT_SITE_NAMES)
+        if len(names) < 2:
+            raise ValueError("a federation needs at least two sites")
+        rng = self.seeds.rng("federation/build")
+        federation = Federation(sim=sim, faults=faults)
+        for profile in self._profiles(names, rng):
+            federation.add_site(profile.build(federation.sim))
+        self._wire_topology(federation, names, rng)
+        return federation
+
+    def _profiles(self, names, rng) -> List[SiteProfile]:
+        """Draw per-site profiles.
+
+        Backbone sites (the first several, which also aggregate leaf
+        uplinks) are core PoPs with larger racks, so every site keeps
+        more downlinks than uplinks -- the Fig 2 shape.
+        """
+        backbone_size = min(8, len(names))
+        profiles = []
+        for i, name in enumerate(names):
+            if i < backbone_size:
+                profiles.append(SiteProfile(
+                    name=name,
+                    workers=int(rng.integers(5, 9)),
+                    dedicated_nics=int(rng.integers(4, 7)),
+                    shared_nics=int(rng.integers(2, 4)),
+                    fpga_nics=int(rng.integers(1, 3)),
+                ))
+            else:
+                profiles.append(SiteProfile(
+                    name=name,
+                    workers=int(rng.integers(2, 7)),
+                    dedicated_nics=int(rng.integers(2, 7)),
+                    shared_nics=int(rng.integers(1, 4)),
+                    fpga_nics=int(rng.integers(0, 3)),
+                ))
+        return profiles
+
+    def profiles_only(self, site_names: Optional[Iterable[str]] = None) -> List[SiteProfile]:
+        """The site profiles the default build would use (for the study)."""
+        names = list(site_names) if site_names is not None else list(DEFAULT_SITE_NAMES)
+        rng = self.seeds.rng("federation/build")
+        return self._profiles(names, rng)
+
+    def _wire_topology(self, federation: Federation, names: List[str],
+                       rng) -> None:
+        backbone_size = min(8, len(names))
+        backbone = names[:backbone_size]
+        # Ring over the backbone: every backbone site gets two uplinks.
+        for i, name in enumerate(backbone):
+            peer = backbone[(i + 1) % backbone_size]
+            if not federation.graph.has_edge(name, peer):
+                delay = float(rng.uniform(0.002, 0.04))
+                federation.connect_sites(name, peer, rate_bps=100e9,
+                                         propagation_delay=delay)
+        # Remaining sites home onto one or two backbone sites.  Homes
+        # rotate round-robin so no backbone site drowns in uplinks.
+        rotation = 0
+        for name in names[backbone_size:]:
+            home_count = int(rng.integers(1, 3))
+            for _ in range(home_count):
+                home = backbone[rotation % backbone_size]
+                rotation += 1
+                if federation.graph.has_edge(name, home):
+                    continue
+                delay = float(rng.uniform(0.002, 0.06))
+                federation.connect_sites(name, home, rate_bps=100e9,
+                                         propagation_delay=delay)

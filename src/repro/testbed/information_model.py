@@ -1,0 +1,82 @@
+"""A queryable model of the testbed's structure.
+
+FABRIC publishes an *information model* encoding the testbed network's
+topology (paper Section 5, citing Google's MALT as the analogous
+system).  Patchwork's study analyzed it to count ports at each site and
+produce Fig 2.  This module provides the same queries over a built
+:class:`~repro.testbed.federation.Federation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.testbed.federation import Federation
+
+
+@dataclass(frozen=True)
+class SitePortCount:
+    """Port counts for one site (the Fig 2 data)."""
+
+    site: str
+    downlinks: int
+    uplinks: int
+
+    @property
+    def total(self) -> int:
+        return self.downlinks + self.uplinks
+
+
+class InformationModel:
+    """Structural queries over a federation."""
+
+    def __init__(self, federation: Federation):
+        self.federation = federation
+
+    def port_distribution(self) -> List[SitePortCount]:
+        """Downlink/uplink counts per site, sorted by site name."""
+        result = []
+        for name in self.federation.site_names():
+            switch = self.federation.site(name).switch
+            result.append(
+                SitePortCount(
+                    site=name,
+                    downlinks=len(switch.downlinks()),
+                    uplinks=len(switch.uplinks()),
+                )
+            )
+        return result
+
+    def uplink_downlink_ratio(self) -> float:
+        """Testbed-wide uplinks / downlinks ratio (<< 1 on FABRIC)."""
+        counts = self.port_distribution()
+        downlinks = sum(c.downlinks for c in counts)
+        uplinks = sum(c.uplinks for c in counts)
+        if downlinks == 0:
+            raise ValueError("federation has no downlinks")
+        return uplinks / downlinks
+
+    def site_resources(self) -> Dict[str, Dict[str, float]]:
+        """Installed capacity per site, as plain dictionaries."""
+        return {
+            name: self.federation.site(name).total_resources().as_dict()
+            for name in self.federation.site_names()
+        }
+
+    def topology(self) -> nx.Graph:
+        """A copy of the site-level topology graph."""
+        return self.federation.graph.copy()
+
+    def diameter(self) -> int:
+        """Site-hop diameter of the federation."""
+        return nx.diameter(self.federation.graph)
+
+    def inter_site_capacity_bps(self) -> float:
+        """Sum of inter-site link capacities (one direction)."""
+        return sum(
+            data.get("rate_bps", 0.0)
+            for _a, _b, data in self.federation.graph.edges(data=True)
+        )

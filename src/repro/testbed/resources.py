@@ -1,0 +1,83 @@
+"""Resource accounting.
+
+A :class:`ResourceCapacity` is a vector of the sliver-able resources at
+a site (or requested by a slice): CPU cores, RAM, disk, dedicated NICs,
+shared-NIC slots, and FPGA NICs.  The allocator does vector arithmetic
+and comparisons on these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ResourceCapacity:
+    """An immutable resource vector.  All quantities are counts except
+    ``ram_gb`` and ``disk_gb``.
+
+    ``dedicated_nics`` are single-user dual-port ConnectX cards -- the
+    paper calls these "the most scarce resource" (usually 2-6 per site).
+    ``shared_nic_slots`` are virtual-function slots on the site's shared
+    ConnectX card.  ``fpga_nics`` are Alveo cards usable for offload.
+    """
+
+    cores: int = 0
+    ram_gb: float = 0.0
+    disk_gb: float = 0.0
+    dedicated_nics: int = 0
+    shared_nic_slots: int = 0
+    fpga_nics: int = 0
+
+    def __add__(self, other: "ResourceCapacity") -> "ResourceCapacity":
+        return ResourceCapacity(
+            *(getattr(self, f.name) + getattr(other, f.name) for f in fields(self))
+        )
+
+    def __sub__(self, other: "ResourceCapacity") -> "ResourceCapacity":
+        return ResourceCapacity(
+            *(getattr(self, f.name) - getattr(other, f.name) for f in fields(self))
+        )
+
+    def __mul__(self, factor: int) -> "ResourceCapacity":
+        return ResourceCapacity(
+            *(getattr(self, f.name) * factor for f in fields(self))
+        )
+
+    def fits_within(self, available: "ResourceCapacity") -> bool:
+        """True if every component of self is <= the available vector."""
+        return all(
+            getattr(self, f.name) <= getattr(available, f.name) for f in fields(self)
+        )
+
+    def first_shortfall(self, available: "ResourceCapacity") -> Optional[Tuple[str, float, float]]:
+        """The first resource dimension that does not fit, if any.
+
+        Returns ``(name, requested, available)`` or None.  Dimension
+        order follows the dataclass field order, so error messages are
+        stable.
+        """
+        for f in fields(self):
+            requested = getattr(self, f.name)
+            have = getattr(available, f.name)
+            if requested > have:
+                return f.name, requested, have
+        return None
+
+    def is_nonnegative(self) -> bool:
+        """True when no component has gone below zero."""
+        return all(getattr(self, f.name) >= 0 for f in fields(self))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view, useful for logs and CSV rows."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def components(self) -> Iterator[Tuple[str, float]]:
+        """Iterate ``(name, value)`` pairs in field order."""
+        for f in fields(self):
+            yield f.name, getattr(self, f.name)
+
+    @staticmethod
+    def zero() -> "ResourceCapacity":
+        return ResourceCapacity()

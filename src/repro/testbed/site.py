@@ -1,0 +1,118 @@
+"""A FABRIC site: one rack embedded in an institution's network.
+
+A :class:`Site` owns a ToR switch, a set of worker machines, and the
+NICs installed in those workers.  Building a site wires every NIC port
+to a switch downlink port; uplink ports are created by the federation
+builder when it connects sites together.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.netsim.engine import Simulator
+from repro.testbed.hosts import VM, Worker
+from repro.testbed.nic import DedicatedNIC, FPGANic, Nic, NicPort, SharedNIC
+from repro.testbed.resources import ResourceCapacity
+from repro.testbed.switch import DOWNLINK, Switch, SwitchPort, UPLINK
+
+
+class Site:
+    """One site of the federation."""
+
+    def __init__(self, sim: Simulator, name: str, default_rate_bps: float = 100e9):
+        self.sim = sim
+        self.name = name
+        self.switch = Switch(sim, f"tor-{name}", default_rate_bps=default_rate_bps)
+        self.workers: List[Worker] = []
+        self.dedicated_nics: List[DedicatedNIC] = []
+        self.shared_nics: List[SharedNIC] = []
+        self.fpga_nics: List[FPGANic] = []
+        self._port_counter = itertools.count(1)
+        self._port_for_nic_port: Dict[str, str] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_worker(self, worker: Worker) -> Worker:
+        self.workers.append(worker)
+        return worker
+
+    def install_nic(self, worker: Worker, nic: Nic) -> Nic:
+        """Install a NIC in a worker and cable its ports to the switch."""
+        worker.add_nic(nic)
+        if isinstance(nic, DedicatedNIC):
+            self.dedicated_nics.append(nic)
+        elif isinstance(nic, SharedNIC):
+            self.shared_nics.append(nic)
+        elif isinstance(nic, FPGANic):
+            self.fpga_nics.append(nic)
+        for port in nic.ports:
+            port_id = f"p{next(self._port_counter)}"
+            switch_port = self.switch.add_port(port_id, DOWNLINK, rate_bps=nic.rate_bps)
+            switch_port.attached_to = port.name
+            port.attach(switch_port.link, port_id)
+            self._port_for_nic_port[port.name] = port_id
+        return nic
+
+    def add_uplink_port(self, rate_bps: Optional[float] = None) -> SwitchPort:
+        """Create an uplink port (cabled to a peer by the federation)."""
+        port_id = f"u{next(self._port_counter)}"
+        return self.switch.add_port(port_id, UPLINK, rate_bps=rate_bps)
+
+    # -- queries ------------------------------------------------------------
+
+    def switch_port_for(self, nic_port: NicPort) -> str:
+        """The switch port id a NIC port is cabled to."""
+        return self._port_for_nic_port[nic_port.name]
+
+    def free_dedicated_nics(self) -> List[DedicatedNIC]:
+        """Dedicated NICs not currently allocated to any slice."""
+        return [nic for nic in self.dedicated_nics if not nic.allocated]
+
+    def free_fpga_nics(self) -> List[FPGANic]:
+        """FPGA NICs not currently allocated to any slice."""
+        return [nic for nic in self.fpga_nics if not nic.allocated]
+
+    def available_resources(self) -> ResourceCapacity:
+        """The site's current free-resource vector (one allocator view)."""
+        total = ResourceCapacity()
+        for worker in self.workers:
+            total = total + worker.free
+        shared_slots = sum(nic.vf_slots - nic.vfs_in_use for nic in self.shared_nics)
+        return ResourceCapacity(
+            cores=total.cores,
+            ram_gb=total.ram_gb,
+            disk_gb=total.disk_gb,
+            dedicated_nics=len(self.free_dedicated_nics()),
+            shared_nic_slots=shared_slots,
+            fpga_nics=len(self.free_fpga_nics()),
+        )
+
+    def total_resources(self) -> ResourceCapacity:
+        """The site's installed-capacity vector."""
+        total = ResourceCapacity()
+        for worker in self.workers:
+            total = total + worker.capacity
+        return ResourceCapacity(
+            cores=total.cores,
+            ram_gb=total.ram_gb,
+            disk_gb=total.disk_gb,
+            dedicated_nics=len(self.dedicated_nics),
+            shared_nic_slots=sum(nic.vf_slots for nic in self.shared_nics),
+            fpga_nics=len(self.fpga_nics),
+        )
+
+    def worker_for_vm(self, cores: int, ram_gb: float, disk_gb: float) -> Optional[Worker]:
+        """First worker that can host a VM of the given shape."""
+        for worker in self.workers:
+            if worker.can_host(cores, ram_gb, disk_gb):
+                return worker
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Site {self.name} workers={len(self.workers)} "
+            f"dedicated={len(self.dedicated_nics)} fpga={len(self.fpga_nics)} "
+            f"uplinks={len(self.switch.uplinks())}>"
+        )

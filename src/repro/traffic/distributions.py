@@ -1,0 +1,133 @@
+"""Statistical distributions used by the workload models.
+
+Two families matter for reproducing the paper's profile:
+
+* **Frame sizes** are analyzed in power-of-two-aligned bins; the bin
+  edges here match the paper's reporting (64, 65-127, 128-255, ...,
+  1519-2047, ..., >= 9000 treated as jumbo).
+* **Flow sizes** are heavy-tailed: "most flows are short -- less than
+  10^2 B -- but some flows were around 100 GB" (Section 8.2).  A
+  mixture of a log-normal body and a Pareto tail reproduces that span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+# Upper edges of the paper's frame-size bins (inclusive).  1518 is the
+# largest standard Ethernet frame; anything above is jumbo-class.
+PAPER_BIN_EDGES = (64, 127, 255, 511, 1023, 1518, 2047, 4095, 8191, 16000)
+
+JUMBO_THRESHOLD = 1519  # first byte count the paper counts as jumbo
+
+
+@dataclass(frozen=True)
+class FrameSizeBins:
+    """Histogram bins over frame sizes.
+
+    ``edges`` are inclusive upper bounds; a final implicit bin catches
+    anything larger than the last edge.
+    """
+
+    edges: Tuple[int, ...] = PAPER_BIN_EDGES
+
+    def labels(self) -> List[str]:
+        """Human-readable labels, e.g. '1519-2047'."""
+        labels = []
+        lower = 0
+        for edge in self.edges:
+            labels.append(f"{lower}-{edge}" if lower < edge else str(edge))
+            lower = edge + 1
+        labels.append(f">{self.edges[-1]}")
+        return labels
+
+    def index_for(self, size: int) -> int:
+        """Index of the bin containing ``size``."""
+        return int(np.searchsorted(np.asarray(self.edges), size, side="left"))
+
+    def label_for(self, size: int) -> str:
+        return self.labels()[self.index_for(size)]
+
+    def histogram(self, sizes: Sequence[int]) -> np.ndarray:
+        """Counts per bin (length ``len(edges) + 1``)."""
+        counts = np.zeros(len(self.edges) + 1, dtype=np.int64)
+        if len(sizes) == 0:
+            return counts
+        indices = np.searchsorted(np.asarray(self.edges), np.asarray(sizes), side="left")
+        np.add.at(counts, indices, 1)
+        return counts
+
+    def shares(self, sizes: Sequence[int]) -> np.ndarray:
+        """Fraction of frames per bin."""
+        counts = self.histogram(sizes)
+        total = counts.sum()
+        return counts / total if total else counts.astype(float)
+
+
+PAPER_FRAME_BINS = FrameSizeBins()
+
+
+def lognormal_sampler(median: float, sigma: float) -> Callable[[np.random.Generator], float]:
+    """A sampler for log-normal values with the given median."""
+    if median <= 0:
+        raise ValueError("median must be positive")
+    mu = float(np.log(median))
+
+    def sample(rng: np.random.Generator) -> float:
+        return float(rng.lognormal(mu, sigma))
+
+    return sample
+
+
+def pareto_sampler(minimum: float, alpha: float) -> Callable[[np.random.Generator], float]:
+    """A sampler for Pareto(α) values with the given minimum."""
+    if minimum <= 0 or alpha <= 0:
+        raise ValueError("minimum and alpha must be positive")
+
+    def sample(rng: np.random.Generator) -> float:
+        return float(minimum * (1.0 + rng.pareto(alpha)))
+
+    return sample
+
+
+def flow_size_sampler(
+    body_median: float = 80.0,
+    body_sigma: float = 1.2,
+    tail_minimum: float = 1e6,
+    tail_alpha: float = 0.9,
+    tail_probability: float = 0.03,
+    cap: float = 100e9,
+) -> Callable[[np.random.Generator], int]:
+    """The paper-calibrated flow-size distribution (bytes).
+
+    With the defaults, the median flow is under 100 B (short control
+    exchanges) while roughly 3 % of flows are bulk transfers whose sizes
+    follow a Pareto tail capped at 100 GB -- spanning the range the
+    paper reports.
+    """
+    if not 0 <= tail_probability <= 1:
+        raise ValueError("tail_probability must be a probability")
+    body = lognormal_sampler(body_median, body_sigma)
+    tail = pareto_sampler(tail_minimum, tail_alpha)
+
+    def sample(rng: np.random.Generator) -> int:
+        value = tail(rng) if rng.random() < tail_probability else body(rng)
+        return int(min(max(1.0, value), cap))
+
+    return sample
+
+
+def poisson_arrival_times(
+    rng: np.random.Generator, rate_per_second: float, duration: float, start: float = 0.0
+) -> np.ndarray:
+    """Arrival instants of a Poisson process over [start, start+duration)."""
+    if rate_per_second < 0 or duration < 0:
+        raise ValueError("rate and duration must be non-negative")
+    expected = rate_per_second * duration
+    count = rng.poisson(expected)
+    if count == 0:
+        return np.empty(0)
+    return start + np.sort(rng.uniform(0.0, duration, size=count))

@@ -1,0 +1,347 @@
+"""Flow-level traffic generation.
+
+A :class:`Flow` is one application conversation between two endpoints.
+It is generated open-loop: data frames leave the source at the flow's
+rate, and every ``ack_every`` data frames the destination emits a
+payload-free ACK in the reverse direction (the paper: "minimum-size
+frames consist of payload-free ACKs in a TCP stream").  TCP flows open
+with a SYN and close with a FIN (occasionally RST, which the paper calls
+out as important control information).
+
+Frames are built once as byte templates and then re-stamped per
+transmission, so generating a large flow costs one frame construction
+plus cheap per-frame events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.netsim.engine import Simulator
+from repro.netsim.frame import DEFAULT_HEAD_BYTES, Frame
+from repro.packets.builder import FrameBuilder, FrameSpec, MIN_FRAME_SIZE
+from repro.packets.headers import (
+    DNSHeader,
+    HTTPPayload,
+    ICMP,
+    IPv4,
+    IPv6,
+    NTPPayload,
+    Payload,
+    SSHBanner,
+    TCP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    TLSRecord,
+    UDP,
+)
+from repro.traffic.encapsulation import EncapKind, underlay_stack
+from repro.traffic.endpoints import TrafficEndpoint
+
+AppHeaderFactory = Callable[[np.random.Generator], Optional[object]]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """The shape of one application protocol's flows.
+
+    ``inner_frame_size`` is the size of a full data frame *before* the
+    underlay encapsulation (1514 for standard-MTU bulk transfer, ~9000
+    for jumbo experiments).  ``rate_bps`` is the per-flow sending rate
+    at simulation scale.
+    """
+
+    name: str
+    transport: str  # "tcp" | "udp" | "icmp"
+    dport: int
+    inner_frame_size: int = 1514
+    rate_bps: float = 20e6
+    ack_every: int = 4
+    request_response: bool = False
+    app_header: Optional[AppHeaderFactory] = None
+    rst_probability: float = 0.01
+    # Per-app ceiling on flow bytes: a DNS exchange is a few frames no
+    # matter how bulk-heavy the site's flow-size distribution is.
+    flow_bytes_cap: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("tcp", "udp", "icmp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.inner_frame_size < MIN_FRAME_SIZE:
+            raise ValueError("inner frame size below Ethernet minimum")
+
+
+STANDARD_APPS: Dict[str, AppSpec] = {
+    "iperf-tcp": AppSpec("iperf-tcp", "tcp", 5201, inner_frame_size=1514,
+                         rate_bps=40e6, ack_every=6),
+    "iperf-jumbo": AppSpec("iperf-jumbo", "tcp", 5201, inner_frame_size=8986,
+                           rate_bps=80e6, ack_every=6),
+    "tls-web": AppSpec("tls-web", "tcp", 443, inner_frame_size=1514,
+                       rate_bps=10e6, ack_every=3, flow_bytes_cap=8e5,
+                       app_header=lambda rng: TLSRecord()),
+    "http": AppSpec("http", "tcp", 80, inner_frame_size=1514,
+                    rate_bps=8e6, ack_every=3, flow_bytes_cap=5e5,
+                    app_header=lambda rng: HTTPPayload(response=False)),
+    "ssh": AppSpec("ssh", "tcp", 22, inner_frame_size=576,
+                   rate_bps=1e6, ack_every=2, flow_bytes_cap=3e4,
+                   app_header=lambda rng: SSHBanner()),
+    "dns": AppSpec("dns", "udp", 53, inner_frame_size=220, rate_bps=1e6,
+                   request_response=True, flow_bytes_cap=600,
+                   app_header=lambda rng: DNSHeader(ident=int(rng.integers(0, 65536)))),
+    "ntp": AppSpec("ntp", "udp", 123, inner_frame_size=110, rate_bps=1e6,
+                   request_response=True, flow_bytes_cap=300,
+                   app_header=lambda rng: NTPPayload()),
+    "icmp": AppSpec("icmp", "icmp", 0, inner_frame_size=98, rate_bps=1e6,
+                    request_response=True, flow_bytes_cap=500),
+}
+
+
+def _incremental_checksum_patch(data: bytearray, field_offset: int,
+                                new_value: int, checksum_offset: int) -> None:
+    """Replace a 16-bit field and fix the checksum incrementally.
+
+    RFC 1624: HC' = ~(~HC + ~m + m').  A stored checksum of zero means
+    "not checksummed" (UDP) and is left alone.
+    """
+    old = (data[field_offset] << 8) | data[field_offset + 1]
+    checksum = (data[checksum_offset] << 8) | data[checksum_offset + 1]
+    if checksum != 0:
+        total = ((~checksum) & 0xFFFF) + ((~old) & 0xFFFF) + new_value
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        checksum = (~total) & 0xFFFF
+        data[checksum_offset] = checksum >> 8
+        data[checksum_offset + 1] = checksum & 0xFF
+    data[field_offset] = new_value >> 8
+    data[field_offset + 1] = new_value & 0xFF
+
+
+class Flow:
+    """One generated conversation.
+
+    The flow schedules itself on the simulator: :meth:`start` arms the
+    SYN (for TCP) and the first data frame; each data-frame event chains
+    the next, so memory stays bounded for huge flows.  The flow stops at
+    ``total_bytes`` sent or at ``stop_time``, whichever comes first.
+
+    Frame templates are cached per (app, encapsulation, addressing)
+    shape and per-flow port numbers are patched in with an incremental
+    checksum update, so creating tens of thousands of small flows stays
+    cheap while every flow keeps a distinct, valid five-tuple.
+    """
+
+    _builder = FrameBuilder()
+    _template_cache: Dict[tuple, Frame] = {}
+    _TEMPLATE_SPORT = 40000  # placeholder patched per flow
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        src: TrafficEndpoint,
+        dst: TrafficEndpoint,
+        app: AppSpec,
+        total_bytes: int,
+        rng: np.random.Generator,
+        encap: EncapKind = EncapKind.VLAN_MPLS,
+        vlan_id: int = 100,
+        mpls_label: int = 16000,
+        use_ipv6: bool = False,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+        rtt: float = 0.004,
+        rate_scale: float = 1.0,
+    ):
+        if total_bytes <= 0:
+            raise ValueError("flow must carry at least one byte")
+        self.sim = sim
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.app = app
+        self.total_bytes = total_bytes
+        self.rng = rng
+        self.encap = encap
+        self.vlan_id = vlan_id
+        self.mpls_label = mpls_label
+        self.use_ipv6 = use_ipv6
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.rtt = rtt
+        self.sport = int(rng.integers(32768, 61000))
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.finished = False
+        if rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
+        self.rate_scale = rate_scale
+        self._data_template = self._build_frame(forward=True, kind="data")
+        self._ack_template = self._build_frame(forward=False, kind="ack")
+        self._data_interval = self._data_template.wire_len * 8.0 / (app.rate_bps * rate_scale)
+        self._payload_per_frame = max(1, self._payload_bytes_per_data_frame())
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the flow on the simulator."""
+        at = max(self.start_time, self.sim.now)
+        if self.app.transport == "tcp":
+            syn = self._build_frame(forward=True, kind="syn")
+            self.sim.schedule_at(at, self._send, self.src, syn)
+            first_data = at + self.rtt  # handshake turnaround
+        else:
+            first_data = at
+        self.sim.schedule_at(first_data, self._send_data)
+
+    @property
+    def expected_data_frames(self) -> int:
+        """How many data frames the flow would need for its size."""
+        return -(-self.total_bytes // self._payload_per_frame)
+
+    # -- event handlers ------------------------------------------------------
+
+    def _send_data(self) -> None:
+        if self.finished:
+            return
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            self.finished = True
+            return
+        frame = self._stamp(self._data_template)
+        self.src.send(frame)
+        self.frames_sent += 1
+        self.bytes_sent += self._payload_per_frame
+        if self.app.request_response:
+            # Request/response apps: each request earns one reply.
+            self.sim.schedule(self.rtt / 2, self._send, self.dst, self._stamp(self._ack_template))
+        elif self.app.ack_every > 0 and self.frames_sent % self.app.ack_every == 0:
+            self.sim.schedule(self.rtt / 2, self._send, self.dst, self._stamp(self._ack_template))
+        if self.bytes_sent >= self.total_bytes:
+            self._finish()
+            return
+        self.sim.schedule(self._data_interval, self._send_data)
+
+    def _finish(self) -> None:
+        self.finished = True
+        if self.app.transport == "tcp":
+            kind = "rst" if self.rng.random() < self.app.rst_probability else "fin"
+            closing = self._build_frame(forward=True, kind=kind)
+            self.sim.schedule(self._data_interval, self._send, self.src, closing)
+
+    def _send(self, endpoint: TrafficEndpoint, frame: Frame) -> None:
+        endpoint.send(self._stamp(frame))
+
+    def _stamp(self, template: Frame) -> Frame:
+        """A per-transmission copy of a template frame."""
+        return Frame(
+            wire_len=template.wire_len,
+            head=template.head,
+            created_at=self.sim.now,
+            flow_id=self.flow_id,
+            slice_id=template.slice_id,
+            site=template.site,
+        )
+
+    # -- frame construction ------------------------------------------------
+
+    def _payload_bytes_per_data_frame(self) -> int:
+        overhead = self._data_template.wire_len - self.app.inner_frame_size
+        ip_tcp = 40 if not self.use_ipv6 else 60
+        return max(1, self.app.inner_frame_size - 14 - ip_tcp)
+
+    def _transport_offset(self) -> int:
+        """Byte offset of the transport header in this flow's frames."""
+        return 14 + _outer_overhead(self.encap) + (40 if self.use_ipv6 else 20)
+
+    def _build_frame(self, forward: bool, kind: str) -> Frame:
+        """A frame of one kind ('data'/'ack'/'syn'/'fin'/'rst'),
+        fetched from the shape cache and patched with this flow's port."""
+        src, dst = (self.src, self.dst) if forward else (self.dst, self.src)
+        key = (self.app.name, self.encap, self.vlan_id, self.mpls_label,
+               src.mac, dst.mac, self.use_ipv6, kind)
+        template = self._template_cache.get(key)
+        if template is None:
+            template = self._build_template(src, dst, forward, kind)
+            self._template_cache[key] = template
+        head = bytearray(template.head)
+        offset = self._transport_offset()
+        if self.app.transport == "icmp":
+            # Flow identity lives in the echo identifier.
+            _incremental_checksum_patch(head, offset + 4,
+                                        self.flow_id & 0xFFFF, offset + 2)
+        else:
+            field = offset if forward else offset + 2
+            checksum = offset + (16 if self.app.transport == "tcp" else 6)
+            _incremental_checksum_patch(head, field, self.sport, checksum)
+        return Frame(
+            wire_len=template.wire_len,
+            head=bytes(head),
+            created_at=self.sim.now,
+            flow_id=self.flow_id,
+            slice_id=src.slice_name,
+            site=src.site,
+        )
+
+    def _build_template(self, src: TrafficEndpoint, dst: TrafficEndpoint,
+                        forward: bool, kind: str) -> Frame:
+        """Build the cacheable template for one frame shape."""
+        stack: List[object] = underlay_stack(
+            self.encap, src.mac, dst.mac, self.vlan_id, self.mpls_label,
+            inner_src_mac=src.mac, inner_dst_mac=dst.mac,
+        )
+        if self.use_ipv6:
+            stack.append(IPv6(src=src.ipv6, dst=dst.ipv6))
+        else:
+            stack.append(IPv4(src=src.ipv4, dst=dst.ipv4))
+        sport = self._TEMPLATE_SPORT if forward else self.app.dport
+        dport = self.app.dport if forward else self._TEMPLATE_SPORT
+        is_data = kind == "data"
+        if self.app.transport == "tcp":
+            flags = {
+                "data": TCP_ACK | TCP_PSH,
+                "ack": TCP_ACK,
+                "syn": TCP_SYN,
+                "fin": TCP_FIN | TCP_ACK,
+                "rst": TCP_RST,
+            }[kind]
+            stack.append(TCP(sport=sport, dport=dport, flags=flags))
+        elif self.app.transport == "udp":
+            stack.append(UDP(sport=sport, dport=dport))
+        else:
+            stack.append(ICMP(icmp_type=8 if forward else 0, ident=0))
+        if is_data and self.app.app_header is not None:
+            app_header = self.app.app_header(self.rng)
+            if app_header is not None:
+                stack.append(app_header)
+        if is_data or self.app.request_response:
+            inner_size = self.app.inner_frame_size if is_data else max(
+                MIN_FRAME_SIZE, self.app.inner_frame_size // 2
+            )
+        else:
+            inner_size = MIN_FRAME_SIZE + 4  # payload-free ACK / control
+        stack.append(Payload(0))
+        target = inner_size + _outer_overhead(self.encap)
+        data = self._builder.build(FrameSpec(stack, target_size=target))
+        return Frame(
+            wire_len=len(data),
+            head=bytes(data[:DEFAULT_HEAD_BYTES]),
+            created_at=self.sim.now,
+            flow_id=self.flow_id,
+            slice_id=src.slice_name,
+            site=src.site,
+        )
+
+
+def _outer_overhead(kind: EncapKind) -> int:
+    """Wire bytes the underlay adds on top of an inner frame."""
+    return {
+        EncapKind.PLAIN: 0,
+        EncapKind.VLAN: 4,
+        EncapKind.VLAN_MPLS: 8,
+        EncapKind.VLAN_MPLS_PW: 30,  # VLAN + 2xMPLS + PW + second Ethernet
+    }[kind]

@@ -1,0 +1,39 @@
+"""Shared utilities for the Patchwork reproduction.
+
+This package holds code that is useful across the testbed model, the
+traffic generators, the capture-path models, and the analysis pipeline:
+
+* :mod:`repro.util.units` -- parsing and formatting of data rates and
+  sizes (``"100Gbps"``, ``"32MB"``) and time quantities.
+* :mod:`repro.util.rng` -- deterministic random-number-generator plumbing
+  so every experiment is reproducible from a single seed.
+* :mod:`repro.util.tables` -- lightweight CSV/ASCII table emission used by
+  the analysis ``Process`` step and by the benchmark harnesses.
+"""
+
+from repro.util.units import (
+    GBPS,
+    GIB,
+    KIB,
+    MBPS,
+    MIB,
+    format_rate,
+    format_size,
+    parse_rate,
+    parse_size,
+)
+from repro.util.rng import SeedSequenceFactory, derive_rng
+
+__all__ = [
+    "GBPS",
+    "GIB",
+    "KIB",
+    "MBPS",
+    "MIB",
+    "format_rate",
+    "format_size",
+    "parse_rate",
+    "parse_size",
+    "SeedSequenceFactory",
+    "derive_rng",
+]

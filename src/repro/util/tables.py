@@ -1,0 +1,103 @@
+"""CSV and ASCII-table emission.
+
+The paper's analysis ``Process`` step "produces CSV files that describe
+different aspects of the profile".  This module provides the small amount
+of structure we need for that: a :class:`Table` that can be built row by
+row, written to CSV, and rendered as an aligned ASCII table for terminal
+output (the benchmark harnesses print the same rows the paper's tables
+report).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Iterable, List, Sequence
+
+
+class Table:
+    """An ordered collection of rows under a fixed header.
+
+    >>> t = Table(["Frame Size (B)", "Rate (Gbps)", "Cores", "Loss (%)"])
+    >>> t.add_row([1514, 100, 5, 0.67])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns: List[str] = list(columns)
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append one row; its length must match the header."""
+        values = list(row)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def sort_by(self, column: str, reverse: bool = False) -> None:
+        """Sort rows in place by the named column."""
+        index = self.columns.index(column)
+        self.rows.sort(key=lambda row: row[index], reverse=reverse)
+
+    def column(self, name: str) -> List[Any]:
+        """Return the values of one column across all rows."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self, path: "str | Path") -> Path:
+        """Write the table to a CSV file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+    def to_csv_string(self) -> str:
+        """Return the CSV serialization as a string."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, path: "str | Path", title: str = "") -> "Table":
+        """Load a table previously written with :meth:`to_csv`."""
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            table = cls(header, title=title)
+            for row in reader:
+                table.add_row(row)
+        return table
+
+    def render(self, max_rows: int = 0) -> str:
+        """Render an aligned ASCII table (optionally truncated)."""
+        rows = self.rows if max_rows <= 0 else self.rows[:max_rows]
+        cells = [self.columns] + [[_format_cell(c) for c in row] for row in rows]
+        widths = [max(len(row[i]) for row in cells) for i in range(len(self.columns))]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(name.ljust(widths[i]) for i, name in enumerate(cells[0]))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if max_rows and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,147 @@
+"""Units used throughout the reproduction.
+
+Conventions
+-----------
+* Data **rates** are stored internally in **bits per second** (float).
+* Data **sizes** are stored internally in **bytes** (int where possible).
+* **Time** is stored in **seconds** (float), matching the discrete-event
+  simulator's clock.
+
+The parsing helpers accept the informal notation used in the paper and in
+networking practice: ``"100Gbps"``, ``"8.5 Gbps"``, ``"32MB"``, ``"4KB"``.
+Rates use decimal (SI) prefixes, as is conventional for link speeds; sizes
+accept both decimal (``KB``/``MB``/``GB``) and binary (``KiB``/``MiB``/
+``GiB``) prefixes.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Rate constants (bits per second).
+KBPS = 1_000.0
+MBPS = 1_000_000.0
+GBPS = 1_000_000_000.0
+TBPS = 1_000_000_000_000.0
+
+# Size constants (bytes).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+_RATE_SUFFIXES = {
+    "bps": 1.0,
+    "kbps": KBPS,
+    "mbps": MBPS,
+    "gbps": GBPS,
+    "tbps": TBPS,
+}
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": GB * 1000,
+    "kib": KIB,
+    "mib": MIB,
+    "gib": GIB,
+    "tib": GIB * 1024,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]+)\s*$")
+
+
+def parse_rate(text: "str | float | int") -> float:
+    """Parse a data rate into bits per second.
+
+    Numeric input is returned unchanged (assumed to already be in bps).
+
+    >>> parse_rate("100Gbps")
+    100000000000.0
+    >>> parse_rate("8.5 Gbps")
+    8500000000.0
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable rate: {text!r}")
+    value, suffix = match.groups()
+    try:
+        scale = _RATE_SUFFIXES[suffix.lower()]
+    except KeyError:
+        raise ValueError(f"unknown rate suffix in {text!r}") from None
+    return float(value) * scale
+
+
+def parse_size(text: "str | int") -> int:
+    """Parse a data size into bytes.
+
+    Integer input is returned unchanged (assumed to already be bytes).
+
+    >>> parse_size("32MB")
+    32000000
+    >>> parse_size("4KiB")
+    4096
+    """
+    if isinstance(text, int):
+        return text
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, suffix = match.groups()
+    try:
+        scale = _SIZE_SUFFIXES[suffix.lower()]
+    except KeyError:
+        raise ValueError(f"unknown size suffix in {text!r}") from None
+    return int(float(value) * scale)
+
+
+def format_rate(bps: float, precision: int = 2) -> str:
+    """Format a bits-per-second rate with the most natural SI prefix.
+
+    >>> format_rate(100e9)
+    '100Gbps'
+    """
+    for suffix, scale in (("Tbps", TBPS), ("Gbps", GBPS), ("Mbps", MBPS), ("Kbps", KBPS)):
+        if abs(bps) >= scale:
+            value = bps / scale
+            text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
+            return f"{text}{suffix}"
+    text = f"{bps:.{precision}f}".rstrip("0").rstrip(".")
+    return f"{text}bps"
+
+
+def format_size(num_bytes: float, precision: int = 2) -> str:
+    """Format a byte count with the most natural decimal prefix.
+
+    >>> format_size(32_000_000)
+    '32MB'
+    """
+    for suffix, scale in (("TB", GB * 1000), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(num_bytes) >= scale:
+            value = num_bytes / scale
+            text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
+            return f"{text}{suffix}"
+    return f"{int(num_bytes)}B"
+
+
+def bits(num_bytes: float) -> float:
+    """Convert bytes to bits."""
+    return num_bytes * 8.0
+
+
+def bytes_per_second(rate_bps: float) -> float:
+    """Convert a bit rate to a byte rate."""
+    return rate_bps / 8.0
+
+
+def transmission_time(frame_bytes: int, rate_bps: float) -> float:
+    """Seconds needed to serialize ``frame_bytes`` onto a link at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError("link rate must be positive")
+    return (frame_bytes * 8.0) / rate_bps

@@ -1,0 +1,112 @@
+"""Tests for acap abstraction and serialization."""
+
+import pytest
+
+from repro.analysis.acap import (
+    AcapFile, AcapRecord, abstract, digest_pcap, read_acap, write_acap,
+)
+from repro.analysis.dissect import Dissector
+from repro.packets.builder import FrameBuilder, FrameSpec
+from repro.packets.headers import (
+    Ethernet, IPv4, MPLS, Payload, PseudoWireControlWord, TCP, TLSRecord, VLAN,
+)
+from repro.packets.pcap import PcapRecord, PcapWriter
+
+E1, E2 = "02:00:00:00:00:01", "02:00:00:00:00:02"
+
+
+def tls_frame():
+    return FrameBuilder().build(FrameSpec([
+        Ethernet(E1, E2), VLAN(301), MPLS(17000), MPLS(17001),
+        PseudoWireControlWord(), Ethernet(E1, E2),
+        IPv4("10.1.2.3", "10.4.5.6"), TCP(50000, 443), TLSRecord(),
+        Payload(0)], target_size=1544))
+
+
+def make_record(frame=None, ts=5.0):
+    frame = frame or tls_frame()
+    dissected = Dissector().dissect(frame[:200])
+    return abstract(dissected, ts, len(frame), 200)
+
+
+class TestAbstract:
+    def test_fields_extracted(self):
+        record = make_record()
+        assert record.vlan_ids == (301,)
+        assert record.mpls_labels == (17000, 17001)
+        assert record.ip_version == 4
+        assert record.src == "10.1.2.3"
+        assert (record.sport, record.dport) == (50000, 443)
+        assert record.wire_len == 1544
+        assert record.captured_len == 200
+        assert record.is_ip
+
+    def test_stack_preserved(self):
+        record = make_record()
+        assert record.stack[:8] == ("eth", "vlan", "mpls", "mpls", "pw",
+                                    "eth", "ipv4", "tcp")
+        assert record.depth >= 8
+
+    def test_non_ip_record(self):
+        from repro.packets.headers import ARP
+        frame = FrameBuilder().build(FrameSpec([Ethernet(E1, E2),
+                                                ARP(E1, "10.0.0.1")]))
+        dissected = Dissector().dissect(frame)
+        record = abstract(dissected, 0.0, len(frame), len(frame))
+        assert not record.is_ip
+        assert record.ip_version == 0
+
+
+class TestDigestPcap:
+    def test_digest(self, tmp_path):
+        path = tmp_path / "c.pcap"
+        with PcapWriter(path, snaplen=200) as writer:
+            for i in range(10):
+                writer.write(PcapRecord(i * 0.1, tls_frame(), orig_len=1544))
+        acap = digest_pcap(path)
+        assert len(acap) == 10
+        assert acap.records[0].wire_len == 1544
+        assert acap.time_range == (pytest.approx(0.0), pytest.approx(0.9))
+        assert "tls" in acap.protocols()
+
+    def test_empty_pcap(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        PcapWriter(path).close()
+        acap = digest_pcap(path)
+        assert len(acap) == 0
+        assert acap.time_range == (0.0, 0.0)
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        acap = AcapFile(source="test.pcap", records=[make_record(ts=1.25)])
+        path = write_acap(acap, tmp_path / "x.acap")
+        loaded = read_acap(path)
+        assert loaded.source == "test.pcap"
+        assert loaded.records == acap.records
+
+    def test_round_trip_empty_fields(self, tmp_path):
+        record = AcapRecord(timestamp=0.0, wire_len=60, captured_len=60,
+                            stack=("eth",))
+        path = write_acap(AcapFile("s", [record]), tmp_path / "y.acap")
+        loaded = read_acap(path)
+        assert loaded.records[0] == record
+
+    def test_rejects_non_acap(self, tmp_path):
+        path = tmp_path / "bogus.acap"
+        path.write_text("not an acap\n")
+        with pytest.raises(ValueError):
+            read_acap(path)
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "short.acap"
+        path.write_text("#acap v1 source=s\na\tb\n")
+        with pytest.raises(ValueError):
+            read_acap(path)
+
+    def test_file_is_greppable_text(self, tmp_path):
+        acap = AcapFile(source="s", records=[make_record()])
+        path = write_acap(acap, tmp_path / "z.acap")
+        text = path.read_text()
+        assert "eth/vlan/mpls" in text
+        assert "10.1.2.3" in text

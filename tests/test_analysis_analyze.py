@@ -1,0 +1,86 @@
+"""Tests for the Analyze step's statistics."""
+
+import pytest
+
+from repro.analysis.acap import AcapRecord
+from repro.analysis.analyze import (
+    encapsulation_examples, frame_size_distribution, header_occurrence,
+    ip_version_shares, jumbo_fraction, site_header_diversity,
+)
+
+
+def rec(size=1544, stack=("eth", "vlan", "mpls", "ipv4", "tcp"), ipv=4):
+    return AcapRecord(timestamp=0.0, wire_len=size, captured_len=200,
+                      stack=tuple(stack), ip_version=ipv)
+
+
+PW_STACK = ("eth", "vlan", "mpls", "mpls", "pw", "eth", "ipv4", "tcp", "tls")
+
+
+class TestFrameSizes:
+    def test_distribution_keys_are_bin_labels(self):
+        dist = frame_size_distribution([rec(100), rec(1544)])
+        assert dist["65-127"] == 0.5
+        assert dist["1519-2047"] == 0.5
+
+    def test_jumbo_fraction(self):
+        records = [rec(1544), rec(9000), rec(100), rec(1500)]
+        assert jumbo_fraction(records) == 0.5
+
+    def test_jumbo_fraction_empty(self):
+        assert jumbo_fraction([]) == 0.0
+
+
+class TestHeaderOccurrence:
+    def test_percentages(self):
+        records = [rec(), rec(stack=("eth", "ipv4", "udp", "dns"))]
+        occurrence = header_occurrence(records)
+        assert occurrence["eth"] == 100.0
+        assert occurrence["vlan"] == 50.0
+        assert occurrence["dns"] == 50.0
+
+    def test_ethernet_exceeds_100_with_pseudowires(self):
+        """Fig 12: 'Ethernet exceeds 100% because Ethernet frames often
+        carry other Ethernet frames.'"""
+        records = [rec(stack=PW_STACK), rec()]
+        occurrence = header_occurrence(records)
+        assert occurrence["eth"] == 150.0
+
+    def test_empty(self):
+        assert header_occurrence([]) == {}
+
+
+class TestDiversity:
+    def test_per_site_counts(self):
+        by_site = {
+            "S0": [rec(), rec(stack=PW_STACK)],
+            "S1": [rec(stack=("eth", "ipv4", "tcp"))],
+        }
+        diversity = site_header_diversity(by_site)
+        assert [d.site for d in diversity] == ["S0", "S1"]
+        s0 = diversity[0]
+        assert s0.distinct_headers == len(set(PW_STACK) | {"eth", "vlan", "mpls", "ipv4", "tcp"})
+        assert s0.max_stack_depth == len(PW_STACK)
+        assert diversity[1].distinct_headers == 3
+
+
+class TestIpShares:
+    def test_shares(self):
+        records = [rec(ipv=4)] * 97 + [rec(ipv=6)] * 2 + [
+            rec(stack=("eth", "arp"), ipv=0)]
+        shares = ip_version_shares(records)
+        assert shares["ipv4"] == 0.97
+        assert shares["ipv6"] == 0.02
+        assert shares["non-ip"] == 0.01
+
+    def test_empty(self):
+        shares = ip_version_shares([])
+        assert shares["ipv4"] == 0.0
+
+
+class TestEncapsulationExamples:
+    def test_most_common_first(self):
+        records = [rec()] * 3 + [rec(stack=PW_STACK)]
+        examples = encapsulation_examples(records, top=2)
+        assert examples[0] == ("eth/vlan/mpls/ipv4/tcp", 3)
+        assert examples[1][1] == 1

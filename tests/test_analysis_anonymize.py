@@ -1,0 +1,159 @@
+"""Tests for the prefix-preserving anonymizer."""
+
+import struct
+
+import pytest
+
+from repro.analysis.anonymize import Anonymizer
+from repro.analysis.dissect import Dissector
+from repro.packets.builder import FrameBuilder, FrameSpec
+from repro.packets.headers import (
+    Ethernet, IPv4, IPv6, MPLS, Payload, PseudoWireControlWord, TCP, UDP, VLAN,
+    ipv4_bytes,
+)
+
+E1, E2 = "02:00:00:00:00:01", "02:00:00:00:00:02"
+
+
+def common_prefix_bits(a: int, b: int, width: int = 32) -> int:
+    for i in range(width):
+        mask = 1 << (width - 1 - i)
+        if (a & mask) != (b & mask):
+            return i
+    return width
+
+
+class TestIPv4Permutation:
+    def test_deterministic(self):
+        anon = Anonymizer(key=b"k1")
+        addr = int.from_bytes(ipv4_bytes("10.1.2.3"), "big")
+        assert anon.anonymize_ipv4_int(addr) == Anonymizer(key=b"k1").anonymize_ipv4_int(addr)
+
+    def test_key_changes_mapping(self):
+        addr = int.from_bytes(ipv4_bytes("10.1.2.3"), "big")
+        a = Anonymizer(key=b"k1").anonymize_ipv4_int(addr)
+        b = Anonymizer(key=b"k2").anonymize_ipv4_int(addr)
+        assert a != b
+
+    def test_injective_sample(self):
+        anon = Anonymizer()
+        inputs = [int.from_bytes(ipv4_bytes(f"10.0.{i}.{j}"), "big")
+                  for i in range(8) for j in range(8)]
+        outputs = [anon.anonymize_ipv4_int(a) for a in inputs]
+        assert len(set(outputs)) == len(inputs)
+
+    def test_prefix_preserving(self):
+        """Addresses sharing a k-bit prefix map to outputs sharing
+        exactly a k-bit prefix (the Crypto-PAn property)."""
+        anon = Anonymizer()
+        pairs = [("10.1.2.3", "10.1.2.77"),    # shares /25+
+                 ("10.1.2.3", "10.1.9.1"),     # shares /20
+                 ("10.1.2.3", "192.168.0.1")]  # shares little
+        for a_text, b_text in pairs:
+            a = int.from_bytes(ipv4_bytes(a_text), "big")
+            b = int.from_bytes(ipv4_bytes(b_text), "big")
+            in_prefix = common_prefix_bits(a, b)
+            out_prefix = common_prefix_bits(anon.anonymize_ipv4_int(a),
+                                            anon.anonymize_ipv4_int(b))
+            assert out_prefix == in_prefix
+
+    def test_anonymize_changes_address(self):
+        anon = Anonymizer()
+        raw = ipv4_bytes("10.1.2.3")
+        assert anon.anonymize_ipv4(raw) != raw
+
+
+class TestMacAndV6:
+    def test_mac_is_locally_administered(self):
+        anon = Anonymizer()
+        out = anon.anonymize_mac(b"\xaa\xbb\xcc\xdd\xee\xff")
+        assert out[0] & 0x02  # locally administered
+        assert not out[0] & 0x01  # unicast
+
+    def test_mac_deterministic(self):
+        a = Anonymizer(key=b"x").anonymize_mac(b"\x02\x00\x00\x00\x00\x01")
+        b = Anonymizer(key=b"x").anonymize_mac(b"\x02\x00\x00\x00\x00\x01")
+        assert a == b
+
+    def test_ipv6_prefix_preserving_groups(self):
+        anon = Anonymizer()
+        a = anon.anonymize_ipv6(bytes.fromhex("fd00" + "00" * 12 + "0001"))
+        b = anon.anonymize_ipv6(bytes.fromhex("fd00" + "00" * 12 + "0002"))
+        # First group identical input -> identical output.
+        assert a[:2] == b[:2]
+        assert a[14:] != b[14:]
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            Anonymizer(key=b"")
+
+
+class TestFrameTransform:
+    def build(self, stack, target=None):
+        return FrameBuilder().build(FrameSpec(stack, target_size=target))
+
+    def test_simple_frame_addresses_rewritten(self):
+        frame = self.build([Ethernet(E1, E2), VLAN(5),
+                            IPv4("10.1.2.3", "10.4.5.6"), TCP(1, 2),
+                            Payload(50)])
+        out = Anonymizer().transform(frame)
+        assert len(out) == len(frame)
+        dissected = Dissector().dissect(out)
+        ipv4 = dissected.first("ipv4")
+        assert ipv4.fields["src"] not in ("10.1.2.3", "10.4.5.6")
+        eth = dissected.first("eth")
+        assert eth.fields["src"] != E1
+
+    def test_structure_preserved(self):
+        frame = self.build([Ethernet(E1, E2), VLAN(5), MPLS(16), MPLS(17),
+                            PseudoWireControlWord(), Ethernet(E1, E2),
+                            IPv4("10.1.2.3", "10.4.5.6"), TCP(1, 443),
+                            Payload(64)])
+        out = Anonymizer().transform(frame)
+        original = Dissector().dissect(frame)
+        transformed = Dissector().dissect(out)
+        assert transformed.names == original.names
+
+    def test_inner_ethernet_also_anonymized(self):
+        frame = self.build([Ethernet(E1, E2), VLAN(5), MPLS(16),
+                            PseudoWireControlWord(), Ethernet(E1, E2),
+                            IPv4("10.1.2.3", "10.4.5.6"), UDP(1, 2),
+                            Payload(20)])
+        out = Anonymizer().transform(frame)
+        dissected = Dissector().dissect(out)
+        inner_eth = dissected.all("eth")[1]
+        assert inner_eth.fields["src"] != E1
+
+    def test_ipv6_frame(self):
+        frame = self.build([Ethernet(E1, E2), IPv6("fd00::1", "fd00::2"),
+                            UDP(1, 2), Payload(30)])
+        out = Anonymizer().transform(frame)
+        dissected = Dissector().dissect(out)
+        assert dissected.first("ipv6").fields["src"] != "fd00:0:0:0:0:0:0:1"
+
+    def test_ports_and_payload_untouched(self):
+        frame = self.build([Ethernet(E1, E2), IPv4("10.1.2.3", "10.4.5.6"),
+                            TCP(12345, 443), Payload(40, fill=0x7E)])
+        out = Anonymizer().transform(frame)
+        dissected = Dissector().dissect(out)
+        tcp = dissected.first("tcp")
+        assert (tcp.fields["sport"], tcp.fields["dport"]) == (12345, 443)
+        assert out[-10:] == frame[-10:]  # payload bytes intact
+
+    def test_consistent_across_frames(self):
+        """The same host maps to the same pseudonym across captures,
+        so flow aggregation still works post-anonymization."""
+        anon = Anonymizer()
+        frame1 = self.build([Ethernet(E1, E2), IPv4("10.1.2.3", "10.4.5.6"),
+                             TCP(1, 2), Payload(10)])
+        frame2 = self.build([Ethernet(E1, E2), IPv4("10.1.2.3", "10.9.9.9"),
+                             TCP(3, 4), Payload(10)])
+        src1 = Dissector().dissect(anon.transform(frame1)).first("ipv4").fields["src"]
+        src2 = Dissector().dissect(anon.transform(frame2)).first("ipv4").fields["src"]
+        assert src1 == src2
+
+    def test_truncated_frame_does_not_crash(self):
+        frame = self.build([Ethernet(E1, E2), IPv4("10.1.2.3", "10.4.5.6"),
+                            TCP(1, 2), Payload(50)])
+        out = Anonymizer().transform(frame[:20])
+        assert len(out) == 20

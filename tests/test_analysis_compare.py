@@ -1,0 +1,106 @@
+"""Tests for profile comparison / evolution tracking."""
+
+import pytest
+
+from repro.analysis.acap import AcapRecord
+from repro.analysis.compare import ProfileHistory, compare_profiles
+from repro.analysis.pipeline import ProfileReport
+from repro.analysis.report import (
+    header_occurrence_table, overall_frame_size_table,
+)
+
+
+def rec(size, stack=("eth", "vlan", "ipv4", "tcp")):
+    return AcapRecord(timestamp=0.0, wire_len=size, captured_len=200,
+                      stack=tuple(stack), ip_version=4, src="10.0.0.1",
+                      dst="10.0.0.2", proto=6, sport=1, dport=2)
+
+
+def report_from(records, sites=("S0",), ipv6=0.0, jumbo=None,
+                flows=(5, 10)):
+    report = ProfileReport(
+        total_frames=len(records),
+        sites=list(sites),
+        ipv6_fraction=ipv6,
+        jumbo_fraction=(jumbo if jumbo is not None else
+                        sum(1 for r in records if r.wire_len >= 1519)
+                        / max(1, len(records))),
+        flows_per_sample=list(flows),
+    )
+    report.tables["frame_sizes_overall"] = overall_frame_size_table(records)
+    report.tables["header_occurrence"] = header_occurrence_table(records)
+    return report
+
+
+class TestCompare:
+    def test_identical_profiles_no_delta(self):
+        records = [rec(1544)] * 10 + [rec(100)] * 2
+        delta = compare_profiles(report_from(records), report_from(records))
+        assert delta.total_variation == pytest.approx(0.0)
+        assert not delta.materially_different
+        assert delta.protocols_gained == [] and delta.protocols_lost == []
+
+    def test_size_shift_detected(self):
+        before = report_from([rec(1544)] * 9 + [rec(100)])
+        after = report_from([rec(1544)] * 2 + [rec(100)] * 8)
+        delta = compare_profiles(before, after)
+        assert delta.total_variation > 0.5
+        assert delta.materially_different
+        old, new = delta.frame_share_changes["1519-2047"]
+        assert old > new
+
+    def test_protocol_changes(self):
+        before = report_from([rec(1544)])
+        after = report_from([rec(1544, stack=("eth", "vlan", "ipv6", "udp",
+                                              "dns"))])
+        delta = compare_profiles(before, after)
+        assert "dns" in delta.protocols_gained
+        assert "tcp" in delta.protocols_lost
+
+    def test_site_changes(self):
+        before = report_from([rec(1544)], sites=("S0", "S1"))
+        after = report_from([rec(1544)], sites=("S1", "S2"))
+        delta = compare_profiles(before, after)
+        assert delta.sites_gained == ["S2"]
+        assert delta.sites_lost == ["S0"]
+
+    def test_delta_table_renders(self):
+        before = report_from([rec(1544)] * 5, ipv6=0.01)
+        after = report_from([rec(100)] * 5, ipv6=0.03)
+        text = compare_profiles(before, after).to_table().render()
+        assert "ipv6 fraction" in text
+
+
+class TestHistory:
+    def build(self, n=3):
+        history = ProfileHistory()
+        for i in range(n):
+            records = [rec(1544)] * (10 + i * 5) + [rec(100)] * 2
+            history.add(f"week{i}", report_from(records, ipv6=0.01 * i))
+        return history
+
+    def test_series(self):
+        history = self.build()
+        assert history.series("frames") == [12.0, 17.0, 22.0]
+        assert history.series("ipv6") == [0.0, 0.01, 0.02]
+        assert len(history.series("share:1519-2047")) == 3
+        assert history.series("flows") == [15.0, 15.0, 15.0]
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            self.build().series("entropy")
+
+    def test_trend_table(self):
+        table = self.build().trend_table()
+        assert len(table.rows) == 3
+        assert table.column("occasion") == ["week0", "week1", "week2"]
+
+    def test_latest_delta(self):
+        history = self.build()
+        delta = history.latest_delta()
+        assert delta is not None
+        assert delta.ipv6_change == (0.01, 0.02)
+
+    def test_latest_delta_needs_two(self):
+        history = ProfileHistory()
+        assert history.latest_delta() is None

@@ -1,0 +1,176 @@
+"""Tests for the protocol dissectors."""
+
+import pytest
+
+from repro.analysis.dissect import Dissector
+from repro.packets.builder import FrameBuilder, FrameSpec
+from repro.packets.headers import (
+    ARP, DNSHeader, Ethernet, HTTPPayload, ICMP, IPv4, IPv6, MPLS, NTPPayload,
+    Payload, PseudoWireControlWord, SSHBanner, TCP, TLSRecord, UDP, VLAN,
+)
+
+E1, E2 = "02:00:00:00:00:01", "02:00:00:00:00:02"
+
+
+def build(stack, target=None):
+    return FrameBuilder().build(FrameSpec(stack, target_size=target))
+
+
+def dissect(stack, target=None, snaplen=None):
+    frame = build(stack, target)
+    if snaplen is not None:
+        frame = frame[:snaplen]
+    return Dissector().dissect(frame)
+
+
+class TestBasicStacks:
+    def test_plain_tcp(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          TCP(1234, 80), Payload(100)])
+        assert result.names[:3] == ("eth", "ipv4", "tcp")
+        assert result.names[-1] in ("http", "data")
+
+    def test_vlan_mpls(self):
+        result = dissect([Ethernet(E1, E2), VLAN(100), MPLS(16),
+                          IPv4("10.0.0.1", "10.0.0.2"), TCP(1, 2), Payload(50)])
+        assert result.names[:5] == ("eth", "vlan", "mpls", "ipv4", "tcp")
+
+    def test_mpls_stack_of_three(self):
+        result = dissect([Ethernet(E1, E2), MPLS(1), MPLS(2), MPLS(3),
+                          IPv4("10.0.0.1", "10.0.0.2"), UDP(1, 2), Payload(20)])
+        assert result.names.count("mpls") == 3
+
+    def test_pseudowire_full_stack(self):
+        """The paper's example: Eth/VLAN/MPLS/MPLS/PW/Eth/IPv4/TCP/TLS."""
+        result = dissect([
+            Ethernet(E1, E2), VLAN(100), MPLS(16), MPLS(17),
+            PseudoWireControlWord(), Ethernet(E1, E2),
+            IPv4("10.0.0.1", "10.0.0.2"), TCP(50000, 443), TLSRecord(),
+            Payload(200),
+        ], target=1544)
+        assert result.names[:9] == ("eth", "vlan", "mpls", "mpls", "pw",
+                                    "eth", "ipv4", "tcp", "tls")
+        assert result.depth >= 9
+
+    def test_ipv6_ssh(self):
+        """The paper's second example: .../IPv6/SSH."""
+        result = dissect([
+            Ethernet(E1, E2), VLAN(5), MPLS(7), PseudoWireControlWord(),
+            Ethernet(E1, E2), IPv6("fd00::1", "fd00::2"), TCP(50000, 22),
+            SSHBanner(), Payload(0),
+        ])
+        assert "ipv6" in result.names
+        assert "ssh" in result.names
+
+    def test_arp(self):
+        result = dissect([Ethernet(E1, E2), ARP(E1, "10.0.0.1")])
+        assert result.names[0:2] == ("eth", "arp")
+
+    def test_icmp(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          ICMP(), Payload(56)])
+        assert "icmp" in result.names
+
+
+class TestApplicationClassification:
+    def test_tls_by_port_443(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          TCP(50000, 443), TLSRecord(), Payload(64)])
+        assert "tls" in result.names
+
+    def test_tls_reverse_direction(self):
+        # Server -> client: the *source* port is 443.
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.2", "10.0.0.1"),
+                          TCP(443, 50000), TLSRecord(), Payload(64)])
+        assert "tls" in result.names
+
+    def test_dns_over_udp(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          UDP(40000, 53), DNSHeader()])
+        assert "dns" in result.names
+
+    def test_ntp(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          UDP(40000, 123), NTPPayload()])
+        assert "ntp" in result.names
+
+    def test_http(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          TCP(40000, 80), HTTPPayload()])
+        assert "http" in result.names
+
+    def test_iperf_labelled_by_port(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          TCP(40000, 5201), Payload(1000)], target=1514)
+        assert "iperf" in result.names
+
+    def test_port_match_with_wrong_content_falls_back(self):
+        # Port 443 but the payload is not a TLS record -> generic data.
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          TCP(50000, 443), Payload(64, fill=0x00)])
+        assert "tls" not in result.names
+
+    def test_unknown_port_is_data(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          TCP(40000, 40001), Payload(100)])
+        assert result.names[-1] == "data"
+
+
+class TestRobustness:
+    def test_truncated_frame_flagged(self):
+        frame = build([Ethernet(E1, E2), VLAN(5), MPLS(7),
+                       IPv4("10.0.0.1", "10.0.0.2"), TCP(1, 2), Payload(100)])
+        result = Dissector().dissect(frame[:30])  # cut inside IPv4
+        assert result.truncated
+        assert "eth" in result.names and "vlan" in result.names
+
+    def test_200B_snaplen_keeps_full_stack(self):
+        """The paper's 200 B truncation preserves the header stack."""
+        result = dissect([
+            Ethernet(E1, E2), VLAN(100), MPLS(16), MPLS(17),
+            PseudoWireControlWord(), Ethernet(E1, E2),
+            IPv4("10.0.0.1", "10.0.0.2"), TCP(50000, 443), TLSRecord(),
+            Payload(0),
+        ], target=1544, snaplen=200)
+        assert not result.truncated or "tls" in result.names
+        assert ("eth", "vlan", "mpls", "mpls", "pw", "eth", "ipv4",
+                "tcp") == result.names[:8]
+
+    def test_garbage_does_not_crash(self):
+        result = Dissector().dissect(b"\xde\xad\xbe\xef" * 20)
+        assert result.depth >= 1  # at least the Ethernet attempt
+
+    def test_empty_frame(self):
+        result = Dissector().dissect(b"")
+        assert result.truncated
+
+    def test_min_frame_padding_not_data(self):
+        # Eth+IPv4+TCP is 54 bytes; the builder zero-pads to the 60-byte
+        # Ethernet minimum, and that padding must not read as payload.
+        from repro.packets.headers import TCP_ACK
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          TCP(1, 2, flags=TCP_ACK)])
+        assert "data" not in result.names
+        assert "padding" in result.names
+
+
+class TestFieldExtraction:
+    def test_fields_available(self):
+        result = dissect([Ethernet(E1, E2), VLAN(301), MPLS(17000),
+                          IPv4("10.1.2.3", "10.4.5.6"), TCP(50000, 443),
+                          TLSRecord(), Payload(10)])
+        assert result.first("vlan").fields["vid"] == 301
+        assert result.first("mpls").fields["label"] == 17000
+        assert result.first("ipv4").fields["src"] == "10.1.2.3"
+        assert result.first("tcp").fields["dport"] == 443
+
+    def test_all_collects_repeats(self):
+        result = dissect([Ethernet(E1, E2), MPLS(1), MPLS(2),
+                          IPv4("10.0.0.1", "10.0.0.2"), UDP(1, 2), Payload(8)])
+        labels = [h.fields["label"] for h in result.all("mpls")]
+        assert labels == [1, 2]
+
+    def test_has(self):
+        result = dissect([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                          UDP(1, 2), Payload(8)])
+        assert result.has("udp") and not result.has("tcp")

@@ -1,0 +1,77 @@
+"""Tests for the end-to-end analysis pipeline over a real profile.
+
+Uses the session-scoped profiled bundle: a Patchwork run over live
+traffic on a four-site federation.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisPipeline
+from repro.analysis.acap import read_acap
+
+
+class TestPipeline:
+    def test_digest_produced_acaps(self, profiled_bundle_and_pipeline):
+        bundle, pipeline, _report = profiled_bundle_and_pipeline
+        assert len(pipeline.acaps) == len(bundle.pcap_paths)
+
+    def test_acap_files_persisted_and_readable(self, profiled_bundle_and_pipeline):
+        _bundle, pipeline, _report = profiled_bundle_and_pipeline
+        on_disk = sorted(pipeline.acap_dir.rglob("*.acap"))
+        assert len(on_disk) == len(pipeline.acaps)
+        reloaded = read_acap(on_disk[0])
+        assert reloaded.source
+
+    def test_index_covers_all_sites(self, profiled_bundle_and_pipeline):
+        bundle, pipeline, _report = profiled_bundle_and_pipeline
+        profiled_sites = {site for site, result in bundle.results.items()
+                          if result.samples}
+        assert set(pipeline.index.sites()) == profiled_sites
+
+    def test_report_totals(self, profiled_bundle_and_pipeline):
+        _bundle, pipeline, report = profiled_bundle_and_pipeline
+        assert report.total_frames == pipeline.index.total_frames()
+        assert report.total_frames > 0
+
+    def test_report_tables_present(self, profiled_bundle_and_pipeline):
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        expected = {"frame_sizes_by_site", "frame_sizes_overall",
+                    "header_occurrence", "header_diversity", "ip_versions",
+                    "flows_per_sample", "aggregated_flow_sizes", "tcp_flags"}
+        assert expected <= set(report.tables)
+
+    def test_header_occurrence_sane(self, profiled_bundle_and_pipeline):
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        table = report.tables["header_occurrence"]
+        occurrence = dict(zip(table.column("header"),
+                              table.column("percent_of_frames")))
+        assert occurrence["eth"] >= 100.0
+        assert occurrence.get("ipv4", 0) > occurrence.get("ipv6", 0)
+
+    def test_flows_per_sample_counted(self, profiled_bundle_and_pipeline):
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        assert len(report.flows_per_sample) == len(_pipeline.acaps)
+        assert sum(report.flows_per_sample) > 0
+
+    def test_csv_emission(self, profiled_bundle_and_pipeline, tmp_path):
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        written = report.write_csvs(tmp_path / "csv")
+        assert len(written) == len(report.tables)
+        assert all(p.exists() and p.stat().st_size > 0 for p in written)
+
+    def test_render_is_text(self, profiled_bundle_and_pipeline):
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        text = report.render()
+        assert "header" in text and "site" in text
+
+    def test_aggregated_flows_nonempty(self, profiled_bundle_and_pipeline):
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        assert len(report.aggregated_flows) > 0
+        # Flow keys carry virtualization tags.
+        key = next(iter(report.aggregated_flows))
+        assert key.vlan_ids or key.mpls_labels
+
+    def test_empty_pipeline(self, tmp_path):
+        report = AnalysisPipeline().run([])
+        assert report.total_frames == 0
+        assert report.sites == []

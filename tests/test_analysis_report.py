@@ -1,0 +1,88 @@
+"""Tests for the Process-step table builders."""
+
+import pytest
+
+from repro.analysis.acap import AcapRecord
+from repro.analysis.flows import classify_flows
+from repro.analysis.report import (
+    aggregated_flow_size_table, flows_per_sample_table, frame_size_table,
+    header_diversity_table, header_occurrence_table, ip_version_table,
+    overall_frame_size_table, tcp_flag_table,
+)
+from repro.packets.headers import TCP_ACK, TCP_RST, TCP_SYN
+
+
+def rec(size=1544, stack=("eth", "vlan", "mpls", "ipv4", "tcp"), ipv=4,
+        src="10.0.0.1", sport=1000, flags=TCP_ACK, ts=0.0):
+    return AcapRecord(timestamp=ts, wire_len=size, captured_len=200,
+                      stack=tuple(stack), ip_version=ipv, src=src,
+                      dst="10.0.0.2", proto=6, sport=sport, dport=443,
+                      vlan_ids=(100,), tcp_flags=flags)
+
+
+class TestFrameSizeTables:
+    def test_per_site_rows_and_columns(self):
+        table = frame_size_table({"S0": [rec(100), rec(1544)],
+                                  "S1": [rec(9000)]})
+        assert table.column("site") == ["S0", "S1"]
+        assert "jumbo_fraction" in table.columns
+        s1 = table.rows[1]
+        assert s1[table.columns.index("jumbo_fraction")] == 1.0
+
+    def test_overall_fractions_sum_to_one(self):
+        table = overall_frame_size_table([rec(100)] * 3 + [rec(1544)])
+        assert sum(table.column("fraction")) == pytest.approx(1.0)
+
+
+class TestHeaderTables:
+    def test_occurrence_sorted_descending(self):
+        table = header_occurrence_table(
+            [rec(), rec(stack=("eth", "ipv4", "udp"))])
+        percents = table.column("percent_of_frames")
+        assert percents == sorted(percents, reverse=True)
+
+    def test_diversity_columns(self):
+        table = header_diversity_table({"S0": [rec()]})
+        assert table.columns == ["site", "distinct_headers",
+                                 "max_stack_depth", "frames"]
+        assert table.rows[0][1:] == [5, 5, 1]
+
+    def test_ip_version_table(self):
+        table = ip_version_table([rec(ipv=4), rec(ipv=6)])
+        shares = dict(zip(table.column("family"), table.column("fraction")))
+        assert shares["ipv4"] == 0.5 and shares["ipv6"] == 0.5
+
+
+class TestFlowTables:
+    def test_flows_per_sample_binning(self):
+        table = flows_per_sample_table([0, 5, 50, 5000, 50000])
+        counts = dict(zip(table.column("flows_bin"), table.column("samples")))
+        assert counts["<=0"] == 1
+        assert counts["1-10"] == 1
+        assert counts["31-100"] == 1
+        assert counts["3001-10000"] == 1
+        assert counts[">20000"] == 1
+        assert sum(counts.values()) == 5
+
+    def test_aggregated_flow_sizes_by_decade(self):
+        flows = classify_flows([rec(size=100), rec(sport=2, size=100_000)])
+        table = aggregated_flow_size_table(flows)
+        counts = dict(zip(table.column("size_decade_bytes"),
+                          table.column("flows")))
+        assert counts["1e2-1e3"] == 1
+        assert counts["1e5-1e6"] == 1
+
+    def test_tcp_flag_table(self):
+        flows = classify_flows([
+            rec(flags=TCP_SYN), rec(sport=2, flags=TCP_RST),
+            rec(sport=3, flags=TCP_ACK),
+        ])
+        table = tcp_flag_table(flows)
+        counts = dict(zip(table.column("flag"), table.column("flows")))
+        assert counts["syn"] == 1
+        assert counts["rst"] == 1
+        assert counts["fin"] == 0
+
+    def test_tcp_flag_table_empty(self):
+        table = tcp_flag_table({})
+        assert all(row[1] == 0 for row in table.rows)

@@ -1,0 +1,119 @@
+"""Tests for the SVG/ASCII visualization layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.visualize import (
+    ChartLayout, Series, SvgCanvas, bar_chart, histogram_chart, line_chart,
+    render_report_charts, sparkline,
+)
+
+
+def parse_svg(text: str) -> ET.Element:
+    return ET.fromstring(text)
+
+
+class TestSparkline:
+    def test_length_bounded(self):
+        assert len(sparkline(list(range(500)), width=60)) == 60
+
+    def test_short_input_kept(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_input_monotone_output(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert list(line) == sorted(line)
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_input(self):
+        assert len(set(sparkline([5, 5, 5, 5]))) == 1
+
+
+class TestSvgCanvas:
+    def test_valid_xml(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10, "#000", title="a<b")
+        canvas.line(0, 0, 10, 10)
+        canvas.text(5, 5, "héllo & <tags>")
+        canvas.circle(3, 3, 1, "#fff")
+        canvas.polyline([(0, 0), (1, 1)], "#123")
+        root = parse_svg(canvas.render())
+        assert root.tag.endswith("svg")
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas()
+        path = canvas.save(tmp_path / "charts" / "c.svg")
+        assert path.exists()
+        parse_svg(path.read_text())
+
+
+class TestBarChart:
+    def test_basic(self):
+        canvas = bar_chart(["a", "b", "c"], [Series("s", [1.0, 3.0, 2.0])],
+                           title="T")
+        text = canvas.render()
+        parse_svg(text)
+        assert "T" in text
+        assert text.count("<rect") >= 4  # background + 3 bars
+
+    def test_grouped(self):
+        canvas = bar_chart(["a", "b"], [Series("x", [1, 2]),
+                                        Series("y", [2, 1])])
+        parse_svg(canvas.render())
+
+    def test_stacked_height_normalized(self):
+        canvas = bar_chart(["a"], [Series("x", [0.5]), Series("y", [0.5])],
+                           stacked=True)
+        parse_svg(canvas.render())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [Series("s", [])])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [Series("s", [1, 2])])
+
+    def test_many_labels_skips_tick_text(self):
+        labels = [f"s{i}" for i in range(60)]
+        canvas = bar_chart(labels, [Series("x", [1.0] * 60)])
+        # Bars keep their tooltips, but rotated tick labels are dropped
+        # when there are too many to read.
+        assert 'rotate(-45' not in canvas.render()
+
+
+class TestLineChart:
+    def test_basic(self):
+        canvas = line_chart([0, 1, 2], [Series("cdf", [0.1, 0.6, 1.0])],
+                            markers=True)
+        text = canvas.render()
+        parse_svg(text)
+        assert "<polyline" in text
+        assert "<circle" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([0, 1], [Series("s", [1])])
+
+    def test_legend_for_multiple_series(self):
+        canvas = line_chart([0, 1], [Series("alpha", [0, 1]),
+                                     Series("beta", [1, 0])])
+        text = canvas.render()
+        assert "alpha" in text and "beta" in text
+
+
+class TestHistogram:
+    def test_histogram(self):
+        canvas = histogram_chart([5, 10, 2], ["0-10", "10-100", ">100"])
+        parse_svg(canvas.render())
+
+
+class TestReportCharts:
+    def test_render_report_charts(self, profiled_bundle_and_pipeline, tmp_path):
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        written = render_report_charts(report, tmp_path / "charts")
+        assert len(written) == 4
+        for path in written:
+            assert path.exists()
+            parse_svg(path.read_text())

@@ -1,0 +1,159 @@
+"""Tests for the DPDK capture model (Tables 1-2)."""
+
+import pytest
+
+from repro.capture.dpdk import (
+    DpdkCaptureModel, MAX_WORKER_CORES, OfferedLoad,
+)
+from repro.capture.storage import PageCacheModel
+
+
+class TestCapacityModel:
+    def test_more_cores_more_pps(self):
+        small = DpdkCaptureModel(cores=2, truncation=200)
+        large = DpdkCaptureModel(cores=10, truncation=200)
+        assert large.capacity_pps() > small.capacity_pps()
+
+    def test_sublinear_scaling(self):
+        model = DpdkCaptureModel(truncation=64)
+        assert model.capacity_pps(10) < 10 * model.capacity_pps(1)
+
+    def test_smaller_truncation_faster(self):
+        t64 = DpdkCaptureModel(cores=5, truncation=64)
+        t200 = DpdkCaptureModel(cores=5, truncation=200)
+        assert t64.capacity_pps() > t200.capacity_pps()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DpdkCaptureModel(cores=0)
+        with pytest.raises(ValueError):
+            DpdkCaptureModel(rx_queue_depth=0)
+
+
+class TestTableRows:
+    """The published rows of Tables 1 and 2, as shape assertions."""
+
+    @pytest.mark.parametrize("frame,rate_gbps,paper_cores", [
+        (1514, 100, 5), (1024, 100, 10)])
+    def test_table1_100g_rows(self, frame, rate_gbps, paper_cores):
+        load = OfferedLoad(rate_gbps * 1e9, frame)
+        cores = DpdkCaptureModel(truncation=200).min_cores_for(load)
+        assert cores is not None
+        assert abs(cores - paper_cores) <= 1
+
+    @pytest.mark.parametrize("frame,rate_gbps,paper_cores", [
+        (1514, 100, 3), (1024, 100, 5)])
+    def test_table2_100g_rows(self, frame, rate_gbps, paper_cores):
+        load = OfferedLoad(rate_gbps * 1e9, frame)
+        cores = DpdkCaptureModel(truncation=64).min_cores_for(load)
+        assert cores is not None
+        assert abs(cores - paper_cores) <= 1
+
+    def test_table1_512B_tops_out_near_60g(self):
+        model = DpdkCaptureModel(cores=MAX_WORKER_CORES, truncation=200)
+        max_rate = model.max_rate_bps(512)
+        assert 55e9 <= max_rate <= 72e9  # paper: 60 Gbps
+
+    def test_table1_128B_tops_out_near_15g(self):
+        model = DpdkCaptureModel(cores=MAX_WORKER_CORES, truncation=200)
+        assert 13e9 <= model.max_rate_bps(128) <= 19e9  # paper: 15 Gbps
+
+    def test_table2_512B_reaches_100g(self):
+        load = OfferedLoad(100e9, 512)
+        cores = DpdkCaptureModel(truncation=64).min_cores_for(load)
+        assert cores is not None and cores <= MAX_WORKER_CORES
+
+    def test_table2_128B_tops_out_near_28g(self):
+        model = DpdkCaptureModel(cores=MAX_WORKER_CORES, truncation=64)
+        assert 25e9 <= model.max_rate_bps(128) <= 33e9  # paper: 28 Gbps
+
+    def test_64B_needs_fewer_cores_than_200B(self):
+        """Table 2's headline: truncating harder needs fewer cores."""
+        for frame in (1514, 1024):
+            load = OfferedLoad(100e9, frame)
+            c64 = DpdkCaptureModel(truncation=64).min_cores_for(load)
+            c200 = DpdkCaptureModel(truncation=200).min_cores_for(load)
+            assert c64 < c200
+
+    def test_published_operating_points_lose_under_1_percent(self):
+        rows = [
+            (200, 1514, 100e9, 5), (200, 1024, 100e9, 10),
+            (200, 512, 60e9, 15), (200, 128, 15e9, 15),
+            (64, 1514, 100e9, 3), (64, 1024, 100e9, 5),
+            (64, 512, 100e9, 15), (64, 128, 28e9, 15),
+        ]
+        for trunc, frame, rate, cores in rows:
+            result = DpdkCaptureModel(cores=cores, truncation=trunc).offer(
+                OfferedLoad(rate, frame))
+            assert result.loss_percent < 1.0, (trunc, frame)
+
+
+class TestLossModel:
+    def test_overload_loses_proportionally(self):
+        model = DpdkCaptureModel(cores=1, truncation=200)
+        result = model.offer(OfferedLoad(100e9, 128))
+        assert result.loss_percent > 50
+
+    def test_shallow_rx_queue_increases_residue(self):
+        load = OfferedLoad(80e9, 1514)
+        deep = DpdkCaptureModel(cores=10, truncation=200, rx_queue_depth=4096)
+        shallow = DpdkCaptureModel(cores=10, truncation=200, rx_queue_depth=256)
+        assert shallow.offer(load).loss_percent > deep.offer(load).loss_percent
+
+    def test_storage_throttle_adds_loss(self):
+        # A disk slower than the pcap write rate: the writer stalls once
+        # the cache crosses the throttle midpoint, and frames are lost.
+        storage = PageCacheModel(dirty_background_ratio=10, dirty_ratio=20,
+                                 flush_rate_bps=0.8e9 * 8)
+        with_storage = DpdkCaptureModel(cores=10, truncation=200, storage=storage)
+        without = DpdkCaptureModel(cores=10, truncation=200)
+        long_load = OfferedLoad(100e9, 1514, duration=120.0)
+        throttled = with_storage.offer(long_load)
+        clean = without.offer(long_load)
+        assert throttled.throttled
+        assert throttled.loss_percent > clean.loss_percent + 10
+
+    def test_fast_disk_keeps_up(self):
+        # When write-back outpaces the pcap writer there is no stall.
+        storage = PageCacheModel(dirty_background_ratio=10, dirty_ratio=20)
+        model = DpdkCaptureModel(cores=10, truncation=200, storage=storage)
+        result = model.offer(OfferedLoad(100e9, 1514, duration=120.0))
+        assert result.loss_percent < 1.0
+
+    def test_loss_is_deterministic_per_seed(self):
+        load = OfferedLoad(100e9, 1514)
+        a = DpdkCaptureModel(cores=5, truncation=200, seed=1).offer(load)
+        b = DpdkCaptureModel(cores=5, truncation=200, seed=1).offer(load)
+        assert a.loss_percent == b.loss_percent
+
+
+class TestOnlinePath:
+    def test_captures_at_simulation_rates(self):
+        model = DpdkCaptureModel(cores=2, truncation=200)
+        for i in range(1000):
+            assert model.on_frame(1514, now=i * 1e-5)
+        assert model.dropped == 0
+
+    def test_queue_overflow(self):
+        model = DpdkCaptureModel(cores=1, truncation=200, rx_queue_depth=64)
+        results = [model.on_frame(1514, now=0.0) for _ in range(200)]
+        assert not all(results)
+
+    def test_reset(self):
+        model = DpdkCaptureModel()
+        model.on_frame(100, now=5.0)
+        model.reset()
+        assert model.received == 0
+
+
+class TestMinCores:
+    def test_impossible_load_returns_none(self):
+        load = OfferedLoad(100e9, 128)  # 97.7 Mpps: beyond any core count
+        assert DpdkCaptureModel(truncation=200).min_cores_for(load) is None
+
+    def test_result_properties(self):
+        result = DpdkCaptureModel(cores=5, truncation=200).offer(
+            OfferedLoad(50e9, 1514))
+        assert result.acceptable
+        assert result.achieved_rate_bps <= result.offered.rate_bps
+        assert result.offered.frames > 0

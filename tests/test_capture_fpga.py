@@ -1,0 +1,84 @@
+"""Tests for the FPGA offload model."""
+
+import pytest
+
+from repro.capture.dpdk import DpdkCaptureModel, OfferedLoad
+from repro.capture.fpga import FpgaOffloadConfig, FpgaOffloadModel
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = FpgaOffloadConfig()
+        assert config.truncation == 200
+        assert config.sample_one_in == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaOffloadConfig(truncation=0)
+        with pytest.raises(ValueError):
+            FpgaOffloadConfig(sample_one_in=0)
+
+
+class TestPerFrame:
+    def test_truncation(self):
+        model = FpgaOffloadModel(FpgaOffloadConfig(truncation=64))
+        out = model.process(b"\xaa" * 1514)
+        assert len(out) == 64
+        assert model.passed == 1
+
+    def test_filter_drops_nonmatching(self):
+        config = FpgaOffloadConfig(frame_filter=lambda data: data[0] == 0x01)
+        model = FpgaOffloadModel(config)
+        assert model.process(b"\x01" + b"\x00" * 100) is not None
+        assert model.process(b"\x02" + b"\x00" * 100) is None
+        assert model.filtered == 1
+
+    def test_sampling_one_in_n(self):
+        model = FpgaOffloadModel(FpgaOffloadConfig(sample_one_in=4))
+        passed = sum(1 for _ in range(100)
+                     if model.process(b"\x00" * 100) is not None)
+        assert passed == 25
+        assert model.sampled_out == 75
+
+    def test_transform_applied(self):
+        config = FpgaOffloadConfig(transform=lambda data: data.upper())
+        model = FpgaOffloadModel(config)
+        assert model.process(b"abc" * 40) == b"ABC" * 40
+
+
+class TestHostLoad:
+    def test_truncation_shrinks_host_rate(self):
+        model = FpgaOffloadModel(FpgaOffloadConfig(truncation=200))
+        wire = OfferedLoad(100e9, 1514)
+        host = model.host_load(wire)
+        assert host.frame_bytes == 200
+        assert host.pps == pytest.approx(wire.pps)
+        assert host.rate_bps < wire.rate_bps / 5
+
+    def test_sampling_shrinks_pps(self):
+        model = FpgaOffloadModel(FpgaOffloadConfig(sample_one_in=10))
+        host = model.host_load(OfferedLoad(100e9, 1514))
+        assert host.pps == pytest.approx(OfferedLoad(100e9, 1514).pps / 10)
+
+    def test_match_fraction(self):
+        model = FpgaOffloadModel()
+        host = model.host_load(OfferedLoad(100e9, 1514), match_fraction=0.5)
+        assert host.pps == pytest.approx(OfferedLoad(100e9, 1514).pps / 2)
+
+    def test_match_fraction_validated(self):
+        with pytest.raises(ValueError):
+            FpgaOffloadModel().host_load(OfferedLoad(1e9, 100), match_fraction=2.0)
+
+
+class TestEndToEnd:
+    def test_offload_beats_raw_dpdk_on_small_frames(self):
+        """The point of the FPGA path: line-rate small frames become
+        feasible because the host only sees truncations."""
+        wire = OfferedLoad(100e9, 128)
+        writer = DpdkCaptureModel(cores=15, truncation=64)
+        raw = writer.offer(wire)
+        offloaded = FpgaOffloadModel(
+            FpgaOffloadConfig(truncation=64, sample_one_in=8)
+        ).offer_through(writer, wire)
+        assert raw.loss_percent > 1.0
+        assert offloaded.loss_percent < raw.loss_percent

@@ -1,0 +1,141 @@
+"""Tests for the page-cache write-back model (Fig 14, Appendix B)."""
+
+import pytest
+
+from repro.capture.storage import (
+    DEFAULT_BATCH_FRAMES, PageCacheModel, WritevLatencyHistogram,
+)
+
+
+class TestHistogram:
+    def test_log2_bucketing(self):
+        hist = WritevLatencyHistogram()
+        hist.add(40_000)  # falls in (32K, 64K] -> exponent 16
+        assert hist.buckets == {16: 1}
+
+    def test_summed_latency_uses_upper_bound(self):
+        hist = WritevLatencyHistogram()
+        hist.add(40_000)
+        # One call in the [32K, 64K] bucket contributes 2**16 ns.
+        assert hist.summed_latency_ms() == pytest.approx((1 << 16) * 1e-6)
+
+    def test_floor_excludes_average_case(self):
+        hist = WritevLatencyHistogram()
+        for _ in range(1000):
+            hist.add(5_000)  # ordinary page-cache writes
+        assert hist.summed_latency_ms() == 0.0
+
+    def test_merge(self):
+        a, b = WritevLatencyHistogram(), WritevLatencyHistogram()
+        a.add(40_000)
+        b.add(40_000)
+        b.add(5_000_000)
+        a.merge(b)
+        assert a.calls == 3
+        assert a.buckets[16] == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WritevLatencyHistogram().add(0)
+
+
+class TestThresholds:
+    def test_midpoint(self):
+        model = PageCacheModel(dirty_background_ratio=10, dirty_ratio=20)
+        assert model.midpoint_fraction == pytest.approx(0.15)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            PageCacheModel(dirty_background_ratio=20, dirty_ratio=10)
+
+    def test_throttle_budget_paper_example(self):
+        """128 GB host, 60:80 thresholds, 8.5 GB/s -> ~8-9 s budget."""
+        model = PageCacheModel(ram_gb=128, dirty_background_ratio=60,
+                               dirty_ratio=80)
+        budget = model.seconds_until_throttle(8.5e9)
+        assert 7.0 <= budget <= 10.0
+
+    def test_budget_shrinks_with_dirty_pages(self):
+        model = PageCacheModel(dirty_background_ratio=60, dirty_ratio=80)
+        fresh = model.seconds_until_throttle(8.5e9)
+        model.dirty_bytes = 30e9
+        assert model.seconds_until_throttle(8.5e9) < fresh
+
+    def test_budget_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PageCacheModel().seconds_until_throttle(0)
+
+
+class TestLatencyRegimes:
+    def test_quiet_cache_is_fast(self):
+        model = PageCacheModel(dirty_background_ratio=60, dirty_ratio=80)
+        latencies = [model._sample_latency_ns() for _ in range(200)]
+        assert max(latencies) < 10_000
+
+    def test_throttled_regime_stalls(self):
+        model = PageCacheModel(dirty_background_ratio=10, dirty_ratio=20)
+        model.dirty_bytes = 0.18 * model.free_cache_bytes  # past midpoint
+        latencies = [model._sample_latency_ns() for _ in range(2000)]
+        assert max(latencies) > 500_000  # millisecond-class stalls appear
+
+    def test_writev_dirties_pages(self):
+        model = PageCacheModel()
+        model.writev(1 << 20)
+        assert model.dirty_bytes == 1 << 20
+        assert model.histogram.calls == 1
+
+    def test_flush_only_above_background(self):
+        model = PageCacheModel(dirty_background_ratio=10, dirty_ratio=20)
+        model.dirty_bytes = 0.05 * model.free_cache_bytes
+        before = model.dirty_bytes
+        model.flush(1.0)
+        assert model.dirty_bytes == before  # below bg: flusher idle
+        model.dirty_bytes = 0.12 * model.free_cache_bytes
+        before = model.dirty_bytes
+        model.flush(1.0)
+        assert model.dirty_bytes < before
+
+    def test_flush_rejects_negative_dt(self):
+        with pytest.raises(ValueError):
+            PageCacheModel().flush(-1.0)
+
+
+class TestFig14Sweep:
+    def test_sweep_reproduces_paper_gap(self):
+        """At 21 % cache usage, 10:20 vs 20:50 differ by ~2 orders of
+        magnitude in summed latency (paper: 3283 ms vs 13 ms)."""
+        def at_21(bg, ratio):
+            model = PageCacheModel(dirty_background_ratio=bg, dirty_ratio=ratio)
+            sweep = model.fill_sweep(max_usage_percent=25)
+            return next(p.summed_latency_ms for p in sweep if p.usage_percent == 21)
+
+        tight = at_21(10, 20)
+        loose = at_21(20, 50)
+        assert tight / loose > 30  # two-ish orders of magnitude
+        assert 1000 <= tight <= 15000   # paper: 3283 ms
+        assert 1 <= loose <= 100        # paper: 13 ms
+
+    def test_sweep_steep_rise_at_midpoint(self):
+        model = PageCacheModel(dirty_background_ratio=10, dirty_ratio=20)
+        sweep = {p.usage_percent: p.summed_latency_ms
+                 for p in model.fill_sweep(max_usage_percent=25)}
+        # Below bg: essentially zero.  Past the midpoint (15 %): huge.
+        assert sweep[5] < 10
+        assert sweep[18] > 100 * max(sweep[5], 0.001)
+
+    def test_rise_happens_before_dirty_ratio(self):
+        """The paper's surprise: throttling begins at the midpoint,
+        before dirty_ratio is reached."""
+        model = PageCacheModel(dirty_background_ratio=10, dirty_ratio=20)
+        sweep = {p.usage_percent: p.summed_latency_ms
+                 for p in model.fill_sweep(max_usage_percent=25)}
+        assert sweep[17] > 100  # 17 % < dirty_ratio (20 %) yet stalled
+
+    def test_sweep_is_deterministic(self):
+        a = PageCacheModel(seed=5).fill_sweep(max_usage_percent=12)
+        b = PageCacheModel(seed=5).fill_sweep(max_usage_percent=12)
+        assert [p.summed_latency_ms for p in a] == [p.summed_latency_ms for p in b]
+
+    def test_batch_size_convention(self):
+        # The paper's writer calls writev once per 128 frames.
+        assert DEFAULT_BATCH_FRAMES == 128

@@ -1,0 +1,87 @@
+"""Tests for the tcpdump capture model (Section 8.1.2)."""
+
+import pytest
+
+from repro.capture.tcpdump import TcpdumpModel
+
+
+class TestCapacity:
+    def test_paper_anchor_1500B(self):
+        """Loss-free until ~8.5 Gbps for 1500 B frames."""
+        model = TcpdumpModel()
+        max_rate = model.max_lossless_rate_bps(1500)
+        assert 8.0e9 <= max_rate <= 9.2e9
+
+    def test_smaller_frames_lower_rate(self):
+        model = TcpdumpModel()
+        assert model.max_lossless_rate_bps(128) < model.max_lossless_rate_bps(1500)
+
+    def test_capacity_pps_roughly_constant(self):
+        # Kernel cost is per-packet dominated under truncation.
+        model = TcpdumpModel(snaplen=64)
+        assert model.capacity_pps(128) == pytest.approx(model.capacity_pps(9000),
+                                                        rel=0.05)
+
+    def test_larger_snaplen_costs_more(self):
+        small = TcpdumpModel(snaplen=64)
+        large = TcpdumpModel(snaplen=1500)
+        assert large.capacity_pps(1500) < small.capacity_pps(1500)
+
+    def test_buffer_parsing(self):
+        assert TcpdumpModel(buffer_bytes="32MB").buffer_bytes == 32_000_000
+
+
+class TestConstantLoad:
+    def test_below_capacity_lossless(self):
+        result = TcpdumpModel().offer_constant_load(5e9, 1500)
+        assert result.lossless
+        assert result.captured_pps == result.offered_pps
+
+    def test_above_capacity_loses(self):
+        result = TcpdumpModel().offer_constant_load(20e9, 1500, duration=10.0)
+        assert result.loss_fraction > 0.3
+
+    def test_buffer_absorbs_short_overload(self):
+        model = TcpdumpModel()
+        short = model.offer_constant_load(9.5e9, 1500, duration=0.01)
+        long = model.offer_constant_load(9.5e9, 1500, duration=60.0)
+        assert short.loss_fraction < long.loss_fraction
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            TcpdumpModel().offer_constant_load(0, 1500)
+
+
+class TestOnlinePath:
+    def test_slow_arrivals_all_captured(self):
+        model = TcpdumpModel()
+        for i in range(100):
+            assert model.on_frame(1500, now=i * 0.001)
+        assert model.captured == 100
+        assert model.dropped == 0
+
+    def test_burst_beyond_buffer_drops(self):
+        model = TcpdumpModel(buffer_bytes=10_000, snaplen=64)
+        results = [model.on_frame(1500, now=0.0) for _ in range(200)]
+        assert not all(results)
+        assert model.dropped > 0
+        assert model.captured + model.dropped == model.received == 200
+
+    def test_backlog_drains_over_time(self):
+        model = TcpdumpModel(buffer_bytes=10_000, snaplen=64)
+        for _ in range(200):
+            model.on_frame(1500, now=0.0)
+        assert model.on_frame(1500, now=1.0)  # a second later: space again
+
+    def test_time_must_not_go_backwards(self):
+        model = TcpdumpModel()
+        model.on_frame(100, now=1.0)
+        with pytest.raises(ValueError):
+            model.on_frame(100, now=0.5)
+
+    def test_reset(self):
+        model = TcpdumpModel()
+        model.on_frame(100, now=1.0)
+        model.reset()
+        assert model.received == 0
+        model.on_frame(100, now=0.1)  # clock restarted

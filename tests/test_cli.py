@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["study"]).command == "study"
+        assert parser.parse_args(["profile", "--sites", "A", "B"]).sites == ["A", "B"]
+        assert parser.parse_args(["campaign", "--occasions", "3"]).occasions == 3
+        assert parser.parse_args(["analyze", "x.pcap"]).command == "analyze"
+        args = parser.parse_args(["plan", "100Gbps", "1514"])
+        assert args.rate == "100Gbps" and args.frame_size == 1514
+
+
+class TestPlan:
+    def test_tcpdump_recommended_for_light_load(self, capsys):
+        assert main(["plan", "5Gbps", "1514"]) == 0
+        assert "tcpdump" in capsys.readouterr().out
+
+    def test_dpdk_recommended_for_100g(self, capsys):
+        assert main(["plan", "100Gbps", "1514"]) == 0
+        assert "DPDK" in capsys.readouterr().out
+
+    def test_fpga_recommended_for_small_frames(self, capsys):
+        assert main(["plan", "100Gbps", "128"]) == 0
+        assert "FPGA" in capsys.readouterr().out
+
+
+class TestStudy:
+    def test_study_prints_figures(self, capsys):
+        assert main(["study", "--weeks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Distribution of ports" in out
+        assert "Slice spread" in out
+        assert "Duration of slices" in out
+        assert "Simultaneous slices" in out
+        assert "peak network week" in out
+
+
+class TestAnalyze:
+    def test_analyze_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/x.pcap"]) == 2
+        assert "no such pcap" in capsys.readouterr().err
+
+    def test_analyze_real_pcaps(self, profiled_bundle_and_pipeline, tmp_path,
+                                capsys):
+        bundle, _pipeline, _report = profiled_bundle_and_pipeline
+        paths = [str(p) for p in bundle.pcap_paths[:4]]
+        assert main(["analyze", *paths, "--out", str(tmp_path), "--charts"]) == 0
+        out = capsys.readouterr().out
+        assert "Occurrence of protocol headers" in out
+        assert (tmp_path / "csv").exists()
+        assert list((tmp_path / "charts").glob("*.svg"))
+
+
+class TestProfile:
+    def test_profile_end_to_end(self, tmp_path, capsys):
+        code = main([
+            "profile", "--sites", "STAR", "MICH",
+            "--out", str(tmp_path / "out"), "--scale", "0.02",
+            "--sample-duration", "2", "--sample-interval", "10",
+            "--samples", "1", "--cycles", "1", "--instances", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "STAR:" in out and "MICH:" in out
+        assert (tmp_path / "out" / "csv").exists()
+        assert (tmp_path / "out" / "logs").exists()
+
+
+class TestCampaign:
+    def test_campaign_small(self, tmp_path, capsys):
+        code = main(["campaign", "--sites", "3", "--occasions", "2",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out

@@ -1,0 +1,101 @@
+"""Tests for iterative back-off acquisition."""
+
+import pytest
+
+from repro.core.backoff import acquire_with_backoff, patchwork_request
+from repro.core.logs import InstanceLog
+from repro.testbed import FederationBuilder, TestbedAPI
+from repro.testbed.slice_model import NodeRequest, SliceRequest
+
+
+@pytest.fixture()
+def api():
+    federation = FederationBuilder(seed=42).build(site_names=["STAR", "MICH"])
+    return TestbedAPI(federation)
+
+
+def log():
+    return InstanceLog("STAR", "test")
+
+
+def drain_nics(api, site, leave):
+    """Consume dedicated NICs until only ``leave`` remain."""
+    free = api.available_resources(site).dedicated_nics
+    take = int(free) - leave
+    if take <= 0:
+        return
+    api.create_slice(SliceRequest(site=site, nodes=[
+        NodeRequest(name=f"u{i}") for i in range(take)], name=f"drain-{site}"))
+
+
+class TestPatchworkRequest:
+    def test_default_node_shape(self):
+        request = patchwork_request("STAR", 2)
+        node = request.nodes[0]
+        assert (node.cores, node.ram_gb, node.disk_gb, node.dedicated_nics) == \
+            (2, 8.0, 100.0, 1)
+
+    def test_node_count(self):
+        assert len(patchwork_request("STAR", 3).nodes) == 3
+
+
+class TestAcquisition:
+    def test_full_acquisition(self, api):
+        result = acquire_with_backoff(api, "STAR", 2, log())
+        assert result.acquired
+        assert result.granted_nodes == 2
+        assert result.backoffs == 0
+        assert not result.degraded
+
+    def test_backoff_to_smaller_request(self, api):
+        drain_nics(api, "STAR", leave=1)
+        result = acquire_with_backoff(api, "STAR", 3, log(), max_backoffs=4)
+        assert result.acquired
+        assert result.granted_nodes == 1
+        assert result.backoffs == 2
+        assert result.degraded
+
+    def test_failure_when_nothing_left(self, api):
+        drain_nics(api, "STAR", leave=0)
+        result = acquire_with_backoff(api, "STAR", 2, log())
+        assert not result.acquired
+        assert "dedicated_nics" in result.failure_reason
+
+    def test_max_backoffs_respected(self, api):
+        drain_nics(api, "STAR", leave=1)
+        result = acquire_with_backoff(api, "STAR", 4, log(), max_backoffs=1)
+        assert not result.acquired
+
+    def test_transient_retry_then_success(self, api):
+        # Outage covering only the first attempt window.
+        api.federation.faults.add_outage(api.now, api.now + 10.0)
+        api.wait(0.0)
+        result = acquire_with_backoff(api, "STAR", 1, log(),
+                                      transient_retries=3)
+        # The first create fails (charging BASE latency pushes time past
+        # the outage), the retry succeeds.
+        assert result.acquired
+        assert result.transient_failures >= 1
+
+    def test_persistent_outage_fails(self, api):
+        api.federation.faults.add_outage(api.now, api.now + 1e6)
+        result = acquire_with_backoff(api, "STAR", 1, log(),
+                                      transient_retries=2)
+        assert not result.acquired
+        assert result.failure_reason == "transient backend error"
+        assert result.transient_failures == 3
+
+    def test_acquisition_logged(self, api):
+        the_log = log()
+        acquire_with_backoff(api, "STAR", 1, the_log)
+        assert any(e.kind == "acquire" for e in the_log)
+
+    def test_backoff_releases_nothing_on_failure(self, api):
+        before = api.available_resources("STAR")
+        drain = before.dedicated_nics
+        drain_nics(api, "STAR", leave=0)
+        during = api.available_resources("STAR")
+        acquire_with_backoff(api, "STAR", 2, log())
+        after = api.available_resources("STAR")
+        assert after.dedicated_nics == during.dedicated_nics == 0
+        assert after.cores == during.cores

@@ -1,0 +1,64 @@
+"""Tests for Patchwork configuration."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import PatchworkConfig, SamplingPlan
+
+
+class TestSamplingPlan:
+    def test_paper_defaults(self):
+        """Defaults are the production settings: 20 s samples every 5 min."""
+        plan = SamplingPlan()
+        assert plan.sample_duration == 20.0
+        assert plan.sample_interval == 300.0
+
+    def test_total_samples(self):
+        plan = SamplingPlan(samples_per_run=3, runs_per_cycle=2, cycles=4)
+        assert plan.total_samples == 24
+
+    def test_approximate_duration(self):
+        plan = SamplingPlan(sample_interval=300, samples_per_run=2,
+                            runs_per_cycle=1, cycles=1)
+        assert plan.approximate_duration == 600
+
+    def test_interval_must_cover_sample(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(sample_duration=30, sample_interval=20)
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(samples_per_run=0)
+
+    def test_positive_duration(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(sample_duration=0)
+
+
+class TestPatchworkConfig:
+    def test_defaults_match_paper(self):
+        config = PatchworkConfig()
+        assert config.snaplen == 200              # 200 B truncation
+        assert config.capture_method.value == "tcpdump"  # the default method
+        assert config.selector == "busiest-bias"
+
+    def test_output_dir_coerced(self):
+        config = PatchworkConfig(output_dir="somewhere/out")
+        assert isinstance(config.output_dir, Path)
+
+    def test_single_experiment_needs_slice(self):
+        with pytest.raises(ValueError):
+            PatchworkConfig(all_experiment=False)
+
+    def test_single_experiment_with_slice(self):
+        config = PatchworkConfig(all_experiment=False, slice_name="mine")
+        assert config.slice_name == "mine"
+
+    def test_snaplen_positive(self):
+        with pytest.raises(ValueError):
+            PatchworkConfig(snaplen=0)
+
+    def test_instances_positive(self):
+        with pytest.raises(ValueError):
+            PatchworkConfig(desired_instances=0)

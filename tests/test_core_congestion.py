@@ -1,0 +1,57 @@
+"""Tests for the congestion detector."""
+
+import pytest
+
+from repro.core.congestion import CongestionDetector
+from repro.core.logs import InstanceLog
+from repro.telemetry.mflib import MFlib
+from repro.telemetry.timeseries import CounterStore
+
+
+def store_with_total(tx_bps, rx_bps):
+    store = CounterStore()
+    for i, t in enumerate([0.0, 100.0, 200.0]):
+        store.append("STAR", "p1", "tx_bytes", t, i * tx_bps / 8 * 100)
+        store.append("STAR", "p1", "rx_bytes", t, i * rx_bps / 8 * 100)
+        store.append("STAR", "p1", "tx_drops", t, 0)
+        store.append("STAR", "p1", "rx_drops", t, 0)
+    return store
+
+
+class TestDetector:
+    def test_overload_detected(self):
+        """Tx 60 + Rx 60 > 100 Gbps destination: incomplete samples."""
+        detector = CongestionDetector(MFlib(store_with_total(60e9, 60e9)))
+        verdict = detector.check("STAR", "p1", 100e9, 0.0, 200.0)
+        assert verdict.overloaded is True
+        assert "overload likely" in verdict.describe()
+
+    def test_fits_within_line_rate(self):
+        detector = CongestionDetector(MFlib(store_with_total(40e9, 40e9)))
+        verdict = detector.check("STAR", "p1", 100e9, 0.0, 200.0)
+        assert verdict.overloaded is False
+
+    def test_unanswerable_when_unpolled(self):
+        detector = CongestionDetector(MFlib(CounterStore()))
+        verdict = detector.check("STAR", "p1", 100e9, 0.0, 200.0)
+        assert verdict.overloaded is None
+        assert not verdict.answerable
+        assert "unknown" in verdict.describe()
+
+    def test_verdict_logged(self):
+        log = InstanceLog("STAR", "t")
+        detector = CongestionDetector(MFlib(store_with_total(60e9, 60e9)))
+        detector.check("STAR", "p1", 100e9, 0.0, 200.0, log=log)
+        events = log.of_kind("congestion")
+        assert len(events) == 1
+        assert events[0].level == "warning"
+
+    def test_clean_verdict_logged_as_info(self):
+        log = InstanceLog("STAR", "t")
+        detector = CongestionDetector(MFlib(store_with_total(1e9, 1e9)))
+        detector.check("STAR", "p1", 100e9, 0.0, 200.0, log=log)
+        assert log.of_kind("congestion")[0].level == "info"
+
+    def test_headroom_validated(self):
+        with pytest.raises(ValueError):
+            CongestionDetector(MFlib(CounterStore()), headroom=0)

@@ -1,0 +1,115 @@
+"""Tests for the coordinator (Fig 7's end-to-end workflow)."""
+
+import pytest
+
+from repro.core import Coordinator, PatchworkConfig, SamplingPlan
+from repro.core.status import RunOutcome
+from repro.telemetry import SNMPPoller
+from repro.testbed import FederationBuilder, TestbedAPI
+from repro.traffic.workloads import TrafficOrchestrator
+
+
+def plan():
+    return SamplingPlan(sample_duration=2, sample_interval=10,
+                        samples_per_run=1, runs_per_cycle=1, cycles=1)
+
+
+@pytest.fixture()
+def world(tmp_path):
+    federation = FederationBuilder(seed=42).build(
+        site_names=["STAR", "MICH", "UTAH"])
+    api = TestbedAPI(federation)
+    poller = SNMPPoller(federation, interval=5.0)
+    poller.start()
+    orchestrator = TrafficOrchestrator(federation, seed=7, scale=0.02)
+    orchestrator.setup()
+    orchestrator.generate_window(0.0, 300.0)
+    config = PatchworkConfig(output_dir=tmp_path, plan=plan(),
+                             desired_instances=1)
+    return federation, api, poller, config
+
+
+class TestProfileRun:
+    def test_all_sites_profiled(self, world):
+        federation, api, poller, config = world
+        bundle = Coordinator(api, config, poller=poller).run_profile()
+        assert set(bundle.results) == {"STAR", "MICH", "UTAH"}
+        assert all(r.outcome is RunOutcome.SUCCESS
+                   for r in bundle.results.values())
+
+    def test_run_records(self, world):
+        federation, api, poller, config = world
+        bundle = Coordinator(api, config, poller=poller).run_profile()
+        records = bundle.run_records
+        assert len(records) == 3
+        assert all(r.profiled for r in records)
+        assert all(r.pcap_files > 0 for r in records)
+
+    def test_site_restriction(self, world):
+        federation, api, poller, config = world
+        config.sites = ["MICH"]
+        bundle = Coordinator(api, config, poller=poller).run_profile()
+        assert set(bundle.results) == {"MICH"}
+
+    def test_resources_yielded_after_occasion(self, world):
+        federation, api, poller, config = world
+        before = {s: api.available_resources(s) for s in api.list_sites()}
+        Coordinator(api, config, poller=poller).run_profile()
+        after = {s: api.available_resources(s) for s in api.list_sites()}
+        assert before == after
+
+    def test_gather_writes_logs(self, world, tmp_path):
+        federation, api, poller, config = world
+        bundle = Coordinator(api, config, poller=poller).run_profile()
+        written = bundle.write_logs(tmp_path / "logs")
+        assert len(written) == 3
+        assert all(p.exists() for p in written)
+
+    def test_outcome_counts(self, world):
+        federation, api, poller, config = world
+        bundle = Coordinator(api, config, poller=poller).run_profile()
+        counts = bundle.outcome_counts()
+        assert counts[RunOutcome.SUCCESS] == 3
+        assert sum(counts.values()) == 3
+
+    def test_pcap_paths_sorted_and_existing(self, world):
+        federation, api, poller, config = world
+        bundle = Coordinator(api, config, poller=poller).run_profile()
+        paths = bundle.pcap_paths
+        assert paths == sorted(paths)
+        assert all(p.exists() for p in paths)
+
+    def test_two_occasions_back_to_back(self, world):
+        federation, api, poller, config = world
+        coordinator = Coordinator(api, config, poller=poller)
+        first = coordinator.run_profile()
+        second = coordinator.run_profile()
+        assert coordinator.occasions_run == 2
+        assert second.started_at > first.finished_at - 1e-9
+
+    def test_crash_probability_produces_incomplete(self, world):
+        federation, api, poller, config = world
+        bundle = Coordinator(api, config, poller=poller).run_profile(
+            crash_probability=1.0)
+        assert all(r.outcome is RunOutcome.INCOMPLETE
+                   for r in bundle.results.values())
+
+
+class TestDeadline:
+    def test_stragglers_aborted_at_deadline(self, world):
+        """If a site's instance cannot finish inside the coordinator's
+        budget, it is aborted and recorded as Incomplete rather than
+        hanging the occasion."""
+        federation, api, poller, config = world
+        config.plan = SamplingPlan(sample_duration=2, sample_interval=1000,
+                                   samples_per_run=50, runs_per_cycle=1,
+                                   cycles=1)
+        coordinator = Coordinator(api, config, poller=poller)
+        bundle = coordinator.run_profile(deadline_margin=0.001)
+        outcomes = {r.outcome for r in bundle.results.values()}
+        assert outcomes == {RunOutcome.INCOMPLETE}
+        for result in bundle.results.values():
+            assert result.abort_reason == "coordinator deadline reached"
+        # Even aborted instances yield their resources back.
+        for site in api.list_sites():
+            assert api.available_resources(site).dedicated_nics >= 2

@@ -1,0 +1,142 @@
+"""Tests for port-cycling heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core.cycling import (
+    AllPortsSelector, BusiestBiasSelector, FixedPortsSelector,
+    SelectionContext, UplinksOnlySelector, make_selector,
+)
+from repro.telemetry.mflib import MFlib
+from repro.telemetry.timeseries import CounterStore
+
+
+def store_with_rates(rates_mbps):
+    """A store where port pN moves rates_mbps[N] Mbps of Tx traffic."""
+    store = CounterStore()
+    for t_index, t in enumerate([0.0, 300.0, 600.0]):
+        for port, mbps in rates_mbps.items():
+            bytes_total = t_index * mbps * 1e6 / 8 * 300
+            store.append("STAR", port, "tx_bytes", t, bytes_total)
+            store.append("STAR", port, "rx_bytes", t, 0)
+            store.append("STAR", port, "tx_drops", t, 0)
+            store.append("STAR", port, "rx_drops", t, 0)
+    return store
+
+
+def context(rates_mbps, cycle_index=0, history=None, candidates=None,
+            uplinks=(), rng=None):
+    return SelectionContext(
+        site="STAR",
+        candidates=candidates if candidates is not None else sorted(rates_mbps),
+        uplink_ids=list(uplinks),
+        mflib=MFlib(store_with_rates(rates_mbps)),
+        now=600.0,
+        window=600.0,
+        idle_threshold_bps=1000.0,
+        cycle_index=cycle_index,
+        history=history if history is not None else {},
+        rng=rng if rng is not None else np.random.default_rng(0),
+    )
+
+
+RATES = {"p1": 100.0, "p2": 10.0, "p3": 1.0, "p4": 0.0}
+
+
+class TestBusiestBias:
+    def test_busiest_cycle_picks_top_port(self):
+        ctx = context(RATES, cycle_index=0)  # 0 % n == 0 -> busiest mode
+        chosen = BusiestBiasSelector(n=4).select(ctx, slots=1)
+        assert chosen == ["p1"]
+
+    def test_busiest_skips_recently_sampled(self):
+        history = {"p1": -1}  # sampled 1 cycle ago, within n=4
+        ctx = context(RATES, cycle_index=0, history=history)
+        chosen = BusiestBiasSelector(n=4).select(ctx, slots=1)
+        assert chosen == ["p2"]  # next busiest fresh port
+
+    def test_random_cycle_picks_non_idle(self):
+        ctx = context(RATES, cycle_index=1)  # not a busiest cycle
+        chosen = BusiestBiasSelector(n=4).select(ctx, slots=1)
+        assert chosen[0] in {"p1", "p2", "p3"}  # p4 is idle
+
+    def test_slots_get_distinct_ports(self):
+        ctx = context(RATES, cycle_index=0)
+        chosen = BusiestBiasSelector(n=4).select(ctx, slots=3)
+        assert len(chosen) == len(set(chosen)) == 3
+
+    def test_fills_with_random_when_all_idle(self):
+        ctx = context({"p1": 0.0, "p2": 0.0}, cycle_index=1)
+        chosen = BusiestBiasSelector(n=4).select(ctx, slots=2)
+        assert len(chosen) == 2  # never starves a slot
+
+    def test_no_candidates(self):
+        ctx = context(RATES, candidates=[])
+        assert BusiestBiasSelector().select(ctx, slots=2) == []
+
+    def test_n_validated(self):
+        with pytest.raises(ValueError):
+            BusiestBiasSelector(n=1)
+
+    def test_fairness_over_cycles(self):
+        """Over many cycles every non-idle port gets sampled."""
+        selector = BusiestBiasSelector(n=3)
+        history = {}
+        seen = set()
+        rng = np.random.default_rng(3)  # one stream across cycles
+        for cycle in range(24):
+            ctx = context(RATES, cycle_index=cycle, history=dict(history),
+                          rng=rng)
+            chosen = selector.select(ctx, slots=1)
+            for port in chosen:
+                history[port] = cycle
+                seen.add(port)
+        assert {"p1", "p2", "p3"} <= seen
+
+
+class TestOtherSelectors:
+    def test_fixed(self):
+        ctx = context(RATES)
+        selector = FixedPortsSelector(["p3", "p2"])
+        assert selector.select(ctx, slots=2) == ["p3", "p2"]
+        assert selector.select(ctx, slots=1) == ["p3"]
+
+    def test_fixed_filters_to_candidates(self):
+        ctx = context(RATES, candidates=["p2"])
+        assert FixedPortsSelector(["p3", "p2"]).select(ctx, slots=2) == ["p2"]
+
+    def test_fixed_requires_ports(self):
+        with pytest.raises(ValueError):
+            FixedPortsSelector([])
+
+    def test_uplinks_only(self):
+        ctx = context(RATES, uplinks=["p2", "p3"])
+        chosen = UplinksOnlySelector().select(ctx, slots=1)
+        assert chosen[0] in {"p2", "p3"}
+
+    def test_uplinks_rotate(self):
+        first = UplinksOnlySelector().select(
+            context(RATES, uplinks=["p2", "p3"], cycle_index=0), slots=1)
+        second = UplinksOnlySelector().select(
+            context(RATES, uplinks=["p2", "p3"], cycle_index=1), slots=1)
+        assert first != second
+
+    def test_uplinks_empty(self):
+        ctx = context(RATES, uplinks=[])
+        assert UplinksOnlySelector().select(ctx, slots=1) == []
+
+    def test_all_ports_round_robin_covers_idle(self):
+        seen = set()
+        for cycle in range(4):
+            ctx = context(RATES, cycle_index=cycle)
+            seen.update(AllPortsSelector().select(ctx, slots=1))
+        assert "p4" in seen  # idle ports included
+
+    def test_factory(self):
+        assert isinstance(make_selector("busiest-bias"), BusiestBiasSelector)
+        assert isinstance(make_selector("fixed", fixed_ports=["p1"]),
+                          FixedPortsSelector)
+        assert isinstance(make_selector("uplinks"), UplinksOnlySelector)
+        assert isinstance(make_selector("all"), AllPortsSelector)
+        with pytest.raises(ValueError):
+            make_selector("nonsense")

@@ -1,0 +1,80 @@
+"""Tests for the gathering phase (compression + verification)."""
+
+import tarfile
+
+import pytest
+
+from repro.core.gather import (
+    extract_archive, gather_bundle, gather_site, verify_archive,
+)
+
+
+@pytest.fixture()
+def site_dir(tmp_path):
+    d = tmp_path / "STAR"
+    d.mkdir()
+    (d / "c0_r0_s0.pcap").write_bytes(b"\xa1\xb2\xc3\xd4" + b"\x00" * 5000)
+    (d / "c0_r0_s1.pcap").write_bytes(b"\xa1\xb2\xc3\xd4" + b"\x01" * 3000)
+    return d
+
+
+class TestGatherSite:
+    def test_archive_created_with_manifest(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "gathered",
+                               log_text="# log\nhello\n")
+        assert gathered.archive_path.exists()
+        assert gathered.files == 3  # 2 pcaps + log
+        with tarfile.open(gathered.archive_path) as archive:
+            names = archive.getnames()
+        assert "STAR/MANIFEST.json" in names
+        assert "STAR/instance.log" in names
+        assert "STAR/c0_r0_s0.pcap" in names
+
+    def test_compression_shrinks_pcaps(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "g")
+        # Highly compressible filler: the archive must be much smaller.
+        assert gathered.compressed_bytes < gathered.raw_bytes
+        assert gathered.compression_ratio > 2.0
+
+    def test_verify_ok(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "g")
+        assert verify_archive(gathered.archive_path)
+
+    def test_verify_detects_corruption(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "g",
+                               log_text="x")
+        # Rebuild the archive with one file's bytes flipped.
+        import io
+        import json
+        corrupted = tmp_path / "corrupt.tar.gz"
+        with tarfile.open(gathered.archive_path) as src, \
+                tarfile.open(corrupted, "w:gz") as dst:
+            for member in src.getmembers():
+                data = src.extractfile(member).read()
+                if member.name.endswith("s0.pcap"):
+                    data = b"\xff" + data[1:]
+                info = tarfile.TarInfo(member.name)
+                info.size = len(data)
+                dst.addfile(info, io.BytesIO(data))
+        assert not verify_archive(corrupted)
+
+    def test_extract_round_trip(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "g",
+                               log_text="the log")
+        extracted = extract_archive(gathered.archive_path, tmp_path / "x")
+        names = {p.name for p in extracted}
+        assert {"c0_r0_s0.pcap", "c0_r0_s1.pcap", "instance.log",
+                "MANIFEST.json"} <= names
+        pcap = next(p for p in extracted if p.name == "c0_r0_s0.pcap")
+        assert pcap.read_bytes() == (site_dir / "c0_r0_s0.pcap").read_bytes()
+
+
+class TestGatherBundle:
+    def test_gather_full_profile(self, profiled_bundle_and_pipeline, tmp_path):
+        bundle, _pipeline, _report = profiled_bundle_and_pipeline
+        gathered = gather_bundle(bundle, tmp_path / "gathered")
+        profiled = [s for s, r in bundle.results.items() if r.pcap_paths]
+        assert len(gathered) == len(profiled)
+        for site_bundle in gathered:
+            assert verify_archive(site_bundle.archive_path)
+            assert site_bundle.compression_ratio > 1.0

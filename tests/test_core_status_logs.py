@@ -1,0 +1,77 @@
+"""Tests for run outcomes and instance logs."""
+
+import pytest
+
+from repro.core.logs import InstanceLog
+from repro.core.status import (
+    RunOutcome, RunRecord, outcome_fractions, success_rate,
+)
+
+
+def record(outcome, site="STAR"):
+    return RunRecord(site=site, started_at=0.0, outcome=outcome)
+
+
+class TestStatus:
+    def test_profiled_includes_degraded(self):
+        assert record(RunOutcome.SUCCESS).profiled
+        assert record(RunOutcome.DEGRADED).profiled
+        assert not record(RunOutcome.FAILED).profiled
+        assert not record(RunOutcome.INCOMPLETE).profiled
+
+    def test_success_rate(self):
+        records = [record(RunOutcome.SUCCESS)] * 3 + [record(RunOutcome.FAILED)]
+        assert success_rate(records) == 0.75
+
+    def test_success_rate_empty(self):
+        assert success_rate([]) == 0.0
+
+    def test_outcome_fractions_sum_to_one(self):
+        records = ([record(RunOutcome.SUCCESS)] * 5
+                   + [record(RunOutcome.DEGRADED)] * 2
+                   + [record(RunOutcome.FAILED)] * 2
+                   + [record(RunOutcome.INCOMPLETE)])
+        fractions = outcome_fractions(records)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[RunOutcome.SUCCESS] == 0.5
+
+    def test_outcome_fractions_empty(self):
+        fractions = outcome_fractions([])
+        assert all(v == 0.0 for v in fractions.values())
+
+
+class TestInstanceLog:
+    def test_append_and_query(self):
+        log = InstanceLog("STAR", "pw1")
+        log.info(1.0, "setup", "starting")
+        log.warning(2.0, "acquire", "shortfall", resource="dedicated_nics")
+        log.error(3.0, "watchdog", "crashed")
+        assert len(log) == 3
+        assert len(log.of_kind("acquire")) == 1
+        assert len(log.errors()) == 1
+
+    def test_levels_validated(self):
+        log = InstanceLog("STAR", "pw1")
+        with pytest.raises(ValueError):
+            log.log(0.0, "shout", "k", "m")
+
+    def test_render_contains_fields(self):
+        log = InstanceLog("STAR", "pw1")
+        log.info(12.5, "sample", "done", cycle=3)
+        text = log.render()
+        assert "site=STAR" in text
+        assert "sample: done" in text
+        assert "cycle=3" in text
+
+    def test_write_to(self, tmp_path):
+        log = InstanceLog("STAR", "pw1")
+        log.info(0.0, "setup", "hello")
+        path = log.write_to(tmp_path / "deep" / "instance.log")
+        assert path.exists()
+        assert "hello" in path.read_text()
+
+    def test_iteration_order(self):
+        log = InstanceLog("STAR", "pw1")
+        for i in range(5):
+            log.info(float(i), "k", f"m{i}")
+        assert [e.message for e in log] == [f"m{i}" for i in range(5)]

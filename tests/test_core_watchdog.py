@@ -1,0 +1,81 @@
+"""Tests for the instance watchdog."""
+
+import numpy as np
+import pytest
+
+from repro.core.logs import InstanceLog
+from repro.core.watchdog import Watchdog
+from repro.netsim.engine import Simulator
+
+
+def make(sim, used_fn, quota=1000.0, crash=0.0, interval=10.0):
+    aborts = []
+    watchdog = Watchdog(
+        sim=sim, log=InstanceLog("STAR", "t"),
+        disk_quota_bytes=quota, used_bytes_fn=used_fn,
+        on_abort=aborts.append, interval=interval,
+        crash_probability_per_check=crash,
+        rng=np.random.default_rng(0),
+    )
+    return watchdog, aborts
+
+
+class TestWatchdog:
+    def test_healthy_keeps_checking(self):
+        sim = Simulator()
+        watchdog, aborts = make(sim, lambda: 10.0)
+        watchdog.start()
+        sim.run(until=100.0)
+        assert watchdog.checks == 10
+        assert aborts == []
+
+    def test_storage_exhaustion_aborts(self):
+        sim = Simulator()
+        used = {"bytes": 0.0}
+        watchdog, aborts = make(sim, lambda: used["bytes"], quota=1000.0)
+        watchdog.start()
+        sim.run(until=15.0)
+        used["bytes"] = 2000.0
+        sim.run(until=25.0)
+        assert aborts == ["storage exhausted"]
+        assert watchdog.tripped
+
+    def test_no_checks_after_trip(self):
+        sim = Simulator()
+        watchdog, aborts = make(sim, lambda: 5000.0, quota=1000.0)
+        watchdog.start()
+        sim.run(until=100.0)
+        assert len(aborts) == 1
+        assert watchdog.checks == 1
+
+    def test_crash_injection(self):
+        sim = Simulator()
+        watchdog, aborts = make(sim, lambda: 0.0, crash=1.0)
+        watchdog.start()
+        sim.run(until=15.0)
+        assert aborts == ["instance crashed"]
+
+    def test_stop_cancels(self):
+        sim = Simulator()
+        watchdog, aborts = make(sim, lambda: 0.0)
+        watchdog.start()
+        sim.run(until=15.0)
+        watchdog.stop()
+        sim.run(until=100.0)
+        assert watchdog.checks == 1
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        watchdog, _ = make(sim, lambda: 0.0)
+        watchdog.start()
+        with pytest.raises(RuntimeError):
+            watchdog.start()
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Watchdog(sim, InstanceLog("S", "i"), 100, lambda: 0,
+                     lambda r: None, interval=0)
+        with pytest.raises(ValueError):
+            Watchdog(sim, InstanceLog("S", "i"), 100, lambda: 0,
+                     lambda r: None, crash_probability_per_check=1.5)

@@ -1,0 +1,81 @@
+"""End-to-end integration: traffic -> Patchwork -> pcaps -> analysis.
+
+These tests exercise the full reproduction stack against the
+session-scoped profiled bundle and check the cross-layer invariants
+that no unit test can see.
+"""
+
+import pytest
+
+from repro.analysis.acap import digest_pcap
+from repro.core.status import RunOutcome
+from repro.packets.pcap import PcapReader
+from repro.traffic.distributions import PAPER_FRAME_BINS
+
+
+class TestProfileToAnalysis:
+    def test_every_pcap_is_dissectable(self, profiled_bundle_and_pipeline):
+        bundle, _pipeline, _report = profiled_bundle_and_pipeline
+        for path in bundle.pcap_paths[:10]:
+            acap = digest_pcap(path)
+            for record in acap.records:
+                assert record.depth >= 1
+                assert record.stack[0] == "eth"
+
+    def test_truncation_respected_everywhere(self, profiled_bundle_and_pipeline):
+        bundle, _pipeline, _report = profiled_bundle_and_pipeline
+        for path in bundle.pcap_paths:
+            with PcapReader(path) as reader:
+                assert reader.snaplen == 200
+                for record in reader:
+                    assert len(record.data) <= 200
+
+    def test_wire_lengths_preserved_through_truncation(
+            self, profiled_bundle_and_pipeline):
+        """orig_len must preserve real frame sizes despite the 200 B cut
+        -- this is what makes Fig 15 computable from truncated captures."""
+        _bundle, pipeline, _report = profiled_bundle_and_pipeline
+        wire_lens = [r.wire_len for acap in pipeline.acaps for r in acap.records]
+        assert any(w > 1518 for w in wire_lens)   # jumbo-class frames seen
+        assert all(w >= 60 for w in wire_lens)
+
+    def test_frame_sizes_match_generated_traffic(self, profiled_bundle_and_pipeline):
+        """Captured frame-size mix is dominated by the encapsulated-MTU
+        bin plus small control frames, like the paper's profile."""
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        table = report.tables["frame_sizes_overall"]
+        shares = dict(zip(table.column("size_bin"), table.column("fraction")))
+        top = max(shares, key=shares.get)
+        assert top in ("1519-2047", "65-127", "8192-16000")
+
+    def test_flow_classification_consistent_with_metadata(
+            self, profiled_bundle_and_pipeline):
+        """Flows found by the byte-level analysis correspond to real
+        generated flows: each has plausible frame counts and sizes."""
+        _bundle, _pipeline, report = profiled_bundle_and_pipeline
+        for stats in report.aggregated_flows.values():
+            assert stats.frames >= 1
+            assert stats.wire_bytes >= 60 * stats.frames
+
+    def test_instance_logs_cover_every_sample(self, profiled_bundle_and_pipeline):
+        bundle, _pipeline, _report = profiled_bundle_and_pipeline
+        for result in bundle.results.values():
+            if result.outcome is not RunOutcome.SUCCESS:
+                continue
+            sample_events = result.log.of_kind("sample")
+            assert len(sample_events) >= len(result.samples) / 4
+
+    def test_congestion_verdicts_logged(self, profiled_bundle_and_pipeline):
+        bundle, _pipeline, _report = profiled_bundle_and_pipeline
+        for result in bundle.results.values():
+            if result.samples:
+                assert result.log.of_kind("congestion")
+
+    def test_quickstart_helper(self):
+        import repro
+        federation, api, poller, orchestrator = repro.quickstart_federation(
+            site_names=["STAR", "MICH"], traffic_scale=0.02)
+        assert api.list_sites() == ["MICH", "STAR"]
+        orchestrator.generate_window(0.0, 5.0)
+        federation.sim.run(until=6.0)
+        assert poller.polls_completed >= 1

@@ -1,0 +1,125 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.0, fired.append, "x")
+        sim.run()
+        assert sim.now == 12.0 and fired == ["x"]
+
+    def test_rejects_past_scheduling(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "no")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0  # clock lands exactly on `until`
+
+    def test_until_advances_clock_when_queue_empty(self):
+        sim = Simulator()
+        sim.run(until=9.0)
+        assert sim.now == 9.0
+
+    def test_remaining_events_fire_on_next_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["b"]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1.0, fired.append, i)
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3

@@ -1,0 +1,130 @@
+"""Tests for frame composition (chaining fixes, sizing, checksums)."""
+
+import pytest
+
+from repro.packets.builder import FrameBuilder, FrameSpec, MIN_FRAME_SIZE
+from repro.packets.headers import (
+    ARP, Ethernet, ICMP, IPv4, IPv6, MPLS, Payload, PseudoWireControlWord,
+    TCP, TLSRecord, UDP, VLAN, EtherType, IPProto,
+)
+
+E1 = "02:00:00:00:00:01"
+E2 = "02:00:00:00:00:02"
+
+
+def build(stack, target=None):
+    return FrameBuilder().build(FrameSpec(stack, target_size=target))
+
+
+class TestChaining:
+    def test_ethernet_announces_vlan(self):
+        frame = build([Ethernet(E1, E2), VLAN(5), IPv4("10.0.0.1", "10.0.0.2"),
+                       Payload(100)])
+        _f, n, ethertype = Ethernet.parse(memoryview(frame))
+        assert ethertype == EtherType.VLAN
+
+    def test_vlan_announces_mpls(self):
+        frame = build([Ethernet(E1, E2), VLAN(5), MPLS(16), IPv4("10.0.0.1", "10.0.0.2"),
+                       Payload(100)])
+        _f, n, _ = Ethernet.parse(memoryview(frame))
+        _f2, _n2, inner = VLAN.parse(memoryview(frame)[n:])
+        assert inner == EtherType.MPLS_UNICAST
+
+    def test_mpls_bottom_bits(self):
+        frame = build([Ethernet(E1, E2), MPLS(1), MPLS(2),
+                       IPv4("10.0.0.1", "10.0.0.2"), Payload(40)])
+        view = memoryview(frame)[14:]
+        _f, n, bottom1 = MPLS.parse(view)
+        assert bottom1 is False
+        _f2, _n2, bottom2 = MPLS.parse(view[n:])
+        assert bottom2 is True
+
+    def test_ip_proto_follows_transport(self):
+        for transport, proto in ((TCP(1, 2), IPProto.TCP),
+                                 (UDP(1, 2), IPProto.UDP),
+                                 (ICMP(), IPProto.ICMP)):
+            frame = build([Ethernet(E1, E2),
+                           IPv4("10.0.0.1", "10.0.0.2", proto=99),
+                           transport, Payload(50)])
+            _f, _n, parsed = IPv4.parse(memoryview(frame)[14:])
+            assert parsed == proto
+
+    def test_ethernet_announces_ipv6(self):
+        frame = build([Ethernet(E1, E2), IPv6("fd00::1", "fd00::2"),
+                       UDP(1, 2), Payload(30)])
+        _f, _n, ethertype = Ethernet.parse(memoryview(frame))
+        assert ethertype == EtherType.IPV6
+
+    def test_ethernet_announces_arp(self):
+        frame = build([Ethernet(E1, E2), ARP(E1, "10.0.0.1")])
+        _f, _n, ethertype = Ethernet.parse(memoryview(frame))
+        assert ethertype == EtherType.ARP
+
+    def test_spec_not_mutated(self):
+        eth = Ethernet(E1, E2, ethertype=EtherType.IPV4)
+        build([eth, VLAN(5), IPv4("10.0.0.1", "10.0.0.2"), Payload(60)])
+        assert eth.ethertype == EtherType.IPV4  # original untouched
+
+
+class TestSizing:
+    def test_exact_target_size(self):
+        for target in (128, 512, 1514, 1544, 8986):
+            frame = build([Ethernet(E1, E2), VLAN(3), MPLS(9),
+                           IPv4("10.0.0.1", "10.0.0.2"), TCP(1, 2), Payload(0)],
+                          target=target)
+            assert len(frame) == target
+
+    def test_minimum_enforced(self):
+        frame = build([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                       TCP(1, 2), Payload(0)], target=10)
+        assert len(frame) == MIN_FRAME_SIZE
+
+    def test_no_payload_no_resize(self):
+        frame = build([Ethernet(E1, E2), ARP(E1, "10.0.0.1")], target=500)
+        # ARP stack has no Payload to stretch; stays at its natural size.
+        assert len(frame) == MIN_FRAME_SIZE
+
+    def test_requires_ethernet_first(self):
+        with pytest.raises(ValueError):
+            build([IPv4("10.0.0.1", "10.0.0.2"), Payload(10)])
+
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ValueError):
+            build([])
+
+
+class TestPseudowireStack:
+    def test_deep_stack_builds_and_reparses(self):
+        frame = build([
+            Ethernet(E1, E2), VLAN(100), MPLS(16), MPLS(17),
+            PseudoWireControlWord(), Ethernet(E1, E2),
+            IPv4("10.0.0.1", "10.0.0.2"), TCP(443, 50000), TLSRecord(),
+            Payload(0),
+        ], target=1544)
+        assert len(frame) == 1544
+        view = memoryview(frame)
+        _f, n, et = Ethernet.parse(view); assert et == EtherType.VLAN
+        _f, n2, et = VLAN.parse(view[n:]); assert et == EtherType.MPLS_UNICAST
+        off = n + n2
+        _f, n3, bottom = MPLS.parse(view[off:]); assert not bottom
+        off += n3
+        _f, n4, bottom = MPLS.parse(view[off:]); assert bottom
+        off += n4
+        assert view[off] >> 4 == 0  # PW control word nibble
+
+    def test_tcp_checksum_uses_inner_ip(self):
+        from repro.packets.checksum import internet_checksum, pseudo_header_v4
+        from repro.packets import headers as hdr
+        frame = build([
+            Ethernet(E1, E2), VLAN(100), MPLS(16), PseudoWireControlWord(),
+            Ethernet(E1, E2), IPv4("10.0.0.9", "10.0.0.8"), TCP(5201, 40000),
+            Payload(64),
+        ])
+        # Locate the inner TCP segment: outer 14+4+4+4 + inner eth 14 + ip 20.
+        ip_off = 14 + 4 + 4 + 4 + 14
+        tcp_off = ip_off + 20
+        segment = frame[tcp_off:]
+        pseudo = pseudo_header_v4(
+            hdr.ipv4_bytes("10.0.0.9"), hdr.ipv4_bytes("10.0.0.8"),
+            hdr.IPProto.TCP, len(segment))
+        assert internet_checksum(pseudo + segment) == 0

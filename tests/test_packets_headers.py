@@ -1,0 +1,259 @@
+"""Tests for the wire-format headers: pack/parse round trips."""
+
+import struct
+
+import pytest
+
+from repro.packets import headers as hdr
+from repro.packets.headers import (
+    ARP, DNSHeader, Ethernet, HTTPPayload, ICMP, IPv4, IPv6, MPLS, NTPPayload,
+    Payload, PseudoWireControlWord, SSHBanner, TCP, TLSRecord, UDP, VLAN,
+    EtherType, IPProto, TCP_ACK, TCP_SYN,
+)
+
+
+class TestAddressHelpers:
+    def test_mac_round_trip(self):
+        raw = hdr.mac_bytes("aa:bb:cc:dd:ee:0f")
+        assert hdr.mac_str(raw) == "aa:bb:cc:dd:ee:0f"
+
+    def test_mac_rejects_short(self):
+        with pytest.raises(ValueError):
+            hdr.mac_bytes("aa:bb:cc")
+
+    def test_ipv4_round_trip(self):
+        assert hdr.ipv4_str(hdr.ipv4_bytes("10.1.2.3")) == "10.1.2.3"
+
+    def test_ipv4_rejects_bad(self):
+        with pytest.raises(ValueError):
+            hdr.ipv4_bytes("10.1.2")
+
+    def test_ipv6_compressed(self):
+        raw = hdr.ipv6_bytes("fd00::1")
+        assert len(raw) == 16
+        assert hdr.ipv6_str(raw) == "fd00:0:0:0:0:0:0:1"
+
+    def test_ipv6_full(self):
+        raw = hdr.ipv6_bytes("1:2:3:4:5:6:7:8")
+        assert hdr.ipv6_str(raw) == "1:2:3:4:5:6:7:8"
+
+    def test_ipv6_rejects_bad(self):
+        with pytest.raises(ValueError):
+            hdr.ipv6_bytes("1:2:3")
+
+
+class TestEthernet:
+    def test_round_trip(self):
+        eth = Ethernet(src="02:00:00:00:00:01", dst="02:00:00:00:00:02",
+                       ethertype=EtherType.IPV4)
+        packed = eth.pack(b"payload")
+        fields, consumed, ethertype = Ethernet.parse(memoryview(packed))
+        assert consumed == 14
+        assert ethertype == EtherType.IPV4
+        assert fields["src"] == "02:00:00:00:00:01"
+        assert fields["dst"] == "02:00:00:00:00:02"
+        assert packed[14:] == b"payload"
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            Ethernet.parse(memoryview(b"\x00" * 10))
+
+
+class TestVLAN:
+    def test_round_trip(self):
+        packed = VLAN(vid=301, pcp=5, ethertype=EtherType.IPV6).pack(b"")
+        fields, consumed, ethertype = VLAN.parse(memoryview(packed))
+        assert (fields["vid"], fields["pcp"]) == (301, 5)
+        assert ethertype == EtherType.IPV6
+        assert consumed == 4
+
+    def test_vid_range_checked(self):
+        with pytest.raises(ValueError):
+            VLAN(vid=4096).pack(b"")
+
+
+class TestMPLS:
+    def test_round_trip(self):
+        packed = MPLS(label=16001, tc=3, bottom=True, ttl=42).pack(b"")
+        fields, consumed, bottom = MPLS.parse(memoryview(packed))
+        assert fields["label"] == 16001
+        assert fields["tc"] == 3
+        assert fields["ttl"] == 42
+        assert bottom is True
+
+    def test_not_bottom(self):
+        packed = MPLS(label=5, bottom=False).pack(b"")
+        _fields, _consumed, bottom = MPLS.parse(memoryview(packed))
+        assert bottom is False
+
+    def test_label_range(self):
+        with pytest.raises(ValueError):
+            MPLS(label=1 << 20).pack(b"")
+
+
+class TestPseudoWire:
+    def test_round_trip(self):
+        packed = PseudoWireControlWord(sequence=77).pack(b"")
+        fields, consumed, _ = PseudoWireControlWord.parse(memoryview(packed))
+        assert fields["sequence"] == 77
+        assert consumed == 4
+
+    def test_first_nibble_zero(self):
+        packed = PseudoWireControlWord().pack(b"")
+        assert packed[0] >> 4 == 0
+
+    def test_rejects_nonzero_nibble(self):
+        with pytest.raises(ValueError):
+            PseudoWireControlWord.parse(memoryview(b"\x40\x00\x00\x00"))
+
+
+class TestIPv4:
+    def test_round_trip(self):
+        ip = IPv4(src="10.0.0.1", dst="10.0.0.2", proto=IPProto.TCP, ttl=17)
+        packed = ip.pack(b"x" * 30)
+        fields, consumed, proto = IPv4.parse(memoryview(packed))
+        assert consumed == 20
+        assert proto == IPProto.TCP
+        assert fields["src"] == "10.0.0.1"
+        assert fields["dst"] == "10.0.0.2"
+        assert fields["ttl"] == 17
+        assert fields["total_len"] == 50
+
+    def test_header_checksum_valid(self):
+        from repro.packets.checksum import internet_checksum
+        packed = IPv4(src="10.0.0.1", dst="10.0.0.2").pack(b"")
+        # A correct IPv4 header checksums to zero over its 20 bytes.
+        assert internet_checksum(packed[:20]) == 0
+
+    def test_rejects_non_v4(self):
+        packed = bytearray(IPv4(src="1.2.3.4", dst="5.6.7.8").pack(b""))
+        packed[0] = (6 << 4) | 5
+        with pytest.raises(ValueError):
+            IPv4.parse(memoryview(bytes(packed)))
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            IPv4(src="1.2.3.4", dst="5.6.7.8").pack(b"x" * 70000)
+
+
+class TestIPv6:
+    def test_round_trip(self):
+        ip = IPv6(src="fd00::1", dst="fd00::2", next_header=IPProto.UDP)
+        packed = ip.pack(b"y" * 11)
+        fields, consumed, proto = IPv6.parse(memoryview(packed))
+        assert consumed == 40
+        assert proto == IPProto.UDP
+        assert fields["payload_len"] == 11
+        assert fields["src"].endswith(":1")
+
+
+class TestTCP:
+    def test_round_trip_with_checksum(self):
+        ip_src = hdr.ipv4_bytes("10.0.0.1")
+        ip_dst = hdr.ipv4_bytes("10.0.0.2")
+        packed = TCP(sport=443, dport=51000, seq=9, ack=4,
+                     flags=TCP_ACK | TCP_SYN).pack(b"abc", ip_src, ip_dst)
+        fields, consumed, ports = TCP.parse(memoryview(packed))
+        assert consumed == 20
+        assert ports == (443, 51000)
+        assert fields["syn"] and not fields["rst"]
+        assert fields["seq"] == 9
+
+    def test_transport_checksum_validates(self):
+        from repro.packets.checksum import internet_checksum, pseudo_header_v4
+        ip_src = hdr.ipv4_bytes("10.0.0.1")
+        ip_dst = hdr.ipv4_bytes("10.0.0.2")
+        segment = TCP(sport=1, dport=2).pack(b"hello", ip_src, ip_dst)
+        pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.TCP, len(segment))
+        assert internet_checksum(pseudo + segment) == 0
+
+
+class TestUDP:
+    def test_round_trip(self):
+        packed = UDP(sport=53, dport=3333).pack(b"q" * 5)
+        fields, consumed, ports = UDP.parse(memoryview(packed))
+        assert consumed == 8
+        assert ports == (53, 3333)
+        assert fields["length"] == 13
+
+
+class TestICMP:
+    def test_round_trip(self):
+        packed = ICMP(icmp_type=8, code=0, ident=3, sequence=4).pack(b"ping")
+        fields, consumed, _ = ICMP.parse(memoryview(packed))
+        assert fields["type"] == 8
+        assert consumed == 8
+
+    def test_checksum_valid(self):
+        from repro.packets.checksum import internet_checksum
+        packed = ICMP().pack(b"data")
+        assert internet_checksum(packed) == 0
+
+
+class TestARP:
+    def test_round_trip(self):
+        arp = ARP(sender_mac="02:00:00:00:00:01", sender_ip="10.0.0.1",
+                  target_ip="10.0.0.2", opcode=1)
+        fields, consumed, _ = ARP.parse(memoryview(arp.pack()))
+        assert consumed == 28
+        assert fields["sender_ip"] == "10.0.0.1"
+        assert fields["opcode"] == 1
+
+
+class TestApplicationHeaders:
+    def test_tls_round_trip(self):
+        packed = TLSRecord(content_type=23).pack(b"\x00" * 48)
+        fields, consumed, _ = TLSRecord.parse(memoryview(packed))
+        assert fields["content_type"] == 23
+        assert fields["length"] == 48
+        assert consumed == 5
+
+    def test_tls_rejects_non_tls(self):
+        with pytest.raises(ValueError):
+            TLSRecord.parse(memoryview(b"GET / HTTP/1.1\r\n"))
+
+    def test_ssh_banner(self):
+        packed = SSHBanner(software="OpenSSH_9.9").pack()
+        fields, _consumed, _ = SSHBanner.parse(memoryview(packed))
+        assert "OpenSSH_9.9" in fields["banner"]
+
+    def test_ssh_rejects(self):
+        with pytest.raises(ValueError):
+            SSHBanner.parse(memoryview(b"\x16\x03\x03"))
+
+    def test_dns_round_trip(self):
+        packed = DNSHeader(ident=99, qname="example.org").pack()
+        fields, consumed, _ = DNSHeader.parse(memoryview(packed))
+        assert fields["ident"] == 99
+        assert fields["qdcount"] == 1
+        assert consumed == 12
+
+    def test_dns_response_flag(self):
+        packed = DNSHeader(response=True).pack()
+        fields, _c, _ = DNSHeader.parse(memoryview(packed))
+        assert fields["response"] is True
+
+    def test_http_request(self):
+        packed = HTTPPayload(method="POST", path="/x").pack()
+        fields, _c, _ = HTTPPayload.parse(memoryview(packed))
+        assert fields == {"response": False, "method": "POST"}
+
+    def test_http_response(self):
+        packed = HTTPPayload(response=True, status=404).pack()
+        fields, _c, _ = HTTPPayload.parse(memoryview(packed))
+        assert fields["status"] == 404
+
+    def test_http_rejects(self):
+        with pytest.raises(ValueError):
+            HTTPPayload.parse(memoryview(b"\x00\x01binary"))
+
+    def test_ntp_round_trip(self):
+        packed = NTPPayload(mode=3).pack()
+        assert len(packed) == 48
+        fields, consumed, _ = NTPPayload.parse(memoryview(packed))
+        assert fields["mode"] == 3
+        assert consumed == 48
+
+    def test_payload_fill(self):
+        packed = Payload(5, fill=0xAB).pack()
+        assert packed == b"\xab" * 5

@@ -1,0 +1,138 @@
+"""Tests for the pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+
+from repro.packets.pcap import (
+    LINKTYPE_ETHERNET, PCAP_MAGIC, PcapReader, PcapRecord, PcapWriter,
+)
+
+
+def sample_frame(n=100):
+    return bytes(range(256)) * (n // 256 + 1)
+
+
+class TestPcapRecord:
+    def test_orig_len_defaults(self):
+        record = PcapRecord(1.0, b"abc")
+        assert record.orig_len == 3
+        assert not record.truncated
+
+    def test_truncated_flag(self):
+        record = PcapRecord(1.0, b"abc", orig_len=1514)
+        assert record.truncated
+
+    def test_rejects_orig_smaller_than_data(self):
+        with pytest.raises(ValueError):
+            PcapRecord(0.0, b"abcd", orig_len=2)
+
+
+class TestRoundTrip:
+    def test_single_record(self):
+        buf = io.BytesIO()
+        with PcapWriter(buf, snaplen=65535) as writer:
+            writer.write(PcapRecord(1.5, b"hello frame" * 10))
+        buf.seek(0)
+        with PcapReader(buf) as reader:
+            records = reader.read_all()
+        assert len(records) == 1
+        assert records[0].data == b"hello frame" * 10
+        assert records[0].timestamp == pytest.approx(1.5, abs=1e-6)
+
+    def test_many_records_order_preserved(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        for i in range(50):
+            writer.write(PcapRecord(i * 0.001, bytes([i]) * (60 + i)))
+        buf.seek(0)
+        records = PcapReader(buf).read_all()
+        assert len(records) == 50
+        assert [len(r.data) for r in records] == [60 + i for i in range(50)]
+
+    def test_snaplen_truncates(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf, snaplen=64)
+        writer.write(PcapRecord(0.0, b"\xaa" * 1514))
+        buf.seek(0)
+        record = next(PcapReader(buf))
+        assert len(record.data) == 64
+        assert record.orig_len == 1514
+        assert record.truncated
+
+    def test_microsecond_precision(self):
+        buf = io.BytesIO()
+        PcapWriter(buf).write(PcapRecord(123.456789, b"x" * 60))
+        buf.seek(0)
+        record = next(PcapReader(buf))
+        assert record.timestamp == pytest.approx(123.456789, abs=1e-6)
+
+    def test_usec_carry(self):
+        # 0.9999995 rounds to 1000000 usec, which must carry to seconds.
+        buf = io.BytesIO()
+        PcapWriter(buf).write(PcapRecord(0.9999995, b"x" * 60))
+        buf.seek(0)
+        record = next(PcapReader(buf))
+        assert record.timestamp == pytest.approx(1.0, abs=1e-6)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        with PcapWriter(path, snaplen=200) as writer:
+            writer.write(PcapRecord(7.0, sample_frame(300), orig_len=1600))
+        with PcapReader(path) as reader:
+            assert reader.snaplen == 200
+            assert reader.linktype == LINKTYPE_ETHERNET
+            records = reader.read_all()
+        assert records[0].orig_len == 1600
+        assert len(records[0].data) == 200
+
+
+class TestFormatCompatibility:
+    def test_global_header_magic(self):
+        buf = io.BytesIO()
+        PcapWriter(buf)
+        raw = buf.getvalue()
+        (magic,) = struct.unpack("!I", raw[:4])
+        assert magic == PCAP_MAGIC
+        assert len(raw) == 24
+
+    def test_little_endian_files_readable(self):
+        # Hand-build a little-endian pcap (what tcpdump on x86 writes).
+        buf = io.BytesIO()
+        buf.write(struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+        frame = b"\x01" * 70
+        buf.write(struct.pack("<IIII", 10, 500000, len(frame), len(frame)))
+        buf.write(frame)
+        buf.seek(0)
+        records = PcapReader(buf).read_all()
+        assert len(records) == 1
+        assert records[0].timestamp == pytest.approx(10.5, abs=1e-6)
+
+    def test_bad_magic_rejected(self):
+        buf = io.BytesIO(b"\x00" * 24)
+        with pytest.raises(ValueError):
+            PcapReader(buf)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ValueError):
+            PcapReader(io.BytesIO(b"\xa1\xb2"))
+
+    def test_truncated_record_body_rejected(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        writer.write(PcapRecord(0.0, b"x" * 60))
+        raw = buf.getvalue()[:-10]  # chop the record body
+        with pytest.raises(ValueError):
+            PcapReader(io.BytesIO(raw)).read_all()
+
+    def test_writer_counts(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf, snaplen=100)
+        writer.write(PcapRecord(0.0, b"x" * 300))
+        assert writer.records_written == 1
+        assert writer.bytes_written == 24 + 16 + 100
+
+    def test_rejects_bad_snaplen(self):
+        with pytest.raises(ValueError):
+            PcapWriter(io.BytesIO(), snaplen=0)

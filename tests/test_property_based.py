@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import io
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.acap import AcapFile, AcapRecord, read_acap, write_acap
+from repro.analysis.anonymize import Anonymizer
+from repro.analysis.dissect import Dissector
+from repro.netsim.engine import Simulator
+from repro.packets.builder import FrameBuilder, FrameSpec, MIN_FRAME_SIZE
+from repro.packets.checksum import internet_checksum
+from repro.packets.headers import (
+    Ethernet, IPv4, MPLS, Payload, TCP, UDP, VLAN, ipv4_str,
+)
+from repro.packets.pcap import PcapReader, PcapRecord, PcapWriter
+from repro.testbed.resources import ResourceCapacity
+from repro.traffic.distributions import PAPER_FRAME_BINS
+
+E1, E2 = "02:00:00:00:00:01", "02:00:00:00:00:02"
+
+ipv4_addrs = st.tuples(*[st.integers(0, 255)] * 4).map(
+    lambda t: ".".join(map(str, t)))
+ports = st.integers(1, 65535)
+
+
+class TestChecksumProperties:
+    @given(st.binary(min_size=0, max_size=200))
+    def test_checksum_verifies(self, data):
+        """Appending the checksum always makes the total zero."""
+        if len(data) % 2:
+            data += b"\x00"
+        checksum = internet_checksum(data)
+        assert internet_checksum(data + struct.pack("!H", checksum)) == 0
+
+    @given(st.binary(min_size=1, max_size=100))
+    def test_checksum_in_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestFrameProperties:
+    @given(src=ipv4_addrs, dst=ipv4_addrs, sport=ports, dport=ports,
+           vid=st.integers(0, 4095), label=st.integers(0, (1 << 20) - 1),
+           target=st.integers(80, 9000))
+    @settings(max_examples=60, deadline=None)
+    def test_build_dissect_round_trip(self, src, dst, sport, dport, vid,
+                                      label, target):
+        """Any VLAN/MPLS/IPv4/TCP frame dissects back to its fields."""
+        frame = FrameBuilder().build(FrameSpec(
+            [Ethernet(E1, E2), VLAN(vid), MPLS(label), IPv4(src, dst),
+             TCP(sport, dport), Payload(0)], target_size=target))
+        assert len(frame) == max(target, MIN_FRAME_SIZE)
+        result = Dissector().dissect(frame[:256])
+        assert result.names[:5] == ("eth", "vlan", "mpls", "ipv4", "tcp")
+        assert result.first("vlan").fields["vid"] == vid
+        assert result.first("mpls").fields["label"] == label
+        assert result.first("ipv4").fields["src"] == src
+        assert result.first("tcp").fields["sport"] == sport
+
+    @given(st.integers(60, 20000))
+    def test_bins_partition_sizes(self, size):
+        """Every size lands in exactly one bin."""
+        index = PAPER_FRAME_BINS.index_for(size)
+        labels = PAPER_FRAME_BINS.labels()
+        assert 0 <= index < len(labels)
+        histogram = PAPER_FRAME_BINS.histogram([size])
+        assert histogram.sum() == 1
+        assert histogram[index] == 1
+
+
+class TestPcapProperties:
+    @given(st.lists(
+        st.tuples(st.floats(0, 1e6), st.integers(60, 2000), st.integers(60, 256)),
+        min_size=0, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_pcap_round_trip(self, specs):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf, snaplen=256)
+        expected = []
+        t = 0.0
+        for dt, wire, captured in specs:
+            t += abs(dt) % 100
+            captured = min(captured, wire)
+            writer.write(PcapRecord(t, b"\xaa" * captured, orig_len=wire))
+            expected.append((t, min(captured, 256), wire))
+        buf.seek(0)
+        records = PcapReader(buf).read_all()
+        assert len(records) == len(expected)
+        for record, (ts, captured, wire) in zip(records, expected):
+            assert record.timestamp == pytest.approx(ts, abs=1e-5)
+            assert len(record.data) == captured
+            assert record.orig_len == wire
+
+
+class TestAcapProperties:
+    stacks = st.lists(st.sampled_from(
+        ["eth", "vlan", "mpls", "pw", "ipv4", "ipv6", "tcp", "udp", "tls",
+         "dns", "data"]), min_size=1, max_size=12).map(tuple)
+
+    @given(st.lists(st.tuples(
+        st.floats(0, 1e5), st.integers(60, 9000), stacks,
+        st.lists(st.integers(0, 4095), max_size=2).map(tuple),
+        st.lists(st.integers(0, 99999), max_size=3).map(tuple),
+    ), min_size=0, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_acap_round_trip(self, rows):
+        import tempfile
+        from pathlib import Path
+
+        records = [
+            AcapRecord(timestamp=round(ts, 6), wire_len=wire, captured_len=60,
+                       stack=stack, vlan_ids=vlans, mpls_labels=mpls)
+            for ts, wire, stack, vlans, mpls in rows
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.acap"
+            write_acap(AcapFile("src", records), path)
+            loaded = read_acap(path)
+        assert loaded.records == records
+
+
+class TestResourceProperties:
+    vectors = st.builds(
+        ResourceCapacity,
+        cores=st.integers(0, 1000), ram_gb=st.floats(0, 1e4),
+        disk_gb=st.floats(0, 1e6), dedicated_nics=st.integers(0, 10),
+        shared_nic_slots=st.integers(0, 400), fpga_nics=st.integers(0, 4))
+
+    @given(vectors, vectors)
+    def test_add_sub_inverse(self, a, b):
+        result = (a + b) - b
+        for (name, got), (_n, want) in zip(result.components(), a.components()):
+            assert got == pytest.approx(want, rel=1e-9, abs=1e-6), name
+
+    @given(vectors, vectors)
+    def test_fits_within_iff_no_shortfall(self, need, have):
+        assert need.fits_within(have) == (need.first_shortfall(have) is None)
+
+    @given(vectors)
+    def test_fits_within_self(self, v):
+        assert v.fits_within(v)
+
+
+class TestAnonymizerProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_preservation(self, a, b):
+        """The permutation preserves exactly the common-prefix length."""
+        anon = Anonymizer(key=b"prop")
+        out_a = anon.anonymize_ipv4_int(a)
+        out_b = anon.anonymize_ipv4_int(b)
+
+        def prefix(x, y):
+            for i in range(32):
+                if (x >> (31 - i)) & 1 != (y >> (31 - i)) & 1:
+                    return i
+            return 32
+
+        assert prefix(out_a, out_b) == prefix(a, b)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_and_in_range(self, addr):
+        anon = Anonymizer(key=b"prop")
+        out = anon.anonymize_ipv4_int(addr)
+        assert 0 <= out < 2**32
+        assert out == anon.anonymize_ipv4_int(addr)
+
+
+class TestMirrorSchedulerProperties:
+    @given(st.lists(st.tuples(st.integers(0, 4), st.floats(1.0, 50.0)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_exclusive_holding_and_full_service(self, requests):
+        """At most one holder per port at any instant, and every request
+        is eventually granted once leases expire."""
+        from repro.core.sharing import MirrorScheduler
+
+        sim = Simulator()
+        scheduler = MirrorScheduler(sim, max_lease_seconds=60.0)
+        granted = []
+        active = {}
+
+        def on_grant(lease, port=None):
+            # Exclusive holding: the port must have been free.
+            assert active.get(lease.port_id) is None
+            active[lease.port_id] = lease.holder
+            granted.append(lease.holder)
+
+        def on_revoke(lease):
+            assert active.get(lease.port_id) == lease.holder
+            active[lease.port_id] = None
+
+        for i, (port_index, duration) in enumerate(requests):
+            scheduler.request("S", f"p{port_index}", f"user{i}", duration,
+                              on_grant, on_revoke)
+        sim.run(until=60.0 * (len(requests) + 1))
+        assert len(granted) == len(requests)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(0.001, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,58 @@
+"""Seed-robustness: calibrated statistics hold across seeds.
+
+Guards against over-fitting the paper's anchors to one lucky seed: the
+headline statistics must stay inside their asserted bands for several
+master seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capture.storage import PageCacheModel
+from repro.study.activity import NetworkActivityModel
+from repro.study.slices import slice_study
+from repro.testbed import FederationBuilder, InformationModel
+
+SITES = [f"S{i}" for i in range(30)]
+
+
+class TestSliceStudySeeds:
+    @pytest.mark.parametrize("seed", [3, 7, 19, 101])
+    def test_headline_bands(self, seed):
+        result = slice_study(SITES, weeks=26, seed=seed)
+        assert 0.62 <= result.single_site_fraction <= 0.71
+        assert 0.68 <= result.p_duration_le_24h <= 0.82
+        assert 55 <= result.concurrency_mean <= 120
+        assert 25 <= result.concurrency_std <= 90
+
+
+class TestActivitySeeds:
+    @pytest.mark.parametrize("seed", [5, 13, 77])
+    def test_peak_lands_in_autumn(self, seed):
+        schedule = slice_study(SITES, weeks=52, seed=seed).schedule
+        model = NetworkActivityModel(schedule, seed=seed)
+        peak = model.peak()
+        assert 43 <= peak.week <= 49
+        assert 1.0 <= peak.mean_tbps <= 12.0
+
+
+class TestFederationSeeds:
+    @pytest.mark.parametrize("seed", [1, 42, 1234])
+    def test_fig2_shape_holds(self, seed):
+        federation = FederationBuilder(seed=seed).build()
+        counts = InformationModel(federation).port_distribution()
+        assert all(c.downlinks > c.uplinks for c in counts)
+        assert max(c.uplinks for c in counts) <= 8
+
+
+class TestStorageSeeds:
+    @pytest.mark.parametrize("seed", [1, 99, 4321])
+    def test_fig14_gap_holds(self, seed):
+        def at_21(bg, ratio):
+            model = PageCacheModel(dirty_background_ratio=bg,
+                                   dirty_ratio=ratio, seed=seed)
+            sweep = model.fill_sweep(max_usage_percent=24)
+            return next(p.summed_latency_ms for p in sweep
+                        if p.usage_percent == 21)
+
+        assert at_21(10, 20) / at_21(20, 50) > 20

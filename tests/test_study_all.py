@@ -1,0 +1,107 @@
+"""Tests for the Section-5 study package (ports, slices, activity)."""
+
+import numpy as np
+import pytest
+
+from repro.study.activity import (
+    SC24_WEEK, NetworkActivityModel, port_utilization_quantiles,
+)
+from repro.study.ports import port_distribution_table, uplink_summary
+from repro.study.slices import (
+    concurrency_summary, duration_table, slice_study, spread_table,
+)
+from repro.testbed import FederationBuilder
+from repro.testbed.federation import DEFAULT_SITE_NAMES
+
+
+@pytest.fixture(scope="module")
+def federation():
+    return FederationBuilder(seed=42).build()
+
+
+@pytest.fixture(scope="module")
+def study():
+    return slice_study(DEFAULT_SITE_NAMES, weeks=52, seed=11)
+
+
+class TestPorts:
+    def test_table_has_all_sites(self, federation):
+        table = port_distribution_table(federation)
+        assert len(table.rows) == 30
+        assert table.columns == ["site", "downlinks", "uplinks"]
+
+    def test_summary_claims(self, federation):
+        summary = uplink_summary(federation)
+        assert summary.every_site_downlink_heavy
+        assert summary.total_downlinks > 3 * summary.total_uplinks
+        assert summary.max_uplinks <= 8
+
+
+class TestSlices:
+    def test_single_site_fraction(self, study):
+        assert study.single_site_fraction == pytest.approx(0.665, abs=0.03)
+
+    def test_duration_24h(self, study):
+        assert study.p_duration_le_24h == pytest.approx(0.75, abs=0.06)
+
+    def test_concurrency_statistics(self, study):
+        """Fig 5: mean 85, sigma 52, max 272 (loose bands)."""
+        assert 60 <= study.concurrency_mean <= 115
+        assert 30 <= study.concurrency_std <= 85
+        assert 180 <= study.concurrency_max <= 400
+
+    def test_tables_render(self, study):
+        for table in (spread_table(study.schedule),
+                      duration_table(study.schedule),
+                      concurrency_summary(study.schedule)):
+            assert table.rows
+            assert table.render()
+
+    def test_spread_cumulative_monotone(self, study):
+        table = spread_table(study.schedule)
+        cumulative = table.column("cumulative")
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == pytest.approx(1.0, abs=0.01)
+
+
+class TestActivity:
+    def test_peak_is_sc24_week(self, study):
+        model = NetworkActivityModel(study.schedule)
+        peak = model.peak()
+        assert abs(peak.week - SC24_WEEK) <= 2
+
+    def test_peak_magnitude_band(self, study):
+        """Paper: 3.968 Tbps mean during the SC'24 week."""
+        model = NetworkActivityModel(study.schedule)
+        assert 1.5 <= model.peak().mean_tbps <= 10.0
+
+    def test_peak_towers_over_median(self, study):
+        model = NetworkActivityModel(study.schedule)
+        series = [w.mean_tbps for w in model.weekly_series() if w.has_data]
+        assert model.peak().mean_tbps > 3 * float(np.median(series))
+
+    def test_missing_weeks_have_no_data(self, study):
+        model = NetworkActivityModel(study.schedule, missing_weeks=(3, 4))
+        series = model.weekly_series()
+        assert not series[3].has_data and not series[4].has_data
+        assert series[3].mean_tbps == 0.0
+
+    def test_table(self, study):
+        table = NetworkActivityModel(study.schedule).to_table()
+        assert len(table.rows) >= 50
+
+
+class TestPortUtilization:
+    def test_paper_quantiles(self):
+        """R4.Q1: 50% of ports <= ~38% utilization; some at line rate."""
+        q = port_utilization_quantiles()
+        assert q["p50"] == pytest.approx(0.38, abs=0.06)
+        assert q["max"] == 1.0
+        assert 0.01 <= q["fraction_at_line_rate"] <= 0.08
+
+    def test_deterministic(self):
+        assert port_utilization_quantiles(seed=3) == port_utilization_quantiles(seed=3)
+
+    def test_rejects_no_ports(self):
+        with pytest.raises(ValueError):
+            port_utilization_quantiles(ports=0)

@@ -1,0 +1,65 @@
+"""Tests for the Fig 10 campaign driver (small-scale)."""
+
+import pytest
+
+from repro.core import PatchworkConfig, SamplingPlan
+from repro.core.status import RunOutcome
+from repro.study.behavior import CampaignResult, run_campaign
+from repro.testbed import FederationBuilder, TestbedAPI
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    federation = FederationBuilder(seed=42).build(
+        site_names=["STAR", "MICH", "UTAH", "TACC", "NCSA", "WASH"])
+    api = TestbedAPI(federation)
+    config = PatchworkConfig(
+        output_dir="/tmp/patchwork-campaign-test",
+        plan=SamplingPlan(sample_duration=2, sample_interval=10,
+                          samples_per_run=1, runs_per_cycle=1, cycles=1),
+        desired_instances=2,
+    )
+    return run_campaign(
+        api, config, occasions=5, seed=23,
+        total_shortage_fraction=0.2, partial_shortage_fraction=0.2,
+        outage_fraction=0.3, crash_probability=0.02,
+    )
+
+
+class TestCampaign:
+    def test_all_site_occasions_recorded(self, campaign):
+        assert len(campaign.records) == 5 * 6
+
+    def test_majority_succeed(self, campaign):
+        """Fig 10's headline: most runs profile their site."""
+        assert 0.4 <= campaign.success_rate <= 1.0
+
+    def test_failures_happen(self, campaign):
+        fractions = campaign.fractions()
+        assert fractions[RunOutcome.FAILED] > 0
+
+    def test_fractions_sum_to_one(self, campaign):
+        assert sum(campaign.fractions().values()) == pytest.approx(1.0)
+
+    def test_summary_table(self, campaign):
+        table = campaign.to_table()
+        assert [row[0] for row in table.rows] == [
+            "success", "degraded", "failed", "incomplete"]
+        assert sum(row[1] for row in table.rows) == len(campaign.records)
+
+    def test_timeline_table(self, campaign):
+        table = campaign.timeline_table()
+        assert len(table.rows) == 5
+        for row in table.rows:
+            assert sum(row[1:]) == 6  # every site accounted each occasion
+
+    def test_resources_not_leaked(self, campaign):
+        # After the campaign, competitors and Patchwork slices are gone;
+        # if NICs leaked, later occasions would fail increasingly.
+        by_occasion = {}
+        for record in campaign.records:
+            by_occasion.setdefault(record.started_at, []).append(record)
+        occasions = [recs for _t, recs in sorted(by_occasion.items())]
+        first_failures = sum(1 for r in occasions[0] if not r.profiled)
+        last_failures = sum(1 for r in occasions[-1] if not r.profiled)
+        assert last_failures <= first_failures + 3

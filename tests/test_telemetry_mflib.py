@@ -1,0 +1,111 @@
+"""Tests for the MFlib query front-end."""
+
+import pytest
+
+from repro.telemetry.mflib import MFlib
+from repro.telemetry.timeseries import CounterStore
+
+
+def populated_store():
+    """Two ports polled every 300 s; p1 busy, p2 quiet."""
+    store = CounterStore()
+    for i, t in enumerate([0.0, 300.0, 600.0, 900.0]):
+        # p1 sends 375 MB per interval = 10 Mbps.
+        store.append("STAR", "p1", "tx_bytes", t, i * 375_000_000)
+        store.append("STAR", "p1", "rx_bytes", t, i * 37_500_000)  # 1 Mbps
+        store.append("STAR", "p1", "tx_drops", t, i * 10)
+        store.append("STAR", "p1", "rx_drops", t, 0)
+        store.append("STAR", "p2", "tx_bytes", t, 0)
+        store.append("STAR", "p2", "rx_bytes", t, 0)
+        store.append("STAR", "p2", "tx_drops", t, 0)
+        store.append("STAR", "p2", "rx_drops", t, 0)
+    return store
+
+
+@pytest.fixture()
+def mflib():
+    return MFlib(populated_store())
+
+
+class TestPortRates:
+    def test_rate_computation(self, mflib):
+        rates = mflib.port_rates("STAR", "p1", 0.0, 900.0)
+        assert rates.tx_bps == pytest.approx(10e6)
+        assert rates.rx_bps == pytest.approx(1e6)
+        assert rates.total_bps == pytest.approx(11e6)
+
+    def test_sub_window(self, mflib):
+        rates = mflib.port_rates("STAR", "p1", 300.0, 600.0)
+        assert rates.tx_bps == pytest.approx(10e6)
+        assert rates.window_start == 300.0
+        assert rates.window_end == 600.0
+
+    def test_unpolled_port_returns_none(self, mflib):
+        assert mflib.port_rates("STAR", "p9", 0.0, 900.0) is None
+
+    def test_window_too_narrow_returns_none(self, mflib):
+        # Between two polls there is only one usable sample.
+        assert mflib.port_rates("STAR", "p1", 301.0, 302.0) is None
+
+    def test_window_starting_before_first_poll_answerable(self, mflib):
+        """A query reaching before telemetry began anchors on the first
+        poll inside the window instead of giving up (the regression that
+        silently degraded busiest-port cycling to random picks)."""
+        rates = mflib.port_rates("STAR", "p1", -600.0, 900.0)
+        assert rates is not None
+        assert rates.window_start == 0.0
+        assert rates.tx_bps == pytest.approx(10e6)
+
+    def test_rejects_empty_window(self, mflib):
+        with pytest.raises(ValueError):
+            mflib.port_rates("STAR", "p1", 100.0, 100.0)
+
+    def test_drops_delta(self, mflib):
+        rates = mflib.port_rates("STAR", "p1", 0.0, 900.0)
+        assert rates.tx_drops == 30
+
+
+class TestRankings:
+    def test_busiest_first(self, mflib):
+        ranked = mflib.busiest_ports("STAR", 0.0, 900.0)
+        assert ranked[0].port_id == "p1"
+
+    def test_restrict_to(self, mflib):
+        ranked = mflib.busiest_ports("STAR", 0.0, 900.0, restrict_to=["p2"])
+        assert [r.port_id for r in ranked] == ["p2"]
+
+    def test_non_idle_excludes_quiet(self, mflib):
+        assert mflib.non_idle_ports("STAR", 0.0, 900.0) == ["p1"]
+
+    def test_non_idle_threshold(self, mflib):
+        # With an absurd threshold nothing is non-idle.
+        assert mflib.non_idle_ports("STAR", 0.0, 900.0,
+                                    idle_threshold_bps=1e12) == []
+
+
+class TestCongestionInference:
+    def test_overload_detected(self, mflib):
+        # Mirrored port moves 11 Mbps total; destination line rate 10 Mbps.
+        assert mflib.mirror_overload("STAR", "p1", 10e6, 0.0, 900.0) is True
+
+    def test_no_overload(self, mflib):
+        assert mflib.mirror_overload("STAR", "p1", 100e6, 0.0, 900.0) is False
+
+    def test_unanswerable(self, mflib):
+        assert mflib.mirror_overload("STAR", "p9", 10e6, 0.0, 900.0) is None
+
+    def test_headroom(self, mflib):
+        # 11 Mbps vs 12 Mbps line rate: fine at headroom 1.0, flagged at 0.5.
+        assert mflib.mirror_overload("STAR", "p1", 12e6, 0.0, 900.0) is False
+        assert mflib.mirror_overload("STAR", "p1", 12e6, 0.0, 900.0,
+                                     headroom=0.5) is True
+
+
+class TestUtilization:
+    def test_utilization(self, mflib):
+        util = mflib.utilization("STAR", "p1", 100e6, 0.0, 900.0)
+        assert util == pytest.approx(0.1)
+
+    def test_drop_delta(self, mflib):
+        assert mflib.drop_delta("STAR", "p1", 0.0, 900.0) == 30
+        assert mflib.drop_delta("STAR", "p2", 0.0, 900.0) == 0

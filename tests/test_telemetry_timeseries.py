@@ -1,0 +1,66 @@
+"""Tests for the counter store."""
+
+import pytest
+
+from repro.telemetry.timeseries import CounterStore
+
+
+@pytest.fixture()
+def store():
+    s = CounterStore()
+    for t, v in [(0.0, 0), (300.0, 1000), (600.0, 2500), (900.0, 2500)]:
+        s.append("STAR", "p1", "tx_bytes", t, v)
+    s.append("STAR", "p2", "tx_bytes", 0.0, 0)
+    s.append("MICH", "p1", "rx_bytes", 0.0, 7)
+    return s
+
+
+class TestAppendAndQuery:
+    def test_series(self, store):
+        series = store.series("STAR", "p1", "tx_bytes")
+        assert len(series) == 4
+        assert series[-1].value == 2500
+
+    def test_series_missing_is_empty(self, store):
+        assert store.series("STAR", "p9", "tx_bytes") == []
+
+    def test_monotonic_time_enforced(self, store):
+        with pytest.raises(ValueError):
+            store.append("STAR", "p1", "tx_bytes", 100.0, 9)
+
+    def test_equal_time_allowed(self, store):
+        store.append("STAR", "p1", "tx_bytes", 900.0, 2600)
+
+    def test_window(self, store):
+        window = store.window("STAR", "p1", "tx_bytes", 300.0, 600.0)
+        assert [s.value for s in window] == [1000, 2500]
+
+    def test_window_boundaries_inclusive(self, store):
+        window = store.window("STAR", "p1", "tx_bytes", 0.0, 900.0)
+        assert len(window) == 4
+
+    def test_latest(self, store):
+        assert store.latest("STAR", "p1", "tx_bytes").value == 2500
+        assert store.latest("X", "Y", "Z") is None
+
+    def test_latest_before(self, store):
+        sample = store.latest_before("STAR", "p1", "tx_bytes", 450.0)
+        assert sample.time == 300.0
+        assert store.latest_before("STAR", "p1", "tx_bytes", -1.0) is None
+
+    def test_latest_before_exact_time(self, store):
+        assert store.latest_before("STAR", "p1", "tx_bytes", 300.0).time == 300.0
+
+
+class TestEnumeration:
+    def test_ports(self, store):
+        assert store.ports("STAR") == ["p1", "p2"]
+
+    def test_sites(self, store):
+        assert store.sites() == ["MICH", "STAR"]
+
+    def test_len_counts_samples(self, store):
+        assert len(store) == 6
+
+    def test_keys(self, store):
+        assert ("STAR", "p1", "tx_bytes") in set(store.keys())

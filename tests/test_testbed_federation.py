@@ -1,0 +1,131 @@
+"""Tests for federation construction, routing, and the information model."""
+
+import networkx as nx
+import pytest
+
+from repro.netsim.frame import Frame
+from repro.packets.headers import mac_bytes
+from repro.testbed.federation import (
+    DEFAULT_SITE_NAMES, Federation, FederationBuilder, SiteProfile,
+)
+from repro.testbed.information_model import InformationModel
+
+
+class TestBuilder:
+    def test_default_build_has_30_sites(self):
+        federation = FederationBuilder(seed=42).build()
+        assert len(federation.sites) == 30
+        assert set(federation.site_names()) == set(DEFAULT_SITE_NAMES)
+
+    def test_build_is_deterministic(self):
+        a = FederationBuilder(seed=1).build(site_names=["A", "B", "C"])
+        b = FederationBuilder(seed=1).build(site_names=["A", "B", "C"])
+        for name in ("A", "B", "C"):
+            assert (a.site(name).total_resources()
+                    == b.site(name).total_resources())
+
+    def test_different_seeds_differ(self):
+        a = FederationBuilder(seed=1).build()
+        b = FederationBuilder(seed=2).build()
+        assert any(
+            a.site(n).total_resources() != b.site(n).total_resources()
+            for n in a.site_names()
+        )
+
+    def test_topology_connected(self):
+        federation = FederationBuilder(seed=42).build()
+        assert nx.is_connected(federation.graph)
+
+    def test_dedicated_nics_scarce(self):
+        """The paper: each site usually has only around 2-6 dedicated NICs."""
+        federation = FederationBuilder(seed=42).build()
+        for name in federation.site_names():
+            count = len(federation.site(name).dedicated_nics)
+            assert 2 <= count <= 6
+
+    def test_needs_two_sites(self):
+        with pytest.raises(ValueError):
+            FederationBuilder().build(site_names=["ALONE"])
+
+    def test_duplicate_site_rejected(self):
+        federation = Federation()
+        profile = SiteProfile(name="X", workers=1)
+        federation.add_site(profile.build(federation.sim))
+        with pytest.raises(ValueError):
+            federation.add_site(profile.build(federation.sim))
+
+    def test_profiles_only_matches_build(self):
+        builder = FederationBuilder(seed=9)
+        profiles = builder.profiles_only(["A", "B", "C"])
+        federation = FederationBuilder(seed=9).build(site_names=["A", "B", "C"])
+        for profile in profiles:
+            site = federation.site(profile.name)
+            assert len(site.workers) == profile.workers
+            assert len(site.dedicated_nics) == profile.dedicated_nics
+
+
+class TestRouting:
+    def test_uplink_port_toward_neighbor(self):
+        federation = FederationBuilder(seed=42).build(site_names=["A", "B", "C"])
+        port = federation.uplink_port_toward("A", "B")
+        assert port in {p.port_id for p in federation.site("A").switch.uplinks()}
+
+    def test_same_site_rejected(self):
+        federation = FederationBuilder(seed=42).build(site_names=["A", "B"])
+        with pytest.raises(ValueError):
+            federation.uplink_port_toward("A", "A")
+
+    def test_cross_site_delivery(self):
+        federation = FederationBuilder(seed=42).build(site_names=["A", "B", "C"])
+        site_b = federation.site("B")
+        # Register an endpoint MAC at B on one of its downlinks.
+        dst_mac = mac_bytes("02:00:00:00:00:99")
+        downlink = site_b.switch.downlinks()[0]
+        federation.register_endpoint(dst_mac, "B", downlink.port_id)
+        received = []
+        downlink.link.tx.connect(received.append)
+        # Inject a frame at A addressed to the B endpoint.
+        head = dst_mac + mac_bytes("02:00:00:00:00:01") + b"\x08\x00" + b"\x00" * 46
+        frame = Frame(wire_len=500, head=head)
+        site_a = federation.site("A")
+        site_a.switch.downlinks()[0].link.rx.offer(frame)
+        federation.sim.run()
+        assert len(received) == 1
+
+
+class TestInformationModel:
+    def test_port_distribution_shape(self):
+        """Fig 2's claims hold on the default build."""
+        federation = FederationBuilder(seed=42).build()
+        model = InformationModel(federation)
+        counts = model.port_distribution()
+        assert len(counts) == 30
+        for count in counts:
+            assert count.downlinks > count.uplinks
+        uplinks = [c.uplinks for c in counts]
+        # "Most sites have a similar number of uplinks": small spread,
+        # nothing beyond single digits.
+        assert max(uplinks) <= 8
+        assert min(uplinks) >= 1
+
+    def test_uplink_ratio_below_one(self):
+        federation = FederationBuilder(seed=42).build()
+        assert InformationModel(federation).uplink_downlink_ratio() < 0.5
+
+    def test_site_resources_keys(self):
+        federation = FederationBuilder(seed=42).build(site_names=["A", "B"])
+        resources = InformationModel(federation).site_resources()
+        assert set(resources) == {"A", "B"}
+        assert resources["A"]["cores"] > 0
+
+    def test_topology_copy_is_independent(self):
+        federation = FederationBuilder(seed=42).build(site_names=["A", "B"])
+        graph = InformationModel(federation).topology()
+        graph.remove_node("A")
+        assert "A" in federation.graph
+
+    def test_diameter_and_capacity(self):
+        federation = FederationBuilder(seed=42).build()
+        model = InformationModel(federation)
+        assert 1 <= model.diameter() <= 10
+        assert model.inter_site_capacity_bps() > 0

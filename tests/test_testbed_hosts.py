@@ -1,0 +1,65 @@
+"""Tests for workers and VMs."""
+
+import pytest
+
+from repro.testbed.errors import InsufficientResourcesError
+from repro.testbed.hosts import Worker
+from repro.testbed.nic import DedicatedNIC
+
+
+class TestWorker:
+    def test_vm_reserves_capacity(self):
+        worker = Worker("w0", "STAR", cores=8, ram_gb=32, disk_gb=100)
+        vm = worker.create_vm("vm1", cores=2, ram_gb=8, disk_gb=50, slice_name="s")
+        assert worker.free.cores == 6
+        assert worker.free.ram_gb == 24
+        assert vm.site_name == "STAR"
+
+    def test_destroy_returns_capacity(self):
+        worker = Worker("w0", "STAR", cores=8, ram_gb=32, disk_gb=100)
+        vm = worker.create_vm("vm1", 2, 8, 50, "s")
+        worker.destroy_vm(vm)
+        assert worker.free == worker.capacity
+        assert worker.vms == {}
+
+    def test_overcommit_rejected_with_dimension(self):
+        worker = Worker("w0", "STAR", cores=2, ram_gb=8, disk_gb=10)
+        with pytest.raises(InsufficientResourcesError) as excinfo:
+            worker.create_vm("vm1", cores=4, ram_gb=1, disk_gb=1, slice_name="s")
+        assert excinfo.value.resource == "cores"
+        assert excinfo.value.requested == 4
+
+    def test_can_host(self):
+        worker = Worker("w0", "STAR", cores=4, ram_gb=16, disk_gb=100)
+        assert worker.can_host(4, 16, 100)
+        assert not worker.can_host(5, 1, 1)
+
+    def test_destroy_unknown_vm_raises(self):
+        w1 = Worker("w1", "STAR")
+        w2 = Worker("w2", "STAR")
+        vm = w1.create_vm("vm1", 1, 1, 1, "s")
+        with pytest.raises(KeyError):
+            w2.destroy_vm(vm)
+
+    def test_nic_installation(self):
+        worker = Worker("w0", "STAR")
+        nic = DedicatedNIC("dn0")
+        worker.add_nic(nic)
+        assert worker.nics == [nic]
+
+
+class TestVM:
+    def test_grant_port(self):
+        worker = Worker("w0", "STAR")
+        vm = worker.create_vm("vm1", 2, 8, 100, "s")
+        nic = DedicatedNIC("dn0")
+        vm.grant_port(nic.ports[0])
+        vm.grant_port(nic.ports[1])
+        assert len(vm.nic_ports) == 2
+
+    def test_multiple_vms_per_worker(self):
+        worker = Worker("w0", "STAR", cores=8, ram_gb=64, disk_gb=1000)
+        worker.create_vm("a", 2, 8, 100, "s1")
+        worker.create_vm("b", 2, 8, 100, "s2")
+        assert set(worker.vms) == {"a", "b"}
+        assert worker.free.cores == 4

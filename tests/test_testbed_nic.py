@@ -1,0 +1,107 @@
+"""Tests for NIC models."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.frame import Frame
+from repro.netsim.link import DuplexLink
+from repro.testbed.nic import DedicatedNIC, FPGANic, SharedNIC
+
+
+def frame():
+    return Frame(wire_len=100, head=b"\x00" * 60)
+
+
+class TestNicPorts:
+    def test_dedicated_is_dual_port(self):
+        assert len(DedicatedNIC("d").ports) == 2
+
+    def test_shared_is_single_port(self):
+        assert len(SharedNIC("s").ports) == 1
+
+    def test_send_requires_attachment(self):
+        nic = DedicatedNIC("d")
+        with pytest.raises(RuntimeError):
+            nic.ports[0].send(frame())
+
+    def test_attach_once(self):
+        sim = Simulator()
+        nic = DedicatedNIC("d")
+        link = DuplexLink(sim, 1e9)
+        nic.ports[0].attach(link, "p1")
+        with pytest.raises(RuntimeError):
+            nic.ports[0].attach(link, "p2")
+
+    def test_send_and_receive(self):
+        sim = Simulator()
+        nic = DedicatedNIC("d")
+        link = DuplexLink(sim, 1e9)
+        nic.ports[0].attach(link, "p1")
+        # Receive path: frames delivered by the switch's tx channel.
+        got = []
+        nic.ports[0].receive(got.append)
+        link.tx.offer(frame())
+        sim.run()
+        assert len(got) == 1
+        # Send path: frames offered to the rx channel.
+        assert nic.ports[0].send(frame())
+        sim.run()
+        assert link.rx.stats.tx_frames == 1
+
+    def test_stop_receiving(self):
+        sim = Simulator()
+        nic = DedicatedNIC("d")
+        link = DuplexLink(sim, 1e9)
+        nic.ports[0].attach(link, "p1")
+        got = []
+        nic.ports[0].receive(got.append)
+        nic.ports[0].stop_receiving(got.append)
+        link.tx.offer(frame())
+        sim.run()
+        assert got == []
+
+
+class TestAllocation:
+    def test_allocate_release(self):
+        nic = DedicatedNIC("d")
+        nic.allocate("slice-1")
+        assert nic.allocated
+        assert nic.owner_slice == "slice-1"
+        nic.release()
+        assert not nic.allocated
+
+    def test_double_allocate_rejected(self):
+        nic = DedicatedNIC("d")
+        nic.allocate("a")
+        with pytest.raises(RuntimeError):
+            nic.allocate("b")
+
+
+class TestSharedNIC:
+    def test_vf_accounting(self):
+        nic = SharedNIC("s", vf_slots=2)
+        nic.allocate_vf()
+        nic.allocate_vf()
+        with pytest.raises(RuntimeError):
+            nic.allocate_vf()
+        nic.release_vf()
+        nic.allocate_vf()  # slot freed
+
+    def test_release_underflow(self):
+        with pytest.raises(RuntimeError):
+            SharedNIC("s").release_vf()
+
+    def test_default_vf_slots_matches_paper(self):
+        # The paper's NCSA example: one card shared among 381 users.
+        assert SharedNIC("s").vf_slots == 381
+
+
+class TestFPGA:
+    def test_programming(self):
+        nic = FPGANic("f")
+        assert nic.bitstream is None
+        nic.program("patchwork-esnet-smartnic")
+        assert nic.bitstream == "patchwork-esnet-smartnic"
+
+    def test_dual_port(self):
+        assert len(FPGANic("f").ports) == 2

@@ -1,0 +1,81 @@
+"""Tests for resource-vector arithmetic."""
+
+import pytest
+
+from repro.testbed.resources import ResourceCapacity
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = ResourceCapacity(cores=2, ram_gb=8, dedicated_nics=1)
+        b = ResourceCapacity(cores=4, ram_gb=16, fpga_nics=1)
+        total = a + b
+        assert total.cores == 6
+        assert total.ram_gb == 24
+        assert total.dedicated_nics == 1
+        assert total.fpga_nics == 1
+
+    def test_sub(self):
+        a = ResourceCapacity(cores=10, ram_gb=100)
+        b = ResourceCapacity(cores=3, ram_gb=40)
+        diff = a - b
+        assert diff.cores == 7 and diff.ram_gb == 60
+
+    def test_mul(self):
+        doubled = ResourceCapacity(cores=2, disk_gb=100) * 2
+        assert doubled.cores == 4 and doubled.disk_gb == 200
+
+    def test_immutable(self):
+        a = ResourceCapacity(cores=1)
+        with pytest.raises(Exception):
+            a.cores = 5
+
+
+class TestFitting:
+    def test_fits_within(self):
+        need = ResourceCapacity(cores=2, ram_gb=8, disk_gb=100, dedicated_nics=1)
+        have = ResourceCapacity(cores=64, ram_gb=512, disk_gb=10000, dedicated_nics=4)
+        assert need.fits_within(have)
+
+    def test_does_not_fit(self):
+        need = ResourceCapacity(dedicated_nics=3)
+        have = ResourceCapacity(cores=100, ram_gb=100, disk_gb=100, dedicated_nics=2)
+        assert not need.fits_within(have)
+
+    def test_first_shortfall_reports_dimension(self):
+        need = ResourceCapacity(cores=2, dedicated_nics=5)
+        have = ResourceCapacity(cores=64, ram_gb=1, dedicated_nics=2)
+        shortfall = need.first_shortfall(have)
+        assert shortfall == ("dedicated_nics", 5, 2)
+
+    def test_first_shortfall_none_when_fits(self):
+        need = ResourceCapacity(cores=1)
+        have = ResourceCapacity(cores=1)
+        assert need.first_shortfall(have) is None
+
+    def test_first_shortfall_field_order(self):
+        # cores comes before dedicated_nics in field order.
+        need = ResourceCapacity(cores=9, dedicated_nics=9)
+        have = ResourceCapacity()
+        assert need.first_shortfall(have)[0] == "cores"
+
+    def test_nonnegative(self):
+        assert ResourceCapacity().is_nonnegative()
+        assert not (ResourceCapacity() - ResourceCapacity(cores=1)).is_nonnegative()
+
+
+class TestViews:
+    def test_as_dict(self):
+        d = ResourceCapacity(cores=2, shared_nic_slots=3).as_dict()
+        assert d["cores"] == 2
+        assert d["shared_nic_slots"] == 3
+        assert set(d) == {"cores", "ram_gb", "disk_gb", "dedicated_nics",
+                          "shared_nic_slots", "fpga_nics"}
+
+    def test_components_ordered(self):
+        names = [name for name, _v in ResourceCapacity().components()]
+        assert names[0] == "cores"
+        assert "fpga_nics" in names
+
+    def test_zero(self):
+        assert ResourceCapacity.zero() == ResourceCapacity()

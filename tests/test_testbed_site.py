@@ -1,0 +1,79 @@
+"""Tests for the Site aggregate."""
+
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.testbed.hosts import Worker
+from repro.testbed.nic import DedicatedNIC, FPGANic, SharedNIC
+from repro.testbed.site import Site
+
+
+@pytest.fixture()
+def site():
+    sim = Simulator()
+    s = Site(sim, "STAR")
+    w0 = s.add_worker(Worker("w0", "STAR", cores=16, ram_gb=64, disk_gb=500))
+    w1 = s.add_worker(Worker("w1", "STAR", cores=8, ram_gb=32, disk_gb=200))
+    s.install_nic(w0, DedicatedNIC("dn0"))
+    s.install_nic(w0, SharedNIC("sn0", vf_slots=10))
+    s.install_nic(w1, FPGANic("fpga0"))
+    return s
+
+
+class TestConstruction:
+    def test_nic_ports_cabled_to_switch(self, site):
+        # dn0 has 2 ports, sn0 has 1, fpga0 has 2 -> 5 downlinks.
+        assert len(site.switch.downlinks()) == 5
+        for nic in (site.dedicated_nics[0], site.shared_nics[0],
+                    site.fpga_nics[0]):
+            for port in nic.ports:
+                port_id = site.switch_port_for(port)
+                assert port_id in site.switch.ports
+                assert site.switch.ports[port_id].attached_to == port.name
+
+    def test_uplink_ports(self, site):
+        port = site.add_uplink_port(rate_bps=25e9)
+        assert port.kind == "uplink"
+        assert port.rate_bps == 25e9
+        assert len(site.switch.uplinks()) == 1
+
+    def test_nic_categorization(self, site):
+        assert len(site.dedicated_nics) == 1
+        assert len(site.shared_nics) == 1
+        assert len(site.fpga_nics) == 1
+
+
+class TestResources:
+    def test_total_resources(self, site):
+        total = site.total_resources()
+        assert total.cores == 24
+        assert total.ram_gb == 96
+        assert total.dedicated_nics == 1
+        assert total.fpga_nics == 1
+        assert total.shared_nic_slots == 10
+
+    def test_available_tracks_allocation(self, site):
+        before = site.available_resources()
+        site.dedicated_nics[0].allocate("s")
+        site.shared_nics[0].allocate_vf()
+        vm_worker = site.workers[0]
+        vm = vm_worker.create_vm("v", 4, 16, 100, "s")
+        after = site.available_resources()
+        assert after.dedicated_nics == before.dedicated_nics - 1
+        assert after.shared_nic_slots == before.shared_nic_slots - 1
+        assert after.cores == before.cores - 4
+        vm_worker.destroy_vm(vm)
+        site.dedicated_nics[0].release()
+        site.shared_nics[0].release_vf()
+        assert site.available_resources() == before
+
+    def test_free_nic_queries(self, site):
+        assert len(site.free_dedicated_nics()) == 1
+        assert len(site.free_fpga_nics()) == 1
+        site.dedicated_nics[0].allocate("s")
+        assert site.free_dedicated_nics() == []
+
+    def test_worker_for_vm_first_fit(self, site):
+        worker = site.worker_for_vm(10, 32, 100)
+        assert worker.name == "w0"  # only w0 has 10 free cores
+        assert site.worker_for_vm(100, 1, 1) is None

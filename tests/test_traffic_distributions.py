@@ -1,0 +1,106 @@
+"""Tests for traffic distributions."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.distributions import (
+    FrameSizeBins, JUMBO_THRESHOLD, PAPER_FRAME_BINS, flow_size_sampler,
+    lognormal_sampler, pareto_sampler, poisson_arrival_times,
+)
+
+
+class TestFrameSizeBins:
+    def test_paper_bins_labels(self):
+        labels = PAPER_FRAME_BINS.labels()
+        assert "1519-2047" in labels
+        assert "65-127" in labels
+        assert labels[-1] == ">16000"
+
+    def test_index_for_boundaries(self):
+        bins = PAPER_FRAME_BINS
+        assert bins.label_for(64) == "0-64"
+        assert bins.label_for(65) == "65-127"
+        assert bins.label_for(127) == "65-127"
+        assert bins.label_for(1518) == "1024-1518"
+        assert bins.label_for(1519) == "1519-2047"
+        assert bins.label_for(99999) == ">16000"
+
+    def test_histogram_counts(self):
+        counts = PAPER_FRAME_BINS.histogram([60, 70, 80, 1544, 9000])
+        assert counts.sum() == 5
+        assert counts[PAPER_FRAME_BINS.index_for(70)] == 2
+
+    def test_shares_sum_to_one(self):
+        shares = PAPER_FRAME_BINS.shares([100] * 10 + [1544] * 30)
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert PAPER_FRAME_BINS.histogram([]).sum() == 0
+        assert PAPER_FRAME_BINS.shares([]).sum() == 0
+
+    def test_jumbo_threshold(self):
+        assert JUMBO_THRESHOLD == 1519
+
+
+class TestSamplers:
+    def test_lognormal_median(self):
+        rng = np.random.default_rng(0)
+        sample = lognormal_sampler(100.0, 0.5)
+        values = [sample(rng) for _ in range(4000)]
+        assert np.median(values) == pytest.approx(100.0, rel=0.1)
+
+    def test_lognormal_rejects_bad_median(self):
+        with pytest.raises(ValueError):
+            lognormal_sampler(0, 1)
+
+    def test_pareto_minimum(self):
+        rng = np.random.default_rng(0)
+        sample = pareto_sampler(1000.0, 1.5)
+        values = [sample(rng) for _ in range(1000)]
+        assert min(values) >= 1000.0
+
+    def test_pareto_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        sample = pareto_sampler(1000.0, 0.9)
+        values = [sample(rng) for _ in range(5000)]
+        assert max(values) > 100 * min(values)
+
+    def test_flow_size_sampler_span(self):
+        """Most flows are tiny; the tail reaches the cap region."""
+        rng = np.random.default_rng(0)
+        sample = flow_size_sampler()
+        values = [sample(rng) for _ in range(20000)]
+        assert np.median(values) < 1000
+        assert max(values) > 1e6
+        assert min(values) >= 1
+
+    def test_flow_size_cap(self):
+        rng = np.random.default_rng(0)
+        sample = flow_size_sampler(tail_probability=1.0, cap=5000)
+        assert all(sample(rng) <= 5000 for _ in range(100))
+
+    def test_flow_size_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            flow_size_sampler(tail_probability=1.5)
+
+
+class TestPoissonArrivals:
+    def test_count_near_expectation(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrival_times(rng, rate_per_second=50.0, duration=10.0)
+        assert 400 <= len(times) <= 600
+
+    def test_sorted_within_window(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrival_times(rng, 5.0, 10.0, start=100.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 100.0 and times.max() < 110.0
+
+    def test_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert len(poisson_arrival_times(rng, 0.0, 10.0)) == 0
+
+    def test_rejects_negative(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrival_times(rng, -1.0, 10.0)

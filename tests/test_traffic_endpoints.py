@@ -1,0 +1,84 @@
+"""Tests for the endpoint registry."""
+
+import pytest
+
+from repro.packets.headers import mac_bytes
+from repro.testbed import FederationBuilder
+from repro.traffic.endpoints import EndpointRegistry
+
+
+@pytest.fixture()
+def federation():
+    return FederationBuilder(seed=42).build(site_names=["STAR", "MICH"])
+
+
+class TestRegistry:
+    def test_unique_addresses(self, federation):
+        registry = EndpointRegistry(federation)
+        endpoints = [registry.create("STAR") for _ in range(5)]
+        assert len({e.mac for e in endpoints}) == 5
+        assert len({e.ipv4 for e in endpoints}) == 5
+        assert len({e.ipv6 for e in endpoints}) == 5
+
+    def test_private_address_spaces(self, federation):
+        registry = EndpointRegistry(federation)
+        endpoint = registry.create("STAR")
+        assert endpoint.ipv4.startswith("10.")
+        assert endpoint.ipv6.startswith("fd00::")
+        assert endpoint.mac.startswith("02:e0:")
+
+    def test_mac_registered_locally_and_remotely(self, federation):
+        registry = EndpointRegistry(federation)
+        endpoint = registry.create("STAR")
+        raw = mac_bytes(endpoint.mac)
+        star = federation.site("STAR").switch
+        mich = federation.site("MICH").switch
+        assert raw in star.mac_table
+        # Remote sites route toward STAR via an uplink.
+        assert mich.mac_table[raw] in {p.port_id for p in mich.uplinks()}
+
+    def test_round_robin_across_shared_nics(self, federation):
+        registry = EndpointRegistry(federation)
+        site = federation.site("STAR")
+        n = len(site.shared_nics)
+        endpoints = [registry.create("STAR") for _ in range(2 * n)]
+        used_ports = {e.nic_port.name for e in endpoints}
+        assert len(used_ports) == n  # every shared NIC carries endpoints
+
+    def test_vf_accounting(self, federation):
+        registry = EndpointRegistry(federation)
+        site = federation.site("STAR")
+        before = sum(nic.vfs_in_use for nic in site.shared_nics)
+        registry.create("STAR")
+        after = sum(nic.vfs_in_use for nic in site.shared_nics)
+        assert after == before + 1
+
+    def test_at_site(self, federation):
+        registry = EndpointRegistry(federation)
+        registry.create("STAR")
+        registry.create("MICH")
+        registry.create("STAR")
+        assert len(registry.at_site("STAR")) == 2
+        assert len(registry.at_site("MICH")) == 1
+        assert registry.at_site("NOWHERE") == []
+        assert len(registry) == 3
+
+    def test_explicit_nic_port(self, federation):
+        registry = EndpointRegistry(federation)
+        site = federation.site("STAR")
+        port = site.dedicated_nics[0].ports[0]
+        endpoint = registry.create("STAR", nic_port=port)
+        assert endpoint.nic_port is port
+
+    def test_send_through_endpoint(self, federation):
+        from repro.netsim.frame import Frame
+        registry = EndpointRegistry(federation)
+        a = registry.create("STAR")
+        b = registry.create("STAR")
+        got = []
+        b.nic_port.receive(got.append)
+        head = (mac_bytes(b.mac) + mac_bytes(a.mac) + b"\x08\x00"
+                + b"\x00" * 46)
+        assert a.send(Frame(wire_len=100, head=head))
+        federation.sim.run()
+        assert len(got) == 1

@@ -1,0 +1,74 @@
+"""Tests for the slice schedule model (Figs 3-5 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.schedule import (
+    HOURS, SliceRecord, SliceScheduleModel, deadline_intensity,
+)
+
+SITES = [f"S{i}" for i in range(30)]
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return SliceScheduleModel(SITES, seed=11).generate(weeks=26)
+
+
+class TestDeadlineIntensity:
+    def test_autumn_peak_dominates(self):
+        peak_week = max(range(52), key=deadline_intensity)
+        assert 44 <= peak_week <= 48
+
+    def test_spring_bump_exists(self):
+        assert deadline_intensity(17) > deadline_intensity(8)
+
+    def test_never_nonpositive(self):
+        assert all(deadline_intensity(w) > 0 for w in range(52))
+
+
+class TestGeneratedHistory:
+    def test_records_within_horizon(self, schedule):
+        assert all(0 <= r.start < schedule.horizon for r in schedule.records)
+
+    def test_single_site_fraction_near_paper(self, schedule):
+        assert schedule.single_site_fraction() == pytest.approx(0.665, abs=0.03)
+
+    def test_duration_cdf_near_paper(self, schedule):
+        p24 = schedule.duration_cdf([24.0])[0]
+        assert p24 == pytest.approx(0.75, abs=0.06)
+
+    def test_duration_cdf_monotone(self, schedule):
+        cdf = schedule.duration_cdf([1, 6, 24, 168])
+        assert cdf == sorted(cdf)
+
+    def test_spread_histogram_sums_to_one(self, schedule):
+        assert sum(schedule.spread_histogram().values()) == pytest.approx(1.0)
+
+    def test_multi_site_slices_exist(self, schedule):
+        histogram = schedule.spread_histogram()
+        assert sum(v for k, v in histogram.items() if k >= 2) > 0.2
+
+    def test_sites_unique_per_slice(self, schedule):
+        for record in schedule.records[:500]:
+            assert len(set(record.sites)) == len(record.sites)
+
+    def test_concurrency_series(self, schedule):
+        times, counts = schedule.concurrency_series(step=12 * HOURS)
+        assert len(times) == len(counts)
+        assert counts.max() > counts.min()
+
+    def test_deterministic(self):
+        a = SliceScheduleModel(SITES, seed=5).generate(weeks=4)
+        b = SliceScheduleModel(SITES, seed=5).generate(weeks=4)
+        assert len(a.records) == len(b.records)
+        assert a.records[0].duration == b.records[0].duration
+
+    def test_record_end(self):
+        record = SliceRecord(1, 100.0, 50.0, ("A",))
+        assert record.end == 150.0
+        assert record.site_count == 1
+
+    def test_rejects_empty_sites(self):
+        with pytest.raises(ValueError):
+            SliceScheduleModel([])

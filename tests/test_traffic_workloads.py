@@ -1,0 +1,112 @@
+"""Tests for workload profiles and the traffic orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.testbed import FederationBuilder
+from repro.traffic.workloads import (
+    WORKLOAD_PROFILES, TrafficOrchestrator, WorkloadProfile,
+    assign_site_profiles,
+)
+
+
+class TestProfiles:
+    def test_all_personalities_exist(self):
+        assert {"bulk", "jumbo-bulk", "mixed", "chatty", "quiet"} == set(WORKLOAD_PROFILES)
+
+    def test_pick_app_respects_weights(self):
+        rng = np.random.default_rng(0)
+        profile = WORKLOAD_PROFILES["bulk"]
+        picks = [profile.pick_app(rng).name for _ in range(300)]
+        assert picks.count("iperf-tcp") > 200
+
+    def test_pick_encap_returns_kind(self):
+        rng = np.random.default_rng(0)
+        kind = WORKLOAD_PROFILES["mixed"].pick_encap(rng)
+        assert kind in WORKLOAD_PROFILES["mixed"].encap_weights
+
+    def test_assignment_deterministic(self):
+        sites = ["A", "B", "C", "D", "E"]
+        assert ([p.name for p in assign_site_profiles(sites, seed=7).values()]
+                == [p.name for p in assign_site_profiles(sites, seed=7).values()])
+
+    def test_assignment_covers_all_sites(self):
+        sites = [f"S{i}" for i in range(30)]
+        assigned = assign_site_profiles(sites)
+        assert set(assigned) == set(sites)
+
+    def test_quiet_sites_much_quieter_than_chatty(self):
+        assert (WORKLOAD_PROFILES["quiet"].flow_rate_per_s
+                < WORKLOAD_PROFILES["chatty"].flow_rate_per_s / 100)
+
+
+class TestOrchestrator:
+    @pytest.fixture()
+    def orchestrator(self):
+        federation = FederationBuilder(seed=42).build(
+            site_names=["STAR", "MICH", "UTAH"])
+        return TrafficOrchestrator(federation, seed=7, scale=0.05), federation
+
+    def test_setup_creates_endpoints(self, orchestrator):
+        orch, _fed = orchestrator
+        orch.setup()
+        assert len(orch.registry) > 0
+        for site in ("STAR", "MICH", "UTAH"):
+            assert len(orch.registry.at_site(site)) >= 2
+
+    def test_setup_idempotent(self, orchestrator):
+        orch, _fed = orchestrator
+        orch.setup()
+        count = len(orch.registry)
+        orch.setup()
+        assert len(orch.registry) == count
+
+    def test_generate_window_creates_flows(self, orchestrator):
+        orch, fed = orchestrator
+        flows = orch.generate_window(0.0, 30.0)
+        assert len(flows) > 0
+        fed.sim.run(until=31.0)
+        assert any(f.frames_sent > 0 for f in flows)
+
+    def test_generate_restricted_to_sites(self, orchestrator):
+        orch, _fed = orchestrator
+        flows = orch.generate_window(0.0, 10.0, sites=["STAR"])
+        assert all(f.src.site == "STAR" for f in flows)
+
+    def test_traffic_reaches_switches(self, orchestrator):
+        orch, fed = orchestrator
+        orch.generate_window(0.0, 10.0)
+        fed.sim.run(until=11.0)
+        total_rx = sum(
+            port.counters()["rx_frames"]
+            for site in fed.sites.values()
+            for port in site.switch.downlinks()
+        )
+        assert total_rx > 0
+
+    def test_remote_flows_cross_uplinks(self, orchestrator):
+        orch, fed = orchestrator
+        orch.generate_window(0.0, 20.0)
+        fed.sim.run(until=21.0)
+        uplink_frames = sum(
+            port.counters()["tx_frames"]
+            for site in fed.sites.values()
+            for port in site.switch.uplinks()
+        )
+        assert uplink_frames > 0
+
+    def test_scale_reduces_frame_count(self):
+        def run(scale):
+            fed = FederationBuilder(seed=42).build(site_names=["STAR", "MICH"])
+            orch = TrafficOrchestrator(fed, seed=7, scale=scale)
+            orch.generate_window(0.0, 10.0)
+            fed.sim.run(until=11.0)
+            return sum(port.counters()["rx_frames"]
+                       for site in fed.sites.values()
+                       for port in site.switch.downlinks())
+        assert run(0.02) < run(0.3)
+
+    def test_rejects_bad_scale(self):
+        fed = FederationBuilder(seed=42).build(site_names=["STAR", "MICH"])
+        with pytest.raises(ValueError):
+            TrafficOrchestrator(fed, scale=0.0)

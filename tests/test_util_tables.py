@@ -1,0 +1,63 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def make(self):
+        t = Table(["name", "value"], title="t")
+        t.add_row(["a", 2])
+        t.add_row(["b", 1])
+        return t
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_column_access(self):
+        assert self.make().column("value") == [2, 1]
+
+    def test_sort_by(self):
+        t = self.make()
+        t.sort_by("value")
+        assert t.column("name") == ["b", "a"]
+
+    def test_sort_by_reverse(self):
+        t = self.make()
+        t.sort_by("value", reverse=True)
+        assert t.column("value") == [2, 1]
+
+    def test_csv_round_trip(self, tmp_path):
+        t = self.make()
+        path = t.to_csv(tmp_path / "sub" / "t.csv")
+        loaded = Table.from_csv(path)
+        assert loaded.columns == t.columns
+        assert loaded.rows == [["a", "2"], ["b", "1"]]  # CSV stringifies
+
+    def test_csv_string(self):
+        text = self.make().to_csv_string()
+        assert text.splitlines()[0] == "name,value"
+        assert "a,2" in text
+
+    def test_render_contains_all_cells(self):
+        text = self.make().render()
+        for token in ("name", "value", "a", "b", "t"):
+            assert token in text
+
+    def test_render_truncation(self):
+        t = self.make()
+        text = t.render(max_rows=1)
+        assert "more rows" in text
+        assert "b" not in text.splitlines()[-2]
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([0.123456789])
+        assert "0.1235" in t.render()

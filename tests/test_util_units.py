@@ -1,0 +1,89 @@
+"""Tests for repro.util.units."""
+
+import pytest
+
+from repro.util import units
+
+
+class TestParseRate:
+    def test_plain_gbps(self):
+        assert units.parse_rate("100Gbps") == 100e9
+
+    def test_decimal_and_spaces(self):
+        assert units.parse_rate("8.5 Gbps") == 8.5e9
+
+    def test_mbps(self):
+        assert units.parse_rate("250Mbps") == 250e6
+
+    def test_tbps(self):
+        assert units.parse_rate("3.968Tbps") == pytest.approx(3.968e12)
+
+    def test_bare_bps(self):
+        assert units.parse_rate("42bps") == 42.0
+
+    def test_case_insensitive(self):
+        assert units.parse_rate("1GBPS") == 1e9
+
+    def test_numeric_passthrough(self):
+        assert units.parse_rate(5e9) == 5e9
+        assert units.parse_rate(100) == 100.0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_rate("fast")
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            units.parse_rate("10 parsecs")
+
+
+class TestParseSize:
+    def test_mb(self):
+        assert units.parse_size("32MB") == 32_000_000
+
+    def test_binary_prefix(self):
+        assert units.parse_size("4KiB") == 4096
+        assert units.parse_size("1GiB") == 1 << 30
+
+    def test_bytes(self):
+        assert units.parse_size("200B") == 200
+
+    def test_int_passthrough(self):
+        assert units.parse_size(1514) == 1514
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_size("many")
+
+
+class TestFormat:
+    def test_format_rate_round_trip(self):
+        assert units.format_rate(100e9) == "100Gbps"
+        assert units.format_rate(8.5e9) == "8.5Gbps"
+        assert units.format_rate(1.5e3) == "1.5Kbps"
+
+    def test_format_rate_sub_kbps(self):
+        assert units.format_rate(12) == "12bps"
+
+    def test_format_size(self):
+        assert units.format_size(32_000_000) == "32MB"
+        assert units.format_size(100) == "100B"
+        assert units.format_size(2_500_000_000) == "2.5GB"
+
+
+class TestTransmissionTime:
+    def test_basic(self):
+        # 1514 bytes at 100 Gbps is ~121 ns.
+        t = units.transmission_time(1514, 100e9)
+        assert t == pytest.approx(1514 * 8 / 100e9)
+
+    def test_slow_link_is_slower(self):
+        assert units.transmission_time(1514, 1e9) > units.transmission_time(1514, 10e9)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0)
+
+    def test_bits_helpers(self):
+        assert units.bits(1) == 8.0
+        assert units.bytes_per_second(8e9) == 1e9
