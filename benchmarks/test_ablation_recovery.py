@@ -1,0 +1,65 @@
+"""Ablation: the fault-recovery layer on vs. off.
+
+Same federation, same disturbance schedule (competitor slices, 180-s
+back-end incidents, instance-crash probability) -- the only difference
+is ``RecoveryConfig.enabled``.  Recovery off is the paper's original
+Patchwork (Fig 10's ~79 % success shape); recovery on adds sim-time
+retries, circuit breakers, bounded instance restart, and one
+coordinator re-dispatch, and must strictly improve the success rate.
+"""
+
+from repro.core import PatchworkConfig, RecoveryConfig, SamplingPlan
+from repro.core.status import recovery_summary
+from repro.study.behavior import run_campaign
+from repro.testbed import FederationBuilder, TestbedAPI
+
+SITES = ["STAR", "MICH", "UTAH", "TACC", "NCSA", "WASH", "DALL", "SALT",
+         "MASS", "MAXG", "UCSD", "CLEM"]
+
+
+def run_variant(tmp_path, enabled):
+    federation = FederationBuilder(seed=42).build(site_names=SITES)
+    api = TestbedAPI(federation)
+    config = PatchworkConfig(
+        output_dir=tmp_path,
+        plan=SamplingPlan(sample_duration=2, sample_interval=10,
+                          samples_per_run=1, runs_per_cycle=1, cycles=1),
+        desired_instances=2,
+        recovery=RecoveryConfig(enabled=enabled),
+    )
+    return run_campaign(
+        api, config, occasions=6, seed=23,
+        total_shortage_fraction=0.10, partial_shortage_fraction=0.10,
+        outage_fraction=0.7, outage_site_fraction=0.5,
+        crash_probability=0.015,
+        outage_duration=180.0,
+    )
+
+
+def test_ablation_recovery(benchmark, tmp_path):
+    off = run_variant(tmp_path / "off", enabled=False)
+
+    def recovered_campaign():
+        return run_variant(tmp_path / "on", enabled=True)
+
+    on = benchmark.pedantic(recovered_campaign, rounds=1, iterations=1)
+
+    print("\n--- recovery off (paper baseline) ---")
+    print(off.to_table().render())
+    print(f"success rate: {off.success_rate:.1%}")
+    print("\n--- recovery on ---")
+    print(on.to_table().render())
+    print(f"success rate: {on.success_rate:.1%}")
+    summary = recovery_summary(on.records)
+    print(f"recovery work: {summary}")
+
+    # The same disturbance schedule hit both variants.
+    assert len(on.records) == len(off.records) == 6 * len(SITES)
+    # Recovery must strictly improve the occasion success rate...
+    assert on.success_rate > off.success_rate
+    # ...by actually doing recovery work, not by luck.
+    assert summary["retries"] > 0
+    assert summary["retries"] + summary["restarts"] + \
+        summary["redispatched_runs"] > 0
+    baseline = recovery_summary(off.records)
+    assert all(v == 0 for v in baseline.values())

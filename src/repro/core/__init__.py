@@ -20,6 +20,9 @@ testbed it profiles.  The package mirrors the paper's Section 6 design:
   telemetry (R3): Mirrored(Tx) + Mirrored(Rx) vs. the mirror port rate.
 * :mod:`repro.core.watchdog` -- detects successful and unsuccessful
   termination (e.g. storage exhaustion).
+* :mod:`repro.core.retry` -- the fault-recovery layer's control-plane
+  client: sim-time jittered retries with attempt/deadline budgets and a
+  per-site circuit breaker wrapped around :class:`TestbedAPI`.
 * :mod:`repro.core.status` / :mod:`repro.core.logs` -- run outcomes
   (Fig 10's Success / Degraded / Failed / Incomplete) and instance logs.
 * :mod:`repro.core.gather` -- the gathering phase: per-site compressed
@@ -30,8 +33,16 @@ testbed it profiles.  The package mirrors the paper's Section 6 design:
   lease scheduler that lets multiple users share one mirrored port.
 """
 
-from repro.core.config import PatchworkConfig, SamplingPlan
-from repro.core.status import RunOutcome, RunRecord
+from repro.core.config import PatchworkConfig, RecoveryConfig, SamplingPlan
+from repro.core.status import RunOutcome, RunRecord, recovery_summary
+from repro.core.retry import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientAPI,
+    RetryPolicy,
+    RetryStats,
+)
 from repro.core.logs import InstanceLog, LogEvent
 from repro.core.cycling import (
     AllPortsSelector,
@@ -59,9 +70,17 @@ from repro.core.gather import (
 
 __all__ = [
     "PatchworkConfig",
+    "RecoveryConfig",
     "SamplingPlan",
     "RunOutcome",
     "RunRecord",
+    "recovery_summary",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ResilientAPI",
+    "RetryPolicy",
+    "RetryStats",
     "InstanceLog",
     "LogEvent",
     "AllPortsSelector",

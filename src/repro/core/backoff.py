@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from repro.core.logs import InstanceLog
 from repro.testbed.api import TestbedAPI
 from repro.testbed.errors import AllocationError, TransientBackendError
@@ -67,9 +69,17 @@ def acquire_with_backoff(
     log: InstanceLog,
     max_backoffs: int = 4,
     transient_retries: int = 2,
+    retry_delay: float = 5.0,
+    rng: Optional[np.random.Generator] = None,
     slice_name: str = "",
 ) -> AcquisitionResult:
-    """Acquire a Patchwork slice at a site, scaling down as needed."""
+    """Acquire a Patchwork slice at a site, scaling down as needed.
+
+    Transient-error retries wait ``retry_delay`` seconds of *simulated*
+    time (jittered when ``rng`` is given) between attempts, so that a
+    retry sequence can outlast a short back-end outage window instead
+    of re-attempting at the same instant.
+    """
     request = patchwork_request(site, desired_nodes, slice_name)
     backoffs = 0
     transient_failures = 0
@@ -99,6 +109,14 @@ def acquire_with_backoff(
                     site, None, desired_nodes, 0, backoffs, transient_failures,
                     failure_reason="transient backend error",
                 )
+            if retry_delay > 0:
+                # Jitter in [0.5, 1.5) x base keeps concurrent sites'
+                # retries from re-synchronizing onto the same instant.
+                delay = retry_delay * (0.5 + rng.random()) if rng is not None \
+                    else retry_delay
+                log.info(api.now, "acquire", "waiting before transient retry",
+                         delay=round(delay, 3), attempt=transient_failures)
+                api.wait(delay)
             continue
         except AllocationError as exc:
             # The dry run passed but the testbed still refused (racing

@@ -53,6 +53,48 @@ class SamplingPlan:
         return self.total_samples * self.sample_interval
 
 
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Fault-recovery knobs (all layers; disabled by default).
+
+    With ``enabled`` False the system behaves like the paper's original
+    Patchwork: transient failures are retried a couple of times at
+    essentially the same instant, a watchdog trip loses the site, and
+    failed sites stay failed for the occasion -- the behaviour behind
+    Fig 10's ~20 % failure share.  Enabling recovery turns on:
+
+    * jittered exponential retries with a sim-time deadline budget and
+      a per-site circuit breaker on every control-plane mutation
+      (:mod:`repro.core.retry`),
+    * a bounded restart of the sampling loop after a watchdog trip
+      (salvaging already-written samples; outcome ``DEGRADED``), and
+    * one coordinator-level re-dispatch of failed sites within the
+      occasion budget.
+    """
+
+    enabled: bool = False
+    # Control-plane retry policy (see repro.core.retry.RetryPolicy).
+    retry_attempts: int = 5
+    retry_base_delay: float = 15.0
+    retry_max_delay: float = 240.0
+    retry_jitter: float = 0.5
+    retry_deadline: float = 900.0
+    # Per-site circuit breaker.
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 120.0
+    # Instance-level recovery.
+    restart_limit: int = 1
+    restart_delay: float = 30.0
+    # Coordinator-level recovery.
+    redispatch_limit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be at least 1")
+        if self.restart_limit < 0 or self.redispatch_limit < 0:
+            raise ValueError("recovery limits cannot be negative")
+
+
 @dataclass
 class PatchworkConfig:
     """Everything a user chooses before starting Patchwork."""
@@ -79,8 +121,13 @@ class PatchworkConfig:
     desired_instances: int = 2   # listening nodes requested per site
     max_backoffs: int = 4
     transient_retries: int = 2
+    # Base delay between transient-error retries during acquisition
+    # (jittered; spent as sim time so retries can outlast an outage).
+    transient_retry_delay: float = 5.0
     # Telemetry window used for busiest/idle ranking (seconds).
     telemetry_window: float = 600.0
+    # Fault recovery (off by default: the paper's original behaviour).
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def __post_init__(self) -> None:
         self.output_dir = Path(self.output_dir)
@@ -88,5 +135,7 @@ class PatchworkConfig:
             raise ValueError("snaplen must be positive")
         if self.desired_instances < 1:
             raise ValueError("need at least one instance")
+        if self.transient_retry_delay < 0:
+            raise ValueError("transient_retry_delay cannot be negative")
         if not self.all_experiment and not self.slice_name:
             raise ValueError("single-experiment mode needs a slice name")

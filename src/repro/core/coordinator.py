@@ -35,6 +35,8 @@ class ProfileBundle:
     started_at: float
     finished_at: float
     results: Dict[str, InstanceResult] = field(default_factory=dict)
+    # Sites whose failed first attempt was re-dispatched this occasion.
+    redispatches: int = 0
 
     @property
     def run_records(self) -> List[RunRecord]:
@@ -53,6 +55,11 @@ class ProfileBundle:
                 instances=acquisition.granted_nodes if acquisition else 0,
                 samples_taken=len(result.samples),
                 pcap_files=len(result.pcap_paths),
+                retries=result.retries,
+                breaker_opens=result.breaker_opens,
+                restarts=result.restarts,
+                recovered=result.recovered,
+                redispatched=result.redispatched,
             ))
         return records
 
@@ -120,34 +127,97 @@ class Coordinator:
         started_at = sim.now
         occasion = self.occasions_run
         self.occasions_run += 1
-        instances: List[PatchworkInstance] = []
-        for i, site in enumerate(self.target_sites()):
-            instance = PatchworkInstance(
-                api=self.api,
-                mflib=self.mflib,
-                config=self.config,
-                site=site,
-                poller=self.poller,
-                rng=self.seeds.rng(f"occasion{occasion}/{site}"),
-                crash_probability=crash_probability,
-            )
-            instances.append(instance)
+        instances = [
+            self._make_instance(site, f"occasion{occasion}/{site}",
+                                crash_probability)
+            for site in self.target_sites()
+        ]
+        for i, instance in enumerate(instances):
             sim.schedule(i * stagger, instance.start)
         # The sampling phase is bounded; give stragglers headroom, then
-        # run until every instance reports done.
+        # run until every instance reports done.  One budget covers the
+        # whole occasion, including any recovery re-dispatch wave.
         budget = (
             len(instances) * stagger
             + self.config.plan.approximate_duration * deadline_margin
             + 600.0
         )
         deadline = sim.now + budget
+        self._run_wave(sim, instances, deadline)
+        bundle = ProfileBundle(started_at=started_at, finished_at=sim.now)
+        for instance in instances:
+            bundle.results[instance.site] = instance.result
+        self._redispatch_failed(sim, bundle, occasion, crash_probability,
+                                stagger, deadline)
+        bundle.finished_at = sim.now
+        return bundle
+
+    def _make_instance(
+        self, site: str, rng_label: str, crash_probability: float
+    ) -> PatchworkInstance:
+        return PatchworkInstance(
+            api=self.api,
+            mflib=self.mflib,
+            config=self.config,
+            site=site,
+            poller=self.poller,
+            rng=self.seeds.rng(rng_label),
+            crash_probability=crash_probability,
+        )
+
+    def _run_wave(
+        self,
+        sim,
+        instances: Sequence[PatchworkInstance],
+        deadline: float,
+    ) -> None:
+        """Drive the simulator until every instance finishes or time runs out."""
         while sim.now < deadline and not all(inst.finished for inst in instances):
             if not sim.step():
                 break
         for instance in instances:
             if not instance.finished:
                 instance.abort("coordinator deadline reached")
-        bundle = ProfileBundle(started_at=started_at, finished_at=sim.now)
-        for instance in instances:
-            bundle.results[instance.site] = instance.result
-        return bundle
+
+    def _redispatch_failed(
+        self,
+        sim,
+        bundle: ProfileBundle,
+        occasion: int,
+        crash_probability: float,
+        stagger: float,
+        deadline: float,
+    ) -> None:
+        """Give FAILED sites one fresh attempt inside the occasion budget.
+
+        Part of the recovery layer: a site whose first attempt failed
+        outright (acquisition never completed) gets a brand-new instance
+        while budget remains.  The retry result replaces the original
+        only if it actually profiled the site; either way the record is
+        flagged ``redispatched`` so the accounting stays visible.
+        """
+        recovery = self.config.recovery
+        if not recovery.enabled or recovery.redispatch_limit < 1:
+            return
+        failed = sorted(
+            site for site, result in bundle.results.items()
+            if result.outcome is RunOutcome.FAILED
+        )
+        if not failed or sim.now >= deadline:
+            return
+        retries = [
+            self._make_instance(site, f"occasion{occasion}/{site}/retry",
+                                crash_probability)
+            for site in failed
+        ]
+        for i, instance in enumerate(retries):
+            sim.schedule(i * stagger, instance.start)
+        self._run_wave(sim, retries, deadline)
+        for instance in retries:
+            result = instance.result
+            bundle.redispatches += 1
+            if result.outcome in (RunOutcome.SUCCESS, RunOutcome.DEGRADED):
+                result.redispatched = True
+                bundle.results[instance.site] = result
+            else:
+                bundle.results[instance.site].redispatched = True

@@ -14,6 +14,13 @@ Each dedicated NIC contributes two mirror *slots* (it is dual-port).
 Everything is event-driven on the shared simulator so instances at
 different sites genuinely run concurrently, like the real system's
 independent per-site instances (finding A1).
+
+With ``config.recovery.enabled`` the instance becomes self-healing:
+its control-plane calls go through a :class:`~repro.core.retry.ResilientAPI`
+(jittered retries + per-site circuit breaker), and a watchdog trip
+triggers a *bounded restart* of the sampling loop that salvages
+already-written samples and pcaps -- the run ends ``DEGRADED`` instead
+of ``INCOMPLETE`` when the restart succeeds.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from repro.core.config import PatchworkConfig
 from repro.core.congestion import CongestionDetector, CongestionVerdict
 from repro.core.cycling import PortSelector, SelectionContext, make_selector
 from repro.core.logs import InstanceLog
+from repro.core.retry import ResilientAPI, RetryPolicy
 from repro.core.scaling import ScalingAction, ScalingController
 from repro.core.status import RunOutcome
 from repro.core.watchdog import Watchdog
@@ -68,6 +76,12 @@ class InstanceResult:
     samples: List[SampleRecord] = field(default_factory=list)
     log: Optional[InstanceLog] = None
     abort_reason: str = ""
+    # Recovery accounting (all zero when recovery is disabled).
+    retries: int = 0
+    breaker_opens: int = 0
+    restarts: int = 0
+    recovered: bool = False
+    redispatched: bool = False
 
     @property
     def pcap_paths(self) -> List[Path]:
@@ -106,7 +120,6 @@ class PatchworkInstance:
         on_done: Optional[Callable[["PatchworkInstance"], None]] = None,
         scaling: Optional[ScalingController] = None,
     ):
-        self.api = api
         self.mflib = mflib
         self.config = config
         self.site = site
@@ -116,6 +129,25 @@ class PatchworkInstance:
         self.on_done = on_done
         self.instance_id = f"pw{next(_instance_ids)}"
         self.log = InstanceLog(site, self.instance_id)
+        recovery = config.recovery
+        if recovery.enabled and not isinstance(api, ResilientAPI):
+            api = ResilientAPI(
+                api,
+                policy=RetryPolicy(
+                    max_attempts=recovery.retry_attempts,
+                    base_delay=recovery.retry_base_delay,
+                    max_delay=recovery.retry_max_delay,
+                    jitter=recovery.retry_jitter,
+                    deadline=recovery.retry_deadline,
+                ),
+                breaker_threshold=recovery.breaker_threshold,
+                breaker_cooldown=recovery.breaker_cooldown,
+                log=self.log,
+                rng=self.rng,
+            )
+        self.api = api
+        self.resilient: Optional[ResilientAPI] = \
+            api if isinstance(api, ResilientAPI) else None
         self.selector: PortSelector = make_selector(
             config.selector, n=config.selector_n, fixed_ports=config.fixed_ports
         )
@@ -132,6 +164,17 @@ class PatchworkInstance:
         self._sample = 0
         self._watchdog: Optional[Watchdog] = None
         self._finished = False
+        # Recovery state: the pending sampling-loop event (cancelled on
+        # restart), a generation counter that invalidates in-flight loop
+        # frames after a restart, and restart accounting.
+        self._loop_event = None
+        self._epoch = 0
+        self._restarts = 0
+        self._recovered = False
+        # VMs whose death has been acknowledged by a restart: the
+        # liveness probe ignores them so one loss trips the watchdog
+        # exactly once instead of on every later check.
+        self._dead_vms: set = set()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -147,6 +190,8 @@ class PatchworkInstance:
             self.api, self.site, self.config.desired_instances, self.log,
             max_backoffs=self.config.max_backoffs,
             transient_retries=self.config.transient_retries,
+            retry_delay=self.config.transient_retry_delay,
+            rng=self.rng,
             slice_name=f"patchwork-{self.site}-{self.instance_id}",
         )
         if not self.acquisition.acquired:
@@ -164,20 +209,122 @@ class PatchworkInstance:
             log=self.log,
             disk_quota_bytes=disk_quota,
             used_bytes_fn=self._bytes_used,
-            on_abort=self.abort,
+            on_abort=self._on_watchdog_trip,
             interval=max(1.0, self.config.plan.sample_duration / 2),
             crash_probability_per_check=self.crash_probability,
             rng=self.rng,
+            liveness_fn=self._check_liveness,
         )
         self._watchdog.start()
         self._start_cycle()
 
     def abort(self, reason: str) -> None:
-        """Unsuccessful termination (watchdog or external)."""
+        """Unsuccessful termination (watchdog or external).
+
+        Partial work is still gathered: in-flight captures are stopped
+        and salvaged into the sample list, so their pcaps and the
+        instance log travel with the result.
+        """
         if self._finished:
             return
         self.log.error(self.api.now, "abort", reason)
         self._finish(RunOutcome.INCOMPLETE, reason)
+
+    # -- recovery -------------------------------------------------------------
+
+    def _check_liveness(self) -> Optional[str]:
+        """Watchdog probe: are all of the slice's VMs still hosted?"""
+        if self.acquisition is None or self.acquisition.live_slice is None:
+            return None
+        for live in [self.acquisition.live_slice] + list(self._extra_slices):
+            if live.deleted:
+                continue
+            for vm in live.vms.values():
+                if vm.name not in vm.worker.vms and vm.name not in self._dead_vms:
+                    return f"vm {vm.name} died"
+        return None
+
+    def _on_watchdog_trip(self, reason: str) -> None:
+        """Recover from a trip when allowed; otherwise abort as before."""
+        if self._finished:
+            return
+        recovery = self.config.recovery
+        # Storage exhaustion is not recoverable by restarting: the data
+        # that filled the disk is still there.
+        recoverable = not reason.startswith("storage")
+        if recovery.enabled and recoverable and self._restarts < recovery.restart_limit:
+            self._restart(reason)
+        else:
+            self.abort(reason)
+
+    def _restart(self, reason: str) -> None:
+        """Bounded restart of the sampling loop after a watchdog trip."""
+        self._restarts += 1
+        self._recovered = True
+        self._epoch += 1  # invalidate any in-flight loop frame
+        self.log.error(self.api.now, "recovery",
+                       f"watchdog tripped ({reason}); restarting sampling loop",
+                       restart=self._restarts,
+                       limit=self.config.recovery.restart_limit)
+        if self._loop_event is not None:
+            self._loop_event.cancel()
+            self._loop_event = None
+        self._salvage_captures("recovery")
+        self._prune_dead_slots()
+        if not self._slots:
+            self.abort(f"{reason}; no usable slots after restart")
+            return
+        self._watchdog.rearm()
+        delay = self.config.recovery.restart_delay * (0.75 + 0.5 * self.rng.random())
+        self.log.info(self.api.now, "recovery", "sampling loop restart scheduled",
+                      delay=round(delay, 3), cycle=self._cycle)
+        self._loop_event = self.api.federation.sim.schedule(
+            delay, self._start_cycle, self._epoch)
+
+    def _salvage_captures(self, kind: str) -> int:
+        """Stop in-flight captures, keeping their pcaps as partial samples."""
+        salvaged = 0
+        for slot in self._slots:
+            if slot.capture is None:
+                continue
+            stats = slot.capture.stop()
+            slot.capture = None
+            if slot.current_source is None:
+                continue
+            self.samples.append(SampleRecord(
+                cycle=self._cycle, run=self._run, sample=self._sample,
+                slot=slot.index, mirrored_port=slot.current_source,
+                pcap_path=stats.pcap_path, stats=stats, congestion=None,
+            ))
+            salvaged += 1
+        if salvaged:
+            self.log.info(self.api.now, kind, "salvaged partial samples",
+                          count=salvaged)
+        return salvaged
+
+    def _prune_dead_slots(self) -> None:
+        """Drop mirror slots whose backing VM no longer exists."""
+        alive_ports = set()
+        for live in [self.acquisition.live_slice] + list(self._extra_slices):
+            for vm in live.vms.values():
+                if vm.name in vm.worker.vms:
+                    alive_ports.update(vm.nic_ports)
+                else:
+                    self._dead_vms.add(vm.name)
+        dead = [s for s in self._slots if s.nic_port not in alive_ports]
+        if not dead:
+            return
+        main = self.acquisition.live_slice
+        for slot in dead:
+            if slot.session is not None:
+                try:
+                    self.api.delete_port_mirror(main, slot.session)
+                except TestbedError:
+                    pass
+                slot.session = None
+        self._slots = [s for s in self._slots if s.nic_port in alive_ports]
+        self.log.warning(self.api.now, "recovery", "dropped slots on dead VMs",
+                         dropped=len(dead), remaining=len(self._slots))
 
     # -- setup internals ------------------------------------------------------
 
@@ -217,8 +364,14 @@ class PatchworkInstance:
 
     # -- the sampling loop ------------------------------------------------------
 
-    def _start_cycle(self) -> None:
-        if self._finished:
+    def _stale(self, epoch: int) -> bool:
+        """True if a restart superseded the frame that captured ``epoch``."""
+        return self._finished or epoch != self._epoch
+
+    def _start_cycle(self, epoch: Optional[int] = None) -> None:
+        if epoch is None:
+            epoch = self._epoch
+        if self._stale(epoch):
             return
         ctx = SelectionContext(
             site=self.site,
@@ -237,12 +390,16 @@ class PatchworkInstance:
         if not targets:
             self.log.warning(self.api.now, "cycle", "no ports selected; skipping cycle",
                              cycle=self._cycle)
-            self._advance_after_cycle()
+            self._advance_after_cycle(epoch)
             return
         assignments = list(zip(self._slots, targets))
         # Tear down mirrors that must move first: pointing slot A at a
-        # port still mirrored by slot B would otherwise conflict.
+        # port still mirrored by slot B would otherwise conflict.  If a
+        # teardown fails transiently, the old mirror is still live on
+        # the switch -- keep the slot pointed at it (and sampling it)
+        # rather than losing track of the session.
         live = self.acquisition.live_slice
+        blocked = set()
         for slot, port_id in assignments:
             if slot.session is not None and slot.current_source != port_id:
                 try:
@@ -250,22 +407,30 @@ class PatchworkInstance:
                 except TestbedError as exc:
                     self.log.warning(self.api.now, "cycle",
                                      f"mirror teardown failed: {exc}")
+                    blocked.add(slot.index)
+                    continue
                 slot.session = None
                 slot.current_source = None
+            if self._stale(epoch):
+                return
         for slot, port_id in assignments:
+            if slot.index in blocked:
+                continue
             try:
                 self._point_mirror(slot, port_id)
             except (MirrorConflictError, TestbedError) as exc:
                 self.log.warning(self.api.now, "cycle",
                                  f"could not mirror {port_id}: {exc}")
                 slot.current_source = None
+            if self._stale(epoch):
+                return
         for port_id in targets:
             self._history[port_id] = self._cycle
         self.log.info(self.api.now, "cycle", "mirrors pointed",
                       cycle=self._cycle, ports=",".join(targets))
         self._run = 0
         self._sample = 0
-        self._begin_sample()
+        self._begin_sample(epoch)
 
     def _point_mirror(self, slot: _MirrorSlot, port_id: str) -> None:
         live = self.acquisition.live_slice
@@ -273,8 +438,10 @@ class PatchworkInstance:
             slot.session = self.api.create_port_mirror(live, port_id, slot.dest_port_id)
             slot.current_source = port_id
 
-    def _begin_sample(self) -> None:
-        if self._finished:
+    def _begin_sample(self, epoch: Optional[int] = None) -> None:
+        if epoch is None:
+            epoch = self._epoch
+        if self._stale(epoch):
             return
         if self.poller is not None:
             self.poller.poll_now()  # fresh rates bracketing the sample
@@ -294,12 +461,14 @@ class PatchworkInstance:
                 transform=self.config.transform,
             )
             slot.capture.start()
-        self.api.federation.sim.schedule(
-            self.config.plan.sample_duration, self._end_sample, start
+        self._loop_event = self.api.federation.sim.schedule(
+            self.config.plan.sample_duration, self._end_sample, start, epoch
         )
 
-    def _end_sample(self, sample_start: float) -> None:
-        if self._finished:
+    def _end_sample(self, sample_start: float, epoch: Optional[int] = None) -> None:
+        if epoch is None:
+            epoch = self._epoch
+        if self._stale(epoch):
             return
         if self.poller is not None:
             self.poller.poll_now()
@@ -323,15 +492,17 @@ class PatchworkInstance:
         plan = self.config.plan
         if self._sample < plan.samples_per_run:
             gap = plan.sample_interval - plan.sample_duration
-            self.api.federation.sim.schedule(gap, self._begin_sample)
+            self._loop_event = self.api.federation.sim.schedule(
+                gap, self._begin_sample, epoch)
             return
         self._sample = 0
         self._run += 1
         if self._run < plan.runs_per_cycle:
             gap = plan.sample_interval - plan.sample_duration
-            self.api.federation.sim.schedule(gap, self._begin_sample)
+            self._loop_event = self.api.federation.sim.schedule(
+                gap, self._begin_sample, epoch)
             return
-        self._advance_after_cycle()
+        self._advance_after_cycle(epoch)
 
     def _apply_scaling(self) -> None:
         """Consult the dynamic-scaling policy at a cycle boundary."""
@@ -381,21 +552,28 @@ class PatchworkInstance:
                           f"shrank by one node: {decision.reason}",
                           slots=len(self._slots))
 
-    def _advance_after_cycle(self) -> None:
+    def _advance_after_cycle(self, epoch: Optional[int] = None) -> None:
+        if epoch is None:
+            epoch = self._epoch
+        if self._stale(epoch):
+            return
         self._cycle += 1
         if self._cycle < self.config.plan.cycles:
             # Scaling decisions only make sense with cycles left to run.
             self._apply_scaling()
+            if self._stale(epoch):
+                return
         if self._cycle < self.config.plan.cycles:
             gap = self.config.plan.sample_interval - self.config.plan.sample_duration
-            self.api.federation.sim.schedule(gap, self._start_cycle)
+            self._loop_event = self.api.federation.sim.schedule(
+                gap, self._start_cycle, epoch)
             return
         if not self.samples:
             self._finish(RunOutcome.FAILED, "no samples taken")
             return
-        outcome = (RunOutcome.DEGRADED if self.acquisition and self.acquisition.degraded
-                   else RunOutcome.SUCCESS)
-        self._finish(outcome)
+        degraded = (self.acquisition is not None and self.acquisition.degraded) \
+            or self._recovered
+        self._finish(RunOutcome.DEGRADED if degraded else RunOutcome.SUCCESS)
 
     # -- teardown ------------------------------------------------------------
 
@@ -405,10 +583,12 @@ class PatchworkInstance:
         self._finished = True
         if self._watchdog is not None:
             self._watchdog.stop()
-        for slot in self._slots:
-            if slot.capture is not None:
-                slot.capture.stop()
-                slot.capture = None
+        if self._loop_event is not None:
+            self._loop_event.cancel()
+            self._loop_event = None
+        # Gather partial work even on abort: in-flight pcaps are closed
+        # and recorded so they travel with the result.
+        self._salvage_captures("teardown")
         for extra in self._extra_slices:
             try:
                 self.api.delete_slice(extra.name)
@@ -422,7 +602,9 @@ class PatchworkInstance:
             except TestbedError as exc:
                 self.log.warning(self.api.now, "teardown", f"delete failed: {exc}")
         self.log.info(self.api.now, "teardown", "instance finished",
-                      outcome=outcome.value, samples=len(self.samples))
+                      outcome=outcome.value, samples=len(self.samples),
+                      restarts=self._restarts)
+        stats = self.resilient.stats if self.resilient is not None else None
         self.result = InstanceResult(
             site=self.site,
             outcome=outcome,
@@ -430,6 +612,10 @@ class PatchworkInstance:
             samples=self.samples,
             log=self.log,
             abort_reason=reason,
+            retries=stats.retries if stats else 0,
+            breaker_opens=stats.breaker_opens if stats else 0,
+            restarts=self._restarts,
+            recovered=self._recovered,
         )
         if self.on_done is not None:
             self.on_done(self)

@@ -1,0 +1,327 @@
+"""Control-plane fault recovery: retries and circuit breaking.
+
+The paper's Fig 10 shows clusters of "Failed" runs caused by transient
+back-end incidents (e.g. 10-15 Sept).  The original Patchwork simply
+recorded those failures; this module is the recovery layer that lets
+the reproduction *wait out* such incidents instead:
+
+* :class:`RetryPolicy` -- jittered exponential delays with attempt and
+  sim-time deadline budgets.  Delays are spent as *simulated* time via
+  ``api.wait``, so a retry sequence genuinely outlasts a short
+  :class:`~repro.testbed.faults.OutageWindow` rather than hammering the
+  same instant.
+* :class:`CircuitBreaker` -- a per-site breaker (closed -> open after N
+  consecutive transient failures -> half-open probe) that turns a
+  persistently failing site's control plane from a time sink into a
+  fast rejection, while still probing for recovery.
+* :class:`ResilientAPI` -- a wrapper around
+  :class:`~repro.testbed.api.TestbedAPI` that applies both to every
+  control-plane *mutation* (slice create/delete, mirror
+  create/retarget/delete).  Read-only calls pass straight through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, TypeVar
+
+import numpy as np
+
+from repro.core.logs import InstanceLog
+from repro.testbed.api import TestbedAPI
+from repro.testbed.errors import TransientBackendError, is_retryable
+from repro.testbed.slice_model import Slice, SliceRequest
+from repro.testbed.switch import MirrorSession
+
+T = TypeVar("T")
+
+
+class CircuitOpenError(TransientBackendError):
+    """The per-site breaker is open: the call was rejected client-side.
+
+    Subclasses :class:`TransientBackendError` because the condition is
+    transient from the caller's point of view -- the breaker will
+    half-open after its cooldown.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budgeted, jittered exponential retry delays (in sim seconds).
+
+    ``delay(attempt)`` for attempt 1, 2, 3, ... is
+    ``min(max_delay, base_delay * multiplier ** (attempt - 1))``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter/2, 1 + jitter/2]``.  Jitter keeps concurrent
+    instances' retries from re-synchronizing onto the same instant.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 15.0
+    max_delay: float = 240.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = 900.0  # total sim-time budget per call
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay <= 0 or self.max_delay < self.base_delay:
+            raise ValueError("delays must satisfy 0 < base_delay <= max_delay")
+        if not 0.0 <= self.jitter < 2.0:
+            raise ValueError("jitter must be in [0, 2)")
+
+    def delay(self, attempt: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Delay before retry number ``attempt`` (1-based), jittered."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if rng is None or self.jitter == 0.0:
+            return raw
+        factor = 1.0 + self.jitter * (rng.random() - 0.5)
+        return raw * factor
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-site breaker over control-plane mutations.
+
+    CLOSED until ``threshold`` *consecutive* transient failures, then
+    OPEN for ``cooldown`` sim-seconds (every call rejected without
+    touching the backend), then HALF_OPEN: one probe call is let
+    through; success closes the breaker, failure re-opens it.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 300.0):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self._probing = False
+        self.opens = 0
+        self.rejections = 0
+
+    def state(self, now: float) -> BreakerState:
+        if self.opened_at is None:
+            return BreakerState.CLOSED
+        if now - self.opened_at >= self.cooldown:
+            return BreakerState.HALF_OPEN
+        return BreakerState.OPEN
+
+    def allow(self, now: float) -> bool:
+        """May a call proceed at ``now``?  (Counts rejections.)"""
+        state = self.state(now)
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        self.rejections += 1
+        return False
+
+    def retry_after(self, now: float) -> float:
+        """Seconds until the breaker would half-open (0 if not open)."""
+        if self.opened_at is None:
+            return 0.0
+        return max(0.0, self.opened_at + self.cooldown - now)
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self, now: float) -> bool:
+        """Note a transient failure; True if the breaker opened (again)."""
+        self.consecutive_failures += 1
+        was_open = self.opened_at is not None
+        if self._probing:
+            # Failed probe: re-open for a fresh cooldown.
+            self._probing = False
+            self.opened_at = now
+            self.opens += 1
+            return True
+        if not was_open and self.consecutive_failures >= self.threshold:
+            self.opened_at = now
+            self.opens += 1
+            return True
+        return False
+
+
+@dataclass
+class RetryStats:
+    """Accounting across one :class:`ResilientAPI`'s lifetime."""
+
+    calls: int = 0
+    transient_failures: int = 0
+    retries: int = 0
+    giveups: int = 0
+    breaker_opens: int = 0
+    breaker_rejections: int = 0
+    total_delay: float = 0.0
+
+
+class ResilientAPI:
+    """A :class:`TestbedAPI` whose mutations retry and circuit-break.
+
+    Composition, not inheritance: read-only calls (and anything this
+    class does not override) delegate straight to the wrapped API, so a
+    ``ResilientAPI`` drops into any code written against
+    ``TestbedAPI``.  Mutations run under the retry policy with one
+    breaker per site.
+    """
+
+    __test__ = False
+
+    def __init__(
+        self,
+        api: TestbedAPI,
+        policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 300.0,
+        log: Optional[InstanceLog] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self._api = api
+        self.policy = policy or RetryPolicy()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.log = log
+        self.rng = rng
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.stats = RetryStats()
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def inner(self) -> TestbedAPI:
+        """The wrapped, non-resilient API."""
+        return self._api
+
+    def __getattr__(self, name: str):
+        # Only consulted for attributes not defined here: every
+        # read-only TestbedAPI method and property delegates.
+        return getattr(self._api, name)
+
+    def breaker_for(self, site: str) -> CircuitBreaker:
+        breaker = self.breakers.get(site)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown)
+            self.breakers[site] = breaker
+        return breaker
+
+    def _note(self, level: str, message: str, **data) -> None:
+        if self.log is not None:
+            self.log.log(self._api.now, level, "retry", message, **data)
+
+    def _call(self, site: str, label: str, fn: Callable[[], T]) -> T:
+        """Run one mutation under retry + breaker discipline."""
+        policy = self.policy
+        breaker = self.breaker_for(site)
+        started = self._api.now
+        attempt = 0
+        self.stats.calls += 1
+        while True:
+            if not breaker.allow(self._api.now):
+                self.stats.breaker_rejections += 1
+                wait_for = breaker.retry_after(self._api.now)
+                if not self._budget_allows(policy, started, attempt, wait_for):
+                    self.stats.giveups += 1
+                    raise CircuitOpenError(
+                        f"{site}: circuit open for {label} "
+                        f"(retry after {wait_for:.0f}s)"
+                    )
+                # Wait out the cooldown (plus jitter) and probe.
+                delay = wait_for + policy.delay(1, self.rng) * 0.1
+                self._note("warning", f"{label}: breaker open; waiting for probe",
+                           site=site, delay=round(delay, 3))
+                self.stats.total_delay += delay
+                self._api.wait(delay)
+                continue
+            try:
+                result = fn()
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                self.stats.transient_failures += 1
+                if breaker.record_failure(self._api.now):
+                    self.stats.breaker_opens += 1
+                    self._note("error", f"{label}: breaker opened",
+                               site=site, failures=breaker.consecutive_failures)
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    self.stats.giveups += 1
+                    raise
+                delay = policy.delay(attempt, self.rng)
+                if not self._budget_allows(policy, started, attempt, delay):
+                    self.stats.giveups += 1
+                    raise
+                self._note("warning",
+                           f"{label} failed transiently; retrying", site=site,
+                           attempt=attempt, delay=round(delay, 3), error=str(exc))
+                self.stats.retries += 1
+                self.stats.total_delay += delay
+                self._api.wait(delay)
+                continue
+            breaker.record_success()
+            if attempt > 0:
+                self._note("info", f"{label} succeeded after retries",
+                           site=site, attempts=attempt + 1)
+            return result
+
+    def _budget_allows(self, policy: RetryPolicy, started: float,
+                       attempt: int, delay: float) -> bool:
+        if attempt >= policy.max_attempts:
+            return False
+        if policy.deadline is None:
+            return True
+        return (self._api.now - started) + delay <= policy.deadline
+
+    # -- guarded mutations --------------------------------------------------
+
+    def create_slice(self, request: SliceRequest) -> Slice:
+        return self._call(request.site, "create_slice",
+                          lambda: self._api.create_slice(request))
+
+    def delete_slice(self, slice_name: str) -> None:
+        live = self._api.federation.allocator.slices.get(slice_name)
+        site = live.site_name if live is not None else slice_name
+        return self._call(site, "delete_slice",
+                          lambda: self._api.delete_slice(slice_name))
+
+    def create_port_mirror(
+        self,
+        live_slice: Slice,
+        source_port_id: str,
+        dest_port_id: str,
+        directions: FrozenSet[str] = frozenset({"rx", "tx"}),
+    ) -> MirrorSession:
+        return self._call(
+            live_slice.site_name, "create_port_mirror",
+            lambda: self._api.create_port_mirror(
+                live_slice, source_port_id, dest_port_id, directions),
+        )
+
+    def retarget_port_mirror(
+        self, live_slice: Slice, session: MirrorSession, new_source_port_id: str
+    ) -> MirrorSession:
+        return self._call(
+            live_slice.site_name, "retarget_port_mirror",
+            lambda: self._api.retarget_port_mirror(
+                live_slice, session, new_source_port_id),
+        )
+
+    def delete_port_mirror(self, live_slice: Slice, session: MirrorSession) -> None:
+        return self._call(
+            live_slice.site_name, "delete_port_mirror",
+            lambda: self._api.delete_port_mirror(live_slice, session),
+        )

@@ -38,6 +38,14 @@ class RunRecord:
     instances: int = 0
     samples_taken: int = 0
     pcap_files: int = 0
+    # Recovery accounting (all zero/False when recovery is disabled),
+    # kept per-record so Fig 10's outcome classes stay derivable both
+    # with and without the recovery layer.
+    retries: int = 0          # control-plane retry attempts
+    breaker_opens: int = 0    # circuit-breaker open transitions
+    restarts: int = 0         # sampling-loop restarts after watchdog trips
+    recovered: bool = False   # a restart salvaged the run (-> DEGRADED)
+    redispatched: bool = False  # the coordinator re-dispatched this site
 
     @property
     def profiled(self) -> bool:
@@ -60,3 +68,14 @@ def success_rate(records: List[RunRecord]) -> float:
     if not records:
         return 0.0
     return sum(1 for r in records if r.profiled) / len(records)
+
+
+def recovery_summary(records: List[RunRecord]) -> Dict[str, int]:
+    """Aggregate recovery accounting across a set of run records."""
+    return {
+        "retries": sum(r.retries for r in records),
+        "breaker_opens": sum(r.breaker_opens for r in records),
+        "restarts": sum(r.restarts for r in records),
+        "recovered_runs": sum(1 for r in records if r.recovered),
+        "redispatched_runs": sum(1 for r in records if r.redispatched),
+    }

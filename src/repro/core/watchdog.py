@@ -6,8 +6,11 @@ e.g., in case the FABRIC VM hosting a Patchwork instance ran out of
 storage."
 
 The watchdog polls the instance's storage accounting against the VM's
-disk quota, and supports injected crash probability so the harness can
-reproduce the paper's "Incomplete" runs (a since-fixed Patchwork bug).
+disk quota, optionally checks a liveness probe (are the slice's VMs
+still hosted?), and supports injected crash probability so the harness
+can reproduce the paper's "Incomplete" runs (a since-fixed Patchwork
+bug).  A tripped watchdog can be :meth:`rearm`-ed, which is how the
+recovery layer restarts a sampling loop after a crash.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ class Watchdog:
         interval: float = 60.0,
         crash_probability_per_check: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        liveness_fn: Optional[Callable[[], Optional[str]]] = None,
     ):
         if interval <= 0:
             raise ValueError("watchdog interval must be positive")
@@ -46,11 +50,18 @@ class Watchdog:
         self.interval = interval
         self.crash_probability = crash_probability_per_check
         self.rng = rng or np.random.default_rng(0)
+        self.liveness_fn = liveness_fn
         self.checks = 0
+        self.trips = 0
         self.tripped = False
         self._event: Optional[Event] = None
 
+    @property
+    def running(self) -> bool:
+        return self._event is not None
+
     def start(self) -> None:
+        """Arm the first check.  A stopped watchdog may be re-started."""
         if self._event is not None:
             raise RuntimeError("watchdog already running")
         self._event = self.sim.schedule(self.interval, self._check)
@@ -60,6 +71,17 @@ class Watchdog:
             self._event.cancel()
             self._event = None
 
+    def rearm(self) -> None:
+        """Clear a trip and resume checking (the recovery-restart path)."""
+        self.tripped = False
+        if self._event is None:
+            self._event = self.sim.schedule(self.interval, self._check)
+
+    def _trip(self, reason: str) -> None:
+        self.tripped = True
+        self.trips += 1
+        self.on_abort(reason)
+
     def _check(self) -> None:
         self._event = None
         if self.tripped:
@@ -67,16 +89,20 @@ class Watchdog:
         self.checks += 1
         used = self.used_bytes_fn()
         if used > self.disk_quota_bytes:
-            self.tripped = True
             self.log.error(self.sim.now, "watchdog",
                            "instance storage exhausted",
                            used=int(used), quota=int(self.disk_quota_bytes))
-            self.on_abort("storage exhausted")
+            self._trip("storage exhausted")
             return
+        if self.liveness_fn is not None:
+            dead = self.liveness_fn()
+            if dead is not None:
+                self.log.error(self.sim.now, "watchdog", dead)
+                self._trip(dead)
+                return
         if self.crash_probability > 0 and self.rng.random() < self.crash_probability:
-            self.tripped = True
             self.log.error(self.sim.now, "watchdog", "instance crashed")
-            self.on_abort("instance crashed")
+            self._trip("instance crashed")
             return
         self.log.info(self.sim.now, "watchdog", "healthy",
                       used=int(used), quota=int(self.disk_quota_bytes))

@@ -49,6 +49,11 @@ class SNMPPoller:
     def sim(self) -> Simulator:
         return self.federation.sim
 
+    @property
+    def running(self) -> bool:
+        """True while polling is armed (outages toggle this)."""
+        return self._running
+
     def start(self, first_poll_delay: float = 0.0) -> None:
         """Begin polling (first walk after ``first_poll_delay``)."""
         if self._running:

@@ -105,7 +105,9 @@ class SliceAllocator:
                 site.switch.delete_mirror(session.source_port_id)
         live.mirror_sessions.clear()
         for vm in list(live.vms.values()):
-            vm.worker.destroy_vm(vm)
+            # A VM may already be gone (mid-run VM-death fault).
+            if vm.name in vm.worker.vms:
+                vm.worker.destroy_vm(vm)
         live.vms.clear()
         for nic in live.dedicated_nics + live.fpga_nics:
             nic.release()

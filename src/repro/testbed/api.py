@@ -75,11 +75,24 @@ class TestbedAPI:
         return self._federation.allocator.simulate(request)
 
     def create_slice(self, request: SliceRequest) -> Slice:
-        """Allocate a slice (may raise allocation errors)."""
+        """Allocate a slice (may raise allocation errors).
+
+        The allocator consults the fault injector itself, so create is
+        not double-checked here.
+        """
         return self._federation.allocator.allocate(request)
 
     def delete_slice(self, slice_name: str) -> None:
-        """Release a slice's resources."""
+        """Release a slice's resources.
+
+        Idempotent: deleting an already-deleted slice is a no-op, so a
+        retry after a partial teardown failure is always safe.  Like
+        every control-plane mutation, the call can fail transiently.
+        """
+        live = self._federation.allocator.slices.get(slice_name)
+        if live is not None and live.deleted:
+            return
+        self._check_faults(live.site_name if live is not None else slice_name)
         self._federation.allocator.delete(slice_name)
 
     # -- port mirroring ------------------------------------------------------
@@ -99,9 +112,7 @@ class TestbedAPI:
         grants implicitly.
         """
         site = self._federation.site(live_slice.site_name)
-        reason = self._federation.faults.failure_reason(self.now, live_slice.site_name)
-        if reason is not None:
-            raise TransientBackendError(f"{live_slice.site_name}: {reason}")
+        self._check_faults(live_slice.site_name)
         session = site.switch.create_mirror(
             source_port_id, dest_port_id, directions, owner_slice=live_slice.name
         )
@@ -111,18 +122,45 @@ class TestbedAPI:
     def retarget_port_mirror(
         self, live_slice: Slice, session: MirrorSession, new_source_port_id: str
     ) -> MirrorSession:
-        """Move a mirror to a new source port (the port-cycling step)."""
+        """Move a mirror to a new source port (the port-cycling step).
+
+        If the session vanished out from under its owner (a mid-run
+        mirror drop), the retarget degenerates to recreating the mirror
+        on the new source -- same end state, so recovery code need not
+        distinguish the two.
+        """
         site = self._federation.site(live_slice.site_name)
-        new_session = site.switch.retarget_mirror(session.source_port_id, new_source_port_id)
-        live_slice.mirror_sessions.remove(session)
+        self._check_faults(live_slice.site_name)
+        if site.switch.mirrors.get(session.source_port_id) is session:
+            new_session = site.switch.retarget_mirror(
+                session.source_port_id, new_source_port_id)
+        else:
+            new_session = site.switch.create_mirror(
+                new_source_port_id, session.dest_port_id,
+                session.directions, owner_slice=live_slice.name)
+        if session in live_slice.mirror_sessions:
+            live_slice.mirror_sessions.remove(session)
         live_slice.mirror_sessions.append(new_session)
         return new_session
 
     def delete_port_mirror(self, live_slice: Slice, session: MirrorSession) -> None:
-        """Tear down a mirror session."""
+        """Tear down a mirror session.
+
+        Idempotent: deleting a session that is already gone is a no-op,
+        which makes retry-after-partial-failure safe.
+        """
         site = self._federation.site(live_slice.site_name)
-        site.switch.delete_mirror(session.source_port_id)
-        live_slice.mirror_sessions.remove(session)
+        self._check_faults(live_slice.site_name)
+        if site.switch.mirrors.get(session.source_port_id) is session:
+            site.switch.delete_mirror(session.source_port_id)
+        if session in live_slice.mirror_sessions:
+            live_slice.mirror_sessions.remove(session)
+
+    def _check_faults(self, site_name: str) -> None:
+        """Every control-plane mutation consults the fault injector."""
+        reason = self._federation.faults.failure_reason(self.now, site_name)
+        if reason is not None:
+            raise TransientBackendError(f"{site_name}: {reason}")
 
     # -- escape hatch for tests/examples ------------------------------------
 

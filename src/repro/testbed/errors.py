@@ -11,7 +11,15 @@ from __future__ import annotations
 
 
 class TestbedError(Exception):
-    """Base class for all testbed-side failures."""
+    """Base class for all testbed-side failures.
+
+    ``retryable`` marks classes a client may reasonably retry later
+    (the control plane refused for reasons unrelated to the request
+    itself).  Recovery code should use :func:`is_retryable` rather than
+    naming exception classes.
+    """
+
+    retryable = False
 
 
 class AllocationError(TestbedError):
@@ -42,6 +50,8 @@ class TransientBackendError(TestbedError):
     "Failed" if they persist.
     """
 
+    retryable = True
+
 
 class MirrorConflictError(TestbedError):
     """A port mirror could not be created.
@@ -54,3 +64,8 @@ class MirrorConflictError(TestbedError):
 
 class SliceNotFoundError(TestbedError):
     """An operation referenced a slice the testbed does not know."""
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True if a failed control-plane call is worth retrying later."""
+    return isinstance(exc, TestbedError) and exc.retryable

@@ -8,14 +8,19 @@ allocator's inventory; the third is injected by the Patchwork test
 harness itself.
 
 A :class:`FaultInjector` combines (a) scheduled *outage windows* during
-which every control-plane call at the affected sites fails, and (b) a
-small independent per-call failure probability.
+which every control-plane call at the affected sites fails, (b) a
+small independent per-call failure probability, and (c) scheduled
+*mid-run* faults -- state-destroying events injected through the
+simulator rather than at call time: a VM dying under a live slice, a
+mirror session dropped out from under its owner, a telemetry-poller
+outage.  Mid-run faults are what the recovery layer in
+:mod:`repro.core` exists to survive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 import numpy as np
 
@@ -39,8 +44,21 @@ class OutageWindow:
         return not self.sites or site in self.sites
 
 
+@dataclass
+class ScheduledFault:
+    """One scheduled mid-run fault and what happened when it fired."""
+
+    time: float
+    kind: str   # "vm-death" | "mirror-drop" | "poller-outage"
+    site: str
+    detail: str = ""
+    fired: bool = False
+    outcome: str = ""
+
+
 class FaultInjector:
-    """Decides whether a control-plane call fails transiently."""
+    """Decides whether a control-plane call fails transiently, and
+    injects scheduled mid-run faults via the simulator."""
 
     def __init__(self, rng: Optional[np.random.Generator] = None,
                  base_failure_rate: float = 0.0):
@@ -50,6 +68,8 @@ class FaultInjector:
         self.base_failure_rate = base_failure_rate
         self.windows: List[OutageWindow] = []
         self.injected_failures = 0
+        self.scheduled: List[ScheduledFault] = []
+        self.mid_run_faults_fired = 0
 
     def add_outage(self, start: float, end: float, reason: str = "backend incident",
                    sites: Optional[Set[str]] = None) -> OutageWindow:
@@ -70,3 +90,104 @@ class FaultInjector:
             self.injected_failures += 1
             return "transient backend error"
         return None
+
+    # -- scheduled mid-run faults -----------------------------------------
+    #
+    # These fire through the simulator, destroying state out from under
+    # a running Patchwork instance -- not merely failing its next call.
+    # Targets are passed as objects (switch, slice, poller) so this
+    # module stays import-free of the layers it sabotages.
+
+    def _arm(self, sim, fault: ScheduledFault,
+             action: Callable[[ScheduledFault], None]) -> ScheduledFault:
+        if fault.time < sim.now:
+            raise ValueError("cannot schedule a fault in the past")
+        self.scheduled.append(fault)
+
+        def fire() -> None:
+            fault.fired = True
+            action(fault)
+            if fault.outcome != "no-op":
+                self.mid_run_faults_fired += 1
+
+        sim.schedule_at(fault.time, fire)
+        return fault
+
+    def schedule_vm_death(self, sim, live_slice, time: float,
+                          vm_name: Optional[str] = None) -> ScheduledFault:
+        """Kill one of a live slice's VMs at ``time``.
+
+        The VM vanishes from its worker (capacity is freed -- the host
+        rebooted) but stays listed in the slice, so the owner only
+        notices through a liveness check.  No-op if the slice was
+        deleted, or the VM is already gone, before the fault fires.
+        """
+        fault = ScheduledFault(time, "vm-death", live_slice.site_name,
+                               detail=vm_name or "")
+
+        def action(f: ScheduledFault) -> None:
+            if live_slice.deleted:
+                f.outcome = "no-op"
+                return
+            candidates = [vm for name, vm in sorted(live_slice.vms.items())
+                          if vm_name is None or name == vm_name]
+            victim = next((vm for vm in candidates
+                           if vm.name in vm.worker.vms), None)
+            if victim is None:
+                f.outcome = "no-op"
+                return
+            victim.worker.destroy_vm(victim)
+            f.outcome = f"killed {victim.name}"
+
+        return self._arm(sim, fault, action)
+
+    def schedule_mirror_drop(self, sim, site_name: str, switch, time: float,
+                             source_port_id: Optional[str] = None) -> ScheduledFault:
+        """Drop a mirror session on ``switch`` at ``time``.
+
+        With no ``source_port_id``, the first active session (sorted by
+        source port) is dropped.  No-op if nothing is mirrored.
+        """
+        fault = ScheduledFault(time, "mirror-drop", site_name,
+                               detail=source_port_id or "")
+
+        def action(f: ScheduledFault) -> None:
+            target = source_port_id
+            if target is None:
+                active = sorted(switch.mirrors)
+                target = active[0] if active else None
+            if target is None or target not in switch.mirrors:
+                f.outcome = "no-op"
+                return
+            switch.delete_mirror(target)
+            f.outcome = f"dropped mirror on {target}"
+
+        return self._arm(sim, fault, action)
+
+    def schedule_poller_outage(self, sim, poller, start: float,
+                               duration: float) -> ScheduledFault:
+        """Silence the telemetry poller for ``[start, start + duration)``.
+
+        Congestion checks and busiest-port rankings go stale meanwhile,
+        which is exactly the telemetry blind spot a real SNMP collector
+        outage causes.
+        """
+        if duration <= 0:
+            raise ValueError("poller outage duration must be positive")
+        fault = ScheduledFault(start, "poller-outage", "",
+                               detail=f"{duration:g}s")
+
+        def action(f: ScheduledFault) -> None:
+            if poller.running:
+                poller.stop()
+                f.outcome = f"poller silenced for {duration:g}s"
+            else:
+                f.outcome = "no-op"
+
+            def restore() -> None:
+                if not poller.running:
+                    poller.start()
+
+            sim.schedule(duration, restore)
+
+        return self._arm(sim, fault, action)

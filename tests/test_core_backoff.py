@@ -85,6 +85,28 @@ class TestAcquisition:
         assert result.failure_reason == "transient backend error"
         assert result.transient_failures == 3
 
+    def test_transient_retries_wait_sim_time(self, api):
+        import numpy as np
+        api.federation.faults.add_outage(api.now, api.now + 1e6)
+        the_log = log()
+        t0 = api.now
+        acquire_with_backoff(api, "STAR", 1, the_log, transient_retries=2,
+                             retry_delay=8.0, rng=np.random.default_rng(3))
+        waits = [e for e in the_log
+                 if e.kind == "acquire" and "waiting" in e.message]
+        assert len(waits) == 2   # one wait per retry, none after giving up
+        delays = [e.data["delay"] for e in waits]
+        assert all(4.0 <= d < 12.0 for d in delays)   # jitter in [0.5, 1.5)x
+        assert len(set(delays)) == len(delays)
+        assert api.now >= t0 + sum(delays)
+
+    def test_zero_retry_delay_keeps_legacy_timing(self, api):
+        api.federation.faults.add_outage(api.now, api.now + 1e6)
+        the_log = log()
+        acquire_with_backoff(api, "STAR", 1, the_log, transient_retries=1,
+                             retry_delay=0.0)
+        assert not any("waiting" in e.message for e in the_log)
+
     def test_acquisition_logged(self, api):
         the_log = log()
         acquire_with_backoff(api, "STAR", 1, the_log)

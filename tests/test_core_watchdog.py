@@ -8,7 +8,8 @@ from repro.core.watchdog import Watchdog
 from repro.netsim.engine import Simulator
 
 
-def make(sim, used_fn, quota=1000.0, crash=0.0, interval=10.0):
+def make(sim, used_fn, quota=1000.0, crash=0.0, interval=10.0,
+         liveness_fn=None):
     aborts = []
     watchdog = Watchdog(
         sim=sim, log=InstanceLog("STAR", "t"),
@@ -16,6 +17,7 @@ def make(sim, used_fn, quota=1000.0, crash=0.0, interval=10.0):
         on_abort=aborts.append, interval=interval,
         crash_probability_per_check=crash,
         rng=np.random.default_rng(0),
+        liveness_fn=liveness_fn,
     )
     return watchdog, aborts
 
@@ -79,3 +81,74 @@ class TestWatchdog:
         with pytest.raises(ValueError):
             Watchdog(sim, InstanceLog("S", "i"), 100, lambda: 0,
                      lambda r: None, crash_probability_per_check=1.5)
+
+
+class TestLifecycle:
+    def test_stop_then_restart_resumes_checking(self):
+        sim = Simulator()
+        watchdog, aborts = make(sim, lambda: 0.0)
+        watchdog.start()
+        sim.run(until=15.0)
+        watchdog.stop()
+        assert not watchdog.running
+        sim.run(until=50.0)
+        assert watchdog.checks == 1
+        watchdog.start()          # re-start after stop is allowed
+        assert watchdog.running
+        sim.run(until=100.0)
+        assert watchdog.checks > 1
+        assert aborts == []
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        watchdog, _ = make(sim, lambda: 0.0)
+        watchdog.start()
+        watchdog.stop()
+        watchdog.stop()
+        assert not watchdog.running
+
+    def test_rearm_clears_trip_and_resumes(self):
+        sim = Simulator()
+        used = {"bytes": 5000.0}
+        watchdog, aborts = make(sim, lambda: used["bytes"], quota=1000.0)
+        watchdog.start()
+        sim.run(until=15.0)
+        assert watchdog.tripped
+        assert watchdog.trips == 1
+        used["bytes"] = 0.0
+        watchdog.rearm()
+        assert not watchdog.tripped
+        sim.run(until=100.0)
+        assert watchdog.checks > 1
+        assert aborts == ["storage exhausted"]
+
+    def test_rearm_while_running_does_not_double_schedule(self):
+        sim = Simulator()
+        watchdog, _ = make(sim, lambda: 0.0)
+        watchdog.start()
+        watchdog.rearm()
+        sim.run(until=25.0)
+        assert watchdog.checks == 2   # one check per interval, not two
+
+
+class TestLiveness:
+    def test_liveness_failure_trips(self):
+        sim = Simulator()
+        dead = {"reason": None}
+        watchdog, aborts = make(sim, lambda: 0.0,
+                                liveness_fn=lambda: dead["reason"])
+        watchdog.start()
+        sim.run(until=15.0)
+        assert aborts == []
+        dead["reason"] = "vm listener0 died"
+        sim.run(until=25.0)
+        assert aborts == ["vm listener0 died"]
+        assert watchdog.tripped
+
+    def test_liveness_checked_after_storage(self):
+        sim = Simulator()
+        watchdog, aborts = make(sim, lambda: 5000.0, quota=1000.0,
+                                liveness_fn=lambda: "vm died")
+        watchdog.start()
+        sim.run(until=15.0)
+        assert aborts == ["storage exhausted"]

@@ -1,0 +1,59 @@
+"""Determinism of recovery: same seed, same faults -> same outcomes.
+
+The recovery layer adds randomness (jittered retry delays, restart
+delays, re-dispatch timing), all drawn from the seeded RNG tree -- so
+two identical runs must produce byte-identical run records.
+"""
+
+import pytest
+
+from repro.core import (
+    Coordinator,
+    PatchworkConfig,
+    RecoveryConfig,
+    SamplingPlan,
+)
+from repro.telemetry import SNMPPoller
+from repro.testbed import FederationBuilder, TestbedAPI
+
+SITES = ["STAR", "MICH", "UTAH"]
+
+
+def run_once(tmp_path, seed):
+    federation = FederationBuilder(seed=42).build(site_names=SITES)
+    api = TestbedAPI(federation)
+    poller = SNMPPoller(federation, interval=30.0)
+    poller.start()
+    config = PatchworkConfig(
+        output_dir=tmp_path,
+        plan=SamplingPlan(sample_duration=2, sample_interval=10,
+                          samples_per_run=2, runs_per_cycle=1, cycles=2),
+        desired_instances=1,
+        recovery=RecoveryConfig(enabled=True),
+    )
+    federation.faults.add_outage(0.0, 300.0, reason="incident",
+                                 sites={"STAR"})
+    coordinator = Coordinator(api, config, poller=poller, seed=seed)
+    bundle = coordinator.run_profile(crash_probability=0.01)
+    return [
+        (r.site, r.outcome.value, r.reason, r.backoffs, r.instances,
+         r.samples_taken, r.retries, r.breaker_opens, r.restarts,
+         r.recovered, r.redispatched, round(r.started_at, 6))
+        for r in bundle.run_records
+    ], round(bundle.finished_at, 6)
+
+
+@pytest.mark.parametrize("seed", [5, 17, 91])
+def test_same_seed_reproduces_records(tmp_path, seed):
+    first = run_once(tmp_path / "a", seed)
+    second = run_once(tmp_path / "b", seed)
+    assert first == second
+
+
+def test_different_seeds_diverge(tmp_path):
+    # Not a hard guarantee for every pair, but these seeds produce
+    # different retry timing; identical output would mean the seed is
+    # being ignored somewhere.
+    _, end5 = run_once(tmp_path / "a", 5)
+    _, end17 = run_once(tmp_path / "b", 17)
+    assert end5 != end17
