@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 test suite (see ROADMAP.md).
+#
+# Uses pytest-xdist to spread the suite over all cores when the plugin
+# is installed (CI installs it via the [test] extra); otherwise falls
+# back to the plain serial run, so the command works in any
+# environment that can run the tests at all.  Extra arguments are
+# passed through to pytest.
+set -eu
+cd "$(dirname "$0")/.."
+
+if PYTHONPATH=src python -c "import xdist" 2>/dev/null; then
+    exec env PYTHONPATH=src python -m pytest -x -q -n auto "$@"
+else
+    echo "pytest-xdist not installed; running serially" >&2
+    exec env PYTHONPATH=src python -m pytest -x -q "$@"
+fi

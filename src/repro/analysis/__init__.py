@@ -22,7 +22,15 @@ half that runs after the gathering phase:
 """
 
 from repro.analysis.dissect import DissectedFrame, Dissector, HeaderInfo
-from repro.analysis.acap import AcapFile, AcapRecord, digest_pcap, read_acap, write_acap
+from repro.analysis.acap import (
+    AcapFile,
+    AcapRecord,
+    digest_pcap,
+    dissect_record,
+    read_acap,
+    write_acap,
+)
+from repro.analysis.cache import AcapCache
 from repro.analysis.index import AcapIndex, IndexEntry
 from repro.analysis.flows import FlowKey, FlowStats, aggregate_flows, classify_flows
 from repro.analysis.analyze import (
@@ -32,7 +40,7 @@ from repro.analysis.analyze import (
     HeaderDiversity,
 )
 from repro.analysis.anonymize import Anonymizer
-from repro.analysis.pipeline import AnalysisPipeline, ProfileReport
+from repro.analysis.pipeline import AnalysisPipeline, PipelineStats, ProfileReport
 from repro.analysis.compare import (
     ProfileDelta,
     ProfileHistory,
@@ -44,9 +52,11 @@ __all__ = [
     "DissectedFrame",
     "Dissector",
     "HeaderInfo",
+    "AcapCache",
     "AcapFile",
     "AcapRecord",
     "digest_pcap",
+    "dissect_record",
     "read_acap",
     "write_acap",
     "AcapIndex",
@@ -61,6 +71,7 @@ __all__ = [
     "HeaderDiversity",
     "Anonymizer",
     "AnalysisPipeline",
+    "PipelineStats",
     "ProfileReport",
     "ProfileDelta",
     "ProfileHistory",

@@ -13,6 +13,7 @@ they stay greppable like the real system's intermediate files.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, List, Optional, Tuple, Union
@@ -121,17 +122,248 @@ def abstract(dissected: DissectedFrame, timestamp: float, wire_len: int,
     )
 
 
+# -- the Digest hot path ------------------------------------------------------
+#
+# ``dissect_record`` is a fused rewrite of ``Dissector.dissect`` +
+# ``abstract``: it walks the same header chain but extracts *only* the
+# fields an AcapRecord keeps, indexing into the frame bytes directly --
+# no per-header HeaderInfo objects, field dicts, MAC-address strings, or
+# memoryview slices.  Over a large corpus this is the difference between
+# the pipeline being dissection-bound and being I/O-bound, and its
+# output is bit-identical to the generic path (enforced by tests).
+
+_V6_WORDS = struct.Struct("!8H")
+_MPLS_ENTRY = struct.Struct("!I")
+
+_HTTP_METHODS = frozenset(
+    ("GET", "POST", "PUT", "HEAD", "DELETE", "OPTIONS", "PATCH"))
+
+
+class _Truncated(Exception):
+    pass
+
+
+def dissect_record(data: bytes, timestamp: float, wire_len: int) -> AcapRecord:
+    """Dissect one frame prefix straight into an :class:`AcapRecord`.
+
+    Equivalent to ``abstract(Dissector().dissect(data), ...)`` but
+    several times faster; :func:`digest_pcap` uses it whenever no custom
+    dissector is supplied.
+    """
+    stack: List[str] = []
+    vlan_ids: List[int] = []
+    mpls_labels: List[int] = []
+    ip_version = 0
+    src = dst = ""
+    proto = sport = dport = tcp_flags = 0
+    truncated = False
+    pos = 0
+    n = len(data)
+    try:
+        while True:  # one iteration per (pseudowire-encapsulated) Ethernet
+            if n - pos < 14:
+                raise _Truncated
+            stack.append("eth")
+            ethertype = (data[pos + 12] << 8) | data[pos + 13]
+            pos += 14
+            while ethertype == 0x8100:  # 802.1Q VLAN
+                if n - pos < 4:
+                    raise _Truncated
+                stack.append("vlan")
+                vlan_ids.append(((data[pos] << 8) | data[pos + 1]) & 0xFFF)
+                ethertype = (data[pos + 2] << 8) | data[pos + 3]
+                pos += 4
+            if ethertype == 0x8847:  # MPLS unicast
+                bottom = False
+                while not bottom:
+                    if n - pos < 4:
+                        raise _Truncated
+                    (entry,) = _MPLS_ENTRY.unpack_from(data, pos)
+                    stack.append("mpls")
+                    mpls_labels.append(entry >> 12)
+                    bottom = bool(entry & 0x100)
+                    pos += 4
+                if n - pos < 1:
+                    raise _Truncated
+                nibble = data[pos] >> 4
+                if nibble == 4:
+                    ip_kind = 4
+                elif nibble == 6:
+                    ip_kind = 6
+                elif nibble == 0:  # pseudowire control word (RFC 4448)
+                    if n - pos < 4:
+                        raise _Truncated
+                    stack.append("pw")
+                    pos += 4
+                    continue  # a fresh Ethernet frame follows
+                else:
+                    break  # opaque remainder
+            elif ethertype == 0x0800:
+                ip_kind = 4
+            elif ethertype == 0x86DD:
+                ip_kind = 6
+            elif ethertype == 0x0806:  # ARP
+                if n - pos < 28:
+                    raise _Truncated
+                stack.append("arp")
+                pos += 28
+                break
+            else:
+                break  # unknown EtherType: everything that follows is opaque
+
+            if ip_kind == 4:
+                if n - pos < 20:
+                    raise _Truncated
+                first = data[pos]
+                if first >> 4 != 4:
+                    raise _Truncated
+                ihl = (first & 0xF) * 4
+                if ihl < 20 or n - pos < ihl:
+                    raise _Truncated
+                stack.append("ipv4")
+                ip_version = 4
+                proto = data[pos + 9]
+                src = "%d.%d.%d.%d" % (
+                    data[pos + 12], data[pos + 13], data[pos + 14], data[pos + 15])
+                dst = "%d.%d.%d.%d" % (
+                    data[pos + 16], data[pos + 17], data[pos + 18], data[pos + 19])
+                pos += ihl
+            else:
+                if n - pos < 40:
+                    raise _Truncated
+                if data[pos] >> 4 != 6:
+                    raise _Truncated
+                stack.append("ipv6")
+                ip_version = 6
+                proto = data[pos + 6]
+                src = ":".join("%x" % w for w in _V6_WORDS.unpack_from(data, pos + 8))
+                dst = ":".join("%x" % w for w in _V6_WORDS.unpack_from(data, pos + 24))
+                pos += 40
+
+            if proto == 6:  # TCP
+                if n - pos < 20:
+                    raise _Truncated
+                offset = (data[pos + 12] >> 4) * 4
+                if offset < 20:
+                    raise _Truncated
+                stack.append("tcp")
+                sport = (data[pos] << 8) | data[pos + 1]
+                dport = (data[pos + 2] << 8) | data[pos + 3]
+                tcp_flags = data[pos + 13]
+                pos += offset if offset <= n - pos else n - pos
+                pos = _classify_application(data, pos, n, sport, dport, stack)
+            elif proto == 17:  # UDP
+                if n - pos < 8:
+                    raise _Truncated
+                stack.append("udp")
+                sport = (data[pos] << 8) | data[pos + 1]
+                dport = (data[pos + 2] << 8) | data[pos + 3]
+                pos += 8
+                pos = _classify_application(data, pos, n, sport, dport, stack)
+            elif proto == 1 or proto == 58:  # ICMP / ICMPv6
+                if n - pos < 8:
+                    raise _Truncated
+                stack.append("icmp")
+                pos += 8
+            break
+        remainder = n - pos
+        if remainder > 0:
+            # Short frames are zero-padded to the Ethernet minimum;
+            # don't report that padding as an application payload.
+            if remainder <= 8 and not any(data[pos:]):
+                stack.append("padding")
+            else:
+                stack.append("data")
+    except _Truncated:
+        truncated = True
+    return AcapRecord(
+        timestamp=timestamp,
+        wire_len=wire_len,
+        captured_len=n,
+        stack=tuple(stack),
+        vlan_ids=tuple(vlan_ids),
+        mpls_labels=tuple(mpls_labels),
+        ip_version=ip_version,
+        src=src,
+        dst=dst,
+        proto=proto,
+        sport=sport,
+        dport=dport,
+        tcp_flags=tcp_flags,
+        truncated=truncated,
+    )
+
+
+def _classify_application(data: bytes, pos: int, n: int, sport: int,
+                          dport: int, stack: List[str]) -> int:
+    """Port-classified application layer (mirrors ``Dissector._application``)."""
+    if pos >= n:
+        return pos
+    for port in (dport, sport):
+        if port == 443:  # TLS record
+            if n - pos < 5:
+                continue
+            if data[pos] not in (20, 21, 22, 23) or data[pos + 1] != 3:
+                continue
+            stack.append("tls")
+            return pos + 5
+        if port == 22:  # SSH banner
+            raw = data[pos:pos + 255]
+            if not raw.startswith(b"SSH-"):
+                continue
+            line = raw.partition(b"\r\n")[0]
+            stack.append("ssh")
+            return min(n, pos + len(line) + 2)
+        if port == 53:  # DNS header
+            if n - pos < 12:
+                continue
+            stack.append("dns")
+            return pos + 12
+        if port == 80:  # HTTP head
+            raw = data[pos:pos + 512]
+            line = raw.partition(b"\r\n")[0]
+            text = line.decode("ascii", "replace")
+            if not text.startswith("HTTP/1.") and \
+                    text.split(" ", 1)[0] not in _HTTP_METHODS:
+                continue
+            stack.append("http")
+            return pos + len(raw)
+        if port == 123:  # NTP
+            if n - pos < 48:
+                continue
+            first = data[pos]
+            if (first >> 3) & 0x7 not in (3, 4) or first & 0x7 == 0:
+                continue
+            stack.append("ntp")
+            return pos + 48
+        if port == 5201:  # iperf: opaque, consumes the rest
+            stack.append("iperf")
+            return n
+    return pos
+
+
 def digest_pcap(pcap_path: Union[str, Path],
                 dissector: Optional[Dissector] = None) -> AcapFile:
-    """The Digest step for one pcap file."""
-    dissector = dissector or Dissector()
+    """The Digest step for one pcap file.
+
+    With no ``dissector`` argument the fused fast path
+    (:func:`dissect_record`) is used; passing a custom dissector falls
+    back to the generic ``dissect`` + :func:`abstract` route.
+    """
     acap = AcapFile(source=str(pcap_path))
+    records = acap.records
     with PcapReader(pcap_path) as reader:
-        for record in reader:
-            dissected = dissector.dissect(record.data)
-            acap.records.append(
-                abstract(dissected, record.timestamp, record.orig_len, len(record.data))
-            )
+        if dissector is None:
+            append = records.append
+            for timestamp, data, orig_len in reader.iter_raw():
+                append(dissect_record(data, timestamp, orig_len))
+        else:
+            for record in reader:
+                dissected = dissector.dissect(record.data)
+                records.append(
+                    abstract(dissected, record.timestamp, record.orig_len,
+                             len(record.data))
+                )
     return acap
 
 

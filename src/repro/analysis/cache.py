@@ -1,0 +1,122 @@
+"""Content-addressed acap cache.
+
+The paper's offline phase re-ran over a 13-month, testbed-wide corpus
+many times as analyses evolved; dissecting the same pcaps again on
+every run is pure waste because a pcap, once gathered, never changes.
+:class:`AcapCache` memoizes the Digest step: each pcap is keyed by its
+**size, mtime, and a hash of its leading bytes**, and the digested acap
+is stored under that key.  A re-run with an unchanged corpus skips
+dissection entirely (a "warm" run); touching or rewriting a pcap
+changes its key, so stale entries are never served.
+
+Cache entries are ordinary acap files (:func:`repro.analysis.acap.write_acap`
+format), laid out ``<cache_dir>/<key[:2]>/<key>.acap`` so a directory
+never collects millions of siblings.  Corrupt or unreadable entries are
+treated as misses and dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.acap import AcapFile, read_acap, write_acap
+
+# How many leading bytes participate in the key.  Covers the pcap
+# global header plus the first few record headers -- enough to tell
+# apart same-sized files written at the same second.
+HEADER_HASH_BYTES = 4096
+
+
+class AcapCache:
+    """Digest-step memoization keyed on pcap identity.
+
+    >>> cache = AcapCache("/tmp/acap-cache")   # doctest: +SKIP
+    >>> cache.get("site/sample.pcap")          # doctest: +SKIP
+    """
+
+    def __init__(self, cache_dir: Union[str, Path]):
+        self.cache_dir = Path(cache_dir)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def key_for(pcap_path: Union[str, Path]) -> str:
+        """Content-addressed key: file size + mtime + header hash."""
+        path = Path(pcap_path)
+        stat = os.stat(path)
+        digest = hashlib.sha256()
+        digest.update(str(stat.st_size).encode())
+        digest.update(str(stat.st_mtime_ns).encode())
+        with open(path, "rb") as handle:
+            digest.update(handle.read(HEADER_HASH_BYTES))
+        return digest.hexdigest()
+
+    def entry_path(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.acap"
+
+    # -- lookup / store ------------------------------------------------------
+
+    def get(self, pcap_path: Union[str, Path]) -> Optional[AcapFile]:
+        """Return the cached digest of ``pcap_path``, or None on a miss.
+
+        The returned acap's ``source`` is rewritten to ``pcap_path`` so
+        site attribution follows the *caller's* layout even if the entry
+        was stored under a different path to the same content.
+        """
+        try:
+            entry = self.entry_path(self.key_for(pcap_path))
+        except OSError:
+            self.misses += 1
+            return None
+        if not entry.exists():
+            self.misses += 1
+            return None
+        try:
+            acap = read_acap(entry)
+        except (OSError, ValueError):
+            # Corrupt entry: drop it and treat as a miss.
+            entry.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        acap.source = str(pcap_path)
+        self.hits += 1
+        return acap
+
+    def put(self, pcap_path: Union[str, Path], acap: AcapFile) -> Path:
+        """Store ``acap`` as the digest of ``pcap_path``."""
+        entry = self.entry_path(self.key_for(pcap_path))
+        write_acap(acap, entry)
+        return entry
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, pcap_path: Union[str, Path]) -> bool:
+        """Drop the entry for ``pcap_path``.  True if one was removed."""
+        try:
+            entry = self.entry_path(self.key_for(pcap_path))
+        except OSError:
+            return False
+        if entry.exists():
+            entry.unlink()
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Remove every cache entry.  Returns the number removed."""
+        removed = 0
+        if not self.cache_dir.exists():
+            return 0
+        for entry in self.cache_dir.rglob("*.acap"):
+            entry.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.cache_dir.exists():
+            return 0
+        return sum(1 for _ in self.cache_dir.rglob("*.acap"))

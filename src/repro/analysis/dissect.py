@@ -203,11 +203,11 @@ class Dissector:
 
     @staticmethod
     def _parse(parser, view: memoryview):
+        # Any parse failure -- short bytes or malformed fields -- flags
+        # the frame as truncated rather than raising to the caller.
         try:
             return parser(view)
-        except ValueError as exc:
-            if "truncated" in str(exc):
-                raise _Truncated() from None
+        except ValueError:
             raise _Truncated() from None
 
 

@@ -64,14 +64,29 @@ class AcapIndex:
 
     @staticmethod
     def entry_for(acap: AcapFile, path: Path) -> IndexEntry:
-        start, end = acap.time_range
+        # One pass over the records: time range and protocol set together
+        # (``acap.time_range`` + ``acap.protocols()`` would walk them
+        # three times, which adds up when indexing a whole profile).
+        start = end = 0.0
+        protocols: Set[str] = set()
+        first = True
+        for record in acap.records:
+            timestamp = record.timestamp
+            if first:
+                start = end = timestamp
+                first = False
+            elif timestamp < start:
+                start = timestamp
+            elif timestamp > end:
+                end = timestamp
+            protocols.update(record.stack)
         return IndexEntry(
             path=str(path),
             site=_site_from_path(path),
             frames=len(acap),
             start=start,
             end=end,
-            protocols=frozenset(acap.protocols()),
+            protocols=frozenset(protocols),
         )
 
     # -- queries ------------------------------------------------------------

@@ -6,15 +6,27 @@
 output directory a Patchwork profile produced (or any set of pcap
 files), and returns a :class:`ProfileReport` holding every table the
 Process step emits plus the headline statistics the paper quotes.
+
+The Digest step scales out: pcaps are embarrassingly parallel (each
+acap depends on exactly one capture file), so with ``max_workers > 1``
+they fan out over a process pool.  Results are assembled in input
+order, so every downstream table is byte-identical regardless of
+worker count or completion order.  An optional content-addressed
+:class:`~repro.analysis.cache.AcapCache` skips pcaps digested by an
+earlier run.  :class:`PipelineStats` records what happened (per-stage
+wall time, throughput, cache hits) for the CLI to surface.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.acap import AcapFile, AcapRecord, digest_pcap, write_acap
+from repro.analysis.cache import AcapCache
 from repro.analysis.analyze import ip_version_shares, jumbo_fraction
 from repro.analysis.flows import (
     FlowKey,
@@ -38,6 +50,40 @@ from repro.util.tables import Table
 
 
 @dataclass
+class PipelineStats:
+    """Observability record for one pipeline run (Fig 9 stages)."""
+
+    pcaps: int = 0
+    workers: int = 1
+    total_frames: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    digest_seconds: float = 0.0
+    index_seconds: float = 0.0
+    analyze_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.digest_seconds + self.index_seconds + self.analyze_seconds
+
+    @property
+    def frames_per_second(self) -> float:
+        if self.digest_seconds <= 0:
+            return 0.0
+        return self.total_frames / self.digest_seconds
+
+    def render(self) -> str:
+        """One-line human summary for the CLI."""
+        return (
+            f"digested {self.pcaps} pcaps ({self.total_frames} frames) in "
+            f"{self.digest_seconds:.2f}s with {self.workers} worker(s) "
+            f"[{self.frames_per_second:,.0f} frames/s, "
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss]; "
+            f"index {self.index_seconds:.2f}s, analyze {self.analyze_seconds:.2f}s"
+        )
+
+
+@dataclass
 class ProfileReport:
     """Everything the Process step produced for one profile."""
 
@@ -48,6 +94,7 @@ class ProfileReport:
     jumbo_fraction: float = 0.0
     flows_per_sample: List[int] = field(default_factory=list)
     aggregated_flows: Dict[FlowKey, FlowStats] = field(default_factory=dict)
+    stats: Optional[PipelineStats] = None
 
     def write_csvs(self, out_dir: Union[str, Path]) -> List[Path]:
         out_dir = Path(out_dir)
@@ -60,31 +107,100 @@ class ProfileReport:
 
 
 class AnalysisPipeline:
-    """Digest/Index/Analyze/Process over a set of pcaps."""
+    """Digest/Index/Analyze/Process over a set of pcaps.
 
-    def __init__(self, acap_dir: Optional[Union[str, Path]] = None):
+    ``max_workers`` > 1 fans the Digest step out over a process pool
+    (one task per pcap); results are reassembled in input order, so the
+    output is deterministic regardless of completion order.
+    ``cache_dir`` enables the content-addressed acap cache; re-running
+    over an unchanged corpus then skips dissection entirely.
+    """
+
+    def __init__(self, acap_dir: Optional[Union[str, Path]] = None,
+                 max_workers: int = 1,
+                 cache_dir: Optional[Union[str, Path]] = None):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         self.acap_dir = Path(acap_dir) if acap_dir is not None else None
+        self.max_workers = max_workers
+        self.cache = AcapCache(cache_dir) if cache_dir is not None else None
         self.acaps: List[AcapFile] = []
         self.index: Optional[AcapIndex] = None
+        self.stats = PipelineStats()
+
+    @classmethod
+    def from_config(cls, config) -> "AnalysisPipeline":
+        """Build a pipeline from a :class:`~repro.core.config.PatchworkConfig`."""
+        analysis = config.analysis
+        cache_dir = None
+        if analysis.cache_enabled:
+            cache_dir = analysis.cache_dir or config.output_dir / "acap-cache"
+        return cls(acap_dir=config.output_dir / "acap",
+                   max_workers=analysis.max_workers,
+                   cache_dir=cache_dir)
 
     # -- Digest ------------------------------------------------------------
 
     def digest(self, pcap_paths: Sequence[Union[str, Path]]) -> List[AcapFile]:
-        """Dissect every pcap into an acap (optionally persisted)."""
-        self.acaps = []
-        for path in pcap_paths:
-            acap = digest_pcap(path)
-            self.acaps.append(acap)
-            if self.acap_dir is not None:
-                name = Path(path)
-                out = self.acap_dir / name.parent.name / (name.stem + ".acap")
+        """Dissect every pcap into an acap (optionally persisted).
+
+        Cached pcaps are served from the acap cache; the rest fan out
+        over up to ``max_workers`` processes.  ``self.acaps`` always
+        matches the order of ``pcap_paths``.
+        """
+        started = time.perf_counter()
+        paths = [Path(p) for p in pcap_paths]
+        acaps: List[Optional[AcapFile]] = [None] * len(paths)
+        stats = self.stats = PipelineStats(pcaps=len(paths))
+
+        todo: List[int] = []
+        if self.cache is not None:
+            for i, path in enumerate(paths):
+                cached = self.cache.get(path)
+                if cached is not None:
+                    acaps[i] = cached
+                else:
+                    todo.append(i)
+            stats.cache_hits = len(paths) - len(todo)
+            stats.cache_misses = len(todo)
+        else:
+            todo = list(range(len(paths)))
+            stats.cache_misses = len(todo)
+
+        # An explicit max_workers is honored as-is (oversubscription is
+        # fine; "one per CPU" is decided upstream by AnalysisConfig's
+        # max_workers=0), but never more than one process per pcap.
+        workers = max(1, min(self.max_workers, len(todo)))
+        stats.workers = workers
+        if workers > 1:
+            # map() preserves input order, so completion order -- which
+            # varies run to run -- never leaks into the results.
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                digested = pool.map(digest_pcap, [paths[i] for i in todo])
+                for i, acap in zip(todo, digested):
+                    acaps[i] = acap
+        else:
+            for i in todo:
+                acaps[i] = digest_pcap(paths[i])
+
+        if self.cache is not None:
+            for i in todo:
+                self.cache.put(paths[i], acaps[i])
+        self.acaps = acaps  # type: ignore[assignment]
+        if self.acap_dir is not None:
+            for path, acap in zip(paths, self.acaps):
+                out = self.acap_dir / path.parent.name / (path.stem + ".acap")
                 write_acap(acap, out)
+        stats.total_frames = sum(len(acap) for acap in self.acaps)
+        stats.digest_seconds = time.perf_counter() - started
         return self.acaps
 
     # -- Index ------------------------------------------------------------
 
     def build_index(self) -> AcapIndex:
+        started = time.perf_counter()
         self.index = AcapIndex.build_from_memory(self.acaps)
+        self.stats.index_seconds = time.perf_counter() - started
         return self.index
 
     # -- Analyze + Process ----------------------------------------------------
@@ -93,6 +209,7 @@ class AnalysisPipeline:
         """Run every analysis and emit the report tables."""
         if self.index is None:
             self.build_index()
+        started = time.perf_counter()
         records_by_site: Dict[str, List[AcapRecord]] = {}
         all_records: List[AcapRecord] = []
         per_sample_flows = []
@@ -119,6 +236,8 @@ class AnalysisPipeline:
         report.tables["flows_per_sample"] = flows_per_sample_table(counts)
         report.tables["aggregated_flow_sizes"] = aggregated_flow_size_table(aggregated)
         report.tables["tcp_flags"] = tcp_flag_table(aggregated)
+        self.stats.analyze_seconds = time.perf_counter() - started
+        report.stats = self.stats
         return report
 
     def run(self, pcap_paths: Sequence[Union[str, Path]]) -> ProfileReport:

@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--charts", action="store_true",
                          help="also render SVG charts")
     profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument("--workers", type=int, default=1,
+                         help="digest worker processes (0 = one per CPU)")
+    profile.add_argument("--no-cache", action="store_true",
+                         help="disable the content-addressed acap cache")
 
     campaign = sub.add_parser("campaign", help="Fig 10-style campaign")
     campaign.add_argument("--sites", type=int, default=10,
@@ -66,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--out", type=Path, default=None,
                          help="write CSVs (and charts) here")
     analyze.add_argument("--charts", action="store_true")
+    analyze.add_argument("--workers", type=int, default=1,
+                         help="digest worker processes (0 = one per CPU)")
+    analyze.add_argument("--cache-dir", type=Path, default=None,
+                         help="acap cache directory (default: <out>/acap-cache)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="disable the content-addressed acap cache")
 
     plan = sub.add_parser("plan", help="recommend a capture method")
     plan.add_argument("rate", help="target rate, e.g. 100Gbps")
@@ -115,7 +125,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro import quickstart_federation
     from repro.analysis import AnalysisPipeline, Anonymizer
     from repro.capture.session import CaptureMethod
-    from repro.core import Coordinator, PatchworkConfig, SamplingPlan
+    from repro.core import (AnalysisConfig, Coordinator, PatchworkConfig,
+                            SamplingPlan)
 
     sites = args.sites or ["STAR", "MICH", "UTAH", "TACC"]
     federation, api, poller, orchestrator = quickstart_federation(
@@ -134,7 +145,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     transform = Anonymizer().transform if args.anonymize else None
     config = PatchworkConfig(
         output_dir=args.out, plan=plan, desired_instances=args.instances,
-        snaplen=args.snaplen, capture_method=method, transform=transform)
+        snaplen=args.snaplen, capture_method=method, transform=transform,
+        analysis=AnalysisConfig(max_workers=args.workers,
+                                cache_enabled=not args.no_cache))
     bundle = Coordinator(api, config, poller=poller).run_profile()
     for record in bundle.run_records:
         print(f"{record.site}: {record.outcome.value} "
@@ -146,9 +159,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"gathered {site_bundle.site}: "
               f"{site_bundle.archive_path.name} "
               f"({site_bundle.compression_ratio:.1f}x compression)")
-    report = AnalysisPipeline(acap_dir=args.out / "acap").run(bundle.pcap_paths)
+    report = AnalysisPipeline.from_config(config).run(bundle.pcap_paths)
     print(f"\n{report.total_frames} frames captured across "
           f"{len(report.sites)} sites")
+    if report.stats is not None:
+        print(report.stats.render())
     print(report.tables["frame_sizes_overall"].render())
     csvs = report.write_csvs(args.out / "csv")
     print(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
@@ -183,6 +198,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    import os
+
     from repro.analysis import AnalysisPipeline
 
     missing = [p for p in args.pcaps if not p.exists()]
@@ -190,8 +207,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"error: no such pcap: {missing[0]}", file=sys.stderr)
         return 2
     acap_dir = args.out / "acap" if args.out else None
-    report = AnalysisPipeline(acap_dir=acap_dir).run(args.pcaps)
+    cache_dir = None
+    if not args.no_cache:
+        if args.cache_dir is not None:
+            cache_dir = args.cache_dir
+        elif args.out is not None:
+            cache_dir = args.out / "acap-cache"
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    pipeline = AnalysisPipeline(acap_dir=acap_dir, max_workers=workers,
+                                cache_dir=cache_dir)
+    report = pipeline.run(args.pcaps)
     print(report.render())
+    if report.stats is not None:
+        print(f"\n{report.stats.render()}")
     if args.out:
         csvs = report.write_csvs(args.out / "csv")
         print(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")

@@ -33,7 +33,8 @@ testbed it profiles.  The package mirrors the paper's Section 6 design:
   lease scheduler that lets multiple users share one mirrored port.
 """
 
-from repro.core.config import PatchworkConfig, RecoveryConfig, SamplingPlan
+from repro.core.config import (AnalysisConfig, PatchworkConfig, RecoveryConfig,
+                               SamplingPlan)
 from repro.core.status import RunOutcome, RunRecord, recovery_summary
 from repro.core.retry import (
     BreakerState,
@@ -69,6 +70,7 @@ from repro.core.gather import (
 )
 
 __all__ = [
+    "AnalysisConfig",
     "PatchworkConfig",
     "RecoveryConfig",
     "SamplingPlan",

@@ -10,6 +10,7 @@ the default capture method.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -95,6 +96,28 @@ class RecoveryConfig:
             raise ValueError("recovery limits cannot be negative")
 
 
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Offline-pipeline knobs (Fig 9: Digest/Index/Analyze/Process).
+
+    ``max_workers`` bounds the Digest process pool -- pcaps are
+    embarrassingly parallel, one worker digests one capture at a time.
+    ``0`` means "one worker per CPU".  The content-addressed acap cache
+    (``cache_enabled``) lets a re-run over an unchanged corpus skip
+    dissection; ``cache_dir`` defaults to ``<output_dir>/acap-cache``.
+    """
+
+    max_workers: int = 1
+    cache_enabled: bool = True
+    cache_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 0:
+            raise ValueError("max_workers cannot be negative")
+        if self.max_workers == 0:
+            object.__setattr__(self, "max_workers", os.cpu_count() or 1)
+
+
 @dataclass
 class PatchworkConfig:
     """Everything a user chooses before starting Patchwork."""
@@ -128,6 +151,8 @@ class PatchworkConfig:
     telemetry_window: float = 600.0
     # Fault recovery (off by default: the paper's original behaviour).
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    # Offline analysis pipeline (worker pool + acap cache).
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
 
     def __post_init__(self) -> None:
         self.output_dir = Path(self.output_dir)

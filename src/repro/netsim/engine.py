@@ -20,18 +20,25 @@ class Event:
     skips it when popped, which is O(1) instead of O(n) heap surgery.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -58,6 +65,7 @@ class Simulator:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self.events_processed = 0
+        self._live = 0  # pending non-cancelled events (O(1) `pending`)
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
@@ -69,8 +77,9 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} (now is {self.now})")
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -86,6 +95,8 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
+            event.fired = True
+            self._live -= 1
             event.callback(*event.args)
             self.events_processed += 1
             return True
@@ -95,9 +106,14 @@ class Simulator:
         """Run events until the queue drains, ``until`` passes, or
         ``max_events`` have fired.
 
+        The two limits compose: whichever is hit first stops the run.
         When ``until`` is given, the clock is advanced to exactly
-        ``until`` at the end even if the queue drained earlier, so
-        periodic processes can be re-armed from a known time.
+        ``until`` at the end -- even if the queue drained earlier, and
+        also when ``max_events`` stopped the run with no remaining work
+        at or before ``until`` -- so periodic processes can be re-armed
+        from a known time.  If the event cap left unfired events at or
+        before ``until``, the clock stays at the last fired event (it
+        never jumps over pending work).
         """
         fired = 0
         while self._heap:
@@ -107,13 +123,15 @@ class Simulator:
             if until is not None and next_time > until:
                 break
             if max_events is not None and fired >= max_events:
-                return
+                break
             self.step()
             fired += 1
         if until is not None and self.now < until:
-            self.now = until
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                self.now = until
 
     @property
     def pending(self) -> int:
         """Number of pending (non-cancelled) events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live

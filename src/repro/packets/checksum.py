@@ -39,8 +39,20 @@ def pseudo_header_v6(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
     return src + dst + struct.pack("!IHBB", length, 0, 0, proto)
 
 
-def transport_checksum(pseudo: bytes, segment: bytes) -> int:
-    """Checksum of a transport segment under the given pseudo-header."""
+# IP protocol numbers, duplicated here (headers.py imports this module).
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+def transport_checksum(pseudo: bytes, segment: bytes, proto: int) -> int:
+    """Checksum of a transport segment under the given pseudo-header.
+
+    ``proto`` selects protocol-specific encoding rules: a UDP checksum
+    of zero means "no checksum present" (RFC 768), so a *computed* zero
+    is transmitted as 0xFFFF.  TCP has no such escape -- 0x0000 is a
+    perfectly legal TCP checksum and must be emitted as-is.
+    """
     checksum = internet_checksum(pseudo + segment)
-    # An all-zero computed UDP checksum is transmitted as 0xFFFF.
-    return checksum if checksum != 0 else 0xFFFF
+    if proto == PROTO_UDP and checksum == 0:
+        return 0xFFFF
+    return checksum

@@ -55,6 +55,17 @@ PORT_HTTPS = 443
 PORT_IPERF = 5201
 
 
+# Precompiled structs for the hot parse paths (one parse per captured
+# frame per layer; Struct objects skip the format-string cache lookup).
+_U16 = struct.Struct("!H")
+_VLAN_TAG = struct.Struct("!HH")
+_MPLS_ENTRY = struct.Struct("!I")
+_IPV4_FIXED = struct.Struct("!BBHHHBBH")
+_IPV6_FIXED = struct.Struct("!IHBB")
+_TCP_FIXED = struct.Struct("!HHIIBBH")
+_UDP_FIXED = struct.Struct("!HHHH")
+
+
 def mac_bytes(mac: str) -> bytes:
     """Convert ``aa:bb:cc:dd:ee:ff`` notation to 6 raw bytes."""
     parts = mac.split(":")
@@ -65,7 +76,7 @@ def mac_bytes(mac: str) -> bytes:
 
 def mac_str(raw: bytes) -> str:
     """Render 6 raw bytes as colon-separated hex."""
-    return ":".join(f"{b:02x}" for b in raw)
+    return bytes(raw).hex(":")
 
 
 def ipv4_bytes(addr: str) -> bytes:
@@ -78,7 +89,7 @@ def ipv4_bytes(addr: str) -> bytes:
 
 def ipv4_str(raw: bytes) -> str:
     """Render 4 raw bytes as dotted-quad."""
-    return ".".join(str(b) for b in raw)
+    return "%d.%d.%d.%d" % (raw[0], raw[1], raw[2], raw[3])
 
 
 def ipv6_bytes(addr: str) -> bytes:
@@ -98,9 +109,12 @@ def ipv6_bytes(addr: str) -> bytes:
     return b"".join(struct.pack("!H", int(g or "0", 16)) for g in groups)
 
 
+_IPV6_WORDS = struct.Struct("!8H")
+
+
 def ipv6_str(raw: bytes) -> str:
     """Render 16 raw bytes as full (uncompressed) IPv6 notation."""
-    return ":".join(f"{word:x}" for (word,) in struct.iter_unpack("!H", raw))
+    return ":".join("%x" % word for word in _IPV6_WORDS.unpack(raw))
 
 
 @dataclass
@@ -122,7 +136,7 @@ class Ethernet:
         if len(data) < 14:
             raise ValueError("truncated Ethernet header")
         dst, src = bytes(data[0:6]), bytes(data[6:12])
-        (ethertype,) = struct.unpack_from("!H", data, 12)
+        (ethertype,) = _U16.unpack_from(data, 12)
         fields = {"dst": mac_str(dst), "src": mac_str(src), "ethertype": ethertype}
         return fields, 14, ethertype
 
@@ -148,7 +162,7 @@ class VLAN:
     def parse(data: memoryview) -> Tuple[Dict[str, object], int, int]:
         if len(data) < 4:
             raise ValueError("truncated VLAN tag")
-        tci, ethertype = struct.unpack_from("!HH", data, 0)
+        tci, ethertype = _VLAN_TAG.unpack_from(data)
         fields = {"vid": tci & 0xFFF, "pcp": tci >> 13, "ethertype": ethertype}
         return fields, 4, ethertype
 
@@ -179,7 +193,7 @@ class MPLS:
     def parse(data: memoryview) -> Tuple[Dict[str, object], int, bool]:
         if len(data) < 4:
             raise ValueError("truncated MPLS entry")
-        (entry,) = struct.unpack_from("!I", data, 0)
+        (entry,) = _MPLS_ENTRY.unpack_from(data)
         fields = {
             "label": entry >> 12,
             "tc": (entry >> 9) & 0x7,
@@ -257,9 +271,8 @@ class IPv4:
     def parse(data: memoryview) -> Tuple[Dict[str, object], int, int]:
         if len(data) < 20:
             raise ValueError("truncated IPv4 header")
-        (ver_ihl, tos, total_len, ident, flags_frag, ttl, proto, checksum) = struct.unpack_from(
-            "!BBHHHBB H", data, 0
-        )
+        (ver_ihl, tos, total_len, ident, flags_frag, ttl, proto,
+         checksum) = _IPV4_FIXED.unpack_from(data)
         version, ihl = ver_ihl >> 4, (ver_ihl & 0xF) * 4
         if version != 4:
             raise ValueError(f"not IPv4 (version={version})")
@@ -310,7 +323,7 @@ class IPv6:
     def parse(data: memoryview) -> Tuple[Dict[str, object], int, int]:
         if len(data) < 40:
             raise ValueError("truncated IPv6 header")
-        word0, payload_len, next_header, hop_limit = struct.unpack_from("!IHBB", data, 0)
+        word0, payload_len, next_header, hop_limit = _IPV6_FIXED.unpack_from(data)
         if word0 >> 28 != 6:
             raise ValueError("not IPv6")
         fields = {
@@ -364,7 +377,7 @@ class TCP:
                 pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.TCP, len(segment))
             else:
                 pseudo = pseudo_header_v6(ip_src, ip_dst, IPProto.TCP, len(segment))
-            checksum = transport_checksum(pseudo, segment)
+            checksum = transport_checksum(pseudo, segment, IPProto.TCP)
             segment = segment[:16] + struct.pack("!H", checksum) + segment[18:]
         return segment
 
@@ -372,7 +385,7 @@ class TCP:
     def parse(data: memoryview) -> Tuple[Dict[str, object], int, Tuple[int, int]]:
         if len(data) < 20:
             raise ValueError("truncated TCP header")
-        sport, dport, seq, ack, offset_byte, flags, window = struct.unpack_from("!HHIIBBH", data, 0)
+        sport, dport, seq, ack, offset_byte, flags, window = _TCP_FIXED.unpack_from(data)
         data_offset = (offset_byte >> 4) * 4
         if data_offset < 20:
             raise ValueError("bad TCP data offset")
@@ -410,7 +423,7 @@ class UDP:
                 pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.UDP, length)
             else:
                 pseudo = pseudo_header_v6(ip_src, ip_dst, IPProto.UDP, length)
-            checksum = transport_checksum(pseudo, datagram)
+            checksum = transport_checksum(pseudo, datagram, IPProto.UDP)
             datagram = datagram[:6] + struct.pack("!H", checksum)[:2] + datagram[8:]
         return datagram
 
@@ -418,7 +431,7 @@ class UDP:
     def parse(data: memoryview) -> Tuple[Dict[str, object], int, Tuple[int, int]]:
         if len(data) < 8:
             raise ValueError("truncated UDP header")
-        sport, dport, length, _checksum = struct.unpack_from("!HHHH", data, 0)
+        sport, dport, length, _checksum = _UDP_FIXED.unpack_from(data)
         return {"sport": sport, "dport": dport, "length": length}, 8, (sport, dport)
 
 

@@ -69,6 +69,7 @@ class PcapWriter:
         self.snaplen = snaplen
         self.records_written = 0
         self.bytes_written = 0
+        self._closed = False
         if hasattr(path, "write"):
             self._handle: BinaryIO = path  # type: ignore[assignment]
             self._owns_handle = False
@@ -98,7 +99,21 @@ class PcapWriter:
         self.records_written += 1
         self.bytes_written += len(header) + len(data)
 
+    def flush(self) -> None:
+        """Push buffered records down to the underlying handle."""
+        self._handle.flush()
+
     def close(self) -> None:
+        """Flush unconditionally; close the handle only if we opened it.
+
+        A caller-owned handle stays open (the caller may keep writing to
+        it), but its buffered records are flushed so readers never
+        observe a truncated pcap after ``close()`` returns.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._handle.flush()
         if self._owns_handle:
             self._handle.close()
 
@@ -138,21 +153,45 @@ class PcapReader:
         else:
             raise ValueError(f"not a pcap file: bad magic 0x{magic:08x}")
         _, _vmaj, _vmin, _tz, _sig, self.snaplen, self.linktype = fields
+        # Hot-path bindings: __next__ runs once per captured frame, so
+        # avoid re-resolving these attributes on every record.
+        self._read = self._handle.read
+        self._rec_size = self._record_struct.size
+        self._rec_unpack = self._record_struct.unpack
 
     def __iter__(self) -> Iterator[PcapRecord]:
         return self
 
     def __next__(self) -> PcapRecord:
-        raw = self._handle.read(self._record_struct.size)
+        raw = self._read(self._rec_size)
         if not raw:
             raise StopIteration
-        if len(raw) < self._record_struct.size:
+        if len(raw) < self._rec_size:
             raise ValueError("truncated pcap record header")
-        ts_sec, ts_usec, incl_len, orig_len = self._record_struct.unpack(raw)
-        data = self._handle.read(incl_len)
+        ts_sec, ts_usec, incl_len, orig_len = self._rec_unpack(raw)
+        data = self._read(incl_len)
         if len(data) < incl_len:
             raise ValueError("truncated pcap record body")
         return PcapRecord(ts_sec + ts_usec / 1_000_000, data, orig_len)
+
+    def iter_raw(self) -> Iterator[tuple]:
+        """Yield ``(timestamp, data, orig_len)`` tuples without building
+        :class:`PcapRecord` objects -- the Digest hot path's iterator.
+        """
+        read = self._read
+        rec_size = self._rec_size
+        unpack = self._rec_unpack
+        while True:
+            raw = read(rec_size)
+            if not raw:
+                return
+            if len(raw) < rec_size:
+                raise ValueError("truncated pcap record header")
+            ts_sec, ts_usec, incl_len, orig_len = unpack(raw)
+            data = read(incl_len)
+            if len(data) < incl_len:
+                raise ValueError("truncated pcap record body")
+            yield ts_sec + ts_usec / 1_000_000, data, orig_len
 
     def read_all(self) -> List[PcapRecord]:
         """Read every remaining record into a list."""

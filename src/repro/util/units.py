@@ -101,19 +101,30 @@ def parse_size(text: "str | int") -> int:
     return int(float(value) * scale)
 
 
+def _trim_fraction(value: float, precision: int) -> str:
+    """Format ``value`` then drop only a trailing *fractional* tail.
+
+    Stripping must never touch the integer part: ``f"{20:.0f}"`` is
+    ``"20"``, and a bare ``rstrip("0")`` would corrupt it to ``"2"``.
+    """
+    text = f"{value:.{precision}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text
+
+
 def format_rate(bps: float, precision: int = 2) -> str:
     """Format a bits-per-second rate with the most natural SI prefix.
 
     >>> format_rate(100e9)
     '100Gbps'
+    >>> format_rate(20e9, precision=0)
+    '20Gbps'
     """
     for suffix, scale in (("Tbps", TBPS), ("Gbps", GBPS), ("Mbps", MBPS), ("Kbps", KBPS)):
         if abs(bps) >= scale:
-            value = bps / scale
-            text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
-            return f"{text}{suffix}"
-    text = f"{bps:.{precision}f}".rstrip("0").rstrip(".")
-    return f"{text}bps"
+            return f"{_trim_fraction(bps / scale, precision)}{suffix}"
+    return f"{_trim_fraction(bps, precision)}bps"
 
 
 def format_size(num_bytes: float, precision: int = 2) -> str:
@@ -121,12 +132,12 @@ def format_size(num_bytes: float, precision: int = 2) -> str:
 
     >>> format_size(32_000_000)
     '32MB'
+    >>> format_size(400_000, precision=0)
+    '400KB'
     """
     for suffix, scale in (("TB", GB * 1000), ("GB", GB), ("MB", MB), ("KB", KB)):
         if abs(num_bytes) >= scale:
-            value = num_bytes / scale
-            text = f"{value:.{precision}f}".rstrip("0").rstrip(".")
-            return f"{text}{suffix}"
+            return f"{_trim_fraction(num_bytes / scale, precision)}{suffix}"
     return f"{int(num_bytes)}B"
 
 

@@ -1,0 +1,121 @@
+"""Tests for the content-addressed acap cache."""
+
+import os
+
+import pytest
+
+from repro.analysis.acap import digest_pcap
+from repro.analysis.cache import AcapCache
+from repro.packets.builder import FrameBuilder, FrameSpec
+from repro.packets.headers import Ethernet, IPv4, Payload, TCP
+from repro.packets.pcap import PcapRecord, PcapWriter
+
+E1, E2 = "02:00:00:00:00:01", "02:00:00:00:00:02"
+
+
+def write_pcap(path, n=5, sport=40000):
+    frame = FrameBuilder().build(FrameSpec([
+        Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+        TCP(sport, 443), Payload(64)]))
+    with PcapWriter(path) as writer:
+        for i in range(n):
+            writer.write(PcapRecord(i * 0.01, frame))
+    return path
+
+
+@pytest.fixture
+def pcap(tmp_path):
+    return write_pcap(tmp_path / "sample.pcap")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AcapCache(tmp_path / "cache")
+
+
+class TestLookup:
+    def test_empty_cache_misses(self, cache, pcap):
+        assert cache.get(pcap) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_put_then_get_hits(self, cache, pcap):
+        acap = digest_pcap(pcap)
+        entry = cache.put(pcap, acap)
+        assert entry.exists()
+        cached = cache.get(pcap)
+        assert cached is not None
+        assert cached.records == acap.records
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_hit_rewrites_source_to_caller_path(self, cache, pcap, tmp_path):
+        cache.put(pcap, digest_pcap(pcap))
+        # Same content under a different path: different mtime => miss,
+        # but a hit on the original path reports the original path.
+        cached = cache.get(pcap)
+        assert cached.source == str(pcap)
+
+    def test_missing_pcap_is_a_miss(self, cache, tmp_path):
+        assert cache.get(tmp_path / "nope.pcap") is None
+        assert cache.misses == 1
+
+    def test_entries_are_sharded(self, cache, pcap):
+        entry = cache.put(pcap, digest_pcap(pcap))
+        key = AcapCache.key_for(pcap)
+        assert entry.parent.name == key[:2]
+        assert entry.name == f"{key}.acap"
+
+
+class TestKeyRotation:
+    def test_mtime_change_rotates_key(self, cache, pcap):
+        before = AcapCache.key_for(pcap)
+        cache.put(pcap, digest_pcap(pcap))
+        stat = os.stat(pcap)
+        os.utime(pcap, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000_000))
+        assert AcapCache.key_for(pcap) != before
+        assert cache.get(pcap) is None  # stale entry never served
+
+    def test_content_change_rotates_key(self, cache, tmp_path):
+        pcap = write_pcap(tmp_path / "a.pcap", sport=40000)
+        before = AcapCache.key_for(pcap)
+        stat = os.stat(pcap)
+        write_pcap(tmp_path / "a.pcap", sport=40001)
+        # Pin size+mtime so only the header hash distinguishes them.
+        os.utime(pcap, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert AcapCache.key_for(pcap) != before
+
+    def test_same_file_key_is_stable(self, pcap):
+        assert AcapCache.key_for(pcap) == AcapCache.key_for(pcap)
+
+
+class TestInvalidation:
+    def test_invalidate_removes_entry(self, cache, pcap):
+        cache.put(pcap, digest_pcap(pcap))
+        assert cache.invalidate(pcap) is True
+        assert cache.get(pcap) is None
+
+    def test_invalidate_without_entry(self, cache, pcap):
+        assert cache.invalidate(pcap) is False
+
+    def test_invalidate_missing_pcap(self, cache, tmp_path):
+        assert cache.invalidate(tmp_path / "gone.pcap") is False
+
+    def test_clear(self, cache, tmp_path):
+        for name in ("a", "b", "c"):
+            p = write_pcap(tmp_path / f"{name}.pcap", sport=hash(name) % 1000 + 1024)
+            cache.put(p, digest_pcap(p))
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_clear_empty_cache_dir(self, cache):
+        assert cache.clear() == 0
+        assert len(cache) == 0
+
+
+class TestCorruption:
+    def test_corrupt_entry_dropped_and_missed(self, cache, pcap):
+        entry = cache.put(pcap, digest_pcap(pcap))
+        entry.write_text("not an acap\n")
+        assert cache.get(pcap) is None
+        assert not entry.exists()  # corrupt entry evicted
+        assert cache.misses == 1

@@ -100,6 +100,7 @@ class TestLatencyRegimes:
             PageCacheModel().flush(-1.0)
 
 
+@pytest.mark.slow
 class TestFig14Sweep:
     def test_sweep_reproduces_paper_gap(self):
         """At 21 % cache usage, 10:20 vs 20:50 differ by ~2 orders of

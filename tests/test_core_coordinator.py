@@ -96,6 +96,7 @@ class TestProfileRun:
 
 
 class TestDeadline:
+    @pytest.mark.slow
     def test_stragglers_aborted_at_deadline(self, world):
         """If a site's instance cannot finish inside the coordinator's
         budget, it is aborted and recorded as Incomplete rather than

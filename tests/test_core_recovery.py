@@ -17,6 +17,8 @@ from repro.telemetry import SNMPPoller
 from repro.testbed import FederationBuilder, TestbedAPI
 from repro.traffic.workloads import TrafficOrchestrator
 
+pytestmark = pytest.mark.slow
+
 SITES = ["STAR", "MICH", "UTAH"]
 
 

@@ -12,6 +12,8 @@ from repro.core.status import RunOutcome
 from repro.packets.pcap import PcapReader
 from repro.traffic.distributions import PAPER_FRAME_BINS
 
+pytestmark = pytest.mark.slow
+
 
 class TestProfileToAnalysis:
     def test_every_pcap_is_dissectable(self, profiled_bundle_and_pipeline):

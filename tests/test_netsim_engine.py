@@ -82,6 +82,31 @@ class TestCancellation:
         first.cancel()
         assert sim.peek_time() == 2.0
 
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_pending_tracks_fired_events(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=2)
+        assert sim.pending == 3
+        sim.run()
+        assert sim.pending == 0
+
 
 class TestRunBounds:
     def test_run_until_stops_before_later_events(self):
@@ -113,6 +138,45 @@ class TestRunBounds:
             sim.schedule(i + 1.0, fired.append, i)
         sim.run(max_events=4)
         assert fired == [0, 1, 2, 3]
+
+    def test_until_composes_with_exhausted_max_events(self):
+        # Regression: run(until=..., max_events=...) used to return from
+        # the event cap without honoring the "clock is advanced to
+        # exactly `until`" contract.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(50.0, fired.append, "late")
+        sim.run(until=10.0, max_events=5)
+        assert fired == ["a", "b"]
+        assert sim.now == 10.0  # cap not limiting; clock lands on `until`
+
+    def test_event_cap_before_until_does_not_skip_pending_work(self):
+        # When max_events stops the run with events still due before
+        # `until`, the clock must NOT jump over them.
+        sim = Simulator()
+        fired = []
+        for i in range(4):
+            sim.schedule(i + 1.0, fired.append, i)
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == 2.0
+        sim.run(until=10.0)  # remaining events still fire in order
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 10.0
+
+    def test_event_cap_with_until_advances_when_rest_is_later(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(50.0, fired.append, "late")
+        sim.run(until=10.0, max_events=2)
+        assert fired == ["a", "b"]
+        # The cap stopped the run, but nothing else is due before
+        # `until`, so the clock still lands exactly on it.
+        assert sim.now == 10.0
 
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False

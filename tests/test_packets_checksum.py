@@ -3,6 +3,8 @@
 import struct
 
 from repro.packets.checksum import (
+    PROTO_TCP,
+    PROTO_UDP,
     internet_checksum,
     ones_complement_sum,
     pseudo_header_v4,
@@ -47,9 +49,25 @@ class TestPseudoHeaders:
         assert len(pseudo) == 40
         assert pseudo[-1] == 17
 
-    def test_transport_checksum_never_zero(self):
-        # A computed zero is transmitted as 0xFFFF (UDP rule).
+    def test_udp_checksum_never_zero(self):
+        # A computed zero is transmitted as 0xFFFF (UDP-only rule, RFC 768).
         # Construct data whose checksum would be zero: all 0xFF words.
         pseudo = b"\xff\xff"
         segment = b"\xff\xff"
-        assert transport_checksum(pseudo, segment) == 0xFFFF
+        assert transport_checksum(pseudo, segment, PROTO_UDP) == 0xFFFF
+
+    def test_tcp_zero_checksum_emitted_as_is(self):
+        # TCP has no "no checksum" escape: a computed 0x0000 is legal and
+        # must NOT be rewritten to 0xFFFF (regression: the substitution
+        # used to apply to every transport protocol).
+        pseudo = b"\xff\xff"
+        segment = b"\xff\xff"
+        assert transport_checksum(pseudo, segment, PROTO_TCP) == 0
+
+    def test_nonzero_checksums_unchanged_for_both(self):
+        pseudo = pseudo_header_v4(b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02", 6, 4)
+        segment = b"\x12\x34\x56\x78"
+        expected = internet_checksum(pseudo + segment)
+        assert expected != 0
+        assert transport_checksum(pseudo, segment, PROTO_TCP) == expected
+        assert transport_checksum(pseudo, segment, PROTO_UDP) == expected

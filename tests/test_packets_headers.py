@@ -167,6 +167,43 @@ class TestTCP:
         pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.TCP, len(segment))
         assert internet_checksum(pseudo + segment) == 0
 
+    @staticmethod
+    def _payload_forcing_zero_checksum(tcp: TCP, ip_src: bytes,
+                                       ip_dst: bytes) -> bytes:
+        """A payload whose segment checksum computes to exactly 0x0000."""
+        from repro.packets.checksum import ones_complement_sum, pseudo_header_v4
+        payload = bytearray(8)
+        segment = tcp.pack(bytes(payload))  # checksum field still zero
+        pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.TCP, len(segment))
+        total = ones_complement_sum(pseudo + segment)
+        # One's-complement sum of exactly 0xFFFF inverts to checksum 0;
+        # steer the first (currently zero) payload word there.
+        payload[0:2] = struct.pack("!H", 0xFFFF - total)
+        return bytes(payload)
+
+    def test_tcp_zero_checksum_round_trip(self):
+        # Regression: a TCP segment whose checksum computes to 0x0000
+        # used to be emitted with 0xFFFF (the UDP-only substitution).
+        from repro.packets.checksum import internet_checksum, pseudo_header_v4
+        from repro.analysis.dissect import Dissector
+        ip_src = hdr.ipv4_bytes("10.0.0.1")
+        ip_dst = hdr.ipv4_bytes("10.0.0.2")
+        tcp = TCP(sport=4000, dport=5000, seq=1, ack=2)
+        payload = self._payload_forcing_zero_checksum(tcp, ip_src, ip_dst)
+        segment = tcp.pack(payload, ip_src, ip_dst)
+        assert segment[16:18] == b"\x00\x00"
+        # The emitted segment still verifies under RFC 1071.
+        pseudo = pseudo_header_v4(ip_src, ip_dst, IPProto.TCP, len(segment))
+        assert internet_checksum(pseudo + segment) == 0
+        # And a full frame survives dissection with its fields intact.
+        frame = Ethernet(src="02:00:00:00:00:01", dst="02:00:00:00:00:02").pack(
+            IPv4(src="10.0.0.1", dst="10.0.0.2", proto=IPProto.TCP).pack(segment))
+        dissected = Dissector().dissect(frame)
+        tcp_info = dissected.first("tcp")
+        assert tcp_info is not None
+        assert (tcp_info.fields["sport"], tcp_info.fields["dport"]) == (4000, 5000)
+        assert not dissected.truncated
+
 
 class TestUDP:
     def test_round_trip(self):

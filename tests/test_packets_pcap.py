@@ -51,6 +51,42 @@ class TestRoundTrip:
         assert len(records) == 50
         assert [len(r.data) for r in records] == [60 + i for i in range(50)]
 
+    def test_close_flushes_borrowed_handle(self, tmp_path):
+        # Regression: close() neither flushed nor closed a caller-owned
+        # handle, so buffered writers could leave truncated pcaps on
+        # disk while the handle stayed open.
+        path = tmp_path / "borrowed.pcap"
+        handle = open(path, "wb", buffering=1 << 20)
+        try:
+            writer = PcapWriter(handle, snaplen=65535)
+            for i in range(10):
+                writer.write(PcapRecord(float(i), bytes([i]) * 80))
+            writer.close()
+            assert not handle.closed  # caller still owns the handle
+            with open(path, "rb") as readback:
+                records = PcapReader(readback).read_all()
+            assert len(records) == 10
+        finally:
+            handle.close()
+
+    def test_context_exit_flushes_borrowed_handle(self, tmp_path):
+        path = tmp_path / "ctx.pcap"
+        handle = open(path, "wb", buffering=1 << 20)
+        try:
+            with PcapWriter(handle) as writer:
+                writer.write(PcapRecord(0.0, b"\x01" * 64))
+            assert not handle.closed
+            assert len(PcapReader(path).read_all()) == 1
+        finally:
+            handle.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = PcapWriter(tmp_path / "owned.pcap")
+        writer.write(PcapRecord(0.0, b"\x02" * 64))
+        writer.close()
+        writer.close()  # second close must not raise on the closed handle
+        assert len(PcapReader(tmp_path / "owned.pcap").read_all()) == 1
+
     def test_snaplen_truncates(self):
         buf = io.BytesIO()
         writer = PcapWriter(buf, snaplen=64)

@@ -1,0 +1,237 @@
+"""Parallel digestion, caching, and fast-path parity for the pipeline.
+
+The Digest fan-out must be invisible in the output: running with one
+worker, many workers, or a warm cache has to yield byte-identical CSVs.
+These tests build a small multi-site corpus on disk and compare whole
+runs end to end.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.analysis.acap import abstract, digest_pcap, dissect_record
+from repro.analysis.cache import AcapCache
+from repro.analysis.dissect import Dissector
+from repro.analysis.pipeline import AnalysisPipeline, PipelineStats
+from repro.core.config import AnalysisConfig, PatchworkConfig
+from repro.packets.builder import FrameBuilder, FrameSpec
+from repro.packets.headers import (
+    ARP, DNSHeader, Ethernet, HTTPPayload, ICMP, IPProto, IPv4, IPv6, MPLS,
+    NTPPayload, Payload, PseudoWireControlWord, SSHBanner, TCP, TLSRecord,
+    UDP, VLAN,
+)
+from repro.packets.pcap import PcapRecord, PcapWriter
+
+E1, E2 = "02:00:00:00:00:01", "02:00:00:00:00:02"
+
+
+def corpus_frames():
+    """A varied stack mix: VLAN, MPLS+pseudowire, v4/v6, every app layer."""
+    build = FrameBuilder().build
+    return [
+        build(FrameSpec([Ethernet(E1, E2), IPv4("10.0.0.1", "10.0.0.2"),
+                         TCP(50000, 443), TLSRecord(), Payload(0)],
+                        target_size=900)),
+        build(FrameSpec([Ethernet(E1, E2), VLAN(301), MPLS(17000), MPLS(17001),
+                         PseudoWireControlWord(), Ethernet(E1, E2),
+                         IPv4("10.1.2.3", "10.4.5.6"), TCP(50001, 80),
+                         HTTPPayload(), Payload(0)], target_size=1200)),
+        build(FrameSpec([Ethernet(E1, E2), VLAN(2), VLAN(3),
+                         IPv6("2001:db8::1", "2001:db8::2"),
+                         UDP(50002, 53), DNSHeader()])),
+        build(FrameSpec([Ethernet(E1, E2), IPv4("10.0.0.3", "10.0.0.4"),
+                         UDP(50003, 123), NTPPayload()])),
+        build(FrameSpec([Ethernet(E1, E2), IPv4("10.0.0.5", "10.0.0.6"),
+                         TCP(50004, 22), SSHBanner()])),
+        build(FrameSpec([Ethernet(E1, E2), IPv4("10.0.0.7", "10.0.0.8"),
+                         TCP(50005, 5201), Payload(400)])),
+        build(FrameSpec([Ethernet(E1, E2), ARP(E1, "10.0.0.9")])),
+        build(FrameSpec([Ethernet(E1, E2), IPv4("10.0.0.10", "10.0.0.11",
+                                                proto=IPProto.ICMP), ICMP()])),
+    ]
+
+
+def make_corpus(root, sites=3, pcaps_per_site=2, frames_per_pcap=40):
+    """Write a deterministic multi-site pcap corpus; returns sorted paths."""
+    rng = random.Random(1234)
+    frames = corpus_frames()
+    paths = []
+    for s in range(sites):
+        site_dir = root / f"site{s}"
+        site_dir.mkdir(parents=True, exist_ok=True)
+        for p in range(pcaps_per_site):
+            path = site_dir / f"sample{p}.pcap"
+            with PcapWriter(path, snaplen=200) as writer:
+                for i in range(frames_per_pcap):
+                    frame = frames[rng.randrange(len(frames))]
+                    writer.write(PcapRecord(i * 0.001, frame[:200],
+                                            orig_len=len(frame)))
+            paths.append(path)
+    return sorted(paths)
+
+
+def csv_bytes(report, out_dir):
+    return {p.name: p.read_bytes() for p in report.write_csvs(out_dir)}
+
+
+class TestParallelEquivalence:
+    def test_parallel_output_byte_identical_to_serial(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps")
+        serial = AnalysisPipeline(acap_dir=tmp_path / "acap-s").run(pcaps)
+        parallel = AnalysisPipeline(acap_dir=tmp_path / "acap-p",
+                                    max_workers=4).run(pcaps)
+        assert csv_bytes(serial, tmp_path / "csv-s") == \
+            csv_bytes(parallel, tmp_path / "csv-p")
+
+    def test_parallel_acaps_match_serial_in_order(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps")
+        serial = AnalysisPipeline()
+        parallel = AnalysisPipeline(max_workers=4)
+        serial.digest(pcaps)
+        parallel.digest(pcaps)
+        assert [a.source for a in parallel.acaps] == \
+            [a.source for a in serial.acaps]
+        assert [a.records for a in parallel.acaps] == \
+            [a.records for a in serial.acaps]
+
+    def test_workers_capped_by_todo_size(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps", sites=1, pcaps_per_site=2)
+        pipeline = AnalysisPipeline(max_workers=64)
+        pipeline.digest(pcaps)
+        assert pipeline.stats.workers == 2  # never more workers than pcaps
+
+    def test_pool_path_actually_engages(self, tmp_path):
+        # Guard against the fan-out silently degrading to the serial
+        # branch: with max_workers > 1 and several pcaps to digest, the
+        # recorded worker count must exceed one even on a 1-CPU host.
+        pcaps = make_corpus(tmp_path / "pcaps")
+        pipeline = AnalysisPipeline(max_workers=4)
+        pipeline.digest(pcaps)
+        assert pipeline.stats.workers == 4
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            AnalysisPipeline(max_workers=0)
+
+
+class TestCacheIntegration:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps")
+        cache_dir = tmp_path / "cache"
+        cold = AnalysisPipeline(cache_dir=cache_dir)
+        cold_report = cold.run(pcaps)
+        assert cold.stats.cache_misses == len(pcaps)
+        assert cold.stats.cache_hits == 0
+
+        warm = AnalysisPipeline(cache_dir=cache_dir)
+        warm_report = warm.run(pcaps)
+        assert warm.stats.cache_hits == len(pcaps)
+        assert warm.stats.cache_misses == 0
+        assert csv_bytes(cold_report, tmp_path / "csv-cold") == \
+            csv_bytes(warm_report, tmp_path / "csv-warm")
+
+    def test_touched_pcap_invalidates_only_itself(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps")
+        cache_dir = tmp_path / "cache"
+        AnalysisPipeline(cache_dir=cache_dir).digest(pcaps)
+        stat = os.stat(pcaps[0])
+        os.utime(pcaps[0], ns=(stat.st_atime_ns,
+                               stat.st_mtime_ns + 1_000_000_000))
+        rerun = AnalysisPipeline(cache_dir=cache_dir)
+        rerun.digest(pcaps)
+        assert rerun.stats.cache_misses == 1
+        assert rerun.stats.cache_hits == len(pcaps) - 1
+
+    def test_explicit_invalidation_forces_redigest(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps", sites=1, pcaps_per_site=1)
+        cache_dir = tmp_path / "cache"
+        AnalysisPipeline(cache_dir=cache_dir).digest(pcaps)
+        assert AcapCache(cache_dir).invalidate(pcaps[0]) is True
+        rerun = AnalysisPipeline(cache_dir=cache_dir)
+        rerun.digest(pcaps)
+        assert rerun.stats.cache_misses == 1
+
+    def test_no_cache_pipeline_records_all_misses(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps", sites=1, pcaps_per_site=2)
+        pipeline = AnalysisPipeline()
+        pipeline.digest(pcaps)
+        assert pipeline.cache is None
+        assert pipeline.stats.cache_misses == len(pcaps)
+
+
+class TestStats:
+    def test_stats_populated_and_rendered(self, tmp_path):
+        pcaps = make_corpus(tmp_path / "pcaps", sites=2, pcaps_per_site=1)
+        pipeline = AnalysisPipeline()
+        report = pipeline.run(pcaps)
+        stats = report.stats
+        assert isinstance(stats, PipelineStats)
+        assert stats.pcaps == len(pcaps)
+        assert stats.total_frames == report.total_frames > 0
+        assert stats.digest_seconds > 0
+        assert stats.frames_per_second > 0
+        assert stats.total_seconds >= stats.digest_seconds
+        text = stats.render()
+        assert "frames/s" in text and "cache" in text
+
+    def test_empty_run_stats(self):
+        report = AnalysisPipeline().run([])
+        assert report.stats.pcaps == 0
+        assert report.stats.frames_per_second == 0.0
+
+
+class TestFromConfig:
+    def test_defaults_under_output_dir(self, tmp_path):
+        config = PatchworkConfig(output_dir=tmp_path / "out",
+                                 analysis=AnalysisConfig(max_workers=3))
+        pipeline = AnalysisPipeline.from_config(config)
+        assert pipeline.max_workers == 3
+        assert pipeline.acap_dir == config.output_dir / "acap"
+        assert pipeline.cache.cache_dir == config.output_dir / "acap-cache"
+
+    def test_cache_disabled(self, tmp_path):
+        config = PatchworkConfig(
+            output_dir=tmp_path / "out",
+            analysis=AnalysisConfig(cache_enabled=False))
+        assert AnalysisPipeline.from_config(config).cache is None
+
+    def test_zero_workers_means_cpu_count(self):
+        assert AnalysisConfig(max_workers=0).max_workers == (os.cpu_count() or 1)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(max_workers=-1)
+
+
+class TestFastPathParity:
+    """dissect_record must agree with the generic Dissector+abstract route."""
+
+    def frames_with_edge_cases(self):
+        frames = corpus_frames()
+        extra = []
+        for frame in frames:
+            # Every truncation point of a representative frame.
+            extra.extend(frame[:n] for n in range(14, min(len(frame), 120), 7))
+        extra.append(b"\x00" * 60)               # all-zero runt
+        extra.append(os.urandom(200))            # garbage
+        extra.append(frames[0][:12])             # sub-Ethernet prefix
+        return frames + extra
+
+    def test_digest_matches_generic_dissector(self, tmp_path):
+        path = tmp_path / "parity.pcap"
+        with PcapWriter(path, snaplen=65535) as writer:
+            for i, frame in enumerate(self.frames_with_edge_cases()):
+                writer.write(PcapRecord(i * 0.001, frame))
+        fast = digest_pcap(path)
+        generic = digest_pcap(path, dissector=Dissector())
+        assert len(fast) == len(generic) > 0
+        for got, want in zip(fast.records, generic.records):
+            assert got == want
+
+    def test_single_frame_parity(self):
+        frame = corpus_frames()[1]  # MPLS + pseudowire + VLAN + HTTP
+        want = abstract(Dissector().dissect(frame), 1.5, len(frame), len(frame))
+        got = dissect_record(frame, 1.5, len(frame))
+        assert got == want

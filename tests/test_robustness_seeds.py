@@ -13,6 +13,8 @@ from repro.study.activity import NetworkActivityModel
 from repro.study.slices import slice_study
 from repro.testbed import FederationBuilder, InformationModel
 
+pytestmark = pytest.mark.slow
+
 SITES = [f"S{i}" for i in range(30)]
 
 

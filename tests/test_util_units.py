@@ -70,6 +70,34 @@ class TestFormat:
         assert units.format_size(100) == "100B"
         assert units.format_size(2_500_000_000) == "2.5GB"
 
+    @pytest.mark.parametrize("bps, expected", [
+        (20e9, "20Gbps"),      # regression: used to strip to "2Gbps"
+        (100e9, "100Gbps"),    # regression: used to strip to "1Gbps"
+        (200e6, "200Mbps"),
+        (1e12, "1Tbps"),
+        (3e3, "3Kbps"),
+        (10, "10bps"),
+        (0, "0bps"),
+    ])
+    def test_format_rate_precision_zero(self, bps, expected):
+        # With precision=0 there is no fractional tail; stripping must
+        # never eat trailing zeros of the *integer* part.
+        assert units.format_rate(bps, precision=0) == expected
+
+    @pytest.mark.parametrize("num_bytes, expected", [
+        (400_000, "400KB"),    # regression: used to strip to "4KB"
+        (20_000_000, "20MB"),
+        (1_000_000_000, "1GB"),
+        (3_000_000_000_000, "3TB"),
+    ])
+    def test_format_size_precision_zero(self, num_bytes, expected):
+        assert units.format_size(num_bytes, precision=0) == expected
+
+    def test_fractional_tail_still_stripped(self):
+        assert units.format_rate(1.50e9) == "1.5Gbps"
+        assert units.format_rate(2.00e9) == "2Gbps"
+        assert units.format_size(1_250_000, precision=3) == "1.25MB"
+
 
 class TestTransmissionTime:
     def test_basic(self):
