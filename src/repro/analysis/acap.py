@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.dissect import DissectedFrame, Dissector
+from repro.obs import get_obs
 from repro.packets.pcap import PcapReader
 
 ACAP_VERSION = 1
@@ -352,11 +353,25 @@ def digest_pcap(pcap_path: Union[str, Path],
     """
     acap = AcapFile(source=str(pcap_path))
     records = acap.records
+    # One registry lookup per *pcap*; the per-frame loop stays free of
+    # instrument calls either way.  With observability disabled the loop
+    # below is byte-for-byte the pre-instrumentation one; enabled, plain
+    # local accumulators are flushed once at the end.
+    registry = get_obs().registry
+    counting = registry.enabled
     with PcapReader(pcap_path) as reader:
         if dissector is None:
             append = records.append
-            for timestamp, data, orig_len in reader.iter_raw():
-                append(dissect_record(data, timestamp, orig_len))
+            if counting:
+                nbytes = ntrunc = 0
+                for timestamp, data, orig_len in reader.iter_raw():
+                    rec = dissect_record(data, timestamp, orig_len)
+                    append(rec)
+                    nbytes += rec.captured_len
+                    ntrunc += rec.truncated
+            else:
+                for timestamp, data, orig_len in reader.iter_raw():
+                    append(dissect_record(data, timestamp, orig_len))
         else:
             for record in reader:
                 dissected = dissector.dissect(record.data)
@@ -364,6 +379,17 @@ def digest_pcap(pcap_path: Union[str, Path],
                     abstract(dissected, record.timestamp, record.orig_len,
                              len(record.data))
                 )
+            if counting:
+                nbytes = sum(r.captured_len for r in records)
+                ntrunc = sum(r.truncated for r in records)
+    if counting:
+        registry.counter("digest.pcaps", help="pcaps digested").inc()
+        registry.counter("digest.frames", help="frames digested").inc(
+            len(records))
+        registry.counter("digest.bytes",
+                         help="captured bytes digested").inc(nbytes)
+        registry.counter("digest.truncated_frames",
+                         help="frames cut short by the snap length").inc(ntrunc)
     return acap
 
 

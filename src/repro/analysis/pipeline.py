@@ -36,6 +36,7 @@ from repro.analysis.flows import (
     flows_per_sample_counts,
 )
 from repro.analysis.index import AcapIndex
+from repro.obs import get_obs
 from repro.analysis.report import (
     aggregated_flow_size_table,
     flows_per_sample_table,
@@ -82,6 +83,59 @@ class PipelineStats:
             f"index {self.index_seconds:.2f}s, analyze {self.analyze_seconds:.2f}s"
         )
 
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        """Machine-readable form (``--json`` CLI mode, journal events)."""
+        return {
+            "pcaps": self.pcaps,
+            "workers": self.workers,
+            "total_frames": self.total_frames,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "digest_seconds": self.digest_seconds,
+            "index_seconds": self.index_seconds,
+            "analyze_seconds": self.analyze_seconds,
+            "total_seconds": self.total_seconds,
+            "frames_per_second": self.frames_per_second,
+        }
+
+    def publish(self, obs=None) -> None:
+        """Publish this run into ``repro.obs``.
+
+        Deterministic counts go in as regular instruments; wall-time
+        stage durations are marked volatile so a deterministic journal's
+        metric snapshots exclude them.  The journal's ``pipeline`` event
+        carries the counts always and the timings only when the journal
+        is non-deterministic.
+        """
+        from repro.obs import get_obs as _get_obs
+
+        obs = obs if obs is not None else _get_obs()
+        registry = obs.registry
+        registry.counter("pipeline.runs", help="analysis pipeline runs").inc()
+        registry.counter("pipeline.pcaps",
+                         help="pcaps offered to the Digest stage").inc(self.pcaps)
+        registry.counter("pipeline.cache_hits",
+                         help="acap cache hits").inc(self.cache_hits)
+        registry.counter("pipeline.cache_misses",
+                         help="acap cache misses").inc(self.cache_misses)
+        for stage in ("digest", "index", "analyze"):
+            registry.gauge(f"pipeline.{stage}_seconds", volatile=True,
+                           help=f"wall time of the {stage} stage").set(
+                getattr(self, f"{stage}_seconds"))
+        obs.journal.emit(
+            "pipeline",
+            pcaps=self.pcaps,
+            workers=self.workers,
+            total_frames=self.total_frames,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            volatile={
+                "digest_seconds": self.digest_seconds,
+                "index_seconds": self.index_seconds,
+                "analyze_seconds": self.analyze_seconds,
+            },
+        )
+
 
 @dataclass
 class ProfileReport:
@@ -104,6 +158,21 @@ class ProfileReport:
     def render(self) -> str:
         parts = [table.render(max_rows=40) for _name, table in sorted(self.tables.items())]
         return "\n\n".join(parts)
+
+    def to_dict(self, include_tables: bool = True) -> Dict[str, object]:
+        """Machine-readable summary (``--json`` CLI modes)."""
+        payload: Dict[str, object] = {
+            "total_frames": self.total_frames,
+            "sites": list(self.sites),
+            "ipv6_fraction": self.ipv6_fraction,
+            "jumbo_fraction": self.jumbo_fraction,
+            "flows_per_sample": list(self.flows_per_sample),
+            "stats": self.stats.to_dict() if self.stats is not None else None,
+        }
+        if include_tables:
+            payload["tables"] = {name: table.to_dict()
+                                 for name, table in sorted(self.tables.items())}
+        return payload
 
 
 class AnalysisPipeline:
@@ -152,6 +221,13 @@ class AnalysisPipeline:
         paths = [Path(p) for p in pcap_paths]
         acaps: List[Optional[AcapFile]] = [None] * len(paths)
         stats = self.stats = PipelineStats(pcaps=len(paths))
+        with get_obs().tracer.span("analysis.digest", pcaps=len(paths)):
+            self._digest(paths, acaps, stats)
+        stats.digest_seconds = time.perf_counter() - started
+        return self.acaps
+
+    def _digest(self, paths: List[Path], acaps: "List[Optional[AcapFile]]",
+                stats: PipelineStats) -> None:
 
         todo: List[int] = []
         if self.cache is not None:
@@ -192,14 +268,13 @@ class AnalysisPipeline:
                 out = self.acap_dir / path.parent.name / (path.stem + ".acap")
                 write_acap(acap, out)
         stats.total_frames = sum(len(acap) for acap in self.acaps)
-        stats.digest_seconds = time.perf_counter() - started
-        return self.acaps
 
     # -- Index ------------------------------------------------------------
 
     def build_index(self) -> AcapIndex:
         started = time.perf_counter()
-        self.index = AcapIndex.build_from_memory(self.acaps)
+        with get_obs().tracer.span("analysis.index", acaps=len(self.acaps)):
+            self.index = AcapIndex.build_from_memory(self.acaps)
         self.stats.index_seconds = time.perf_counter() - started
         return self.index
 
@@ -210,6 +285,14 @@ class AnalysisPipeline:
         if self.index is None:
             self.build_index()
         started = time.perf_counter()
+        with get_obs().tracer.span("analysis.analyze"):
+            report = self._analyze()
+        self.stats.analyze_seconds = time.perf_counter() - started
+        report.stats = self.stats
+        self.stats.publish()
+        return report
+
+    def _analyze(self) -> ProfileReport:
         records_by_site: Dict[str, List[AcapRecord]] = {}
         all_records: List[AcapRecord] = []
         per_sample_flows = []
@@ -236,8 +319,6 @@ class AnalysisPipeline:
         report.tables["flows_per_sample"] = flows_per_sample_table(counts)
         report.tables["aggregated_flow_sizes"] = aggregated_flow_size_table(aggregated)
         report.tables["tcp_flags"] = tcp_flag_table(aggregated)
-        self.stats.analyze_seconds = time.perf_counter() - started
-        report.stats = self.stats
         return report
 
     def run(self, pcap_paths: Sequence[Union[str, Path]]) -> ProfileReport:

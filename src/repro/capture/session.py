@@ -20,6 +20,7 @@ from repro.capture.fpga import FpgaOffloadConfig, FpgaOffloadModel
 from repro.capture.tcpdump import TcpdumpModel
 from repro.netsim.engine import Simulator
 from repro.netsim.frame import Frame
+from repro.obs import get_obs
 from repro.packets.pcap import PcapRecord, PcapWriter
 from repro.testbed.nic import NicPort
 
@@ -91,6 +92,7 @@ class CaptureSession:
             self._fpga = None
         self._writer: Optional[PcapWriter] = None
         self._active = False
+        self._obs_span = None
         self.stats = CaptureStats(method=method, pcap_path=self.pcap_path)
 
     # -- lifecycle ------------------------------------------------------------
@@ -105,6 +107,12 @@ class CaptureSession:
             self.pcap_path.parent.mkdir(parents=True, exist_ok=True)
             self._writer = PcapWriter(self.pcap_path, snaplen=self.snaplen)
         self.stats.started_at = self.sim.now
+        # The pcap *name* (never the absolute path) keeps span attrs
+        # independent of the output directory, so journals stay
+        # byte-identical across differently-rooted runs.
+        self._obs_span = get_obs().tracer.start_span(
+            "capture", method=self.method.value,
+            pcap=self.pcap_path.name if self.pcap_path is not None else "")
         self.nic_port.receive(self._on_frame)
         self._active = True
 
@@ -117,7 +125,37 @@ class CaptureSession:
             self._writer.close()
             self._writer = None
         self.stats.ended_at = self.sim.now
+        if self._obs_span is not None:
+            self._flush_metrics()
+            self._obs_span.end(frames_seen=self.stats.frames_seen,
+                               frames_captured=self.stats.frames_captured,
+                               frames_dropped=self.stats.frames_dropped)
+            self._obs_span = None
         return self.stats
+
+    def _flush_metrics(self) -> None:
+        """Batch the per-frame counters into the registry at stop time.
+
+        The dataplane path stays instrument-free (``_on_frame`` already
+        accumulates into :class:`CaptureStats`); one flush per session
+        publishes the totals, so capture costs the same with and without
+        observability.
+        """
+        registry = get_obs().registry
+        registry.counter("capture.sessions",
+                         help="capture sessions completed").inc()
+        registry.counter("capture.frames_seen",
+                         help="frames offered to capture").inc(
+            self.stats.frames_seen)
+        registry.counter("capture.frames_captured",
+                         help="frames written to pcaps").inc(
+            self.stats.frames_captured)
+        registry.counter("capture.frames_dropped",
+                         help="frames dropped by the capture model").inc(
+            self.stats.frames_dropped)
+        registry.counter("capture.bytes_captured",
+                         help="post-truncation bytes captured").inc(
+            self.stats.bytes_captured)
 
     def run_for(self, duration: float) -> None:
         """Convenience: schedule stop after ``duration`` (start first)."""

@@ -14,11 +14,14 @@ the reproduction's workflows the same way:
     Run the offline pipeline over existing pcap files.
 ``python -m repro plan RATE FRAME_SIZE``
     Recommend a capture method for a target load.
+``python -m repro obs {dump,tail,diff,export} ...``
+    Inspect the machine-readable run journals ``profile`` writes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -57,6 +60,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="digest worker processes (0 = one per CPU)")
     profile.add_argument("--no-cache", action="store_true",
                          help="disable the content-addressed acap cache")
+    profile.add_argument("--json", action="store_true",
+                         help="print a machine-readable JSON summary")
 
     campaign = sub.add_parser("campaign", help="Fig 10-style campaign")
     campaign.add_argument("--sites", type=int, default=10,
@@ -76,11 +81,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="acap cache directory (default: <out>/acap-cache)")
     analyze.add_argument("--no-cache", action="store_true",
                          help="disable the content-addressed acap cache")
+    analyze.add_argument("--json", action="store_true",
+                         help="print a machine-readable JSON summary")
 
     plan = sub.add_parser("plan", help="recommend a capture method")
     plan.add_argument("rate", help="target rate, e.g. 100Gbps")
     plan.add_argument("frame_size", type=int, help="frame size in bytes")
     plan.add_argument("--snaplen", type=int, default=200)
+
+    obs = sub.add_parser("obs", help="inspect run journals")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    dump = obs_sub.add_parser("dump", help="print a journal's events")
+    dump.add_argument("journal", type=Path)
+    dump.add_argument("--kind", default=None,
+                      help="only events of this kind (e.g. span-open, fault)")
+    tail = obs_sub.add_parser("tail", help="print a journal's last events")
+    tail.add_argument("journal", type=Path)
+    tail.add_argument("-n", "--lines", type=int, default=10)
+    diff = obs_sub.add_parser("diff", help="compare two journals (exit 1 if "
+                                           "they differ)")
+    diff.add_argument("journal_a", type=Path)
+    diff.add_argument("journal_b", type=Path)
+    export = obs_sub.add_parser(
+        "export", help="re-export a journal's final metrics snapshot")
+    export.add_argument("journal", type=Path)
+    export.add_argument("--format", choices=["prom", "jsonl"], default="prom")
     return parser
 
 
@@ -92,6 +117,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "analyze": _cmd_analyze,
         "plan": _cmd_plan,
+        "obs": _cmd_obs,
     }[args.command]
     return handler(args)
 
@@ -127,6 +153,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.capture.session import CaptureMethod
     from repro.core import (AnalysisConfig, Coordinator, PatchworkConfig,
                             SamplingPlan)
+    from repro.obs import Observability, scoped, to_prometheus
 
     sites = args.sites or ["STAR", "MICH", "UTAH", "TACC"]
     federation, api, poller, orchestrator = quickstart_federation(
@@ -148,29 +175,58 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         snaplen=args.snaplen, capture_method=method, transform=transform,
         analysis=AnalysisConfig(max_workers=args.workers,
                                 cache_enabled=not args.no_cache))
-    bundle = Coordinator(api, config, poller=poller).run_profile()
-    for record in bundle.run_records:
-        print(f"{record.site}: {record.outcome.value} "
-              f"({record.samples_taken} samples, {record.pcap_files} pcaps)")
-    bundle.write_logs(args.out / "logs")
-    from repro.core.gather import gather_bundle
-    gathered = gather_bundle(bundle, args.out / "gathered")
-    for site_bundle in gathered:
-        print(f"gathered {site_bundle.site}: "
-              f"{site_bundle.archive_path.name} "
-              f"({site_bundle.compression_ratio:.1f}x compression)")
-    report = AnalysisPipeline.from_config(config).run(bundle.pcap_paths)
-    print(f"\n{report.total_frames} frames captured across "
-          f"{len(report.sites)} sites")
+    quiet = args.json
+
+    def say(text: str) -> None:
+        if not quiet:
+            print(text)
+
+    with scoped(Observability.create(sim=federation.sim)) as obs:
+        bundle = Coordinator(api, config, poller=poller).run_profile()
+        for record in bundle.run_records:
+            say(f"{record.site}: {record.outcome.value} "
+                f"({record.samples_taken} samples, {record.pcap_files} pcaps)")
+        bundle.write_logs(args.out / "logs")
+        from repro.core.gather import gather_bundle
+        gathered = gather_bundle(bundle, args.out / "gathered")
+        for site_bundle in gathered:
+            say(f"gathered {site_bundle.site}: "
+                f"{site_bundle.archive_path.name} "
+                f"({site_bundle.compression_ratio:.1f}x compression)")
+        report = AnalysisPipeline.from_config(config).run(bundle.pcap_paths)
+        # Final snapshot so `repro obs export` sees the analysis
+        # counters too, not just the capture-phase ones.
+        obs.snapshot_to_journal()
+        journal_path = obs.journal.write(args.out / "journal.jsonl")
+        metrics_path = args.out / "metrics.prom"
+        metrics_path.parent.mkdir(parents=True, exist_ok=True)
+        metrics_path.write_text(to_prometheus(obs.registry))
+    say(f"\n{report.total_frames} frames captured across "
+        f"{len(report.sites)} sites")
     if report.stats is not None:
-        print(report.stats.render())
-    print(report.tables["frame_sizes_overall"].render())
+        say(report.stats.render())
+    say(report.tables["frame_sizes_overall"].render())
     csvs = report.write_csvs(args.out / "csv")
-    print(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
+    say(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
+    say(f"wrote run journal to {journal_path} "
+        f"(inspect with: repro obs dump {journal_path})")
     if args.charts:
         from repro.analysis.visualize import render_report_charts
         charts = render_report_charts(report, args.out / "charts")
-        print(f"wrote {len(charts)} charts under {args.out / 'charts'}")
+        say(f"wrote {len(charts)} charts under {args.out / 'charts'}")
+    if args.json:
+        print(json.dumps({
+            "runs": [
+                {"site": r.site, "outcome": r.outcome.value,
+                 "samples_taken": r.samples_taken, "pcap_files": r.pcap_files,
+                 "retries": r.retries, "restarts": r.restarts,
+                 "redispatched": r.redispatched}
+                for r in bundle.run_records
+            ],
+            "report": report.to_dict(include_tables=False),
+            "journal": str(journal_path),
+            "metrics": str(metrics_path),
+        }, indent=2, sort_keys=True))
     return 0
 
 
@@ -217,16 +273,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     pipeline = AnalysisPipeline(acap_dir=acap_dir, max_workers=workers,
                                 cache_dir=cache_dir)
     report = pipeline.run(args.pcaps)
-    print(report.render())
-    if report.stats is not None:
-        print(f"\n{report.stats.render()}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if report.stats is not None:
+            print(f"\n{report.stats.render()}")
     if args.out:
         csvs = report.write_csvs(args.out / "csv")
-        print(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
+        if not args.json:
+            print(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
         if args.charts:
             from repro.analysis.visualize import render_report_charts
             charts = render_report_charts(report, args.out / "charts")
-            print(f"wrote {len(charts)} charts under {args.out / 'charts'}")
+            if not args.json:
+                print(f"wrote {len(charts)} charts under {args.out / 'charts'}")
     return 0
 
 
@@ -259,6 +320,54 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     print("not capturable on this host profile; lower the rate or sample "
           "more aggressively.")
     return 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import (RunJournal, diff_journals, registry_from_snapshot,
+                           to_metrics_jsonl, to_prometheus)
+
+    paths = [args.journal_a, args.journal_b] if args.obs_command == "diff" \
+        else [args.journal]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such journal: {missing[0]}", file=sys.stderr)
+        return 2
+
+    if args.obs_command == "dump":
+        journal = RunJournal.read(args.journal)
+        events = journal.of_kind(args.kind) if args.kind else journal.events
+        for event in events:
+            print(event.to_json())
+        return 0
+
+    if args.obs_command == "tail":
+        journal = RunJournal.read(args.journal)
+        for event in journal.events[-max(0, args.lines):]:
+            print(event.to_json())
+        return 0
+
+    if args.obs_command == "diff":
+        differences = diff_journals(RunJournal.read(args.journal_a),
+                                    RunJournal.read(args.journal_b))
+        if not differences:
+            print("journals are identical")
+            return 0
+        for difference in differences:
+            print(difference)
+        return 1
+
+    # export: re-render the journal's last metrics snapshot.
+    journal = RunJournal.read(args.journal)
+    snapshots = journal.of_kind("metrics")
+    if not snapshots:
+        print("error: journal has no metrics snapshot", file=sys.stderr)
+        return 2
+    registry = registry_from_snapshot(snapshots[-1].data["metrics"])
+    if args.format == "prom":
+        print(to_prometheus(registry), end="")
+    else:
+        print(to_metrics_jsonl(registry), end="")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,7 +35,8 @@ testbed it profiles.  The package mirrors the paper's Section 6 design:
 
 from repro.core.config import (AnalysisConfig, PatchworkConfig, RecoveryConfig,
                                SamplingPlan)
-from repro.core.status import RunOutcome, RunRecord, recovery_summary
+from repro.core.status import (RunOutcome, RunRecord, publish_outcomes,
+                               recovery_summary)
 from repro.core.retry import (
     BreakerState,
     CircuitBreaker,

@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.core.config import PatchworkConfig
 from repro.core.instance import InstanceResult, PatchworkInstance
-from repro.core.status import RunOutcome, RunRecord
+from repro.core.status import RunOutcome, RunRecord, publish_outcomes
+from repro.obs import get_obs
 from repro.telemetry.mflib import MFlib
 from repro.telemetry.snmp import SNMPPoller
 from repro.testbed.api import TestbedAPI
@@ -124,32 +125,47 @@ class Coordinator:
         acquisitions do not pile onto the allocator at one instant.
         """
         sim = self.api.federation.sim
+        obs = get_obs()
         started_at = sim.now
         occasion = self.occasions_run
         self.occasions_run += 1
-        instances = [
-            self._make_instance(site, f"occasion{occasion}/{site}",
-                                crash_probability)
-            for site in self.target_sites()
-        ]
-        for i, instance in enumerate(instances):
-            sim.schedule(i * stagger, instance.start)
-        # The sampling phase is bounded; give stragglers headroom, then
-        # run until every instance reports done.  One budget covers the
-        # whole occasion, including any recovery re-dispatch wave.
-        budget = (
-            len(instances) * stagger
-            + self.config.plan.approximate_duration * deadline_margin
-            + 600.0
-        )
-        deadline = sim.now + budget
-        self._run_wave(sim, instances, deadline)
-        bundle = ProfileBundle(started_at=started_at, finished_at=sim.now)
-        for instance in instances:
-            bundle.results[instance.site] = instance.result
-        self._redispatch_failed(sim, bundle, occasion, crash_probability,
-                                stagger, deadline)
-        bundle.finished_at = sim.now
+        sites = self.target_sites()
+        obs.registry.counter("coordinator.occasions",
+                             help="profiling occasions run").inc()
+        # The occasion span stays open (and current) while the simulator
+        # drives the instances, so every span started from a simulator
+        # callback -- instance lifetimes, selection rounds, capture
+        # sessions -- parents under it.
+        with obs.tracer.span("occasion", occasion=occasion,
+                             sites=list(sites)):
+            instances = [
+                self._make_instance(site, f"occasion{occasion}/{site}",
+                                    crash_probability)
+                for site in sites
+            ]
+            for i, instance in enumerate(instances):
+                sim.schedule(i * stagger, instance.start)
+            # The sampling phase is bounded; give stragglers headroom, then
+            # run until every instance reports done.  One budget covers the
+            # whole occasion, including any recovery re-dispatch wave.
+            budget = (
+                len(instances) * stagger
+                + self.config.plan.approximate_duration * deadline_margin
+                + 600.0
+            )
+            deadline = sim.now + budget
+            self._run_wave(sim, instances, deadline)
+            bundle = ProfileBundle(started_at=started_at, finished_at=sim.now)
+            for instance in instances:
+                bundle.results[instance.site] = instance.result
+            self._redispatch_failed(sim, bundle, occasion, crash_probability,
+                                    stagger, deadline)
+            bundle.finished_at = sim.now
+            obs.registry.counter(
+                "coordinator.redispatches",
+                help="failed-site re-dispatch attempts").inc(bundle.redispatches)
+            publish_outcomes(bundle.run_records, t=sim.now)
+        obs.snapshot_to_journal()
         return bundle
 
     def _make_instance(
@@ -163,6 +179,10 @@ class Coordinator:
             poller=self.poller,
             rng=self.seeds.rng(rng_label),
             crash_probability=crash_probability,
+            # Deterministic identity: the label (not a process-wide
+            # counter) names the instance, so journals from two runs of
+            # the same seeded scenario are byte-identical.
+            label=rng_label,
         )
 
     def _run_wave(

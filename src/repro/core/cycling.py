@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import get_obs
 from repro.telemetry.mflib import MFlib
 
 
@@ -69,6 +70,30 @@ class PortSelector(abc.ABC):
     @abc.abstractmethod
     def select(self, ctx: SelectionContext, slots: int) -> List[str]:
         """Pick up to ``slots`` distinct ports to mirror this cycle."""
+
+    def select_instrumented(self, ctx: SelectionContext, slots: int) -> List[str]:
+        """:meth:`select` wrapped in observability.
+
+        Opens a ``cycling.select`` span around the selection and counts
+        selection rounds, chosen ports, and empty rounds in the metrics
+        registry.  The sampling loop calls this entry point; custom
+        heuristics only implement :meth:`select`.
+        """
+        obs = get_obs()
+        registry = obs.registry
+        with obs.tracer.span("cycling.select", site=ctx.site,
+                             selector=self.name, cycle=ctx.cycle_index):
+            chosen = self.select(ctx, slots)
+        registry.counter(
+            "cycling.selections", help="port-selection rounds").inc()
+        registry.counter(
+            "cycling.ports_selected",
+            help="ports chosen across all selection rounds").inc(len(chosen))
+        if not chosen:
+            registry.counter(
+                "cycling.empty_selections",
+                help="selection rounds that chose no ports").inc()
+        return chosen
 
     def _fill_random(self, ctx: SelectionContext, chosen: List[str], slots: int) -> List[str]:
         """Top up with random unchosen candidates (never starve a slot)."""

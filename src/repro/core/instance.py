@@ -42,6 +42,7 @@ from repro.core.retry import ResilientAPI, RetryPolicy
 from repro.core.scaling import ScalingAction, ScalingController
 from repro.core.status import RunOutcome
 from repro.core.watchdog import Watchdog
+from repro.obs import get_obs
 from repro.telemetry.mflib import MFlib
 from repro.telemetry.snmp import SNMPPoller
 from repro.testbed.api import TestbedAPI
@@ -119,6 +120,7 @@ class PatchworkInstance:
         crash_probability: float = 0.0,
         on_done: Optional[Callable[["PatchworkInstance"], None]] = None,
         scaling: Optional[ScalingController] = None,
+        label: Optional[str] = None,
     ):
         self.mflib = mflib
         self.config = config
@@ -127,7 +129,11 @@ class PatchworkInstance:
         self.rng = rng or np.random.default_rng(0)
         self.crash_probability = crash_probability
         self.on_done = on_done
-        self.instance_id = f"pw{next(_instance_ids)}"
+        # A caller-supplied label keeps instance identity deterministic
+        # across runs of the same seeded scenario (the coordinator passes
+        # its occasion/site label); the process-wide counter is only the
+        # fallback for ad-hoc instances.
+        self.instance_id = label or f"pw{next(_instance_ids)}"
         self.log = InstanceLog(site, self.instance_id)
         recovery = config.recovery
         if recovery.enabled and not isinstance(api, ResilientAPI):
@@ -164,6 +170,7 @@ class PatchworkInstance:
         self._sample = 0
         self._watchdog: Optional[Watchdog] = None
         self._finished = False
+        self._obs_span = None  # the instance's trace span (opened in start)
         # Recovery state: the pending sampling-loop event (cancelled on
         # restart), a generation counter that invalidates in-flight loop
         # frames after a restart, and restart accounting.
@@ -184,6 +191,8 @@ class PatchworkInstance:
 
     def start(self) -> None:
         """Run the setup phase and arm the sampling loop."""
+        self._obs_span = get_obs().tracer.start_span(
+            "instance", site=self.site, instance=self.instance_id)
         self.log.info(self.api.now, "setup", "starting instance",
                       mode="all" if self.config.all_experiment else "single")
         self.acquisition = acquire_with_backoff(
@@ -386,7 +395,7 @@ class PatchworkInstance:
             history=self._history,
             rng=self.rng,
         )
-        targets = self.selector.select(ctx, slots=len(self._slots))
+        targets = self.selector.select_instrumented(ctx, slots=len(self._slots))
         if not targets:
             self.log.warning(self.api.now, "cycle", "no ports selected; skipping cycle",
                              cycle=self._cycle)
@@ -604,6 +613,11 @@ class PatchworkInstance:
         self.log.info(self.api.now, "teardown", "instance finished",
                       outcome=outcome.value, samples=len(self.samples),
                       restarts=self._restarts)
+        if self._obs_span is not None:
+            self._obs_span.end(outcome=outcome.value,
+                               samples=len(self.samples),
+                               restarts=self._restarts)
+            self._obs_span = None
         stats = self.resilient.stats if self.resilient is not None else None
         self.result = InstanceResult(
             site=self.site,

@@ -5,7 +5,10 @@ variety of network- and host-related statistics that can help users
 notice problems" (Section 6.2.2) -- and those logs are what the paper's
 Fig 10 analysis was mined from.  :class:`InstanceLog` is a structured,
 append-only event list that serializes to text and travels with the
-captures in the gathered bundle.
+captures in the gathered bundle.  Every appended event is also emitted
+into the process :class:`~repro.obs.journal.RunJournal` (as a ``log``
+event), so the machine-readable stream and the human text rendering are
+two views of the same data.
 """
 
 from __future__ import annotations
@@ -13,6 +16,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import get_obs
+
+# Sim times below this render fixed-width (zero-padded to 14 columns);
+# larger ones would silently overflow the column, so they switch to a
+# plain non-padded rendering instead of corrupting the alignment.
+_FIXED_WIDTH_LIMIT = 1e10
+
+
+def _render_value(value: Any) -> str:
+    """``k=v`` values containing whitespace (or quotes/``=``) are quoted
+    so the rendering stays unambiguous and machine-splittable."""
+    text = str(value)
+    if any(c.isspace() for c in text) or "=" in text or '"' in text:
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
 
 
 @dataclass(frozen=True)
@@ -26,8 +45,13 @@ class LogEvent:
     data: Dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
-        extras = " ".join(f"{k}={v}" for k, v in sorted(self.data.items()))
-        body = f"[{self.time:014.3f}] {self.level:<7} {self.kind}: {self.message}"
+        extras = " ".join(f"{k}={_render_value(v)}"
+                          for k, v in sorted(self.data.items()))
+        if 0 <= self.time < _FIXED_WIDTH_LIMIT:
+            stamp = f"{self.time:014.3f}"
+        else:
+            stamp = f"{self.time:.3f}"
+        body = f"[{stamp}] {self.level:<7} {self.kind}: {self.message}"
         return f"{body} {extras}".rstrip()
 
 
@@ -46,6 +70,9 @@ class InstanceLog:
             raise ValueError(f"unknown log level {level!r}")
         event = LogEvent(time, level, kind, message, dict(data))
         self.events.append(event)
+        get_obs().journal.emit(
+            "log", t=time, site=self.site, instance=self.instance,
+            level=level, log_kind=kind, message=message, data=event.data)
         return event
 
     def info(self, time: float, kind: str, message: str, **data: Any) -> LogEvent:

@@ -29,6 +29,7 @@ from typing import Callable, Dict, FrozenSet, Optional, TypeVar
 import numpy as np
 
 from repro.core.logs import InstanceLog
+from repro.obs import get_obs
 from repro.testbed.api import TestbedAPI
 from repro.testbed.errors import TransientBackendError, is_retryable
 from repro.testbed.slice_model import Slice, SliceRequest
@@ -199,6 +200,25 @@ class ResilientAPI:
         self.rng = rng
         self.breakers: Dict[str, CircuitBreaker] = {}
         self.stats = RetryStats()
+        # Pre-bound observability handles (null instruments when the
+        # process registry is disabled).
+        obs = get_obs()
+        self._journal = obs.journal
+        registry = obs.registry
+        self._m_calls = registry.counter(
+            "retry.calls", help="control-plane mutations attempted")
+        self._m_retries = registry.counter(
+            "retry.retries", help="transient-failure retries")
+        self._m_failures = registry.counter(
+            "retry.transient_failures", help="transient control-plane failures")
+        self._m_giveups = registry.counter(
+            "retry.giveups", help="mutations abandoned after budget exhaustion")
+        self._m_delay = registry.counter(
+            "retry.delay_seconds", help="sim seconds spent waiting to retry")
+        self._m_opens = registry.counter(
+            "breaker.opens", help="circuit-breaker open transitions")
+        self._m_rejections = registry.counter(
+            "breaker.rejections", help="calls rejected by an open breaker")
 
     # -- plumbing ----------------------------------------------------------
 
@@ -230,12 +250,15 @@ class ResilientAPI:
         started = self._api.now
         attempt = 0
         self.stats.calls += 1
+        self._m_calls.inc()
         while True:
             if not breaker.allow(self._api.now):
                 self.stats.breaker_rejections += 1
+                self._m_rejections.inc()
                 wait_for = breaker.retry_after(self._api.now)
                 if not self._budget_allows(policy, started, attempt, wait_for):
                     self.stats.giveups += 1
+                    self._m_giveups.inc()
                     raise CircuitOpenError(
                         f"{site}: circuit open for {label} "
                         f"(retry after {wait_for:.0f}s)"
@@ -245,34 +268,52 @@ class ResilientAPI:
                 self._note("warning", f"{label}: breaker open; waiting for probe",
                            site=site, delay=round(delay, 3))
                 self.stats.total_delay += delay
+                self._m_delay.inc(delay)
                 self._api.wait(delay)
                 continue
+            was_open = breaker.opened_at is not None
             try:
                 result = fn()
             except Exception as exc:
                 if not is_retryable(exc):
                     raise
                 self.stats.transient_failures += 1
+                self._m_failures.inc()
                 if breaker.record_failure(self._api.now):
                     self.stats.breaker_opens += 1
+                    self._m_opens.inc()
+                    self._journal.emit(
+                        "breaker", t=self._api.now, site=site, state="open",
+                        label=label, failures=breaker.consecutive_failures)
                     self._note("error", f"{label}: breaker opened",
                                site=site, failures=breaker.consecutive_failures)
                 attempt += 1
                 if attempt >= policy.max_attempts:
                     self.stats.giveups += 1
+                    self._m_giveups.inc()
                     raise
                 delay = policy.delay(attempt, self.rng)
                 if not self._budget_allows(policy, started, attempt, delay):
                     self.stats.giveups += 1
+                    self._m_giveups.inc()
                     raise
                 self._note("warning",
                            f"{label} failed transiently; retrying", site=site,
                            attempt=attempt, delay=round(delay, 3), error=str(exc))
                 self.stats.retries += 1
+                self._m_retries.inc()
+                self._journal.emit("retry", t=self._api.now, site=site,
+                                   label=label, attempt=attempt,
+                                   delay=round(delay, 3))
                 self.stats.total_delay += delay
+                self._m_delay.inc(delay)
                 self._api.wait(delay)
                 continue
             breaker.record_success()
+            if was_open:
+                # A successful half-open probe: the breaker closed.
+                self._journal.emit("breaker", t=self._api.now, site=site,
+                                   state="closed", label=label)
             if attempt > 0:
                 self._note("info", f"{label} succeeded after retries",
                            site=site, attempts=attempt + 1)

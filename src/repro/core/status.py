@@ -79,3 +79,33 @@ def recovery_summary(records: List[RunRecord]) -> Dict[str, int]:
         "recovered_runs": sum(1 for r in records if r.recovered),
         "redispatched_runs": sum(1 for r in records if r.redispatched),
     }
+
+
+def publish_outcomes(records: List[RunRecord], registry=None,
+                     journal=None, t: Optional[float] = None) -> Dict[str, int]:
+    """Publish run outcomes + recovery accounting into ``repro.obs``.
+
+    One source of truth: the gauges and the journal's ``recovery`` event
+    carry exactly :func:`recovery_summary`'s numbers (plus the Fig 10
+    outcome counts), derived from the same records.  Returns the
+    recovery summary.  With no arguments, the process-default
+    observability context is used.
+    """
+    from repro.obs import get_obs
+
+    obs = get_obs()
+    registry = registry if registry is not None else obs.registry
+    journal = journal if journal is not None else obs.journal
+    summary = recovery_summary(records)
+    outcomes = {
+        outcome.value: sum(1 for r in records if r.outcome is outcome)
+        for outcome in RunOutcome
+    }
+    for key, value in summary.items():
+        registry.gauge(f"recovery.{key}",
+                       help=f"recovery accounting: {key}").set(value)
+    for name, count in outcomes.items():
+        registry.counter(f"runs.{name}",
+                         help=f"per-site runs ending {name}").inc(count)
+    journal.emit("recovery", t=t, summary=summary, outcomes=outcomes)
+    return summary

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.logs import InstanceLog
 from repro.netsim.engine import Event, Simulator
+from repro.obs import get_obs
 
 
 class Watchdog:
@@ -55,6 +56,12 @@ class Watchdog:
         self.trips = 0
         self.tripped = False
         self._event: Optional[Event] = None
+        obs = get_obs()
+        self._journal = obs.journal
+        self._m_checks = obs.registry.counter(
+            "watchdog.checks", help="watchdog health checks performed")
+        self._m_trips = obs.registry.counter(
+            "watchdog.trips", help="watchdog trips (instance aborts/restarts)")
 
     @property
     def running(self) -> bool:
@@ -80,6 +87,10 @@ class Watchdog:
     def _trip(self, reason: str) -> None:
         self.tripped = True
         self.trips += 1
+        self._m_trips.inc()
+        self._journal.emit("watchdog", t=self.sim.now, site=self.log.site,
+                           instance=self.log.instance, verdict="trip",
+                           reason=reason)
         self.on_abort(reason)
 
     def _check(self) -> None:
@@ -87,6 +98,7 @@ class Watchdog:
         if self.tripped:
             return
         self.checks += 1
+        self._m_checks.inc()
         used = self.used_bytes_fn()
         if used > self.disk_quota_bytes:
             self.log.error(self.sim.now, "watchdog",
@@ -104,6 +116,9 @@ class Watchdog:
             self.log.error(self.sim.now, "watchdog", "instance crashed")
             self._trip("instance crashed")
             return
+        self._journal.emit("watchdog", t=self.sim.now, site=self.log.site,
+                           instance=self.log.instance, verdict="healthy",
+                           used=int(used))
         self.log.info(self.sim.now, "watchdog", "healthy",
                       used=int(used), quota=int(self.disk_quota_bytes))
         self._event = self.sim.schedule(self.interval, self._check)

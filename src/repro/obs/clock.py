@@ -1,0 +1,42 @@
+"""Clock selection for the observability layer.
+
+Telemetry inside a simulated run must be stamped with *simulated* time:
+wall-clock stamps would differ between two runs of the same seeded
+scenario and break the :class:`~repro.obs.journal.RunJournal`'s
+byte-identical determinism guarantee.  Outside a run (the offline CLI,
+ad-hoc scripts) wall time is the only clock there is.
+
+:class:`SimClock` wraps a :class:`~repro.netsim.engine.Simulator` and is
+*deterministic*; :class:`WallClock` reads ``time.time()`` and is not.
+Consumers (the tracer, the journal) ask ``clock.deterministic`` to
+decide whether a timestamp may appear in deterministic output.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Wall time; non-deterministic across runs."""
+
+    deterministic = False
+
+    def now(self) -> float:
+        return time.time()
+
+
+class SimClock:
+    """Simulated time from a :class:`~repro.netsim.engine.Simulator`.
+
+    Deterministic: two runs of the same seeded scenario read identical
+    times at corresponding events.
+    """
+
+    deterministic = True
+
+    def __init__(self, sim):
+        self._sim = sim
+
+    def now(self) -> float:
+        return self._sim.now

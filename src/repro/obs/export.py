@@ -1,0 +1,128 @@
+"""Metric exporters: Prometheus text format and JSONL.
+
+Both are pure functions of a :class:`~repro.obs.registry.MetricsRegistry`
+snapshot, and both round-trip: the matching ``parse_*`` helper recovers
+the exported values, which is how tests prove nothing is lost on the way
+out.  Prometheus metric names are sanitized (dots become underscores);
+the JSONL form keeps the registry's dotted names verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted instrument name for Prometheus exposition."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def to_prometheus(registry: MetricsRegistry,
+                  include_volatile: bool = True) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for inst in registry.instruments(include_volatile=include_volatile):
+        name = prometheus_name(inst.name)
+        if inst.help:
+            lines.append(f"# HELP {name} {inst.help}")
+        lines.append(f"# TYPE {name} {inst.kind}")
+        if isinstance(inst, (Counter, Gauge)):
+            lines.append(f"{name} {_fmt(inst.value)}")
+        elif isinstance(inst, Histogram):
+            cumulative = 0
+            for bound, count in zip(inst.bounds, inst.bucket_counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            cumulative += inst.bucket_counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_fmt(inst.total)}")
+            lines.append(f"{name}_count {inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse Prometheus text back to ``{sample_name: value}``.
+
+    Histogram bucket samples keep their ``le`` label inline, e.g.
+    ``digest_frames_bucket{le="+Inf"}``.
+    """
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+def to_metrics_jsonl(registry: MetricsRegistry,
+                     include_volatile: bool = True) -> str:
+    """One canonical JSON object per instrument, one per line."""
+    lines = []
+    for inst in registry.instruments(include_volatile=include_volatile):
+        payload = {"kind": inst.kind, "name": inst.name, **inst.snapshot()}
+        lines.append(json.dumps(payload, sort_keys=True,
+                                separators=(",", ":")))
+    return "".join(line + "\n" for line in lines)
+
+
+def parse_metrics_jsonl(text: str) -> Dict[str, Dict]:
+    """Parse :func:`to_metrics_jsonl` output back to ``{name: values}``."""
+    parsed: Dict[str, Dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        name = payload.pop("name")
+        parsed[name] = payload
+    return parsed
+
+
+def registry_from_snapshot(snapshot: Dict[str, Dict]) -> MetricsRegistry:
+    """Rebuild a registry from a :meth:`MetricsRegistry.snapshot` dict.
+
+    This is how ``repro obs export`` re-renders the metrics snapshot a
+    journal carries without the original process.  Help strings are not
+    part of snapshots, so the rebuilt instruments have none.
+    """
+    registry = MetricsRegistry()
+    for name, payload in snapshot.items():
+        kind = payload.get("kind")
+        if kind == "counter":
+            registry.counter(name).inc(payload["value"])
+        elif kind == "gauge":
+            registry.gauge(name).set(payload["value"])
+        elif kind == "histogram":
+            # A snapshot that went through the journal's canonical JSON
+            # comes back with *lexicographically* sorted bucket keys
+            # ("+Inf" before "120.0" before "30.0"), so recover numeric
+            # bound order instead of trusting dict order.
+            items = sorted(payload["buckets"].items(),
+                           key=lambda kv: float("inf") if kv[0] == "+Inf"
+                           else float(kv[0]))
+            hist = registry.histogram(
+                name, buckets=[float(k) for k, _ in items[:-1]])
+            hist.bucket_counts = [int(v) for _, v in items]
+            hist.count = payload["count"]
+            hist.total = payload["sum"]
+        else:
+            raise ValueError(f"{name}: unknown instrument kind {kind!r}")
+    return registry
+
+
+def _fmt(value) -> str:
+    """Canonical number formatting (ints stay ints)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,159 @@
+"""The machine-readable run journal.
+
+The paper's R3 requirement -- "Patchwork creates logs at every instance
+to capture a variety of network- and host-related statistics that can
+help users notice problems" -- is what made the Fig 10 run-outcome
+analysis possible.  :class:`RunJournal` is that idea made machine
+readable: one append-only JSONL event stream per scenario holding span
+open/close events, metric snapshots, fault injections, retry and
+circuit-breaker transitions, watchdog verdicts, and every instance-log
+line.
+
+Determinism guarantee: with ``deterministic=True`` (the default) and a
+deterministic clock (sim time), two runs of the same seeded scenario
+produce **byte-identical** journals.  Three rules make that hold:
+
+1. events are stamped from the observability clock, and the timestamp
+   is dropped when the clock is wall time;
+2. emitters pass wall-time-derived values through ``volatile=...``,
+   which a deterministic journal discards;
+3. serialization is canonical -- sorted keys, compact separators,
+   ``repr``-exact floats.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce a value into something ``json.dumps`` accepts, stably."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return jsonable(value.value)
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) \
+            else value
+        return [jsonable(v) for v in items]
+    return str(value)
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One journal line."""
+
+    seq: int
+    kind: str
+    t: Optional[float]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"data": self.data, "kind": self.kind,
+                   "seq": self.seq, "t": self.t}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalEvent":
+        payload = json.loads(line)
+        return cls(seq=payload["seq"], kind=payload["kind"],
+                   t=payload["t"], data=payload.get("data", {}))
+
+
+class RunJournal:
+    """Append-only, deterministic JSONL event stream for one scenario."""
+
+    def __init__(self, clock=None, deterministic: bool = True,
+                 enabled: bool = True):
+        self.clock = clock
+        self.deterministic = deterministic
+        self.enabled = enabled
+        self.events: List[JournalEvent] = []
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, kind: str, t: Optional[float] = None,
+             volatile: Optional[Dict[str, Any]] = None,
+             **data: Any) -> Optional[JournalEvent]:
+        """Append one event (no-op when the journal is disabled).
+
+        ``t`` defaults to the journal clock's reading; a deterministic
+        journal drops timestamps from a non-deterministic (wall) clock.
+        ``volatile`` fields are merged into the payload only when the
+        journal is *not* deterministic -- use it for wall-time-derived
+        values like stage durations.
+        """
+        if not self.enabled:
+            return None
+        if t is None and self.clock is not None:
+            if self.clock.deterministic or not self.deterministic:
+                t = self.clock.now()
+        payload = {k: jsonable(v) for k, v in data.items()}
+        if volatile and not self.deterministic:
+            payload.update({k: jsonable(v) for k, v in volatile.items()})
+        event = JournalEvent(seq=len(self.events), kind=kind, t=t,
+                             data=payload)
+        self.events.append(event)
+        return event
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[JournalEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> List[JournalEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- serialization -------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "".join(event.to_json() + "\n" for event in self.events)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunJournal":
+        journal = cls(clock=None, enabled=True)
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    journal.events.append(JournalEvent.from_json(line))
+        return journal
+
+
+def diff_journals(a: RunJournal, b: RunJournal,
+                  max_differences: int = 10) -> List[str]:
+    """Human-readable differences between two journals (empty = same)."""
+    differences: List[str] = []
+    if len(a) != len(b):
+        differences.append(f"length: {len(a)} events vs {len(b)} events")
+    for i, (ea, eb) in enumerate(zip(a.events, b.events)):
+        if len(differences) >= max_differences:
+            differences.append("... (further differences suppressed)")
+            break
+        la, lb = ea.to_json(), eb.to_json()
+        if la != lb:
+            differences.append(f"event {i}: {la} != {lb}")
+    return differences

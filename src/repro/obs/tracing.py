@@ -1,0 +1,165 @@
+"""Sim-time-aware tracing.
+
+A *span* is one timed region of work -- an occasion, a port-selection
+round, a capture session, an analysis stage.  Spans take their clock
+from the observability layer's clock (:class:`~repro.obs.clock.SimClock`
+inside a run, :class:`~repro.obs.clock.WallClock` otherwise) and emit
+``span-open`` / ``span-close`` events into the
+:class:`~repro.obs.journal.RunJournal`, forming a trace tree per
+run/site/instance.
+
+Two APIs, because the control plane is event-driven:
+
+* ``with tracer.span("analysis.digest", pcaps=4):`` -- lexical scopes.
+  These push onto the tracer's current-span stack, so anything started
+  inside them (including simulator callbacks fired while the scope is
+  open) parents correctly.
+* ``span = tracer.start_span("capture"); ...; span.end()`` -- manual
+  spans for regions that open in one simulator event and close in a
+  later one (a capture session, an instance lifetime).  Manual spans
+  default their parent to the innermost open lexical span but do not
+  become the current span themselves -- concurrent instances would
+  otherwise steal each other's children.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One open (or closed) trace region."""
+
+    __slots__ = ("span_id", "name", "parent_id", "attrs", "opened_at",
+                 "closed_at", "_tracer")
+
+    def __init__(self, span_id: int, name: str, parent_id: Optional[int],
+                 attrs: Dict[str, Any], opened_at: Optional[float],
+                 tracer: "Optional[Tracer]"):
+        self.span_id = span_id
+        self.name = name
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.opened_at = opened_at
+        self.closed_at: Optional[float] = None
+        self._tracer = tracer
+
+    @property
+    def open(self) -> bool:
+        return self._tracer is not None
+
+    def end(self, **attrs: Any) -> None:
+        """Close the span, optionally attaching final attributes."""
+        if self._tracer is None:
+            return
+        tracer, self._tracer = self._tracer, None
+        tracer._close(self, attrs)
+
+    def __repr__(self) -> str:
+        state = "open" if self.open else "closed"
+        return f"<Span #{self.span_id} {self.name!r} {state}>"
+
+
+class _NullSpan:
+    """Shared inert span handed out when observability is disabled."""
+
+    __slots__ = ()
+
+    span_id = -1
+    name = ""
+    parent_id = None
+    attrs: Dict[str, Any] = {}
+    opened_at = None
+    closed_at = None
+    open = False
+
+    def end(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and journals their open/close events."""
+
+    def __init__(self, journal, clock, enabled: bool = True):
+        self.journal = journal
+        self.clock = clock
+        self.enabled = enabled
+        self._next_id = 0
+        self._stack: List[Span] = []  # innermost lexical span last
+
+    # -- span creation -------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open lexical span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, parent: Optional[Span] = None,
+                   **attrs: Any):
+        """Open a manual span (close it with ``span.end()``).
+
+        The parent defaults to the innermost open lexical span.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None:
+            parent = self.current
+        parent_id = parent.span_id if parent is not None and \
+            parent.span_id >= 0 else None
+        span_id = self._next_id
+        self._next_id += 1
+        opened_at = self._now()
+        span = Span(span_id, name, parent_id, dict(attrs), opened_at, self)
+        self.journal.emit("span-open", t=opened_at, span=span_id,
+                          parent=parent_id, name=name, attrs=span.attrs)
+        return span
+
+    @contextmanager
+    def span(self, name: str, parent: Optional[Span] = None, **attrs: Any):
+        """Lexical span: becomes the current span for its duration."""
+        opened = self.start_span(name, parent=parent, **attrs)
+        is_real = isinstance(opened, Span)
+        if is_real:
+            self._stack.append(opened)
+        try:
+            yield opened
+        finally:
+            if is_real:
+                self._stack.remove(opened)
+            opened.end()
+
+    # -- internals -----------------------------------------------------------
+
+    def _now(self) -> Optional[float]:
+        if self.clock is None:
+            return None
+        if self.clock.deterministic or not self.journal.deterministic:
+            return self.clock.now()
+        return None
+
+    def _close(self, span: Span, attrs: Dict[str, Any]) -> None:
+        span.attrs.update(attrs)
+        span.closed_at = self._now()
+        self.journal.emit("span-close", t=span.closed_at, span=span.span_id,
+                          name=span.name, attrs=attrs or {})
+
+
+def trace_tree(journal) -> Dict[Optional[int], List[Dict[str, Any]]]:
+    """Rebuild the span tree from a journal: parent id -> child spans."""
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    closes = {e.data["span"]: e for e in journal.of_kind("span-close")}
+    for event in journal.of_kind("span-open"):
+        span_id = event.data["span"]
+        close = closes.get(span_id)
+        children.setdefault(event.data.get("parent"), []).append({
+            "span": span_id,
+            "name": event.data["name"],
+            "attrs": event.data.get("attrs", {}),
+            "opened_at": event.t,
+            "closed_at": close.t if close is not None else None,
+        })
+    return children

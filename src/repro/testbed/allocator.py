@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.netsim.engine import Simulator
+from repro.obs import get_obs
 from repro.testbed.errors import (
     InsufficientResourcesError,
     SliceNotFoundError,
@@ -41,6 +42,9 @@ class SliceAllocator:
     BASE_LATENCY = 20.0
     PER_SLIVER_LATENCY = 6.0
     LATENCY_EXPONENT = 1.3
+    # Histogram bounds (seconds) spanning a 1-sliver request (~26 s)
+    # through a mega-slice (~20 min).
+    LATENCY_BOUNDS = (30.0, 60.0, 120.0, 300.0, 600.0, 1200.0)
 
     def __init__(self, sim: Simulator, sites: Dict[str, Site],
                  faults: Optional[FaultInjector] = None):
@@ -75,21 +79,36 @@ class SliceAllocator:
         cannot fit the request.
         """
         self.allocations_attempted += 1
+        registry = get_obs().registry
+        registry.counter("allocator.attempted",
+                         help="slice allocations attempted").inc()
         site = self._site(request.site)
         reason = self.faults.failure_reason(self.sim.now, request.site)
         if reason is not None:
             # Failures are not free: the caller waited for the backend.
             self._charge(self.BASE_LATENCY)
+            registry.counter("allocator.failed",
+                             help="slice allocations that failed").inc()
             raise TransientBackendError(f"{request.site}: {reason}")
         shortfall = self.simulate(request)
         if shortfall is not None:
             self._charge(self.BASE_LATENCY)
+            registry.counter("allocator.failed",
+                             help="slice allocations that failed").inc()
             resource, requested, available = shortfall
             raise InsufficientResourcesError(request.site, resource, requested, available)
-        self._charge(self.allocation_latency(request))
+        latency = self.allocation_latency(request)
+        self._charge(latency)
         live = self._place(site, request)
         self.slices[live.name] = live
         self.allocations_succeeded += 1
+        registry.counter("allocator.succeeded",
+                         help="slice allocations that succeeded").inc()
+        # Sim-time latency is seed-deterministic, so the histogram is
+        # journal-safe (not volatile).
+        registry.histogram(
+            "allocator.latency_seconds", buckets=self.LATENCY_BOUNDS,
+            help="modelled slice-allocation latency").observe(latency)
         return live
 
     def delete(self, slice_name: str) -> None:

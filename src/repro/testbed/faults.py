@@ -24,6 +24,8 @@ from typing import Callable, List, Optional, Set
 
 import numpy as np
 
+from repro.obs import get_obs
+
 
 @dataclass
 class OutageWindow:
@@ -85,11 +87,23 @@ class FaultInjector:
         for window in self.windows:
             if window.covers(time, site):
                 self.injected_failures += 1
+                self._record_injection(time, site, "outage", window.reason)
                 return window.reason
         if self.base_failure_rate > 0 and self.rng.random() < self.base_failure_rate:
             self.injected_failures += 1
+            self._record_injection(time, site, "random",
+                                   "transient backend error")
             return "transient backend error"
         return None
+
+    def _record_injection(self, time: float, site: str, source: str,
+                          reason: str) -> None:
+        obs = get_obs()
+        obs.registry.counter(
+            "faults.injected_failures",
+            help="control-plane calls failed by injection").inc()
+        obs.journal.emit("fault", t=time, event="call-failure", site=site,
+                         source=source, reason=reason)
 
     # -- scheduled mid-run faults -----------------------------------------
     #

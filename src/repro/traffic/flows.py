@@ -15,6 +15,7 @@ plus cheap per-frame events.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -315,7 +316,14 @@ class Flow:
         else:
             stack.append(ICMP(icmp_type=8 if forward else 0, ident=0))
         if is_data and self.app.app_header is not None:
-            app_header = self.app.app_header(self.rng)
+            # Templates are cached process-wide, so building one must
+            # not consume the flow's shared RNG stream: a later run in
+            # the same process would hit the cache, skip the draw, and
+            # desynchronize otherwise-identical seeded traffic.  The
+            # header RNG is derived from the template shape instead.
+            header_rng = np.random.default_rng(
+                zlib.crc32(f"{self.app.name}/{kind}/{self.vlan_id}".encode()))
+            app_header = self.app.app_header(header_rng)
             if app_header is not None:
                 stack.append(app_header)
         if is_data or self.app.request_response:

@@ -60,6 +60,11 @@ class Table:
             writer.writerows(self.rows)
         return path
 
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON emission (``--json`` CLI modes)."""
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows]}
+
     def to_csv_string(self) -> str:
         """Return the CSV serialization as a string."""
         buffer = io.StringIO()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +20,23 @@ class TestParser:
         assert parser.parse_args(["analyze", "x.pcap"]).command == "analyze"
         args = parser.parse_args(["plan", "100Gbps", "1514"])
         assert args.rate == "100Gbps" and args.frame_size == 1514
+
+    def test_obs_commands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["obs", "dump", "j.jsonl", "--kind", "fault"])
+        assert args.obs_command == "dump" and args.kind == "fault"
+        args = parser.parse_args(["obs", "tail", "j.jsonl", "-n", "5"])
+        assert args.lines == 5
+        args = parser.parse_args(["obs", "diff", "a.jsonl", "b.jsonl"])
+        assert args.obs_command == "diff"
+        args = parser.parse_args(["obs", "export", "j.jsonl",
+                                  "--format", "jsonl"])
+        assert args.format == "jsonl"
+
+    def test_json_flags_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["profile", "--json"]).json
+        assert parser.parse_args(["analyze", "x.pcap", "--json"]).json
 
 
 class TestPlan:
@@ -61,6 +80,20 @@ class TestAnalyze:
         assert list((tmp_path / "charts").glob("*.svg"))
 
 
+class TestAnalyzeJson:
+    def test_analyze_json_output(self, profiled_bundle_and_pipeline, tmp_path,
+                                 capsys):
+        bundle, _pipeline, _report = profiled_bundle_and_pipeline
+        paths = [str(p) for p in bundle.pcap_paths[:2]]
+        assert main(["analyze", *paths, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_frames"] > 0
+        assert payload["stats"]["pcaps"] == 2
+        assert "frame_sizes_overall" in payload["tables"]
+        table = payload["tables"]["frame_sizes_overall"]
+        assert set(table) == {"title", "columns", "rows"}
+
+
 class TestProfile:
     def test_profile_end_to_end(self, tmp_path, capsys):
         code = main([
@@ -74,6 +107,95 @@ class TestProfile:
         assert "STAR:" in out and "MICH:" in out
         assert (tmp_path / "out" / "csv").exists()
         assert (tmp_path / "out" / "logs").exists()
+        assert (tmp_path / "out" / "journal.jsonl").exists()
+        assert (tmp_path / "out" / "metrics.prom").exists()
+
+    def test_profile_json_mode(self, tmp_path, capsys):
+        code = main([
+            "profile", "--sites", "STAR", "MICH",
+            "--out", str(tmp_path / "out"), "--scale", "0.02",
+            "--sample-duration", "2", "--sample-interval", "10",
+            "--samples", "1", "--cycles", "1", "--instances", "1",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {r["site"] for r in payload["runs"]} == {"STAR", "MICH"}
+        assert all(r["outcome"] in ("success", "degraded", "failed",
+                                    "incomplete") for r in payload["runs"])
+        assert "report" in payload and "tables" not in payload["report"]
+        assert payload["journal"].endswith("journal.jsonl")
+
+
+class TestObsCommands:
+    @pytest.fixture()
+    def journal_path(self, tmp_path):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        obs.registry.counter("digest.frames").inc(42)
+        obs.journal.emit("fault", t=1.0, site="STAR", reason="incident")
+        obs.journal.emit("log", t=2.0, message="hello")
+        obs.snapshot_to_journal()
+        return obs.journal.write(tmp_path / "journal.jsonl")
+
+    def test_dump(self, journal_path, capsys):
+        assert main(["obs", "dump", str(journal_path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0])["kind"] == "fault"
+
+    def test_dump_kind_filter(self, journal_path, capsys):
+        assert main(["obs", "dump", str(journal_path), "--kind", "log"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["data"]["message"] == "hello"
+
+    def test_tail(self, journal_path, capsys):
+        assert main(["obs", "tail", str(journal_path), "-n", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "metrics"
+
+    def test_diff_identical(self, journal_path, capsys):
+        assert main(["obs", "diff", str(journal_path),
+                     str(journal_path)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different(self, journal_path, tmp_path, capsys):
+        from repro.obs import RunJournal
+
+        other = RunJournal()
+        other.emit("fault", t=9.0, site="MICH")
+        other_path = other.write(tmp_path / "other.jsonl")
+        assert main(["obs", "diff", str(journal_path),
+                     str(other_path)]) == 1
+        assert "event 0" in capsys.readouterr().out
+
+    def test_export_prometheus(self, journal_path, capsys):
+        assert main(["obs", "export", str(journal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "digest_frames 42" in out
+
+    def test_export_jsonl(self, journal_path, capsys):
+        assert main(["obs", "export", str(journal_path),
+                     "--format", "jsonl"]) == 0
+        payload = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert payload == {"kind": "counter", "name": "digest.frames",
+                           "value": 42}
+
+    def test_missing_journal(self, capsys):
+        assert main(["obs", "dump", "/nonexistent/j.jsonl"]) == 2
+        assert "no such journal" in capsys.readouterr().err
+
+    def test_export_without_snapshot(self, tmp_path, capsys):
+        from repro.obs import RunJournal
+
+        journal = RunJournal()
+        journal.emit("fault", t=1.0)
+        path = journal.write(tmp_path / "bare.jsonl")
+        assert main(["obs", "export", str(path)]) == 2
+        assert "no metrics snapshot" in capsys.readouterr().err
 
 
 class TestCampaign:

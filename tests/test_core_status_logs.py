@@ -2,14 +2,16 @@
 
 import pytest
 
-from repro.core.logs import InstanceLog
+from repro.core.logs import InstanceLog, LogEvent
 from repro.core.status import (
-    RunOutcome, RunRecord, outcome_fractions, success_rate,
+    RunOutcome, RunRecord, outcome_fractions, publish_outcomes,
+    recovery_summary, success_rate,
 )
+from repro.obs import Observability, scoped
 
 
-def record(outcome, site="STAR"):
-    return RunRecord(site=site, started_at=0.0, outcome=outcome)
+def record(outcome, site="STAR", **kwargs):
+    return RunRecord(site=site, started_at=0.0, outcome=outcome, **kwargs)
 
 
 class TestStatus:
@@ -38,6 +40,72 @@ class TestStatus:
     def test_outcome_fractions_empty(self):
         fractions = outcome_fractions([])
         assert all(v == 0.0 for v in fractions.values())
+
+    def test_all_failed(self):
+        records = [record(RunOutcome.FAILED)] * 4
+        assert success_rate(records) == 0.0
+        fractions = outcome_fractions(records)
+        assert fractions[RunOutcome.FAILED] == 1.0
+        assert fractions[RunOutcome.SUCCESS] == 0.0
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_degraded_only_counts_as_profiled(self):
+        records = [record(RunOutcome.DEGRADED, recovered=True, restarts=1)] * 3
+        assert success_rate(records) == 1.0
+        assert outcome_fractions(records)[RunOutcome.DEGRADED] == 1.0
+
+    def test_recovery_summary_zero_runs(self):
+        assert recovery_summary([]) == {
+            "retries": 0, "breaker_opens": 0, "restarts": 0,
+            "recovered_runs": 0, "redispatched_runs": 0,
+        }
+
+    def test_recovery_summary_aggregates(self):
+        records = [
+            record(RunOutcome.DEGRADED, retries=2, breaker_opens=1,
+                   restarts=1, recovered=True),
+            record(RunOutcome.FAILED, site="MICH", retries=3,
+                   redispatched=True),
+        ]
+        summary = recovery_summary(records)
+        assert summary == {
+            "retries": 5, "breaker_opens": 1, "restarts": 1,
+            "recovered_runs": 1, "redispatched_runs": 1,
+        }
+
+
+class TestPublishOutcomes:
+    def test_publishes_gauges_counters_and_event(self):
+        records = [record(RunOutcome.SUCCESS),
+                   record(RunOutcome.DEGRADED, site="MICH", restarts=2,
+                          recovered=True),
+                   record(RunOutcome.FAILED, site="UTAH")]
+        with scoped(Observability.create()) as obs:
+            summary = publish_outcomes(records, t=99.0)
+        assert summary == recovery_summary(records)
+        assert obs.registry.get("recovery.restarts").value == 2
+        assert obs.registry.get("runs.success").value == 1
+        assert obs.registry.get("runs.degraded").value == 1
+        assert obs.registry.get("runs.failed").value == 1
+        assert obs.registry.get("runs.incomplete").value == 0
+        event = obs.journal.of_kind("recovery")[0]
+        assert event.t == 99.0
+        assert event.data["outcomes"]["success"] == 1
+
+    def test_zero_runs_publishes_zeroes(self):
+        with scoped(Observability.create()) as obs:
+            summary = publish_outcomes([])
+        assert summary["retries"] == 0
+        assert obs.registry.get("runs.success").value == 0
+        assert obs.journal.of_kind("recovery")[0].data["outcomes"] == {
+            "success": 0, "degraded": 0, "failed": 0, "incomplete": 0,
+        }
+
+    def test_noop_under_disabled_obs(self):
+        # The process default is inert; publishing must not explode or
+        # register anything.
+        summary = publish_outcomes([record(RunOutcome.SUCCESS)])
+        assert summary["retries"] == 0
 
 
 class TestInstanceLog:
@@ -75,3 +143,50 @@ class TestInstanceLog:
         for i in range(5):
             log.info(float(i), "k", f"m{i}")
         assert [e.message for e in log] == [f"m{i}" for i in range(5)]
+
+    def test_log_lines_mirror_into_journal(self):
+        with scoped(Observability.create()) as obs:
+            log = InstanceLog("STAR", "pw1")
+            log.warning(3.5, "acquire", "shortfall", resource="dedicated_nics")
+        events = obs.journal.of_kind("log")
+        assert len(events) == 1
+        event = events[0]
+        assert event.t == 3.5
+        assert event.data == {
+            "site": "STAR", "instance": "pw1", "level": "warning",
+            "log_kind": "acquire", "message": "shortfall",
+            "data": {"resource": "dedicated_nics"},
+        }
+
+
+class TestLogEventRender:
+    def test_small_times_render_fixed_width(self):
+        assert LogEvent(12.5, "info", "k", "m").render().startswith(
+            "[0000000012.500]")
+
+    def test_huge_times_do_not_overflow(self):
+        # >= 1e10 s no longer fits the 14-column stamp; it must fall
+        # back to a plain rendering instead of silently widening.
+        event = LogEvent(1.5e10, "info", "k", "m")
+        assert event.render().startswith("[15000000000.000]")
+        small = LogEvent(1.0, "info", "k", "m").render()
+        big = LogEvent(9.9e9, "info", "k", "m").render()
+        assert small.index("]") == big.index("]")
+
+    def test_negative_time_not_fixed_width(self):
+        assert LogEvent(-1.0, "info", "k", "m").render().startswith("[-1.000]")
+
+    def test_values_with_spaces_are_quoted(self):
+        event = LogEvent(0.0, "info", "k", "m",
+                         {"reason": "no free NICs", "count": 3})
+        text = event.render()
+        assert 'reason="no free NICs"' in text
+        assert "count=3" in text
+
+    def test_values_with_quotes_and_equals_escaped(self):
+        event = LogEvent(0.0, "info", "k", "m", {"expr": 'a="b c"'})
+        assert 'expr="a=\\"b c\\""' in event.render()
+
+    def test_plain_values_unquoted(self):
+        event = LogEvent(0.0, "info", "k", "m", {"site": "STAR"})
+        assert "site=STAR" in event.render()

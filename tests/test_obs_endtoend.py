@@ -1,0 +1,137 @@
+"""Acceptance tests for repro.obs: a seeded end-to-end run journals the
+whole story -- spans for coordinator/instance/cycling/capture/analysis,
+fault and breaker events -- and two same-seed runs produce byte-identical
+journals even in different output directories."""
+
+import pytest
+
+from repro.analysis import AnalysisPipeline
+from repro.core import (
+    Coordinator,
+    PatchworkConfig,
+    RecoveryConfig,
+    SamplingPlan,
+)
+from repro.obs import Observability, RunJournal, scoped, to_prometheus
+from repro.telemetry import SNMPPoller
+from repro.testbed import FederationBuilder, TestbedAPI
+from repro.traffic.workloads import TrafficOrchestrator
+
+SITES = ["STAR", "MICH", "UTAH"]
+
+
+def run_once(tmp_path, seed):
+    """One recovery-heavy occasion + analysis, fully observed."""
+    federation = FederationBuilder(seed=42).build(site_names=SITES)
+    api = TestbedAPI(federation)
+    poller = SNMPPoller(federation, interval=30.0)
+    poller.start()
+    orchestrator = TrafficOrchestrator(federation, seed=7, scale=0.02)
+    orchestrator.setup()
+    for window in range(5):
+        orchestrator.generate_window(window * 100.0, 100.0)
+    config = PatchworkConfig(
+        output_dir=tmp_path,
+        plan=SamplingPlan(sample_duration=2, sample_interval=10,
+                          samples_per_run=2, runs_per_cycle=1, cycles=2),
+        desired_instances=1,
+        # breaker_threshold=2 so the STAR outage visibly opens the
+        # breaker (the journal must carry the transition).
+        recovery=RecoveryConfig(enabled=True, breaker_threshold=2),
+    )
+    federation.faults.add_outage(0.0, 300.0, reason="incident",
+                                 sites={"STAR"})
+    with scoped(Observability.create(sim=federation.sim)) as obs:
+        coordinator = Coordinator(api, config, poller=poller, seed=seed)
+        bundle = coordinator.run_profile(crash_probability=0.01)
+        pipeline = AnalysisPipeline(max_workers=1)
+        pipeline.run(bundle.pcap_paths)
+    return obs, bundle
+
+
+class TestJournalDeterminism:
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_same_seed_byte_identical_journal(self, tmp_path, seed):
+        obs_a, _ = run_once(tmp_path / "a", seed)
+        obs_b, _ = run_once(tmp_path / "b", seed)
+        text_a = obs_a.journal.to_jsonl()
+        assert text_a  # non-trivial journal
+        assert text_a == obs_b.journal.to_jsonl()
+        assert to_prometheus(obs_a.registry, include_volatile=False) == \
+            to_prometheus(obs_b.registry, include_volatile=False)
+
+    def test_different_seeds_diverge(self, tmp_path):
+        obs_a, _ = run_once(tmp_path / "a", 5)
+        obs_b, _ = run_once(tmp_path / "b", 17)
+        assert obs_a.journal.to_jsonl() != obs_b.journal.to_jsonl()
+
+
+class TestJournalContents:
+    @pytest.fixture(scope="class")
+    def observed(self, tmp_path_factory):
+        return run_once(tmp_path_factory.mktemp("obs-e2e"), 5)
+
+    def test_expected_span_names(self, observed):
+        obs, _ = observed
+        names = {e.data["name"] for e in obs.journal.of_kind("span-open")}
+        assert {"occasion", "instance", "cycling.select", "capture",
+                "analysis.digest", "analysis.index",
+                "analysis.analyze"} <= names
+
+    def test_every_span_closes(self, observed):
+        obs, _ = observed
+        opened = {e.data["span"] for e in obs.journal.of_kind("span-open")}
+        closed = {e.data["span"] for e in obs.journal.of_kind("span-close")}
+        assert opened == closed
+
+    def test_instance_spans_parent_under_occasion(self, observed):
+        obs, _ = observed
+        opens = obs.journal.of_kind("span-open")
+        occasion_ids = {e.data["span"] for e in opens
+                        if e.data["name"] == "occasion"}
+        instance_parents = {e.data["parent"] for e in opens
+                            if e.data["name"] == "instance"}
+        assert instance_parents <= occasion_ids
+
+    def test_fault_and_breaker_events_present(self, observed):
+        obs, _ = observed
+        kinds = obs.journal.kinds()
+        assert kinds.get("fault", 0) > 0         # the STAR outage hits
+        assert kinds.get("breaker", 0) > 0       # and opens the breaker
+        assert kinds.get("retry", 0) > 0
+        assert kinds.get("watchdog", 0) > 0
+        assert kinds.get("log", 0) > 0
+        assert kinds.get("recovery", 0) > 0
+        assert kinds.get("pipeline", 0) > 0
+        assert kinds.get("metrics", 0) > 0
+
+    def test_metrics_snapshot_matches_registry(self, observed):
+        obs, _ = observed
+        snapshot = obs.journal.of_kind("metrics")[-1].data["metrics"]
+        # Snapshot was taken before the analysis pipeline ran, so
+        # compare only the keys it contains.
+        live = obs.registry.snapshot(include_volatile=False)
+        assert set(snapshot) <= set(live)
+        assert snapshot["coordinator.occasions"]["value"] == 1
+
+    def test_registry_reflects_run(self, observed):
+        obs, bundle = observed
+        registry = obs.registry
+        assert registry.get("faults.injected_failures").value > 0
+        assert registry.get("capture.sessions").value > 0
+        # Every digested frame came out of a capture session (sessions
+        # whose sample was dropped may have captured more).
+        assert 0 < registry.get("digest.frames").value <= \
+            registry.get("capture.frames_captured").value
+        attempted = registry.get("allocator.attempted").value
+        succeeded = registry.get("allocator.succeeded").value
+        failed = registry.get("allocator.failed").value
+        assert attempted == succeeded + failed
+        hist = registry.get("allocator.latency_seconds")
+        assert hist.count == succeeded
+
+    def test_journal_round_trips_through_disk(self, observed, tmp_path):
+        obs, _ = observed
+        path = obs.journal.write(tmp_path / "journal.jsonl")
+        loaded = RunJournal.read(path)
+        assert loaded.to_jsonl() == obs.journal.to_jsonl()

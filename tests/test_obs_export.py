@@ -1,0 +1,101 @@
+"""Tests for the metric exporters (repro.obs.export)."""
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_metrics_jsonl,
+    parse_prometheus,
+    prometheus_name,
+    registry_from_snapshot,
+    to_metrics_jsonl,
+    to_prometheus,
+)
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("digest.frames", help="frames digested").inc(120)
+    registry.gauge("recovery.retries").set(3)
+    h = registry.histogram("allocator.latency_seconds", buckets=(30.0, 60.0))
+    for v in (10.0, 45.0, 99.0):
+        h.observe(v)
+    return registry
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("digest.frames") == "digest_frames"
+
+    def test_leading_digit_prefixed(self):
+        assert prometheus_name("5tuple.count") == "_5tuple_count"
+
+
+class TestPrometheus:
+    def test_exposition_shape(self):
+        text = to_prometheus(make_registry())
+        assert "# TYPE digest_frames counter" in text
+        assert "digest_frames 120" in text
+        assert "# HELP digest_frames frames digested" in text
+        assert 'allocator_latency_seconds_bucket{le="30"} 1' in text
+        assert 'allocator_latency_seconds_bucket{le="60"} 2' in text
+        assert 'allocator_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "allocator_latency_seconds_count 3" in text
+
+    def test_round_trip(self):
+        samples = parse_prometheus(to_prometheus(make_registry()))
+        assert samples["digest_frames"] == 120
+        assert samples["recovery_retries"] == 3
+        assert samples['allocator_latency_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["allocator_latency_seconds_sum"] == 154.0
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_volatile_excluded_on_request(self):
+        registry = MetricsRegistry()
+        registry.gauge("wall_seconds", volatile=True).set(1.0)
+        registry.counter("stable").inc()
+        text = to_prometheus(registry, include_volatile=False)
+        assert "stable" in text and "wall_seconds" not in text
+
+
+class TestMetricsJsonl:
+    def test_round_trip(self):
+        registry = make_registry()
+        parsed = parse_metrics_jsonl(to_metrics_jsonl(registry))
+        assert parsed["digest.frames"] == {"kind": "counter", "value": 120}
+        assert parsed["recovery.retries"]["value"] == 3
+        hist = parsed["allocator.latency_seconds"]
+        assert hist["count"] == 3
+        assert hist["buckets"] == {"30.0": 1, "60.0": 1, "+Inf": 1}
+
+    def test_lines_are_canonical(self):
+        lines = to_metrics_jsonl(make_registry()).splitlines()
+        assert all(line == line.strip() and '": ' not in line
+                   for line in lines)
+
+
+class TestRegistryFromSnapshot:
+    def test_full_round_trip(self):
+        registry = make_registry()
+        rebuilt = registry_from_snapshot(registry.snapshot())
+        assert rebuilt.snapshot() == registry.snapshot()
+        assert to_prometheus(rebuilt).splitlines() == [
+            line for line in to_prometheus(registry).splitlines()
+            if not line.startswith("# HELP")
+        ]
+
+    def test_round_trip_through_canonical_json(self):
+        # The journal serializes snapshots with sort_keys=True, which
+        # reorders histogram bucket keys lexicographically ("+Inf"
+        # first, "120.0" before "30.0").  Rebuilding must recover
+        # numeric bound order from that form too.
+        import json
+
+        registry = MetricsRegistry()
+        h = registry.histogram("allocator.latency_seconds",
+                               buckets=(30.0, 60.0, 120.0, 300.0))
+        for v in (10.0, 45.0, 250.0, 999.0):
+            h.observe(v)
+        wire = json.loads(json.dumps(registry.snapshot(), sort_keys=True))
+        rebuilt = registry_from_snapshot(wire)
+        assert rebuilt.snapshot() == registry.snapshot()

@@ -1,0 +1,136 @@
+"""Tests for the run journal (repro.obs.journal)."""
+
+import enum
+from pathlib import Path
+
+from repro.netsim.engine import Simulator
+from repro.obs import JournalEvent, RunJournal, diff_journals, jsonable
+from repro.obs.clock import SimClock, WallClock
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        assert jsonable(1) == 1
+        assert jsonable("x") == "x"
+        assert jsonable(None) is None
+
+    def test_enum_becomes_value(self):
+        assert jsonable(Color.RED) == "red"
+
+    def test_path_becomes_string(self):
+        assert jsonable(Path("/a/b")) == "/a/b"
+
+    def test_set_becomes_sorted_list(self):
+        assert jsonable({"b", "a"}) == ["a", "b"]
+
+    def test_nested(self):
+        assert jsonable({"k": (Color.RED, {1})}) == {"k": ["red", [1]]}
+
+    def test_fallback_to_str(self):
+        class Weird:
+            def __repr__(self):
+                return "weird"
+        assert jsonable(Weird()) == "weird"
+
+
+class TestEmit:
+    def test_seq_assignment_and_payload(self):
+        journal = RunJournal()
+        a = journal.emit("fault", t=1.5, site="STAR")
+        b = journal.emit("fault", t=2.5, site="MICH")
+        assert (a.seq, b.seq) == (0, 1)
+        assert a.data == {"site": "STAR"}
+        assert len(journal) == 2
+
+    def test_sim_clock_stamps_deterministic_journal(self):
+        sim = Simulator()
+        sim.schedule_at(7.0, lambda: None)
+        sim.run()
+        journal = RunJournal(clock=SimClock(sim))
+        event = journal.emit("tick")
+        assert event.t == 7.0
+
+    def test_wall_clock_dropped_from_deterministic_journal(self):
+        journal = RunJournal(clock=WallClock(), deterministic=True)
+        assert journal.emit("tick").t is None
+
+    def test_wall_clock_kept_when_not_deterministic(self):
+        journal = RunJournal(clock=WallClock(), deterministic=False)
+        assert journal.emit("tick").t is not None
+
+    def test_volatile_dropped_when_deterministic(self):
+        det = RunJournal(deterministic=True)
+        event = det.emit("pipeline", pcaps=3, volatile={"seconds": 0.12})
+        assert event.data == {"pcaps": 3}
+        loose = RunJournal(deterministic=False)
+        event = loose.emit("pipeline", pcaps=3, volatile={"seconds": 0.12})
+        assert event.data == {"pcaps": 3, "seconds": 0.12}
+
+    def test_disabled_journal_is_noop(self):
+        journal = RunJournal(enabled=False)
+        assert journal.emit("tick") is None
+        assert len(journal) == 0
+
+
+class TestQueriesAndSerialization:
+    def make(self):
+        journal = RunJournal()
+        journal.emit("fault", t=1.0, site="STAR")
+        journal.emit("log", t=2.0, message="hi there")
+        journal.emit("fault", t=3.0, site="MICH")
+        return journal
+
+    def test_of_kind_and_kinds(self):
+        journal = self.make()
+        assert len(journal.of_kind("fault")) == 2
+        assert journal.kinds() == {"fault": 2, "log": 1}
+
+    def test_jsonl_is_canonical(self):
+        line = self.make().to_jsonl().splitlines()[0]
+        # Sorted keys, compact separators: byte-stable serialization.
+        assert line == '{"data":{"site":"STAR"},"kind":"fault","seq":0,"t":1.0}'
+
+    def test_write_read_round_trip(self, tmp_path):
+        journal = self.make()
+        path = journal.write(tmp_path / "deep" / "journal.jsonl")
+        loaded = RunJournal.read(path)
+        assert loaded.to_jsonl() == journal.to_jsonl()
+        assert [e.kind for e in loaded] == ["fault", "log", "fault"]
+
+    def test_event_json_round_trip(self):
+        event = JournalEvent(seq=4, kind="x", t=None, data={"a": 1})
+        assert JournalEvent.from_json(event.to_json()) == event
+
+
+class TestDiff:
+    def test_identical_journals_no_differences(self):
+        a, b = RunJournal(), RunJournal()
+        for journal in (a, b):
+            journal.emit("tick", t=1.0, n=1)
+        assert diff_journals(a, b) == []
+
+    def test_differing_event_reported(self):
+        a, b = RunJournal(), RunJournal()
+        a.emit("tick", t=1.0, n=1)
+        b.emit("tick", t=1.0, n=2)
+        differences = diff_journals(a, b)
+        assert len(differences) == 1
+        assert "event 0" in differences[0]
+
+    def test_length_difference_reported(self):
+        a, b = RunJournal(), RunJournal()
+        a.emit("tick")
+        assert any("length" in d for d in diff_journals(a, b))
+
+    def test_difference_cap(self):
+        a, b = RunJournal(), RunJournal()
+        for i in range(20):
+            a.emit("tick", n=i)
+            b.emit("tick", n=i + 100)
+        differences = diff_journals(a, b, max_differences=3)
+        assert differences[-1].startswith("...")
+        assert len(differences) == 4

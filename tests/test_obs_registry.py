@@ -1,0 +1,118 @@
+"""Tests for the metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs import NULL_INSTRUMENT, MetricsRegistry
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("x")
+        c.inc(3)
+        assert c.snapshot() == {"value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(106.2)
+
+    def test_boundary_value_goes_to_lower_bucket(self):
+        # Prometheus buckets are `le` (inclusive upper bounds).
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_snapshot_has_inf_tail(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(2.0)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"1.0": 0, "+Inf": 1}
+        assert snap["count"] == 1
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits")
+        b = registry.counter("hits")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_disabled_registry_hands_out_null(self):
+        registry = MetricsRegistry(enabled=False)
+        c = registry.counter("hits")
+        assert c is NULL_INSTRUMENT
+        assert not c.enabled
+        c.inc(100)  # no-op, no error
+        assert len(registry) == 0
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "z" not in registry
+
+    def test_snapshot_excludes_volatile_on_request(self):
+        registry = MetricsRegistry()
+        registry.counter("stable").inc()
+        registry.gauge("wall_seconds", volatile=True).set(1.23)
+        full = registry.snapshot()
+        assert set(full) == {"stable", "wall_seconds"}
+        det = registry.snapshot(include_volatile=False)
+        assert set(det) == {"stable"}
+
+    def test_reset_zeroes_but_keeps_handles(self):
+        registry = MetricsRegistry()
+        c = registry.counter("hits")
+        h = registry.histogram("lat", buckets=(1.0,))
+        c.inc(5)
+        h.observe(0.5)
+        registry.reset()
+        assert c.value == 0
+        assert h.count == 0 and h.bucket_counts == [0, 0]
+        c.inc()
+        assert registry.get("hits").value == 1
