@@ -37,6 +37,7 @@ from repro.analysis.flows import (
 )
 from repro.analysis.index import AcapIndex
 from repro.obs import get_obs
+from repro.obs.ledger import CongestionScorecard
 from repro.analysis.report import (
     aggregated_flow_size_table,
     flows_per_sample_table,
@@ -149,6 +150,9 @@ class ProfileReport:
     flows_per_sample: List[int] = field(default_factory=list)
     aggregated_flows: Dict[FlowKey, FlowStats] = field(default_factory=dict)
     stats: Optional[PipelineStats] = None
+    # Congestion-detector quality for the profile that produced these
+    # pcaps (attached by the CLI/driver from the coordinator's bundle).
+    scorecard: Optional[CongestionScorecard] = None
 
     def write_csvs(self, out_dir: Union[str, Path]) -> List[Path]:
         out_dir = Path(out_dir)
@@ -168,6 +172,8 @@ class ProfileReport:
             "jumbo_fraction": self.jumbo_fraction,
             "flows_per_sample": list(self.flows_per_sample),
             "stats": self.stats.to_dict() if self.stats is not None else None,
+            "scorecard": (self.scorecard.to_dict()
+                          if self.scorecard is not None else None),
         }
         if include_tables:
             payload["tables"] = {name: table.to_dict()
@@ -224,7 +230,27 @@ class AnalysisPipeline:
         with get_obs().tracer.span("analysis.digest", pcaps=len(paths)):
             self._digest(paths, acaps, stats)
         stats.digest_seconds = time.perf_counter() - started
+        self._journal_digests()
         return self.acaps
+
+    def _journal_digests(self) -> None:
+        """Emit one ``ledger-digest`` event per acap so ``repro audit``
+        can reconcile digested counts against capture-side ledger rows
+        from the journal alone.  Pcaps are keyed site-qualified
+        ("<parent dir>/<name>"), matching ``SampleLedger.pcap``."""
+        journal = get_obs().journal
+        if not journal.enabled:
+            return
+        for acap in self.acaps:
+            source = Path(acap.source)
+            records = acap.records
+            journal.emit(
+                "ledger-digest",
+                pcap=f"{source.parent.name}/{source.name}",
+                digested=len(records),
+                truncated=sum(1 for r in records if r.truncated),
+                parse_errors=sum(1 for r in records if not r.stack),
+            )
 
     def _digest(self, paths: List[Path], acaps: "List[Optional[AcapFile]]",
                 stats: PipelineStats) -> None:

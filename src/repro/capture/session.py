@@ -48,6 +48,14 @@ class CaptureStats:
     frames_dropped: int = 0
     bytes_captured: int = 0
     bytes_on_wire: int = 0
+    # Cause breakdown.  frames_dropped == ring_drops + writer_drops;
+    # frames_filtered is intentional removal by the FPGA front-end and
+    # deliberately NOT part of frames_dropped (loss_fraction keeps its
+    # "unintended loss" meaning) -- the conservation ledger accounts for
+    # filtered frames separately.
+    ring_drops: int = 0
+    writer_drops: int = 0
+    frames_filtered: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -156,6 +164,9 @@ class CaptureSession:
         registry.counter("capture.bytes_captured",
                          help="post-truncation bytes captured").inc(
             self.stats.bytes_captured)
+        registry.counter("capture.frames_filtered",
+                         help="frames removed by the FPGA filter/sampler").inc(
+            self.stats.frames_filtered)
 
     def run_for(self, duration: float) -> None:
         """Convenience: schedule stop after ``duration`` (start first)."""
@@ -172,16 +183,23 @@ class CaptureSession:
         self.stats.bytes_on_wire += frame.wire_len
         if self.method is CaptureMethod.TCPDUMP:
             kept = self._tcpdump.on_frame(frame.wire_len, self.sim.now)
+            if not kept:
+                self.stats.writer_drops += 1
             data = frame.captured_bytes(self.snaplen) if kept else None
         elif self.method is CaptureMethod.DPDK:
             kept = self._dpdk.on_frame(frame.wire_len, self.sim.now)
+            if not kept:
+                self.stats.ring_drops += 1
             data = frame.captured_bytes(self.snaplen) if kept else None
         else:  # FPGA front-end, then the DPDK writer
             processed = self._fpga.process(frame.captured_bytes(self.snaplen))
             if processed is None:
                 # Filtered/sampled out by the card: not a loss.
+                self.stats.frames_filtered += 1
                 return
             kept = self._dpdk.on_frame(len(processed), self.sim.now)
+            if not kept:
+                self.stats.ring_drops += 1
             data = processed if kept else None
         if data is None:
             self.stats.frames_dropped += 1

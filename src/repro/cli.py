@@ -16,6 +16,11 @@ the reproduction's workflows the same way:
     Recommend a capture method for a target load.
 ``python -m repro obs {dump,tail,diff,export} ...``
     Inspect the machine-readable run journals ``profile`` writes.
+``python -m repro audit JOURNAL``
+    Reconstruct the frame-conservation story of a run from its journal
+    alone: per-stage loss waterfall, per-site summary, and the
+    congestion-detector scorecard.  Exits 1 if the conservation
+    identity is violated.
 """
 
 from __future__ import annotations
@@ -102,10 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
                                            "they differ)")
     diff.add_argument("journal_a", type=Path)
     diff.add_argument("journal_b", type=Path)
+    diff.add_argument("-q", "--quiet", action="store_true",
+                      help="no output; communicate via the exit code only")
     export = obs_sub.add_parser(
         "export", help="re-export a journal's final metrics snapshot")
     export.add_argument("journal", type=Path)
     export.add_argument("--format", choices=["prom", "jsonl"], default="prom")
+
+    audit = sub.add_parser(
+        "audit", help="frame-conservation audit of a run journal")
+    audit.add_argument("journal", type=Path,
+                       help="a journal.jsonl written by `repro profile`")
+    audit.add_argument("--csv", type=Path, default=None,
+                       help="also write the loss waterfall as CSV here")
+    audit.add_argument("--json", action="store_true",
+                       help="print a machine-readable JSON audit")
     return parser
 
 
@@ -118,6 +134,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "plan": _cmd_plan,
         "obs": _cmd_obs,
+        "audit": _cmd_audit,
     }[args.command]
     return handler(args)
 
@@ -193,7 +210,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             say(f"gathered {site_bundle.site}: "
                 f"{site_bundle.archive_path.name} "
                 f"({site_bundle.compression_ratio:.1f}x compression)")
-        report = AnalysisPipeline.from_config(config).run(bundle.pcap_paths)
+        pipeline = AnalysisPipeline.from_config(config)
+        report = pipeline.run(bundle.pcap_paths)
+        from repro.obs.ledger import attach_digests
+        attach_digests(bundle.ledgers, pipeline.acaps)
+        report.scorecard = bundle.scorecard
         # Final snapshot so `repro obs export` sees the analysis
         # counters too, not just the capture-phase ones.
         obs.snapshot_to_journal()
@@ -208,8 +229,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     say(report.tables["frame_sizes_overall"].render())
     csvs = report.write_csvs(args.out / "csv")
     say(f"\nwrote {len(csvs)} CSVs under {args.out / 'csv'}")
+    if report.scorecard is not None and report.scorecard.samples:
+        say(f"congestion detector: {report.scorecard.describe()}")
     say(f"wrote run journal to {journal_path} "
-        f"(inspect with: repro obs dump {journal_path})")
+        f"(inspect with: repro obs dump {journal_path}, "
+        f"audit with: repro audit {journal_path})")
     if args.charts:
         from repro.analysis.visualize import render_report_charts
         charts = render_report_charts(report, args.out / "charts")
@@ -350,10 +374,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         differences = diff_journals(RunJournal.read(args.journal_a),
                                     RunJournal.read(args.journal_b))
         if not differences:
-            print("journals are identical")
+            if not args.quiet:
+                print("journals are identical")
             return 0
-        for difference in differences:
-            print(difference)
+        if not args.quiet:
+            for difference in differences:
+                print(difference)
         return 1
 
     # export: re-render the journal's last metrics snapshot.
@@ -368,6 +394,28 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     else:
         print(to_metrics_jsonl(registry), end="")
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.obs.audit import audit_file
+
+    if not args.journal.exists():
+        print(f"error: no such journal: {args.journal}", file=sys.stderr)
+        return 2
+    result = audit_file(args.journal)
+    if not result.ledgers:
+        print("error: journal carries no ledger events (did the run use "
+              "`repro profile`?)", file=sys.stderr)
+        return 2
+    if args.csv is not None:
+        result.waterfall().to_csv(args.csv)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        if args.csv is not None:
+            print(f"\nwrote loss waterfall to {args.csv}")
+    return 0 if result.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

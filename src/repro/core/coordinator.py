@@ -23,6 +23,7 @@ from repro.core.config import PatchworkConfig
 from repro.core.instance import InstanceResult, PatchworkInstance
 from repro.core.status import RunOutcome, RunRecord, publish_outcomes
 from repro.obs import get_obs
+from repro.obs.ledger import CongestionScorecard, scorecard_from_ledgers
 from repro.telemetry.mflib import MFlib
 from repro.telemetry.snmp import SNMPPoller
 from repro.testbed.api import TestbedAPI
@@ -38,6 +39,27 @@ class ProfileBundle:
     results: Dict[str, InstanceResult] = field(default_factory=dict)
     # Sites whose failed first attempt was re-dispatched this occasion.
     redispatches: int = 0
+    # Per-site congestion-detector scorecards (verdict vs ground-truth
+    # mirror-egress drops from the conservation ledger).
+    scorecards: Dict[str, CongestionScorecard] = field(default_factory=dict)
+
+    @property
+    def scorecard(self) -> CongestionScorecard:
+        """All sites merged into one confusion matrix."""
+        merged = CongestionScorecard()
+        for site in sorted(self.scorecards):
+            merged.merge(self.scorecards[site])
+        return merged
+
+    @property
+    def ledgers(self) -> List:
+        """Every conservation ledger row this occasion produced."""
+        rows = []
+        for site in sorted(self.results):
+            for record in self.results[site].samples:
+                if record.ledger is not None:
+                    rows.append(record.ledger)
+        return rows
 
     @property
     def run_records(self) -> List[RunRecord]:
@@ -164,9 +186,44 @@ class Coordinator:
             obs.registry.counter(
                 "coordinator.redispatches",
                 help="failed-site re-dispatch attempts").inc(bundle.redispatches)
+            self._score_detector(bundle, obs)
             publish_outcomes(bundle.run_records, t=sim.now)
         obs.snapshot_to_journal()
         return bundle
+
+    def _score_detector(self, bundle: ProfileBundle, obs) -> None:
+        """Judge every sample's CongestionVerdict against ledger truth."""
+        for site in sorted(bundle.results):
+            rows = [record.ledger
+                    for record in bundle.results[site].samples
+                    if record.ledger is not None]
+            if not rows:
+                continue
+            card = scorecard_from_ledgers(rows)
+            bundle.scorecards[site] = card
+            obs.journal.emit("scorecard", site=site, **card.to_dict())
+        if bundle.scorecards:
+            overall = bundle.scorecard
+            obs.journal.emit("scorecard", site="*", **overall.to_dict())
+            registry = obs.registry
+            registry.counter(
+                "scorecard.true_positives",
+                help="congestion verdicts confirmed by ledger truth").inc(
+                overall.tp)
+            registry.counter(
+                "scorecard.false_positives",
+                help="congestion verdicts refuted by ledger truth").inc(
+                overall.fp)
+            registry.counter(
+                "scorecard.false_negatives",
+                help="mirror overloads the detector missed").inc(overall.fn)
+            registry.counter(
+                "scorecard.true_negatives",
+                help="clean samples correctly called clean").inc(overall.tn)
+            registry.counter(
+                "scorecard.unanswerable",
+                help="samples with no verdict to judge").inc(
+                overall.unanswerable)
 
     def _make_instance(
         self, site: str, rng_label: str, crash_probability: float

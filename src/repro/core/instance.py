@@ -43,6 +43,7 @@ from repro.core.scaling import ScalingAction, ScalingController
 from repro.core.status import RunOutcome
 from repro.core.watchdog import Watchdog
 from repro.obs import get_obs
+from repro.obs.ledger import LedgerRecorder, SampleLedger
 from repro.telemetry.mflib import MFlib
 from repro.telemetry.snmp import SNMPPoller
 from repro.testbed.api import TestbedAPI
@@ -65,6 +66,8 @@ class SampleRecord:
     pcap_path: Optional[Path]
     stats: CaptureStats
     congestion: Optional[CongestionVerdict]
+    # Frame-conservation accounting for this sample's capture window.
+    ledger: Optional[SampleLedger] = None
 
 
 @dataclass
@@ -104,6 +107,7 @@ class _MirrorSlot:
         self.session: Optional[MirrorSession] = None
         self.current_source: Optional[str] = None
         self.capture: Optional[CaptureSession] = None
+        self.open_ledger = None  # conservation window for the live capture
 
 
 class PatchworkInstance:
@@ -169,6 +173,7 @@ class PatchworkInstance:
         self._run = 0
         self._sample = 0
         self._watchdog: Optional[Watchdog] = None
+        self._ledgers: Optional[LedgerRecorder] = None
         self._finished = False
         self._obs_span = None  # the instance's trace span (opened in start)
         # Recovery state: the pending sampling-loop event (cancelled on
@@ -298,12 +303,21 @@ class PatchworkInstance:
                 continue
             stats = slot.capture.stop()
             slot.capture = None
+            ledger = None
+            if slot.open_ledger is not None:
+                # Salvaged mid-window: clones still in flight will never
+                # be collected, so the close charges them (and any
+                # mirror-gap frames) to the fault-window cause.
+                ledger = slot.open_ledger.close(stats, verdict=None,
+                                                aborted=True)
+                slot.open_ledger = None
             if slot.current_source is None:
                 continue
             self.samples.append(SampleRecord(
                 cycle=self._cycle, run=self._run, sample=self._sample,
                 slot=slot.index, mirrored_port=slot.current_source,
                 pcap_path=stats.pcap_path, stats=stats, congestion=None,
+                ledger=ledger,
             ))
             salvaged += 1
         if salvaged:
@@ -339,6 +353,9 @@ class PatchworkInstance:
 
     def _build_slots(self) -> None:
         live = self.acquisition.live_slice
+        self._ledgers = LedgerRecorder(
+            self.api.federation.site(self.site).switch, self.site,
+            instance=self.instance_id)
         index = 0
         for vm in live.vms.values():
             for nic_port in vm.nic_ports:
@@ -470,6 +487,20 @@ class PatchworkInstance:
                 transform=self.config.transform,
             )
             slot.capture.start()
+            # Open the conservation window in the same event as the
+            # capture subscription: no frame can be delivered between
+            # the two, so delivered-in-window == frames the capture saw.
+            directions = (slot.session.directions
+                          if slot.session is not None else ("rx", "tx"))
+            slot.open_ledger = self._ledgers.open(
+                mirrored_port=slot.current_source,
+                dest_port=slot.dest_port_id,
+                directions=directions,
+                cycle=self._cycle, run=self._run, sample=self._sample,
+                slot=slot.index,
+                pcap=f"{self.site}/{pcap.name}",
+                method=self.config.capture_method.value,
+            )
         self._loop_event = self.api.federation.sim.schedule(
             self.config.plan.sample_duration, self._end_sample, start, epoch
         )
@@ -489,10 +520,17 @@ class PatchworkInstance:
                 self.site, slot.current_source, slot.rate_bps,
                 sample_start, self.api.now, log=self.log,
             )
+            ledger = None
+            if slot.open_ledger is not None:
+                ledger = slot.open_ledger.close(
+                    stats,
+                    verdict=verdict.overloaded if verdict is not None else None)
+                slot.open_ledger = None
             self.samples.append(SampleRecord(
                 cycle=self._cycle, run=self._run, sample=self._sample,
                 slot=slot.index, mirrored_port=slot.current_source,
                 pcap_path=stats.pcap_path, stats=stats, congestion=verdict,
+                ledger=ledger,
             ))
             slot.capture = None
         self.log.info(self.api.now, "sample", "sample complete",

@@ -35,6 +35,10 @@ class ChannelStats:
     dropped_bytes: int = 0
     offered_frames: int = 0
     offered_bytes: int = 0
+    # Frames handed to the channel's sinks, i.e. past serialization AND
+    # propagation.  offered - dropped - delivered = frames in flight.
+    delivered_frames: int = 0
+    delivered_bytes: int = 0
 
     def copy(self) -> "ChannelStats":
         return ChannelStats(
@@ -44,6 +48,8 @@ class ChannelStats:
             self.dropped_bytes,
             self.offered_frames,
             self.offered_bytes,
+            self.delivered_frames,
+            self.delivered_bytes,
         )
 
 
@@ -166,11 +172,20 @@ class Channel:
         self._start_next()
 
     def _deliver(self, frame: Frame) -> None:
+        self.stats.delivered_frames += 1
+        self.stats.delivered_bytes += frame.wire_len
         # Sinks are wired at construction time and (rarely) changed from
         # control-plane code, never from inside a delivery -- safe to
         # iterate without copying on this per-frame hot path.
         for sink in self._sinks:
             sink(frame)
+
+    @property
+    def in_flight_frames(self) -> int:
+        """Frames accepted but not yet delivered (queued, serializing,
+        or propagating)."""
+        s = self.stats
+        return s.offered_frames - s.dropped_frames - s.delivered_frames
 
     def utilization(self, since_stats: ChannelStats, interval: float) -> float:
         """Fraction of capacity used since a previous stats snapshot."""

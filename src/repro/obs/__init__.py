@@ -138,8 +138,33 @@ def scoped(obs: Observability) -> Iterator[Observability]:
         set_obs(previous)
 
 
+# Imported last: repro.obs.ledger/audit call get_obs() lazily, so the
+# package core must be fully defined before they load.
+from repro.obs.audit import AuditResult, audit_file, audit_journal  # noqa: E402
+from repro.obs.ledger import (  # noqa: E402
+    CAUSES,
+    STAGE_OF_CAUSE,
+    CongestionScorecard,
+    LedgerRecorder,
+    SampleLedger,
+    attach_digests,
+    ledgers_of_bundle,
+    scorecard_from_ledgers,
+)
+
 __all__ = [
+    "AuditResult",
+    "CAUSES",
+    "CongestionScorecard",
     "Counter",
+    "LedgerRecorder",
+    "STAGE_OF_CAUSE",
+    "SampleLedger",
+    "attach_digests",
+    "audit_file",
+    "audit_journal",
+    "ledgers_of_bundle",
+    "scorecard_from_ledgers",
     "Gauge",
     "Histogram",
     "JournalEvent",

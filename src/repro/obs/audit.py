@@ -1,0 +1,203 @@
+"""Audit a run from its journal alone: loss waterfall + scorecard.
+
+``repro audit`` reads a run journal (in memory or from ``journal.jsonl``)
+and reconstructs the frame-conservation story without touching pcaps or
+live simulator state: a per-stage loss waterfall, a per-site summary,
+the congestion-detector scorecard, and a list of conservation
+violations.  Because every input is a journal event, the same journal
+always renders the same audit byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.journal import RunJournal
+from repro.obs.ledger import (
+    CAUSES,
+    STAGE_OF_CAUSE,
+    CongestionScorecard,
+    SampleLedger,
+    scorecard_from_ledgers,
+)
+from repro.util.tables import Table
+
+
+@dataclass
+class AuditResult:
+    """Everything ``repro audit`` derives from one journal."""
+
+    ledgers: List[SampleLedger] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    scorecards: Dict[str, CongestionScorecard] = field(default_factory=dict)
+    scorecard: CongestionScorecard = field(default_factory=CongestionScorecard)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def generated(self) -> int:
+        return sum(row.generated for row in self.ledgers)
+
+    @property
+    def captured(self) -> int:
+        return sum(row.captured for row in self.ledgers)
+
+    def waterfall(self) -> Table:
+        """Aggregate per-stage loss waterfall across all samples."""
+        table = Table(["stage", "cause", "frames", "pct_of_generated",
+                       "survivors"], title="Frame loss waterfall")
+        generated = self.generated
+        survivors = generated
+
+        def pct(count: int) -> str:
+            if generated == 0:
+                return "0.0000"
+            return f"{100.0 * count / generated:.4f}"
+
+        table.add_row(["source", "generated", generated, pct(generated),
+                       generated])
+        for cause in CAUSES:
+            count = sum(row.drops[cause] for row in self.ledgers)
+            survivors -= count
+            table.add_row([STAGE_OF_CAUSE[cause], cause, count, pct(count),
+                           survivors])
+        table.add_row(["capture", "captured", self.captured,
+                       pct(self.captured), self.captured])
+        digested = sum(row.digested for row in self.ledgers
+                       if row.digested is not None)
+        parse_errors = sum(row.parse_errors for row in self.ledgers)
+        table.add_row(["digest", "digested", digested, pct(digested),
+                       digested])
+        # parse-error is attribution *within* digested (frames whose
+        # dissection produced no layers), not an additional loss stage.
+        table.add_row(["digest", "parse-error", parse_errors,
+                       pct(parse_errors), digested - parse_errors])
+        return table
+
+    def per_site(self) -> Table:
+        """One summary row per site."""
+        table = Table(["site", "samples", "generated", "captured",
+                       "loss_pct", "mirror_egress_drops", "violations"],
+                      title="Per-site conservation summary")
+        sites: Dict[str, List[SampleLedger]] = {}
+        for row in self.ledgers:
+            sites.setdefault(row.site, []).append(row)
+        for site in sorted(sites):
+            rows = sites[site]
+            generated = sum(r.generated for r in rows)
+            captured = sum(r.captured for r in rows)
+            lost = generated - captured
+            loss_pct = f"{100.0 * lost / generated:.4f}" if generated else "0.0000"
+            table.add_row([
+                site, len(rows), generated, captured, loss_pct,
+                sum(r.drops["mirror-egress"] for r in rows),
+                sum(1 for r in rows if not r.ok),
+            ])
+        return table
+
+    def scorecard_table(self) -> Table:
+        """Confusion counts + precision/recall, per site and overall."""
+        table = Table(["scope", "samples", "tp", "fp", "fn", "tn",
+                       "unanswerable", "precision", "recall"],
+                      title="Congestion-detector scorecard "
+                            "(verdict vs ground-truth mirror-egress drops)")
+
+        def fmt(value: Optional[float]) -> str:
+            return "n/a" if value is None else f"{value:.3f}"
+
+        for scope in sorted(self.scorecards):
+            card = self.scorecards[scope]
+            table.add_row([scope, card.samples, card.tp, card.fp, card.fn,
+                           card.tn, card.unanswerable, fmt(card.precision),
+                           fmt(card.recall)])
+        card = self.scorecard
+        table.add_row(["overall", card.samples, card.tp, card.fp, card.fn,
+                       card.tn, card.unanswerable, fmt(card.precision),
+                       fmt(card.recall)])
+        return table
+
+    def render(self) -> str:
+        """Full text report (deterministic for a given journal)."""
+        lines = [
+            f"samples audited:  {len(self.ledgers)}",
+            f"frames generated: {self.generated}",
+            f"frames captured:  {self.captured}",
+            f"conservation:     "
+            f"{'OK' if self.ok else f'{len(self.violations)} VIOLATION(S)'}",
+            "",
+            self.waterfall().render(),
+            "",
+            self.per_site().render(),
+            "",
+            self.scorecard_table().render(),
+        ]
+        if self.violations:
+            lines.append("")
+            lines.append("Violations:")
+            lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "samples": len(self.ledgers),
+            "generated": self.generated,
+            "captured": self.captured,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "waterfall": self.waterfall().to_dict(),
+            "per_site": self.per_site().to_dict(),
+            "scorecard": self.scorecard.to_dict(),
+            "scorecards": {site: card.to_dict()
+                           for site, card in sorted(self.scorecards.items())},
+        }
+
+
+def audit_journal(journal: RunJournal) -> AuditResult:
+    """Reconstruct the conservation audit from journal events alone."""
+    result = AuditResult()
+    by_pcap: Dict[str, List[SampleLedger]] = {}
+    for event in journal.of_kind("ledger"):
+        row = SampleLedger.from_event(event.data)
+        result.ledgers.append(row)
+        by_pcap.setdefault(row.pcap, []).append(row)
+    for event in journal.of_kind("ledger-digest"):
+        rows = by_pcap.get(str(event.data["pcap"]), [])
+        for row in rows:
+            row.digested = int(event.data["digested"])
+            row.truncated = int(event.data["truncated"])
+            row.parse_errors = int(event.data["parse_errors"])
+    for row in result.ledgers:
+        error = row.conservation_error()
+        if error != 0:
+            result.violations.append(
+                f"{row.pcap}: conservation violated "
+                f"(generated={row.generated} captured={row.captured} "
+                f"drops={row.total_drops} error={error})")
+        wiring = row.wiring_error()
+        if wiring != 0:
+            result.violations.append(
+                f"{row.pcap}: delivered/seen mismatch "
+                f"(delivered={row.delivered} seen={row.frames_seen})")
+        # Digest reconciliation is only unambiguous when exactly one
+        # sample produced this pcap name (re-dispatched instances can
+        # reuse names; their pcaps get overwritten on disk).
+        if (row.digested is not None and len(by_pcap[row.pcap]) == 1
+                and row.digested != row.captured):
+            result.violations.append(
+                f"{row.pcap}: digest mismatch "
+                f"(captured={row.captured} digested={row.digested})")
+    sites = sorted({row.site for row in result.ledgers})
+    for site in sites:
+        card = scorecard_from_ledgers(r for r in result.ledgers
+                                      if r.site == site)
+        result.scorecards[site] = card
+        result.scorecard.merge(card)
+    return result
+
+
+def audit_file(path) -> AuditResult:
+    """Load a ``journal.jsonl`` and audit it."""
+    return audit_journal(RunJournal.read(path))

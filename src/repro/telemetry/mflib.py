@@ -61,8 +61,10 @@ class MFlib:
         if last_tx.time <= first_tx.time:
             return None
         interval = last_tx.time - first_tx.time
-        tx_bps = (last_tx.value - first_tx.value) * 8.0 / interval
-        rx_bps = (last_rx.value - first_rx.value) * 8.0 / interval
+        tx_bps = self._increase(site, port_id, "tx_bytes",
+                                first_tx.time, last_tx.time) * 8.0 / interval
+        rx_bps = self._increase(site, port_id, "rx_bytes",
+                                first_rx.time, last_rx.time) * 8.0 / interval
         tx_drops = self._delta(site, port_id, "tx_drops", first_tx.time, last_tx.time)
         rx_drops = self._delta(site, port_id, "rx_drops", first_tx.time, last_tx.time)
         return PortRates(
@@ -174,4 +176,25 @@ class MFlib:
         last = self.store.latest_before(site, port_id, counter, end)
         if first is None or last is None:
             return 0.0
-        return max(0.0, last.value - first.value)
+        return self._increase(site, port_id, counter, first.time, last.time)
+
+    def _increase(self, site: str, port_id: str, counter: str,
+                  start: float, end: float) -> float:
+        """Reset-aware counter increase over [start, end], both inclusive.
+
+        Cumulative counters restart from zero when a switch or collector
+        restarts (a fault-injected poller outage, say).  A plain
+        last-minus-first delta then goes negative and poisons every rate
+        built on it.  Like PromQL's ``increase()``, sum only the
+        positive per-poll deltas: a reset boundary contributes nothing
+        and the later sample becomes the new baseline.
+        """
+        samples = self.store.window(site, port_id, counter, start, end)
+        if len(samples) < 2:
+            return 0.0
+        total = 0.0
+        for prev, cur in zip(samples, samples[1:]):
+            step = cur.value - prev.value
+            if step > 0:
+                total += step
+        return total

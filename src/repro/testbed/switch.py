@@ -65,6 +65,11 @@ class SwitchPort:
             "rx_bytes": self.link.rx.stats.tx_bytes,
             "rx_drops": self.link.rx.stats.dropped_frames,
             "rx_dropped_bytes": self.link.rx.stats.dropped_bytes,
+            # End-to-end delivered counts (past propagation).  Not part
+            # of the SNMP MIB the poller walks; the conservation ledger
+            # uses them to account for frames still in flight.
+            "tx_delivered": self.link.tx.stats.delivered_frames,
+            "rx_delivered": self.link.rx.stats.delivered_frames,
         }
 
     def __repr__(self) -> str:

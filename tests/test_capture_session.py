@@ -142,3 +142,95 @@ class TestMethods:
         # Addresses were rewritten away from the registry's 10/8 scheme.
         assert ipv4 is not None
         assert ipv4.fields["src"] != a.ipv4 and ipv4.fields["src"] != b.ipv4
+
+
+def burst_port():
+    """A NIC port on a 100G link: bursts arrive ~80 ns apart, faster
+    than either capture model can drain its backlog."""
+    from repro.netsim.engine import Simulator
+    from repro.netsim.frame import Frame
+    from repro.netsim.link import DuplexLink
+    from repro.testbed.nic import DedicatedNIC
+
+    sim = Simulator()
+    link = DuplexLink(sim, rate_bps=100e9)
+    port = DedicatedNIC().ports[0]
+    port.attach(link, "p1")
+
+    def burst(count=500, size=1000):
+        for _ in range(count):
+            link.tx.offer(Frame(wire_len=size, head=b"\x00" * 64))
+
+    return sim, port, burst
+
+
+class TestDropCauseSplit:
+    """frames_dropped is attributed: ring vs writer vs (separate) filter."""
+
+    def test_writer_backpressure_counted(self, tmp_path):
+        from repro.capture.tcpdump import TcpdumpModel
+        sim, port, burst = burst_port()
+        session = CaptureSession(
+            sim, port, tmp_path / "w.pcap",
+            tcpdump_model=TcpdumpModel(snaplen=200, buffer_bytes=800),
+        )
+        session.start()
+        burst()
+        sim.run()
+        stats = session.stop()
+        assert stats.writer_drops > 0
+        assert stats.ring_drops == 0
+        assert stats.frames_dropped == stats.writer_drops
+        assert stats.frames_captured + stats.frames_dropped == \
+            stats.frames_seen
+
+    def test_nic_ring_overflow_counted(self, tmp_path):
+        from repro.capture.dpdk import DpdkCaptureModel
+        sim, port, burst = burst_port()
+        session = CaptureSession(
+            sim, port, tmp_path / "r.pcap",
+            method=CaptureMethod.DPDK,
+            dpdk_model=DpdkCaptureModel(cores=1, rx_queue_depth=1),
+        )
+        session.start()
+        burst()
+        sim.run()
+        stats = session.stop()
+        assert stats.ring_drops > 0
+        assert stats.writer_drops == 0
+        assert stats.frames_dropped == stats.ring_drops
+
+    def test_fpga_filter_is_not_loss(self, world, tmp_path):
+        from repro.capture.fpga import FpgaOffloadConfig
+        federation, a, b = world
+        session = CaptureSession(
+            federation.sim, b.nic_port, tmp_path / "f.pcap",
+            method=CaptureMethod.FPGA_DPDK,
+            fpga_config=FpgaOffloadConfig(truncation=64, sample_one_in=2),
+        )
+        session.start()
+        run_flow(federation, a, b)
+        federation.sim.run()
+        stats = session.stop()
+        assert stats.frames_filtered > 0
+        assert stats.frames_dropped == 0
+        assert stats.frames_captured + stats.frames_filtered == \
+            stats.frames_seen
+
+    def test_split_sums_to_total(self):
+        # Every path through _on_frame lands in exactly one bucket.
+        from repro.capture.tcpdump import TcpdumpModel
+        sim, port, burst = burst_port()
+        session = CaptureSession(
+            sim, port, None,
+            tcpdump_model=TcpdumpModel(snaplen=100, buffer_bytes=400),
+        )
+        session.start()
+        burst()
+        sim.run()
+        stats = session.stop()
+        assert stats.frames_dropped > 0
+        assert stats.frames_dropped == stats.ring_drops + stats.writer_drops
+        assert stats.frames_seen == (stats.frames_captured +
+                                     stats.frames_dropped +
+                                     stats.frames_filtered)

@@ -32,6 +32,14 @@ class TestParser:
         args = parser.parse_args(["obs", "export", "j.jsonl",
                                   "--format", "jsonl"])
         assert args.format == "jsonl"
+        args = parser.parse_args(["obs", "diff", "a.jsonl", "b.jsonl", "-q"])
+        assert args.quiet
+
+    def test_audit_command_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["audit", "j.jsonl"])
+        assert args.command == "audit"
+        assert args.csv is None and not args.json
 
     def test_json_flags_parse(self):
         parser = build_parser()
@@ -171,6 +179,20 @@ class TestObsCommands:
         assert main(["obs", "diff", str(journal_path),
                      str(other_path)]) == 1
         assert "event 0" in capsys.readouterr().out
+
+    def test_diff_quiet_same_exit_codes_no_output(self, journal_path,
+                                                  tmp_path, capsys):
+        from repro.obs import RunJournal
+
+        assert main(["obs", "diff", "-q", str(journal_path),
+                     str(journal_path)]) == 0
+        assert capsys.readouterr().out == ""
+        other = RunJournal()
+        other.emit("fault", t=9.0, site="MICH")
+        other_path = other.write(tmp_path / "other.jsonl")
+        assert main(["obs", "diff", "-q", str(journal_path),
+                     str(other_path)]) == 1
+        assert capsys.readouterr().out == ""
 
     def test_export_prometheus(self, journal_path, capsys):
         assert main(["obs", "export", str(journal_path)]) == 0

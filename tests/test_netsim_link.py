@@ -194,3 +194,54 @@ class TestValidation:
         assert link.tx.stats.tx_frames == 1
         assert link.rx.stats.tx_frames == 0
         assert link.rate_bps == 1e9
+
+
+class TestDeliveredAccounting:
+    """End-to-end delivered counters feeding the conservation ledger."""
+
+    def test_delivered_counts_past_propagation(self):
+        sim = Simulator()
+        channel = Channel(sim, rate_bps=8000.0)
+        channel.connect(lambda f: None)
+        channel.offer(frame(1000))
+        channel.offer(frame(500))
+        assert channel.stats.delivered_frames == 0
+        sim.run()
+        assert channel.stats.delivered_frames == 2
+        assert channel.stats.delivered_bytes == 1500
+
+    def test_in_flight_is_offered_minus_dropped_minus_delivered(self):
+        sim = Simulator()
+        channel = Channel(sim, rate_bps=8000.0, queue_limit_bytes=1500)
+        channel.connect(lambda f: None)
+        for _ in range(4):
+            channel.offer(frame(1000))  # 2 accepted, 2 tail-dropped
+        assert channel.in_flight_frames == 2
+        sim.run()
+        assert channel.in_flight_frames == 0
+        assert channel.stats.offered_frames == \
+            channel.stats.dropped_frames + channel.stats.delivered_frames
+
+    def test_mid_serialization_frame_counts_in_flight(self):
+        sim = Simulator()
+        channel = Channel(sim, rate_bps=8000.0)  # 1000 B/s
+        channel.connect(lambda f: None)
+        channel.offer(frame(1000))
+        sim.run(until=0.5)  # halfway through serialization
+        assert channel.stats.tx_frames == 0         # not on the wire yet...
+        assert channel.stats.delivered_frames == 0
+        assert channel.in_flight_frames == 1        # ...but committed to it
+
+    def test_copy_includes_delivered_fields(self):
+        sim = Simulator()
+        channel = Channel(sim, rate_bps=1e9)
+        channel.connect(lambda f: None)
+        channel.offer(frame(100))
+        sim.run()
+        snapshot = channel.stats.copy()
+        assert snapshot.delivered_frames == 1
+        assert snapshot.delivered_bytes == 100
+        channel.offer(frame(100))
+        sim.run()
+        assert snapshot.delivered_frames == 1  # a true snapshot
+        assert channel.stats.delivered_frames == 2

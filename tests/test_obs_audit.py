@@ -1,0 +1,240 @@
+"""Acceptance tests for ``repro audit``: a seeded end-to-end run
+conserves every frame exactly, and the audit reconstructs the loss
+waterfall byte-for-byte from the journal alone."""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis import AnalysisPipeline
+from repro.cli import build_parser, main
+from repro.core import Coordinator, PatchworkConfig, RecoveryConfig, SamplingPlan
+from repro.obs import (
+    Observability,
+    RunJournal,
+    audit_file,
+    audit_journal,
+    scoped,
+)
+from repro.obs.ledger import attach_digests
+from repro.telemetry import SNMPPoller
+from repro.testbed import FederationBuilder, TestbedAPI
+from repro.traffic.workloads import TrafficOrchestrator
+
+SITES = ["STAR", "MICH", "UTAH"]
+
+
+@pytest.fixture(scope="module")
+def audited_run(tmp_path_factory):
+    """One observed occasion + analysis, journal written to disk.
+
+    Includes a STAR outage and injected crashes so the audit covers
+    fault-window and aborted-sample accounting, not just the happy path.
+    """
+    out = tmp_path_factory.mktemp("audit-e2e")
+    federation = FederationBuilder(seed=42).build(site_names=SITES)
+    api = TestbedAPI(federation)
+    poller = SNMPPoller(federation, interval=30.0)
+    poller.start()
+    orchestrator = TrafficOrchestrator(federation, seed=7, scale=0.02)
+    orchestrator.setup()
+    for window in range(5):
+        orchestrator.generate_window(window * 100.0, 100.0)
+    config = PatchworkConfig(
+        output_dir=out,
+        plan=SamplingPlan(sample_duration=2, sample_interval=10,
+                          samples_per_run=2, runs_per_cycle=1, cycles=2),
+        desired_instances=1,
+        recovery=RecoveryConfig(enabled=True, breaker_threshold=2),
+    )
+    federation.faults.add_outage(0.0, 300.0, reason="incident",
+                                 sites={"STAR"})
+    with scoped(Observability.create(sim=federation.sim)) as obs:
+        coordinator = Coordinator(api, config, poller=poller, seed=5)
+        bundle = coordinator.run_profile(crash_probability=0.01)
+        pipeline = AnalysisPipeline(max_workers=1)
+        pipeline.run(bundle.pcap_paths)
+        attach_digests(bundle.ledgers, pipeline.acaps)
+    path = obs.journal.write(out / "journal.jsonl")
+    return obs, bundle, path
+
+
+class TestEndToEndConservation:
+    def test_every_sample_conserves_exactly(self, audited_run):
+        obs, bundle, _ = audited_run
+        result = audit_journal(obs.journal)
+        assert result.ledgers, "the run produced no ledger rows"
+        assert result.ok, result.violations
+        for row in result.ledgers:
+            assert row.conservation_error() == 0
+            assert row.wiring_error() == 0
+
+    def test_audit_agrees_with_live_rows(self, audited_run):
+        obs, bundle, _ = audited_run
+        result = audit_journal(obs.journal)
+        live = bundle.ledgers
+        assert len(result.ledgers) == len(live)
+        assert result.generated == sum(r.generated for r in live)
+        assert result.captured == sum(r.captured for r in live)
+
+    def test_digests_reconciled_from_journal(self, audited_run):
+        obs, _, _ = audited_run
+        result = audit_journal(obs.journal)
+        digested = [r for r in result.ledgers if r.digested is not None]
+        assert digested, "no ledger-digest events reached the journal"
+
+    def test_scorecard_covers_profiled_sites(self, audited_run):
+        obs, bundle, _ = audited_run
+        result = audit_journal(obs.journal)
+        assert set(result.scorecards) == {r.site for r in result.ledgers}
+        assert result.scorecard.samples == len(result.ledgers)
+
+    def test_scorecard_events_journaled(self, audited_run):
+        obs, _, _ = audited_run
+        events = obs.journal.of_kind("scorecard")
+        assert any(e.data["site"] == "*" for e in events)
+
+
+class TestByteForByteReproduction:
+    def test_audit_from_disk_matches_in_memory(self, audited_run):
+        obs, _, path = audited_run
+        from_memory = audit_journal(obs.journal)
+        from_disk = audit_file(path)
+        assert from_disk.render() == from_memory.render()
+        assert from_disk.waterfall().to_csv_string() == \
+            from_memory.waterfall().to_csv_string()
+        assert from_disk.to_dict() == from_memory.to_dict()
+
+    def test_waterfall_survivor_algebra(self, audited_run):
+        obs, _, _ = audited_run
+        result = audit_journal(obs.journal)
+        rows = result.waterfall().rows
+        by_cause = {(r[0], r[1]): r for r in rows}
+        assert by_cause[("source", "generated")][2] == result.generated
+        # The survivors column walks down from generated to captured.
+        survivors = [r[4] for r in rows]
+        assert survivors[0] == result.generated
+        captured_row = by_cause[("capture", "captured")]
+        assert captured_row[2] == captured_row[4] == result.captured
+        drop_total = sum(r[2] for r in rows
+                         if r[1] not in ("generated", "captured",
+                                         "digested", "parse-error"))
+        assert result.generated - drop_total == result.captured
+
+
+class TestViolationDetection:
+    def doctor(self, journal, mutate):
+        """Copy a journal, mutating each ledger event via ``mutate``."""
+        doctored = RunJournal()
+        for event in journal:
+            data = copy.deepcopy(event.data)
+            if event.kind == "ledger":
+                mutate(data)
+            doctored.emit(event.kind, t=event.t, **data)
+        return doctored
+
+    def test_lost_frames_flagged(self, audited_run):
+        obs, _, _ = audited_run
+
+        def steal_a_frame(data):
+            data["captured"] -= 1
+            data["frames_seen"] -= 1
+            data["delivered"] -= 1
+
+        result = audit_journal(self.doctor(obs.journal, steal_a_frame))
+        assert not result.ok
+        assert any("conservation violated" in v for v in result.violations)
+        assert "VIOLATION" in result.render()
+
+    def test_wiring_mismatch_flagged(self, audited_run):
+        obs, _, _ = audited_run
+
+        def miswire(data):
+            data["frames_seen"] += 3
+
+        result = audit_journal(self.doctor(obs.journal, miswire))
+        assert any("delivered/seen mismatch" in v for v in result.violations)
+
+    def test_digest_mismatch_flagged_only_when_unambiguous(self):
+        journal = RunJournal()
+        base = dict(site="S", instance="i", cycle=0, run=0, sample=0,
+                    slot=0, mirrored_port="p1", dest_port="mir",
+                    method="tcpdump", directions=["rx", "tx"],
+                    start=0.0, end=1.0, aborted=False, offered=10,
+                    carry_in=0, generated=10, cloned=10, delivered=10,
+                    frames_seen=10, captured=10,
+                    drops={c: 0 for c in ("oversize", "fault-window",
+                                          "mirror-egress", "in-flight",
+                                          "nic-ring", "writer-backpressure",
+                                          "filtered")},
+                    source_rx_drops=0, source_tx_drops=0, verdict=None,
+                    conserved=True)
+        journal.emit("ledger", pcap="S/unique.pcap", **base)
+        journal.emit("ledger", pcap="S/shared.pcap", **base)
+        journal.emit("ledger", pcap="S/shared.pcap", **base)
+        journal.emit("ledger-digest", pcap="S/unique.pcap", digested=7,
+                     truncated=0, parse_errors=0)
+        journal.emit("ledger-digest", pcap="S/shared.pcap", digested=7,
+                     truncated=0, parse_errors=0)
+        result = audit_journal(journal)
+        mismatches = [v for v in result.violations if "digest mismatch" in v]
+        assert len(mismatches) == 1
+        assert "unique.pcap" in mismatches[0]
+
+
+class TestAuditCli:
+    def test_parser(self):
+        parser = build_parser()
+        args = parser.parse_args(["audit", "j.jsonl", "--csv", "w.csv",
+                                  "--json"])
+        assert args.command == "audit"
+        assert str(args.journal) == "j.jsonl"
+        assert str(args.csv) == "w.csv"
+        assert args.json
+
+    def test_ok_run_exits_zero(self, audited_run, capsys):
+        _, _, path = audited_run
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Frame loss waterfall" in out
+        assert "conservation:     OK" in out
+        assert "scorecard" in out
+
+    def test_csv_written(self, audited_run, tmp_path, capsys):
+        _, _, path = audited_run
+        csv_path = tmp_path / "waterfall.csv"
+        assert main(["audit", str(path), "--csv", str(csv_path)]) == 0
+        text = csv_path.read_text()
+        assert text.splitlines()[0] == \
+            "stage,cause,frames,pct_of_generated,survivors"
+        assert "mirror-egress" in text
+
+    def test_json_mode(self, audited_run, capsys):
+        _, _, path = audited_run
+        assert main(["audit", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["samples"] > 0
+        assert set(payload["waterfall"]) == {"title", "columns", "rows"}
+        assert "precision" in payload["scorecard"]
+
+    def test_violation_exits_one(self, audited_run, tmp_path, capsys):
+        obs, _, _ = audited_run
+        doctored = TestViolationDetection().doctor(
+            obs.journal, lambda data: data.__setitem__(
+                "captured", data["captured"] + 5))
+        path = doctored.write(tmp_path / "doctored.jsonl")
+        assert main(["audit", str(path)]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_missing_journal_exits_two(self, capsys):
+        assert main(["audit", "/nonexistent/journal.jsonl"]) == 2
+        assert "no such journal" in capsys.readouterr().err
+
+    def test_journal_without_ledgers_exits_two(self, tmp_path, capsys):
+        journal = RunJournal()
+        journal.emit("log", t=1.0, message="hello")
+        path = journal.write(tmp_path / "bare.jsonl")
+        assert main(["audit", str(path)]) == 2
+        assert "no ledger events" in capsys.readouterr().err

@@ -109,3 +109,88 @@ class TestUtilization:
     def test_drop_delta(self, mflib):
         assert mflib.drop_delta("STAR", "p1", 0.0, 900.0) == 30
         assert mflib.drop_delta("STAR", "p2", 0.0, 900.0) == 0
+
+
+def reset_store():
+    """A switch restart at t=600: counters climb, vanish, climb again."""
+    store = CounterStore()
+    rows = [(0.0, 0, 0), (300.0, 375_000_000, 10),
+            (600.0, 0, 0), (900.0, 375_000_000, 5)]
+    for t, tx, drops in rows:
+        store.append("STAR", "p1", "tx_bytes", t, tx)
+        store.append("STAR", "p1", "rx_bytes", t, tx // 10)
+        store.append("STAR", "p1", "tx_drops", t, drops)
+        store.append("STAR", "p1", "rx_drops", t, 0)
+    return store
+
+
+class TestCounterResets:
+    """Deltas follow PromQL increase(): resets never go negative."""
+
+    def test_rates_sum_both_climbs(self):
+        # Naive last-minus-first sees 375 MB; the true traffic was 750 MB.
+        rates = MFlib(reset_store()).port_rates("STAR", "p1", 0.0, 900.0)
+        assert rates.tx_bps == pytest.approx(750_000_000 * 8 / 900.0)
+        assert rates.rx_bps == pytest.approx(75_000_000 * 8 / 900.0)
+        assert rates.tx_bps >= 0.0
+
+    def test_reset_boundary_contributes_nothing(self):
+        rates = MFlib(reset_store()).port_rates("STAR", "p1", 300.0, 600.0)
+        assert rates.tx_bps == 0.0
+        assert rates.tx_drops == 0
+
+    def test_drop_delta_across_reset(self):
+        assert MFlib(reset_store()).drop_delta("STAR", "p1", 0.0, 900.0) == 15
+
+    def test_monotone_counters_unchanged(self, mflib):
+        # Without resets increase() telescopes to last-minus-first, so
+        # every pre-existing answer stands.
+        rates = mflib.port_rates("STAR", "p1", 0.0, 900.0)
+        assert rates.tx_bps == pytest.approx(10e6)
+        assert rates.tx_drops == 30
+
+
+class TestWindowBoundaries:
+    """Samples landing exactly on window edges are counted once."""
+
+    def test_polls_at_both_edges_included(self, mflib):
+        rates = mflib.port_rates("STAR", "p1", 300.0, 900.0)
+        assert rates.window_start == 300.0
+        assert rates.window_end == 900.0
+        assert rates.tx_bps == pytest.approx(10e6)
+
+    def test_anchor_prefers_last_pre_window_poll(self, mflib):
+        rates = mflib.port_rates("STAR", "p1", 450.0, 900.0)
+        assert rates.window_start == 300.0
+
+    def test_single_sample_unanswerable(self):
+        store = CounterStore()
+        for counter in ("tx_bytes", "rx_bytes", "tx_drops", "rx_drops"):
+            store.append("STAR", "p1", counter, 0.0, 0)
+        assert MFlib(store).port_rates("STAR", "p1", 0.0, 100.0) is None
+
+
+class TestPollerRestartRegression:
+    def test_rates_survive_switch_counter_reset(self, federation, poller):
+        """End-to-end through SNMPPoller: a switch whose counters reset
+        mid-window must never produce a negative rate (the bug that made
+        busiest-port cycling rank a restarted switch last)."""
+        from repro.netsim.link import ChannelStats
+
+        sim = federation.sim
+        switch = federation.site("STAR").switch
+        port_id, port = sorted(switch.ports.items())[0]
+        sim.run(until=15.0)                      # polls at t=0, 10
+        port.link.tx.stats.tx_bytes += 1_000_000
+        sim.run(until=25.0)                      # poll at 20 sees the climb
+        port.link.tx.stats = ChannelStats()      # switch restart
+        port.link.rx.stats = ChannelStats()
+        sim.run(until=45.0)                      # polls at 30, 40 see zeros
+        port.link.tx.stats.tx_bytes += 500_000
+        sim.run(until=65.0)                      # polls at 50, 60
+        rates = MFlib(poller.store).port_rates("STAR", port_id, 0.0, 60.0)
+        assert rates is not None
+        window = rates.window_end - rates.window_start
+        assert rates.tx_bps == pytest.approx(1_500_000 * 8.0 / window)
+        assert rates.rx_bps >= 0.0
+        assert rates.tx_drops >= 0

@@ -64,3 +64,23 @@ class TestEnumeration:
 
     def test_keys(self, store):
         assert ("STAR", "p1", "tx_bytes") in set(store.keys())
+
+
+class TestWindowEdges:
+    """Boundary semantics the MFlib delta math depends on."""
+
+    def test_window_start_edge_only(self, store):
+        window = store.window("STAR", "p1", "tx_bytes", 900.0, 1000.0)
+        assert [s.time for s in window] == [900.0]
+
+    def test_window_between_samples_is_empty(self, store):
+        assert store.window("STAR", "p1", "tx_bytes", 301.0, 599.0) == []
+
+    def test_window_before_first_sample_is_empty(self, store):
+        assert store.window("STAR", "p1", "tx_bytes", -100.0, -1.0) == []
+
+    def test_decreasing_values_storable(self, store):
+        # Counter *values* may fall (a switch restart zeroes them);
+        # only time must be monotone.  MFlib handles the reset.
+        store.append("STAR", "p1", "tx_bytes", 1200.0, 0)
+        assert store.latest("STAR", "p1", "tx_bytes").value == 0
