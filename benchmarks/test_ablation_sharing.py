@@ -6,7 +6,6 @@ request simply conflicts.  With the :class:`MirrorScheduler`, both
 users time-slice the port and each collects a capture.
 """
 
-import numpy as np
 
 from repro.capture.session import CaptureSession
 from repro.core.sharing import MirrorScheduler

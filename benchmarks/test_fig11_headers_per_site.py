@@ -5,7 +5,6 @@ headers (diverse yet persistent workloads per site), and the deepest
 header stack at every site is between 6 and 12 headers.
 """
 
-from repro.analysis.analyze import site_header_diversity
 
 
 def test_fig11_headers_per_site(benchmark, paper_profile):

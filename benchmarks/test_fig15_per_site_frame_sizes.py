@@ -5,7 +5,6 @@ proportion of smaller frames, and several sites are notable for
 carrying jumbo frames.
 """
 
-import numpy as np
 
 
 def test_fig15_per_site_frame_sizes(benchmark, paper_profile):

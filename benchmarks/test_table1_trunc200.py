@@ -11,7 +11,6 @@ find the fewest cores that carry 100 Gbps at < 1 % loss; if no core
 count manages 100 Gbps, report the highest rate 15 cores can carry.
 """
 
-import pytest
 
 from repro.capture.dpdk import DpdkCaptureModel, MAX_WORKER_CORES, OfferedLoad
 from repro.capture.storage import PageCacheModel

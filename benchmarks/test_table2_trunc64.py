@@ -10,7 +10,7 @@ Headline: harsher truncation (64 B vs 200 B) reaches the same rates
 with fewer cores, and extends 100 Gbps capture down to 512 B frames.
 """
 
-from repro.capture.dpdk import DpdkCaptureModel, MAX_WORKER_CORES, OfferedLoad
+from repro.capture.dpdk import DpdkCaptureModel, MAX_WORKER_CORES
 
 from test_table1_trunc200 import reproduce_table
 

@@ -22,9 +22,8 @@ from __future__ import annotations
 import hashlib
 import hmac
 import struct
-from typing import Dict, Optional
+from typing import Dict
 
-from repro.analysis.dissect import Dissector
 from repro.packets.headers import EtherType
 
 

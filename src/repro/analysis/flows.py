@@ -12,7 +12,7 @@ flow, matching how flow counts are usually reported.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from repro.analysis.acap import AcapRecord

@@ -223,13 +223,13 @@ class AnalysisPipeline:
         over up to ``max_workers`` processes.  ``self.acaps`` always
         matches the order of ``pcap_paths``.
         """
-        started = time.perf_counter()
+        started = time.perf_counter()  # reprolint: disable=RL001 -- volatile stage timing
         paths = [Path(p) for p in pcap_paths]
         acaps: List[Optional[AcapFile]] = [None] * len(paths)
         stats = self.stats = PipelineStats(pcaps=len(paths))
         with get_obs().tracer.span("analysis.digest", pcaps=len(paths)):
             self._digest(paths, acaps, stats)
-        stats.digest_seconds = time.perf_counter() - started
+        stats.digest_seconds = time.perf_counter() - started  # reprolint: disable=RL001 -- volatile stage timing
         self._journal_digests()
         return self.acaps
 
@@ -298,10 +298,10 @@ class AnalysisPipeline:
     # -- Index ------------------------------------------------------------
 
     def build_index(self) -> AcapIndex:
-        started = time.perf_counter()
+        started = time.perf_counter()  # reprolint: disable=RL001 -- volatile stage timing
         with get_obs().tracer.span("analysis.index", acaps=len(self.acaps)):
             self.index = AcapIndex.build_from_memory(self.acaps)
-        self.stats.index_seconds = time.perf_counter() - started
+        self.stats.index_seconds = time.perf_counter() - started  # reprolint: disable=RL001 -- volatile stage timing
         return self.index
 
     # -- Analyze + Process ----------------------------------------------------
@@ -310,10 +310,10 @@ class AnalysisPipeline:
         """Run every analysis and emit the report tables."""
         if self.index is None:
             self.build_index()
-        started = time.perf_counter()
+        started = time.perf_counter()  # reprolint: disable=RL001 -- volatile stage timing
         with get_obs().tracer.span("analysis.analyze"):
             report = self._analyze()
-        self.stats.analyze_seconds = time.perf_counter() - started
+        self.stats.analyze_seconds = time.perf_counter() - started  # reprolint: disable=RL001 -- volatile stage timing
         report.stats = self.stats
         self.stats.publish()
         return report

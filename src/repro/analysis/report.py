@@ -13,7 +13,7 @@ these tables as the paper-figure reproductions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 

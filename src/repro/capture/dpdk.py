@@ -28,7 +28,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.capture.storage import DEFAULT_BATCH_FRAMES, PageCacheModel
+from repro.capture.storage import PageCacheModel
 from repro.util.rng import derive_rng
 
 # Calibration anchors: (truncation bytes, A in Mpps, alpha).

@@ -11,7 +11,7 @@ variety of network- and host-related statistics").
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
 

@@ -19,10 +19,9 @@ describes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
-import numpy as np
 
 from repro.util.rng import derive_rng
 

@@ -21,12 +21,17 @@ the reproduction's workflows the same way:
     alone: per-stage loss waterfall, per-site summary, and the
     congestion-detector scorecard.  Exits 1 if the conservation
     identity is violated.
+``python -m repro lint [PATH ...]``
+    Run reprolint, the AST-based checker for the repo's determinism,
+    sim-time, and ledger invariants (rules RL001-RL007).  Exits 1 on
+    violations, 2 on unparseable files.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -122,6 +127,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the loss waterfall as CSV here")
     audit.add_argument("--json", action="store_true",
                        help="print a machine-readable JSON audit")
+
+    lint = sub.add_parser(
+        "lint", help="check repo invariants (determinism, sim time, ledger)")
+    lint.add_argument("paths", nargs="*", type=Path,
+                      help="files/directories to lint "
+                           "(default: [tool.reprolint] paths, or src/repro)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable JSON report")
+    lint.add_argument("--select", action="append", default=[],
+                      metavar="RULE", help="run only these rule ids")
+    lint.add_argument("--ignore", action="append", default=[],
+                      metavar="RULE", help="skip these rule ids")
+    lint.add_argument("--config", type=Path, default=None,
+                      help="explicit pyproject.toml (default: nearest)")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print pragma-suppressed violations")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every rule and exit")
     return parser
 
 
@@ -135,6 +158,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plan": _cmd_plan,
         "obs": _cmd_obs,
         "audit": _cmd_audit,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -418,5 +442,48 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import (apply_overrides, load_config,
+                                     render_json, render_rule_list,
+                                     render_text, run_lint)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    config = load_config(explicit=args.config)
+    apply_overrides(config, select=tuple(args.select),
+                    ignore=tuple(args.ignore))
+    unknown = [r for r in config.select + config.ignore
+               if r.upper() not in _known_rules()]
+    if unknown:
+        print(f"error: unknown rule id: {unknown[0]} "
+              f"(see `repro lint --list-rules`)", file=sys.stderr)
+        return 2
+    result = run_lint(paths=args.paths or None, config=config)
+    if args.json:
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    if result.errors:
+        return 2
+    return 0 if not result.violations else 1
+
+
+def _known_rules() -> List[str]:
+    from repro.devtools.lint import RULES
+    return list(RULES)
+
+
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        # Detach stdout so interpreter shutdown doesn't re-raise EPIPE.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.config import PatchworkConfig
 from repro.core.instance import InstanceResult, PatchworkInstance

@@ -23,7 +23,7 @@ the reproduction *wait out* such incidents instead:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Optional, TypeVar
 
 import numpy as np

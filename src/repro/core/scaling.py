@@ -32,7 +32,6 @@ from typing import Optional
 
 from repro.testbed.api import TestbedAPI
 from repro.testbed.errors import AllocationError, TestbedError
-from repro.testbed.resources import ResourceCapacity
 from repro.testbed.slice_model import NodeRequest, Slice, SliceRequest
 
 

@@ -15,7 +15,7 @@ Every per-site Patchwork run ends in one of four states:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

@@ -1,0 +1,11 @@
+"""Developer tooling that ships with the reproduction.
+
+Nothing under ``repro.devtools`` is imported by the runtime packages
+(``core``, ``capture``, ``analysis``, ...); it exists so the invariants
+those packages rely on -- determinism under a fixed seed, sim-time
+discipline, ledger hygiene -- can be checked mechanically at PR time
+instead of rediscovered as flaky benchmarks.
+
+* :mod:`repro.devtools.lint` -- "reprolint", the AST-based invariant
+  checker behind ``repro lint``.
+"""

@@ -1,0 +1,34 @@
+"""reprolint -- the repo-specific invariant checker behind ``repro lint``.
+
+Off-the-shelf linters know nothing about the three contracts this
+reproduction actually lives or dies by:
+
+* **determinism** -- a seeded run must be byte-identical on rerun
+  (the RunJournal contract, PR 3);
+* **sim-time discipline** -- every delay is spent as simulated time,
+  never wall time;
+* **ledger hygiene** -- every dropped frame carries a cause from the
+  central taxonomy (the frame-conservation ledger, PR 4).
+
+reprolint enforces them statically with seven AST rules (RL001-RL007;
+``repro lint --list-rules``), a line/file pragma escape hatch
+(``# reprolint: disable=RLxxx -- reason``), and per-rule configuration
+in ``[tool.reprolint]``.  See DESIGN.md section 9 for the invariant
+catalogue and the incidents each rule is distilled from.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.config import (LintConfig, apply_overrides,
+                                        load_config)
+from repro.devtools.lint.engine import LintResult, run_lint
+from repro.devtools.lint.report import (render_json, render_rule_list,
+                                        render_text)
+from repro.devtools.lint.rules import RULES, Rule, register
+from repro.devtools.lint.violations import PARSE_ERROR, Violation
+
+__all__ = [
+    "LintConfig", "LintResult", "PARSE_ERROR", "RULES", "Rule", "Violation",
+    "apply_overrides", "load_config", "register", "render_json",
+    "render_rule_list", "render_text", "run_lint",
+]

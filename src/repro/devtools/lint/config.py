@@ -1,0 +1,112 @@
+"""reprolint configuration from ``[tool.reprolint]`` in pyproject.toml.
+
+Everything has a working default so the linter runs on a bare checkout
+(and on Pythons without :mod:`tomllib`, where the config file is simply
+skipped).  Layout::
+
+    [tool.reprolint]
+    paths = ["src/repro"]          # default lint targets for `repro lint`
+    exclude = ["*/lint_fixtures/*"]
+    select = []                    # non-empty = only these rule ids
+    ignore = []                    # always-skipped rule ids
+
+    [tool.reprolint.rules.RL001]
+    allow = ["repro/obs/clock.py"]   # path suffixes the rule skips
+    # ...plus arbitrary rule-specific keys (e.g. RL007 extra-causes)
+
+CLI ``--select``/``--ignore`` override the file-level lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class LintConfig:
+    root: Path = field(default_factory=Path.cwd)
+    paths: List[str] = field(default_factory=lambda: ["src/repro"])
+    exclude: List[str] = field(default_factory=list)
+    select: List[str] = field(default_factory=list)
+    ignore: List[str] = field(default_factory=list)
+    rule_options: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def options_for(self, rule_id: str) -> Dict[str, object]:
+        return self.rule_options.get(rule_id, {})
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if self.select and rule_id not in self.select:
+            return False
+        return rule_id not in self.ignore
+
+
+def _read_pyproject(path: Path) -> Optional[Dict[str, object]]:
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: run with built-in defaults
+        return None
+    try:
+        with open(path, "rb") as handle:
+            return tomllib.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    for candidate in [start, *start.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def _str_list(raw: object) -> List[str]:
+    if isinstance(raw, str):
+        return [raw]
+    if isinstance(raw, (list, tuple)):
+        return [str(item) for item in raw]
+    return []
+
+
+def load_config(explicit: Optional[Path] = None,
+                start: Optional[Path] = None) -> LintConfig:
+    """Load config from an explicit file or the nearest pyproject.toml."""
+    pyproject = explicit or find_pyproject(start or Path.cwd())
+    if pyproject is None:
+        return LintConfig()
+    data = _read_pyproject(pyproject)
+    if data is None:
+        return LintConfig(root=pyproject.parent)
+    tool = data.get("tool", {})
+    section = tool.get("reprolint", {}) if isinstance(tool, dict) else {}
+    if not isinstance(section, dict):
+        section = {}
+    rules = section.get("rules", {})
+    rule_options: Dict[str, Dict[str, object]] = {}
+    if isinstance(rules, dict):
+        for rule_id, options in rules.items():
+            if isinstance(options, dict):
+                rule_options[str(rule_id).upper()] = dict(options)
+    config = LintConfig(
+        root=pyproject.parent,
+        exclude=_str_list(section.get("exclude")),
+        select=[s.upper() for s in _str_list(section.get("select"))],
+        ignore=[s.upper() for s in _str_list(section.get("ignore"))],
+        rule_options=rule_options,
+    )
+    paths = _str_list(section.get("paths"))
+    if paths:
+        config.paths = paths
+    return config
+
+
+def apply_overrides(config: LintConfig,
+                    select: Tuple[str, ...] = (),
+                    ignore: Tuple[str, ...] = ()) -> LintConfig:
+    if select:
+        config.select = [s.upper() for s in select]
+    if ignore:
+        config.ignore = [s.upper() for s in ignore]
+    return config

@@ -1,0 +1,111 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`FileContext` is built per linted module: parsed AST, source
+lines (for snippets), pragma maps, and an import-alias table so rules
+can resolve a call like ``t.monotonic()`` (under ``import time as t``)
+or ``now()`` (under ``from time import time as now``) to the canonical
+dotted name ``time.monotonic`` / ``time.time`` before matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.lint.pragmas import parse_pragmas
+
+
+class FileContext:
+    """Everything a rule needs to know about one module."""
+
+    def __init__(self, path: Path, rel_path: str, source: str,
+                 tree: ast.Module):
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = tree
+        self.line_pragmas, self.file_pragmas = parse_pragmas(source)
+        self.imports: Dict[str, str] = _import_table(tree)
+
+    # -- source access ---------------------------------------------------
+
+    def snippet(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    # -- name resolution -------------------------------------------------
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, alias-resolved.
+
+        ``Name`` heads are looked up in the module's import table, so
+        with ``import numpy as np`` the expression ``np.random.default_rng``
+        resolves to ``numpy.random.default_rng``.  Returns ``None`` for
+        expressions with a non-name head (calls, subscripts, ...), whose
+        value a static pass cannot track.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self.imports.get(node.id, node.id)
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+    def call_qualname(self, call: ast.Call) -> Optional[str]:
+        return self.qualname(call.func)
+
+
+def _import_table(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> canonical dotted name for every import."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    table[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: not a stdlib/third-party alias
+                continue
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = (
+                    f"{module}.{alias.name}" if module else alias.name
+                )
+    return table
+
+
+def names_in(node: ast.AST) -> Set[str]:
+    """Every bare identifier mentioned anywhere in an expression."""
+    found: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            found.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            found.add(child.attr)
+    return found
+
+
+def load_context(path: Path, rel_path: str) -> Tuple[Optional[FileContext],
+                                                     Optional[str]]:
+    """Parse one file; returns (context, error-message)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, f"unreadable: {exc}"
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, f"syntax error: {exc.msg} (line {exc.lineno})"
+    return FileContext(path, rel_path, source, tree), None

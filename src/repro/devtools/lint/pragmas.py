@@ -1,0 +1,66 @@
+"""``# reprolint: disable=RLxxx`` pragma parsing.
+
+Two scopes:
+
+* **line** -- a pragma in a trailing comment suppresses the named rules
+  for violations reported on that physical line::
+
+      started = time.perf_counter()  # reprolint: disable=RL001 -- volatile stage timing
+
+* **file** -- a pragma comment on a line of its own, using
+  ``disable-file=``, suppresses the named rules for the whole module::
+
+      # reprolint: disable-file=RL006
+
+Rule lists are comma-separated; ``all`` names every rule.  Anything
+after ``--`` is a human-readable justification and is ignored by the
+parser (but encouraged: a pragma with no reason invites cargo-culting).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set, Tuple
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?:\s*--.*)?$"
+)
+
+
+def _rule_set(raw: str) -> Set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract (line -> rules, file-wide rules) from a module's source.
+
+    Uses the tokenizer rather than a line regex so pragma-looking text
+    inside string literals (e.g. this linter's own tests) is ignored.
+    Tokenization errors fall back to empty maps -- the engine reports
+    the syntax error separately.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(token.string)
+            if not match:
+                continue
+            rules = _rule_set(match.group("rules"))
+            if match.group("scope") == "disable-file":
+                file_wide |= rules
+            else:
+                by_line.setdefault(token.start[0], set()).update(rules)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return {}, set()
+    return by_line, file_wide
+
+
+def suppresses(rules: Set[str], rule_id: str) -> bool:
+    return "ALL" in rules or rule_id.upper() in rules

@@ -1,0 +1,61 @@
+"""Rendering lint results for humans (text) and machines (``--json``).
+
+The JSON document is the CI artifact: stable keys, violations sorted by
+(path, line, col, rule), and a top-level ``ok`` so a gate can jq a
+single boolean.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.devtools.lint.engine import LintResult
+from repro.devtools.lint.rules import RULES
+from repro.devtools.lint.violations import Violation
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    lines: List[str] = []
+    by_path: Dict[str, List[Violation]] = {}
+    items = list(result.errors) + list(result.violations)
+    if show_suppressed:
+        items += list(result.suppressed)
+    for violation in items:
+        by_path.setdefault(violation.path, []).append(violation)
+    for path in sorted(by_path):
+        for violation in sorted(by_path[path]):
+            lines.append(violation.render())
+            if violation.snippet:
+                lines.append(f"    {violation.snippet}")
+    counts = result.counts_by_rule()
+    if counts:
+        summary = ", ".join(f"{rule} x{n}" for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(f"{len(result.violations)} violation(s) "
+                     f"[{summary}] in {result.files_checked} file(s)")
+    elif result.errors:
+        lines.append("")
+        lines.append(f"{len(result.errors)} file(s) could not be parsed")
+    else:
+        suffix = f" ({len(result.suppressed)} suppressed by pragma)" \
+            if result.suppressed else ""
+        lines.append(f"clean: {result.files_checked} file(s), "
+                     f"{len(result.rules_run)} rule(s){suffix}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(result.to_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id}  {rule.name}")
+        lines.append(f"       {rule.summary}")
+        if rule.default_allow:
+            allowed = ", ".join(rule.default_allow)
+            lines.append(f"       always allowed in: {allowed}")
+    return "\n".join(lines)

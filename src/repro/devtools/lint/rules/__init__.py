@@ -1,0 +1,24 @@
+"""The reprolint rule registry.
+
+Each rule is a small, independently testable :class:`~.base.Rule`
+visitor registered under a stable ``RLxxx`` id.  Importing this package
+loads every built-in rule module; third parties (or tests) can register
+additional rules with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint.rules.base import RULES, Rule, register
+
+# Import for side effect: each module registers its rule class.
+from repro.devtools.lint.rules import (  # noqa: F401  (registration imports)
+    rl001_wallclock,
+    rl002_nondeterminism,
+    rl003_sleep,
+    rl004_conditional_rng,
+    rl005_journal_purity,
+    rl006_broad_except,
+    rl007_drop_causes,
+)
+
+__all__ = ["RULES", "Rule", "register"]

@@ -1,0 +1,77 @@
+"""Rule plugin interface.
+
+A rule is an :class:`ast.NodeVisitor` with a stable id, a one-line
+summary (shown by ``repro lint --list-rules`` and used in DESIGN.md's
+invariant catalogue), and an optional per-rule options dict sourced
+from ``[tool.reprolint.rules.<id>]`` in pyproject.toml.
+
+Rules only *report*; suppression (pragmas, per-rule path allowlists,
+select/ignore) is applied by the engine so every rule stays a pure
+function of the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Type
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.violations import Violation
+
+RULES: Dict[str, Type["Rule"]] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or cls.id in RULES:
+        raise ValueError(f"duplicate or empty rule id: {cls.id!r}")
+    RULES[cls.id] = cls
+    return cls
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for reprolint rules (subclass and ``@register``)."""
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+    #: Repo-relative path suffixes where this rule never applies (the
+    #: architectural escape hatch -- e.g. RL001 allows ``obs/clock.py``,
+    #: the one sanctioned wall-clock boundary).  Extended, not replaced,
+    #: by the ``allow`` list in pyproject.
+    default_allow: tuple = ()
+
+    def __init__(self, ctx: FileContext, options: Dict[str, object]):
+        self.ctx = ctx
+        self.options = options
+        self.violations: List[Violation] = []
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(
+            path=self.ctx.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            snippet=self.ctx.snippet(node),
+        ))
+
+    # -- execution -------------------------------------------------------
+
+    def run(self) -> List[Violation]:
+        self.visit(self.ctx.tree)
+        return self.violations
+
+    # -- option helpers --------------------------------------------------
+
+    def allow_paths(self) -> tuple:
+        extra = self.options.get("allow", [])
+        if isinstance(extra, str):
+            extra = [extra]
+        return tuple(self.default_allow) + tuple(extra)
+
+    def applies_to(self, rel_path: str) -> bool:
+        posix = rel_path.replace("\\", "/")
+        return not any(posix.endswith(suffix) for suffix in self.allow_paths())

@@ -1,0 +1,56 @@
+"""RL001 -- wall-clock reads outside the clock boundary.
+
+Journal determinism (PR 3) rests on every timestamp in deterministic
+output coming from sim time.  The single sanctioned wall-clock read is
+``repro/obs/clock.py`` (:class:`WallClock`); anything else reading
+``time.time()`` et al. is either a latent journal leak or a benchmark
+that should be marked volatile and pragma'd with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.rules.base import Rule, register
+
+WALL_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+# Flagged only when called with no arguments: ``datetime.now(tz)`` is
+# still wall time but is out of scope per the invariant catalogue (it
+# is always explicit, greppable, and never an accident).
+ARGLESS_WALL_CALLS = frozenset({
+    "datetime.datetime.now",
+})
+
+
+@register
+class WallClockRule(Rule):
+    id = "RL001"
+    name = "wall-clock-read"
+    summary = ("wall-clock read (time.time/monotonic/perf_counter, argless "
+               "datetime.now) outside the obs/clock.py boundary")
+    default_allow = ("repro/obs/clock.py",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self.ctx.call_qualname(node)
+        if qual in WALL_CALLS or (
+                qual in ARGLESS_WALL_CALLS and not node.args
+                and not node.keywords):
+            self.report(node, (
+                f"wall-clock read `{qual}` -- deterministic code must take "
+                "time from the Simulator (obs clock); if this is volatile "
+                "benchmark timing, pragma it with a reason"))
+        self.generic_visit(node)

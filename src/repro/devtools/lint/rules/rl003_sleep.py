@@ -1,0 +1,38 @@
+"""RL003 -- sim-time discipline: no real sleeps.
+
+Every delay in the reproduction -- allocation latency, retry backoff,
+sample intervals -- is *simulated* time spent via
+:meth:`repro.netsim.engine.Simulator.run` (or an API that charges it,
+like ``ResilientAPI.wait``).  A real ``time.sleep`` would couple test
+wall time to modelled time (a 20-minute mega-slice allocation would
+really take 20 minutes) and, worse, spend no sim time at all, silently
+decoupling the caller from every scheduled dataplane event.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.rules.base import Rule, register
+
+SLEEP_CALLS = frozenset({
+    "time.sleep",
+    "asyncio.sleep",
+})
+
+
+@register
+class SleepRule(Rule):
+    id = "RL003"
+    name = "real-sleep"
+    summary = ("time.sleep/asyncio.sleep in src/repro -- delays must be "
+               "charged to the Simulator clock")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self.ctx.call_qualname(node)
+        if qual in SLEEP_CALLS:
+            self.report(node, (
+                f"`{qual}` spends wall time but zero sim time -- charge "
+                "the delay via Simulator.run(until=...) / the owning "
+                "API's wait() instead"))
+        self.generic_visit(node)

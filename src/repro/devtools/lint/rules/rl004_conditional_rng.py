@@ -1,0 +1,187 @@
+"""RL004 -- seeded-RNG draws guarded by cache state.
+
+The exact PR 3 incident class: ``FlowTemplate`` built app headers with
+the flow's *shared* seeded RNG, but only on a template-cache miss.  Two
+seeded runs in one process then consumed different amounts of the same
+stream (the second run hit the cache and skipped the draw), and every
+subsequent draw in the "identical" run was desynchronized.  The fix --
+derive a local RNG from the template shape -- is the pattern this rule
+steers toward.
+
+Static shape flagged here: inside one function, a draw from a *shared*
+RNG (a parameter or attribute, not derived locally) that executes
+conditionally on cache state, either
+
+* lexically inside an ``if``/``else`` whose test mentions a cache
+  (``cache``/``memo``/``seen``/``lru`` in an identifier, or a value
+  obtained from ``<cache>.get(...)``), or
+* after a cache-hit early return (``if key in self._cache: return ...``),
+  i.e. on the miss path.
+
+Draws from RNGs created *within* the function by
+``repro.util.rng.derive_rng``, a seeded ``default_rng(...)``, or
+``Generator.spawn()`` are exempt: a fresh stream keyed on stable inputs
+cannot desync siblings no matter which branch builds it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.devtools.lint.context import names_in
+from repro.devtools.lint.rules.base import Rule, register
+
+CACHEISH = ("cache", "cached", "memo", "lru", "seen")
+
+# numpy.random.Generator draw methods plus the generic names local
+# sampler closures use in this repo.
+CONSUMERS = frozenset({
+    "integers", "random", "choice", "bytes", "shuffle", "permutation",
+    "permuted", "standard_normal", "normal", "uniform", "exponential",
+    "standard_exponential", "poisson", "lognormal", "pareto", "binomial",
+    "geometric", "gamma", "standard_gamma", "beta", "triangular",
+    "weibull", "zipf", "vonmises", "rayleigh", "multinomial", "laplace",
+    "logistic", "chisquare", "dirichlet", "hypergeometric",
+    "negative_binomial", "standard_cauchy", "standard_t", "wald",
+    "sample", "draw",
+})
+
+DERIVERS = frozenset({"default_rng", "derive_rng", "spawn", "rng"})
+
+
+def _is_cacheish_name(identifier: str) -> bool:
+    lowered = identifier.lower()
+    return any(tag in lowered for tag in CACHEISH)
+
+
+def _derives_local_rng(value: ast.AST) -> bool:
+    """True for ``default_rng(seed)`` / ``derive_rng(..)`` / ``x.spawn()``."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    tail = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else "")
+    return tail in DERIVERS
+
+
+def _is_cache_lookup(value: ast.AST) -> bool:
+    """``<cache>.get(...)`` or ``<cache>[...]`` on a cache-ish receiver."""
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute) \
+            and value.func.attr == "get":
+        return any(_is_cacheish_name(n) for n in names_in(value.func.value))
+    if isinstance(value, ast.Subscript):
+        return any(_is_cacheish_name(n) for n in names_in(value.value))
+    return False
+
+
+def _assigned_names(target: ast.AST) -> Set[str]:
+    found: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            found.add(node.id)
+    return found
+
+
+@register
+class ConditionalRngRule(Rule):
+    id = "RL004"
+    name = "rng-draw-on-cache-miss"
+    summary = ("shared seeded RNG consumed inside a cache-miss or "
+               "cache-guarded branch (cross-run desync, the PR 3 bug class)")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._analyze(node)
+        self.generic_visit(node)  # nested defs analyzed independently
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._analyze(node)
+        self.generic_visit(node)
+
+    # -- per-function analysis ------------------------------------------
+
+    def _analyze(self, fn: ast.AST) -> None:
+        local_rngs: Set[str] = set()
+        cache_derived: Set[str] = set()
+        for stmt in self._statements(fn):
+            if isinstance(stmt, ast.Assign):
+                targets = set()
+                for target in stmt.targets:
+                    targets |= _assigned_names(target)
+                if _derives_local_rng(stmt.value):
+                    local_rngs |= targets
+                if _is_cache_lookup(stmt.value):
+                    cache_derived |= targets
+        self._walk_block(fn.body, False, local_rngs, cache_derived)
+
+    def _statements(self, fn: ast.AST):
+        """Every statement in ``fn``, not descending into nested defs."""
+        stack = list(fn.body)
+        while stack:
+            stmt = stack.pop()
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield stmt
+            for field in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(stmt, field, []))
+            for handler in getattr(stmt, "handlers", []):
+                stack.extend(handler.body)
+
+    def _is_gate(self, test: ast.AST, cache_derived: Set[str]) -> bool:
+        mentioned = names_in(test)
+        return any(_is_cacheish_name(n) for n in mentioned) \
+            or bool(mentioned & cache_derived)
+
+    def _walk_block(self, stmts, conditional: bool,
+                    local_rngs: Set[str], cache_derived: Set[str]) -> None:
+        on_miss_path = conditional
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If) and \
+                    self._is_gate(stmt.test, cache_derived):
+                self._walk_block(stmt.body, True, local_rngs, cache_derived)
+                self._walk_block(stmt.orelse, True, local_rngs, cache_derived)
+                if any(isinstance(s, (ast.Return, ast.Raise, ast.Continue))
+                       for s in stmt.body):
+                    # Cache-hit branch exits early: the rest of this
+                    # block is the miss path.
+                    on_miss_path = True
+                continue
+            if on_miss_path:
+                self._flag_draws(stmt, local_rngs)
+                continue
+            for field in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field, [])
+                if inner:
+                    self._walk_block(inner, on_miss_path, local_rngs,
+                                     cache_derived)
+            for handler in getattr(stmt, "handlers", []):
+                self._walk_block(handler.body, on_miss_path, local_rngs,
+                                 cache_derived)
+
+    def _flag_draws(self, stmt: ast.AST, local_rngs: Set[str]) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in CONSUMERS):
+                continue
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name):
+                tail = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                tail = receiver.attr
+            else:
+                continue
+            if "rng" not in tail.lower() or tail in local_rngs:
+                continue
+            self.report(node, (
+                f"shared RNG `{tail}.{node.func.attr}(...)` consumed on a "
+                "cache-dependent path -- sibling seeded runs that hit the "
+                "cache skip this draw and desync; draw unconditionally or "
+                "derive a local RNG from stable inputs "
+                "(repro.util.rng.derive_rng)"))

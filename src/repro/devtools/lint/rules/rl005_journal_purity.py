@@ -1,0 +1,101 @@
+"""RL005 -- journal purity: wall-derived values need ``volatile=``.
+
+The :class:`~repro.obs.journal.RunJournal` is byte-identical across
+seeded runs *only because* emitters route wall-time-derived values
+(stage durations, throughput) through the ``volatile=`` mapping, which
+a deterministic journal discards.  Passing such a value as a regular
+event field bakes nondeterminism into the journal and breaks
+``repro obs diff`` -- silently, because the event still renders fine.
+
+The check is a function-local taint pass: names assigned from a
+wall-clock read (``time.time``/``perf_counter``/...), or arithmetic
+over one, taint any ``journal.emit(...)`` keyword they reach --
+including an explicit ``t=``.  ``volatile={...}`` is the sanctioned
+sink and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.devtools.lint.context import names_in
+from repro.devtools.lint.rules.base import Rule, register
+from repro.devtools.lint.rules.rl001_wallclock import (ARGLESS_WALL_CALLS,
+                                                       WALL_CALLS)
+
+ALL_WALL = WALL_CALLS | ARGLESS_WALL_CALLS
+
+
+@register
+class JournalPurityRule(Rule):
+    id = "RL005"
+    name = "journal-wall-taint"
+    summary = ("wall-time-derived value passed to RunJournal.emit outside "
+               "volatile= (breaks byte-identical journals)")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._analyze(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._analyze(node)
+        self.generic_visit(node)
+
+    # -- taint machinery -------------------------------------------------
+
+    def _wall_call_in(self, expr: ast.AST) -> bool:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call) and \
+                    self.ctx.call_qualname(sub) in ALL_WALL:
+                return True
+        return False
+
+    def _tainted_names(self, fn: ast.AST) -> Set[str]:
+        tainted: Set[str] = set()
+        # Fixpoint over assignments (order-free; two passes suffice for
+        # straight-line taint chains, loop until stable to be safe).
+        assigns = [
+            stmt for stmt in ast.walk(fn)
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign))
+            and getattr(stmt, "value", None) is not None
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for stmt in assigns:
+                value = stmt.value
+                if not (self._wall_call_in(value)
+                        or names_in(value) & tainted):
+                    continue
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                for target in targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name) \
+                                and name.id not in tainted:
+                            tainted.add(name.id)
+                            changed = True
+        return tainted
+
+    # -- the check -------------------------------------------------------
+
+    def _analyze(self, fn: ast.AST) -> None:
+        tainted = self._tainted_names(fn)
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"):
+                continue
+            receiver_names = names_in(node.func.value)
+            if not any("journal" in n.lower() for n in receiver_names):
+                continue
+            for kw in node.keywords:
+                if kw.arg is None or kw.arg == "volatile":
+                    continue
+                if self._wall_call_in(kw.value) \
+                        or names_in(kw.value) & tainted:
+                    self.report(kw.value, (
+                        f"journal event field `{kw.arg}=` carries a "
+                        "wall-time-derived value -- pass it via "
+                        "volatile={...} so deterministic journals drop it"))

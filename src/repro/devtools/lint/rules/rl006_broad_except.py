@@ -1,0 +1,78 @@
+"""RL006 -- broad exception swallowing.
+
+Seed incident: ``SliceAllocator._place`` rolled back partial placements
+under ``except Exception:`` -- correct cleanup, but the clause would
+also have eaten a typo'd attribute error, and nothing reached the run
+journal, so a "mysteriously empty slice" had no machine-readable cause
+(fixed in this PR: narrowed to the concrete allocator errors and
+journaled).
+
+A broad handler (``except Exception`` / ``except BaseException`` /
+bare ``except``) is allowed only when it visibly does one of:
+
+* re-raise (a ``raise`` statement anywhere in the handler), or
+* record the failure -- a call to ``journal.emit``/``.log``/
+  ``logger.*``/``.exception``/``.error``/``.warning``/``._note`` inside
+  the handler.
+
+Otherwise the failure vanishes and the Fig 10-style outcome analysis
+the journal exists for (paper Section 6.2.2, requirement R3) is blind
+to it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.rules.base import Rule, register
+
+BROAD = frozenset({"Exception", "BaseException"})
+RECORDERS = frozenset({
+    "emit", "log", "debug", "info", "warning", "error", "exception",
+    "critical", "_note", "note", "record_failure",
+})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    for node in types:
+        if isinstance(node, ast.Name) and node.id in BROAD:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in BROAD:
+            return True
+    return False
+
+
+def _handles_visibly(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            tail = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "")
+            if tail in RECORDERS or "journal" in tail.lower():
+                return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "RL006"
+    name = "silent-broad-except"
+    summary = ("`except Exception`/bare except that neither re-raises nor "
+               "journals the swallowed failure")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _is_broad(node) and not _handles_visibly(node):
+            what = "bare `except:`" if node.type is None \
+                else "`except Exception`"
+            self.report(node, (
+                f"{what} swallows the failure invisibly -- narrow it to "
+                "the concrete error types, re-raise, or journal it "
+                "(journal.emit / logger) so the run record shows what "
+                "happened"))
+        self.generic_visit(node)

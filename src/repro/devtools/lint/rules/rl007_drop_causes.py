@@ -1,0 +1,89 @@
+"""RL007 -- drop causes must come from the central ledger taxonomy.
+
+The frame-conservation identity (PR 4) only audits cleanly because
+every dropped frame is charged to one of the causes in
+:data:`repro.obs.ledger.CAUSES`.  A stringly-typed cause -- a typo
+(``"mirror-egres"``), an ad-hoc name (``"ring"``), a stage name used as
+a cause -- silently opens a parallel books entry: the conservation sum
+still balances per-row, but the audit waterfall, the
+``ledger.dropped.*`` counters, and the scorecard's ground truth
+(``drops["mirror-egress"]``) all stop seeing those frames.
+
+Flagged: any string literal used as a drop-cause key that is not in the
+taxonomy -- subscripts on a ``drops`` mapping (``row.drops["..."]``,
+``drops["..."] = n``), ``drops.get("...")``, and cause arguments to
+drop-recording calls (``add_drop``/``record_drop``/``charge_drop``).
+New cause?  Add it to ``CAUSES`` + ``STAGE_OF_CAUSE`` first; the audit
+waterfall and this rule pick it up together.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet
+
+from repro.devtools.lint.rules.base import Rule, register
+
+DROP_RECORDERS = frozenset({"add_drop", "record_drop", "charge_drop"})
+
+# Fallback when the rule runs outside an importable repro tree (e.g.
+# linting a checkout without src on sys.path); kept in sync by
+# tests/test_lint_rules.py::test_rl007_fallback_matches_ledger.
+FALLBACK_TAXONOMY = frozenset({
+    "oversize", "fault-window", "mirror-egress", "in-flight", "nic-ring",
+    "writer-backpressure", "filtered", "parse-error",
+})
+
+
+def taxonomy() -> FrozenSet[str]:
+    """The live cause vocabulary (ledger CAUSES + staged extras)."""
+    try:
+        from repro.obs.ledger import CAUSES, STAGE_OF_CAUSE
+    except ImportError:
+        return FALLBACK_TAXONOMY
+    return frozenset(CAUSES) | frozenset(STAGE_OF_CAUSE)
+
+
+def _is_drops_mapping(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "drops"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "drops"
+    return False
+
+
+@register
+class DropCauseRule(Rule):
+    id = "RL007"
+    name = "unknown-drop-cause"
+    summary = ("string drop cause not in the ledger taxonomy (typo or "
+               "ad-hoc cause bypassing repro.obs.ledger.CAUSES)")
+
+    def __init__(self, ctx, options):
+        super().__init__(ctx, options)
+        self._causes = taxonomy() | frozenset(
+            str(extra) for extra in options.get("extra-causes", []))
+
+    def _check_literal(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+                and node.value not in self._causes:
+            close = ", ".join(sorted(self._causes))
+            self.report(node, (
+                f"drop cause '{node.value}' is not in the ledger taxonomy "
+                f"({close}) -- add it to repro.obs.ledger.CAUSES/"
+                "STAGE_OF_CAUSE or fix the spelling"))
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if _is_drops_mapping(node.value):
+            self._check_literal(node.slice)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "get" and _is_drops_mapping(func.value) \
+                    and node.args:
+                self._check_literal(node.args[0])
+            elif func.attr in DROP_RECORDERS and node.args:
+                self._check_literal(node.args[0])
+        self.generic_visit(node)

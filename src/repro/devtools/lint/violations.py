@@ -1,0 +1,39 @@
+"""The lint result model.
+
+A :class:`Violation` is one rule firing at one source location.  The
+engine keeps *suppressed* violations (those silenced by a
+``# reprolint: disable=RLxxx`` pragma) in its result so reports can
+show what the pragmas are hiding; only unsuppressed violations count
+toward the exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule firing at one location (path is repo-relative, posix)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    snippet: str = ""
+    suppressed: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def render(self) -> str:
+        flag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule}{flag} {self.message}"
+
+
+# Pseudo-rule for files the engine cannot parse at all.  A syntax error
+# is not a policy violation -- the CLI maps it to exit code 2 (usage /
+# environment error) rather than 1 (violations found).
+PARSE_ERROR = "E000"

@@ -16,8 +16,8 @@ signal the paper uses.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, List
 
 from repro.netsim.engine import Simulator
 from repro.netsim.frame import Frame

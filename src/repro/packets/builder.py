@@ -18,7 +18,7 @@ This mirrors how the paper's captures look on the wire: e.g.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.packets import headers as hdr
@@ -32,7 +32,6 @@ from repro.packets.headers import (
     IPv6,
     MPLS,
     Payload,
-    PseudoWireControlWord,
     TCP,
     UDP,
     VLAN,

@@ -14,7 +14,7 @@ omitted for clarity.  All multi-byte fields are network byte order.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Dict, Tuple
 

@@ -16,11 +16,11 @@ is a mixture of mostly-quiet ports and a saturated tail.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 import numpy as np
 
-from repro.traffic.schedule import SliceSchedule, WEEKS, deadline_intensity
+from repro.traffic.schedule import SliceSchedule, WEEKS
 from repro.util.rng import SeedSequenceFactory
 from repro.util.tables import Table
 

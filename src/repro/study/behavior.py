@@ -16,9 +16,8 @@ paper mined its logs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.core.config import PatchworkConfig
 from repro.core.coordinator import Coordinator

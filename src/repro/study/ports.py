@@ -9,9 +9,8 @@ the profiler must be able to sample both.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
-import numpy as np
 
 from repro.testbed.federation import Federation
 from repro.testbed.information_model import InformationModel, SitePortCount

@@ -13,7 +13,7 @@ deltas over the sample interval, just like PromQL ``rate()``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.telemetry.timeseries import CounterSample, CounterStore
 

@@ -22,7 +22,7 @@ tag-aware flow classification over identical traffic.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.netsim.engine import Simulator

@@ -14,7 +14,7 @@ which is exactly the fidelity limit the real Patchwork lives with.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.netsim.engine import Event, Simulator
 from repro.telemetry.timeseries import CounterStore

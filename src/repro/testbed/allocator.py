@@ -22,13 +22,14 @@ from typing import Dict, Optional, Tuple
 from repro.netsim.engine import Simulator
 from repro.obs import get_obs
 from repro.testbed.errors import (
+    AllocationError,
     InsufficientResourcesError,
     SliceNotFoundError,
     TransientBackendError,
 )
 from repro.testbed.faults import FaultInjector
 from repro.testbed.site import Site
-from repro.testbed.slice_model import NodeRequest, Slice, SliceRequest
+from repro.testbed.slice_model import Slice, SliceRequest
 
 
 class SliceAllocator:
@@ -199,7 +200,17 @@ class SliceAllocator:
                     allocated_vfs.append(shared)
                     live.shared_vf_nics.append(shared)
                     vm.grant_port(shared.ports[0])
-        except Exception:
+        except AllocationError as exc:
+            # Roll back the partial placement.  Only admission failures
+            # are expected here (the aggregate check can pass while no
+            # single worker fits); anything else is a bug and must
+            # propagate unhandled rather than be silently unwound.
+            get_obs().journal.emit(
+                "allocator-rollback", t=self.sim.now, site=site.name,
+                slice=request.name, error=str(exc),
+                vms_released=len(created_vms),
+                nics_released=len(allocated_nics),
+                vfs_released=len(allocated_vfs))
             for vm in created_vms:
                 vm.worker.destroy_vm(vm)
             for nic in allocated_nics:

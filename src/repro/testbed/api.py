@@ -13,9 +13,9 @@ porting Patchwork to another testbed means re-implementing this facade.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
-from repro.testbed.errors import MirrorConflictError, TransientBackendError
+from repro.testbed.errors import TransientBackendError
 from repro.testbed.federation import Federation
 from repro.testbed.nic import NicPort
 from repro.testbed.resources import ResourceCapacity

@@ -10,7 +10,7 @@ receivers/senders on the NIC ports their VM was granted.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.testbed.errors import InsufficientResourcesError
 from repro.testbed.nic import Nic, NicPort

@@ -11,7 +11,7 @@ returns everything to the site.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.testbed.hosts import VM

@@ -19,7 +19,7 @@ The switch is where the paper's key dataplane mechanics live:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.netsim.engine import Simulator
 from repro.netsim.frame import Frame

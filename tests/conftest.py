@@ -7,7 +7,6 @@ once; tests that need to mutate state build their own small worlds.
 
 from __future__ import annotations
 
-from pathlib import Path
 
 import pytest
 

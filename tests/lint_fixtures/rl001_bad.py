@@ -1,0 +1,17 @@
+"""RL001 bad fixture: wall-clock reads outside the clock boundary."""
+
+import time as walltime
+from datetime import datetime
+from time import monotonic as mono
+
+import time
+
+
+def stamp_event():
+    return time.time()  # BAD: wall clock in deterministic code
+
+
+def measure():
+    start = walltime.perf_counter()  # BAD: aliased module import
+    middle = mono()  # BAD: aliased from-import
+    return start, middle, datetime.now()  # BAD: argless datetime.now

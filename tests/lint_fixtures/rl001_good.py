@@ -1,0 +1,22 @@
+"""RL001 good fixture: time from the simulator, pragma'd benchmarks."""
+
+import time
+from datetime import timezone, datetime
+
+
+def stamp_event(sim):
+    return sim.now  # sim time is the sanctioned clock
+
+
+def sample_window(clock):
+    return clock.now()  # the obs clock abstraction, not a wall read
+
+
+def benchmark_stage():
+    started = time.perf_counter()  # reprolint: disable=RL001 -- volatile timing
+    return started
+
+
+def tz_aware():
+    # Explicit tz argument is out of scope for RL001 (never accidental).
+    return datetime.now(timezone.utc)

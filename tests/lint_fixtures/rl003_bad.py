@@ -1,0 +1,17 @@
+"""RL003 bad fixture: real sleeps in simulated code."""
+
+import asyncio
+import time
+from time import sleep as nap
+
+
+def wait_for_backend():
+    time.sleep(0.5)  # BAD: wall-time delay, zero sim time
+
+
+def wait_aliased():
+    nap(1.0)  # BAD: aliased from-import
+
+
+async def wait_async():
+    await asyncio.sleep(2.0)  # BAD: same, async flavor

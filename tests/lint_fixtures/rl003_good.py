@@ -1,0 +1,9 @@
+"""RL003 good fixture: delays charged to the simulator."""
+
+
+def wait_for_backend(sim, seconds):
+    sim.run(until=sim.now + seconds)  # sim-time delay
+
+
+def wait_via_api(api, delay):
+    api.wait(delay)  # the resilient-API wrapper charges sim time

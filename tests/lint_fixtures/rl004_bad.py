@@ -1,0 +1,41 @@
+"""RL004 bad fixture: the PR 3 RNG-desync bug class, re-introduced.
+
+This is a distilled copy of the original ``FlowTemplate`` defect: the
+app-header draw consumed the flow's *shared* seeded RNG, but only on a
+template-cache miss, so the second seeded run in a process (cache warm)
+skipped the draw and desynchronized every subsequent sample.
+"""
+
+_TEMPLATE_CACHE = {}
+
+
+class FlowTemplate:
+    def __init__(self, app, rng):
+        self.app = app
+        self.rng = rng  # the flow's SHARED seeded stream
+
+    def build(self, kind):
+        key = (self.app.name, kind)
+        if key in _TEMPLATE_CACHE:  # cache-hit early return
+            return _TEMPLATE_CACHE[key]
+        # BAD: this draw only happens on a miss -- a sibling run that
+        # hits the cache consumes less of the shared stream and desyncs.
+        header = self.app.app_header(self.rng.integers(0, 2**16))
+        _TEMPLATE_CACHE[key] = header
+        return header
+
+
+def sample_cached(cache, rng, key):
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    value = rng.normal()  # BAD: drawn on the miss path only
+    cache[key] = value
+    return value
+
+
+def draw_in_guard(memo, shared_rng, key):
+    if key not in memo:
+        # BAD: draw inside the cache-guarded branch itself.
+        memo[key] = shared_rng.choice([1, 2, 3])
+    return memo[key]

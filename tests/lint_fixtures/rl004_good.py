@@ -1,0 +1,44 @@
+"""RL004 good fixture: the shipped fixes for the PR 3 desync bug."""
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+_TEMPLATE_CACHE = {}
+
+
+class FlowTemplate:
+    def __init__(self, app, rng):
+        self.app = app
+        self.rng = rng
+
+    def build(self, kind):
+        key = (self.app.name, kind)
+        if key in _TEMPLATE_CACHE:
+            return _TEMPLATE_CACHE[key]
+        # OK: the draw uses a LOCAL generator derived from stable
+        # inputs, so cache state cannot desync the shared stream.
+        header_rng = np.random.default_rng(hash(key) & 0xFFFF)
+        header = self.app.app_header(header_rng.integers(0, 2**16))
+        _TEMPLATE_CACHE[key] = header
+        return header
+
+
+def sample_cached(cache, seed, key):
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    local_rng = derive_rng(seed, str(key))
+    value = local_rng.normal()  # OK: derived stream, not shared
+    cache[key] = value
+    return value
+
+
+def draw_unconditionally(cache, rng, key):
+    # OK: the shared stream is consumed on BOTH paths, so sibling runs
+    # stay in lockstep regardless of cache state.
+    drawn = rng.normal()
+    if key in cache:
+        return cache[key]
+    cache[key] = drawn
+    return drawn

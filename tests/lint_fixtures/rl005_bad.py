@@ -1,0 +1,26 @@
+"""RL005 bad fixture: wall-derived values journaled without volatile."""
+
+import time
+
+
+def record_stage(journal):
+    started = time.perf_counter()
+    work()
+    elapsed = time.perf_counter() - started
+    # BAD: `elapsed` is wall-derived; two seeded runs emit different
+    # journals and `repro obs diff` turns red.
+    journal.emit("stage-done", stage="digest", seconds=elapsed)
+
+
+def record_direct(obs):
+    # BAD: direct wall read in the event payload.
+    obs.journal.emit("heartbeat", at=time.time())
+
+
+def record_explicit_t(journal):
+    # BAD: explicit t= bypasses the clock and bakes in wall time.
+    journal.emit("tick", t=time.monotonic())
+
+
+def work():
+    pass

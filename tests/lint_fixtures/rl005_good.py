@@ -1,0 +1,22 @@
+"""RL005 good fixture: volatile= is the sanctioned wall-time sink."""
+
+import time
+
+
+def record_stage(journal):
+    started = time.perf_counter()  # reprolint: disable=RL001 -- volatile timing
+    work()
+    elapsed = time.perf_counter() - started  # reprolint: disable=RL001 -- volatile timing
+    # OK: wall-derived values ride in volatile=, which a deterministic
+    # journal discards, keeping byte-identity.
+    journal.emit("stage-done", stage="digest",
+                 volatile={"seconds": elapsed})
+
+
+def record_sim_time(journal, sim, frames):
+    # OK: sim-derived values are deterministic event fields.
+    journal.emit("sample-closed", t=sim.now, frames=frames)
+
+
+def work():
+    pass

@@ -1,0 +1,23 @@
+"""RL006 bad fixture: broad excepts that swallow failures invisibly.
+
+The first function is the shape shipped in ``SliceAllocator._place``
+before this PR's fix, minus the re-raise that kept it legal.
+"""
+
+
+def place_and_rollback(site, request, created_vms):
+    try:
+        return site.place(request)
+    except Exception:
+        # BAD: rollback is fine, but the failure itself vanishes --
+        # no re-raise, nothing journaled.
+        for vm in created_vms:
+            vm.destroy()
+        return None
+
+
+def poll_quietly(poller):
+    try:
+        return poller.read()
+    except:  # BAD: bare except, silently defaulted  # noqa: E722
+        return 0

@@ -1,0 +1,37 @@
+"""RL006 good fixture: narrow, re-raising, or journaled handlers."""
+
+from repro.testbed.errors import AllocationError, TransientBackendError
+
+
+def place_and_rollback(site, request, created_vms, journal, sim):
+    try:
+        return site.place(request)
+    except AllocationError as exc:  # OK: concrete error family
+        journal.emit("allocator-rollback", t=sim.now, error=str(exc))
+        for vm in created_vms:
+            vm.destroy()
+        raise
+
+
+def retry_wrapper(fn):
+    try:
+        return fn()
+    except Exception:
+        # OK: broad, but visibly re-raised for the caller to classify.
+        raise
+
+
+def poll_with_record(poller, journal):
+    try:
+        return poller.read()
+    except Exception as exc:
+        # OK: broad, but the swallowed failure reaches the journal.
+        journal.emit("poller-error", error=str(exc))
+        return 0
+
+
+def narrow_only(api):
+    try:
+        return api.call()
+    except TransientBackendError:  # OK: narrow
+        return None

@@ -1,0 +1,17 @@
+"""RL007 bad fixture: drop causes that bypass the ledger taxonomy."""
+
+
+def charge_typo(row, n):
+    row.drops["mirror-egres"] += n  # BAD: typo'd cause (missing 's')
+
+
+def charge_adhoc(ledger, n):
+    ledger.drops["ring"] = n  # BAD: ad-hoc cause, not in CAUSES
+
+
+def read_unknown(drops):
+    return drops.get("queue-overflow", 0)  # BAD: unknown cause key
+
+
+def record_via_api(ledger, n):
+    ledger.add_drop("oops", n)  # BAD: recorder call with unknown cause

@@ -1,0 +1,24 @@
+"""RL007 good fixture: causes from the central taxonomy only."""
+
+
+def charge_egress(row, n):
+    row.drops["mirror-egress"] += n  # in CAUSES
+
+
+def charge_capture(drops, stats):
+    drops["nic-ring"] = stats.ring_drops
+    drops["writer-backpressure"] = stats.writer_drops
+    drops["filtered"] = stats.frames_filtered
+
+
+def read_known(drops):
+    return drops.get("fault-window", 0)
+
+
+def record_via_api(ledger, n):
+    ledger.add_drop("parse-error", n)  # staged extra in STAGE_OF_CAUSE
+
+
+def unrelated_mapping(colors):
+    # A `drops`-free mapping is out of scope for the rule entirely.
+    return colors["magenta"]

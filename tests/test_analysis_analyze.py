@@ -1,6 +1,5 @@
 """Tests for the Analyze step's statistics."""
 
-import pytest
 
 from repro.analysis.acap import AcapRecord
 from repro.analysis.analyze import (

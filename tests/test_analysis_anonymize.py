@@ -1,6 +1,5 @@
 """Tests for the prefix-preserving anonymizer."""
 
-import struct
 
 import pytest
 

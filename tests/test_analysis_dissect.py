@@ -1,6 +1,5 @@
 """Tests for the protocol dissectors."""
 
-import pytest
 
 from repro.analysis.dissect import Dissector
 from repro.packets.builder import FrameBuilder, FrameSpec

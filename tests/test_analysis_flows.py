@@ -4,7 +4,9 @@ import pytest
 
 from repro.analysis.acap import AcapRecord
 from repro.analysis.flows import (
-    FlowKey, FlowStats, aggregate_flows, classify_flows,
+    FlowKey,
+    aggregate_flows,
+    classify_flows,
     flows_per_sample_counts,
 )
 from repro.packets.headers import TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN

@@ -4,7 +4,6 @@ Uses the session-scoped profiled bundle: a Patchwork run over live
 traffic on a four-site federation.
 """
 
-import pytest
 
 from repro.analysis import AnalysisPipeline
 from repro.analysis.acap import read_acap

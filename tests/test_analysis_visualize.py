@@ -5,8 +5,13 @@ import xml.etree.ElementTree as ET
 import pytest
 
 from repro.analysis.visualize import (
-    ChartLayout, Series, SvgCanvas, bar_chart, histogram_chart, line_chart,
-    render_report_charts, sparkline,
+    Series,
+    SvgCanvas,
+    bar_chart,
+    histogram_chart,
+    line_chart,
+    render_report_charts,
+    sparkline,
 )
 
 

@@ -11,7 +11,7 @@ from repro.core.retry import (
     ResilientAPI,
     RetryPolicy,
 )
-from repro.testbed import FederationBuilder, TestbedAPI
+from repro.testbed import TestbedAPI
 from repro.testbed.errors import AllocationError, TransientBackendError
 from repro.testbed.slice_model import NodeRequest, SliceRequest
 

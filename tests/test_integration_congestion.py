@@ -7,7 +7,6 @@ telemetry-driven inference (SNMP counters -> MFlib rates -> detector)
 flags it, and that it stays quiet when the mirror fits.
 """
 
-import pytest
 
 from repro.core.congestion import CongestionDetector
 from repro.netsim.engine import Simulator

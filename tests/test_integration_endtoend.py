@@ -10,7 +10,6 @@ import pytest
 from repro.analysis.acap import digest_pcap
 from repro.core.status import RunOutcome
 from repro.packets.pcap import PcapReader
-from repro.traffic.distributions import PAPER_FRAME_BINS
 
 pytestmark = pytest.mark.slow
 

@@ -1,0 +1,233 @@
+"""Engine-level behavior: discovery, pragmas, config, CLI contract."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.lint import (LintConfig, PARSE_ERROR, RULES, load_config,
+                                 render_json, run_lint)
+
+
+def write(tmp_path, name, body):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+SLEEPY = """\
+    import time
+
+    def wait():
+        time.sleep(1.0)
+    """
+
+
+# -- discovery and results -----------------------------------------------
+
+
+def test_clean_file_yields_clean_result(tmp_path):
+    write(tmp_path, "ok.py", "def f(sim):\n    return sim.now\n")
+    result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
+    assert result.ok
+    assert result.files_checked == 1
+    assert result.rules_run == sorted(RULES)
+
+
+def test_violation_found_and_located(tmp_path):
+    path = write(tmp_path, "bad.py", SLEEPY)
+    result = run_lint(paths=[path], config=LintConfig(root=tmp_path))
+    assert not result.ok
+    [violation] = result.violations
+    assert violation.rule == "RL003"
+    assert violation.path == "bad.py"
+    assert violation.line == 4
+
+
+def test_pycache_and_excludes_skipped(tmp_path):
+    write(tmp_path, "__pycache__/junk.py", SLEEPY)
+    write(tmp_path, "vendored/out.py", SLEEPY)
+    write(tmp_path, "real.py", SLEEPY)
+    config = LintConfig(root=tmp_path, exclude=["vendored/*"])
+    result = run_lint(paths=[tmp_path], config=config)
+    assert result.files_checked == 1
+    assert {v.path for v in result.violations} == {"real.py"}
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    write(tmp_path, "broken.py", "def f(:\n")
+    result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
+    assert not result.ok
+    [error] = result.errors
+    assert error.rule == PARSE_ERROR
+    assert "syntax error" in error.message
+
+
+# -- pragmas -------------------------------------------------------------
+
+
+def test_line_pragma_suppresses_and_is_reported(tmp_path):
+    body = """\
+        import time
+
+        def wait():
+            time.sleep(1.0)  # reprolint: disable=RL003 -- fixture sleep
+        """
+    write(tmp_path, "pragma.py", body)
+    result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
+    assert result.ok
+    [suppressed] = result.suppressed
+    assert suppressed.rule == "RL003" and suppressed.suppressed
+
+
+def test_line_pragma_only_names_its_rules(tmp_path):
+    body = """\
+        import time
+
+        def wait():
+            time.sleep(1.0)  # reprolint: disable=RL001
+        """
+    write(tmp_path, "pragma.py", body)
+    result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
+    assert [v.rule for v in result.violations] == ["RL003"]
+
+
+def test_file_pragma_and_all(tmp_path):
+    body = """\
+        # reprolint: disable-file=all -- generated fixture
+        import time
+
+        def wait():
+            time.sleep(1.0)
+        """
+    write(tmp_path, "generated.py", body)
+    result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
+    assert result.ok and len(result.suppressed) == 1
+
+
+def test_pragma_inside_string_ignored(tmp_path):
+    body = '''\
+        import time
+
+        DOC = "# reprolint: disable=RL003"
+
+        def wait():
+            time.sleep(1.0)
+        '''
+    write(tmp_path, "strings.py", body)
+    result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
+    assert [v.rule for v in result.violations] == ["RL003"]
+
+
+# -- config --------------------------------------------------------------
+
+
+def test_select_and_ignore(tmp_path):
+    write(tmp_path, "bad.py", SLEEPY)
+    only = run_lint(paths=[tmp_path],
+                    config=LintConfig(root=tmp_path, select=["RL001"]))
+    assert only.ok and only.rules_run == ["RL001"]
+    skipped = run_lint(paths=[tmp_path],
+                       config=LintConfig(root=tmp_path, ignore=["RL003"]))
+    assert skipped.ok
+
+
+def test_rule_allow_paths_from_config(tmp_path):
+    write(tmp_path, "bench/timing.py", SLEEPY)
+    config = LintConfig(
+        root=tmp_path,
+        rule_options={"RL003": {"allow": ["bench/timing.py"]}})
+    assert run_lint(paths=[tmp_path], config=config).ok
+
+
+def test_load_config_reads_pyproject(tmp_path):
+    write(tmp_path, "pyproject.toml", """\
+        [tool.reprolint]
+        paths = ["pkg"]
+        exclude = ["*/skip/*"]
+        ignore = ["rl006"]
+
+        [tool.reprolint.rules.RL007]
+        extra-causes = ["experimental"]
+        """)
+    config = load_config(explicit=tmp_path / "pyproject.toml")
+    assert config.root == tmp_path
+    assert config.paths == ["pkg"]
+    assert config.ignore == ["RL006"]
+    assert config.options_for("RL007") == {"extra-causes": ["experimental"]}
+    assert not config.rule_enabled("RL006")
+
+
+def test_shipped_pyproject_allows_clock_boundary():
+    config = load_config()
+    assert "repro/obs/clock.py" in config.options_for("RL001").get("allow", [])
+
+
+# -- JSON report ---------------------------------------------------------
+
+
+def test_json_report_shape(tmp_path):
+    write(tmp_path, "bad.py", SLEEPY)
+    result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
+    document = json.loads(render_json(result))
+    assert document["ok"] is False
+    assert document["counts"] == {"RL003": 1}
+    [violation] = document["violations"]
+    assert {"path", "line", "col", "rule", "message", "snippet",
+            "suppressed"} <= set(violation)
+
+
+# -- CLI contract --------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = write(tmp_path, "bad.py", SLEEPY)
+    good = write(tmp_path, "good.py", "def f():\n    return 1\n")
+    broken = write(tmp_path, "broken.py", "def f(:\n")
+    assert main(["lint", str(good)]) == 0
+    assert main(["lint", str(bad)]) == 1
+    assert main(["lint", str(broken)]) == 2
+    assert main(["lint", str(tmp_path / "missing.py")]) == 2
+    capsys.readouterr()
+
+
+def test_cli_unknown_rule_is_usage_error(tmp_path, capsys):
+    good = write(tmp_path, "good.py", "x = 1\n")
+    assert main(["lint", "--select", "RL999", str(good)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_json_output(tmp_path, capsys):
+    bad = write(tmp_path, "bad.py", SLEEPY)
+    assert main(["lint", "--json", str(bad)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["counts"] == {"RL003": 1}
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+def test_cli_select_filters(tmp_path, capsys):
+    bad = write(tmp_path, "bad.py", SLEEPY)
+    assert main(["lint", "--select", "RL001", str(bad)]) == 0
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize("flag", ["--show-suppressed"])
+def test_cli_show_suppressed(tmp_path, capsys, flag):
+    write(tmp_path, "pragma.py", """\
+import time
+
+def wait():
+    time.sleep(1.0)  # reprolint: disable=RL003 -- demo
+""")
+    assert main(["lint", flag, str(tmp_path / "pragma.py")]) == 0
+    assert "(suppressed)" in capsys.readouterr().out

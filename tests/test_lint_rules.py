@@ -1,0 +1,127 @@
+"""Fixture-based coverage for every reprolint rule.
+
+Each rule has a paired bad/good snippet under ``tests/lint_fixtures/``:
+the bad file must produce at least one violation *of that rule* (the
+checker catches the invariant break) and the good file must produce
+none (no false positives on the sanctioned pattern).  Line-level
+assertions pin the violations to the deliberate sins, not incidental
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.pragmas import suppresses
+from repro.devtools.lint.rules import RULES
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+ALL_RULES = sorted(RULES)
+
+
+def violations(fixture: str, rule_id: str):
+    """Run one rule over one fixture, honoring pragmas (as the engine
+    does) so good fixtures can demonstrate the sanctioned escape hatch."""
+    path = FIXTURES / fixture
+    source = path.read_text()
+    ctx = FileContext(path, fixture, source, ast.parse(source))
+    return [
+        v for v in RULES[rule_id](ctx, {}).run()
+        if not suppresses(ctx.file_pragmas, rule_id)
+        and not suppresses(ctx.line_pragmas.get(v.line, set()), rule_id)
+    ]
+
+
+def bad_lines(fixture: str, rule_id: str):
+    return {v.line for v in violations(fixture, rule_id)}
+
+
+# -- the generic contract: bad fires, good is silent ---------------------
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_bad_fixture_caught(rule_id):
+    fixture = f"{rule_id.lower()}_bad.py"
+    found = violations(fixture, rule_id)
+    assert found, f"{rule_id} missed every violation in {fixture}"
+    assert all(v.rule == rule_id for v in found)
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_good_fixture_clean(rule_id):
+    fixture = f"{rule_id.lower()}_good.py"
+    assert violations(fixture, rule_id) == [], \
+        f"{rule_id} false-positives on {fixture}"
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULES)
+def test_rules_have_identity(rule_id):
+    rule = RULES[rule_id]
+    assert rule.name and rule.summary, f"{rule_id} lacks name/summary"
+
+
+# -- per-rule pinpoint assertions ----------------------------------------
+
+
+def test_rl001_flags_every_wall_read():
+    assert bad_lines("rl001_bad.py", "RL001") >= {11, 15, 16, 17}
+
+
+def test_rl001_allows_clock_boundary_by_default():
+    rule = RULES["RL001"](None, {})  # ctx unused by applies_to
+    assert not rule.applies_to("src/repro/obs/clock.py")
+    assert rule.applies_to("src/repro/core/instance.py")
+
+
+def test_rl002_catches_each_entropy_flavor():
+    lines = bad_lines("rl002_bad.py", "RL002")
+    # stdlib random, unseeded default_rng, legacy global, uuid4+urandom,
+    # id()-sort, list(set(..)), bare-set for-loop.
+    assert len(lines) >= 7
+
+
+def test_rl003_catches_aliased_and_async_sleeps():
+    assert len(bad_lines("rl003_bad.py", "RL003")) == 3
+
+
+def test_rl004_catches_reintroduced_pr3_desync():
+    """Acceptance gate: re-introducing the PR 3 template-cache bug --
+    a shared seeded RNG drawn only on a cache miss -- must be caught."""
+    found = violations("rl004_bad.py", "RL004")
+    messages = " ".join(v.message for v in found)
+    assert len(found) == 3  # miss-path draw x2 + in-guard draw
+    assert "desync" in messages
+    # The distilled FlowTemplate.build draw is the original incident.
+    assert any("rng.integers" in v.snippet for v in found)
+
+
+def test_rl004_accepts_the_shipped_fixes():
+    # Derived-local-RNG and unconditional-draw variants stay silent.
+    assert violations("rl004_good.py", "RL004") == []
+
+
+def test_rl005_taints_derived_values_and_explicit_t():
+    found = violations("rl005_bad.py", "RL005")
+    fields = {v.message.split("`")[1] for v in found}
+    assert fields == {"seconds=", "at=", "t="}
+
+
+def test_rl006_flags_silent_broad_and_bare():
+    assert len(bad_lines("rl006_bad.py", "RL006")) == 2
+
+
+def test_rl007_names_the_taxonomy_in_the_message():
+    found = violations("rl007_bad.py", "RL007")
+    assert len(found) == 4
+    assert all("mirror-egress" in v.message for v in found)
+
+
+def test_rl007_fallback_matches_ledger():
+    """The offline fallback vocabulary must track the live taxonomy."""
+    from repro.devtools.lint.rules.rl007_drop_causes import (
+        FALLBACK_TAXONOMY, taxonomy)
+    assert taxonomy() == FALLBACK_TAXONOMY

@@ -3,7 +3,6 @@
 import io
 import struct
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -14,9 +13,7 @@ from repro.analysis.dissect import Dissector
 from repro.netsim.engine import Simulator
 from repro.packets.builder import FrameBuilder, FrameSpec, MIN_FRAME_SIZE
 from repro.packets.checksum import internet_checksum
-from repro.packets.headers import (
-    Ethernet, IPv4, MPLS, Payload, TCP, UDP, VLAN, ipv4_str,
-)
+from repro.packets.headers import Ethernet, IPv4, MPLS, Payload, TCP, VLAN
 from repro.packets.pcap import PcapReader, PcapRecord, PcapWriter
 from repro.testbed.resources import ResourceCapacity
 from repro.traffic.distributions import PAPER_FRAME_BINS

@@ -5,7 +5,6 @@ headline statistics must stay inside their asserted bands for several
 master seeds.
 """
 
-import numpy as np
 import pytest
 
 from repro.capture.storage import PageCacheModel

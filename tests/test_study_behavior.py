@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import PatchworkConfig, SamplingPlan
 from repro.core.status import RunOutcome
-from repro.study.behavior import CampaignResult, run_campaign
+from repro.study.behavior import run_campaign
 from repro.testbed import FederationBuilder, TestbedAPI
 
 

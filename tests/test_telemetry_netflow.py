@@ -1,6 +1,5 @@
 """Tests for the NetFlow baseline exporter."""
 
-import numpy as np
 import pytest
 
 from repro.netsim.engine import Simulator

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.testbed.allocator import SliceAllocator
 from repro.testbed.errors import (
     InsufficientResourcesError,
     SliceNotFoundError,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.testbed.errors import MirrorConflictError, TransientBackendError
+from repro.testbed.errors import TransientBackendError
 from repro.testbed.slice_model import NodeRequest, SliceRequest
 
 

@@ -3,7 +3,6 @@ scheduled mid-run faults)."""
 
 import pytest
 
-from repro.netsim.engine import Simulator
 from repro.telemetry.snmp import SNMPPoller
 from repro.testbed.errors import TransientBackendError, is_retryable
 from repro.testbed.faults import FaultInjector, OutageWindow

@@ -4,8 +4,12 @@ import numpy as np
 import pytest
 
 from repro.traffic.distributions import (
-    FrameSizeBins, JUMBO_THRESHOLD, PAPER_FRAME_BINS, flow_size_sampler,
-    lognormal_sampler, pareto_sampler, poisson_arrival_times,
+    JUMBO_THRESHOLD,
+    PAPER_FRAME_BINS,
+    flow_size_sampler,
+    lognormal_sampler,
+    pareto_sampler,
+    poisson_arrival_times,
 )
 
 

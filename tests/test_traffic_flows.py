@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.dissect import Dissector
-from repro.netsim.engine import Simulator
 from repro.testbed import FederationBuilder
 from repro.traffic.encapsulation import EncapKind, underlay_stack
 from repro.traffic.endpoints import EndpointRegistry
@@ -105,7 +104,6 @@ class TestFlowDynamics:
         assert len(acks) >= flow.frames_sent // 6
 
     def test_tcp_flow_opens_with_syn(self, world):
-        from repro.packets.headers import TCP_SYN
         federation, a, b, _c = world
         got = collect_at(b)
         flow = make_flow(federation, a, b, total=20_000)

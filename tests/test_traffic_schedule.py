@@ -1,6 +1,5 @@
 """Tests for the slice schedule model (Figs 3-5 statistics)."""
 
-import numpy as np
 import pytest
 
 from repro.traffic.schedule import (

@@ -5,7 +5,8 @@ import pytest
 
 from repro.testbed import FederationBuilder
 from repro.traffic.workloads import (
-    WORKLOAD_PROFILES, TrafficOrchestrator, WorkloadProfile,
+    WORKLOAD_PROFILES,
+    TrafficOrchestrator,
     assign_site_profiles,
 )
 
