@@ -63,3 +63,72 @@ def test_ablation_recovery(benchmark, tmp_path):
         summary["redispatched_runs"] > 0
     baseline = recovery_summary(off.records)
     assert all(v == 0 for v in baseline.values())
+
+
+def test_robustness_trajectory(tmp_path):
+    """Emit ``BENCH_robustness.json``: the machine-readable robustness
+    trajectory (ROADMAP's first ``BENCH_*.json`` file).
+
+    Three numbers: the durable campaign's run-success rate, the wall-
+    clock overhead of a crash/resume cycle over the same campaign
+    uninterrupted, and a seeded chaos batch (crash at fuzzed IO ops,
+    resume, assert the three recovery oracles).
+    """
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.core.campaign import CampaignRunner
+    from repro.testbed.chaos import (
+        CrashingIO, default_manifest, run_chaos)
+    from repro.util.atomio import SimulatedCrash
+    from repro.util.rng import derive_rng
+
+    manifest = default_manifest(seed=11)
+
+    # Untimed warmup: pay the lazy imports and allocator caches once so
+    # the overhead comparison measures the campaigns, not process state.
+    CampaignRunner(tmp_path / "warmup", manifest=manifest).run()
+
+    started = time.perf_counter()
+    uninterrupted = CampaignRunner(tmp_path / "full",
+                                   manifest=manifest).run()
+    t_full = time.perf_counter() - started
+    assert uninterrupted.audit_ok
+
+    # Crash mid-campaign (after occasion 0 commits), then resume: the
+    # overhead is the extra wall clock the crash/resume cycle costs
+    # over just running the campaign once.
+    started = time.perf_counter()
+    io = CrashingIO(22, derive_rng(0, "bench"), mode="post-replace")
+    try:
+        CampaignRunner(tmp_path / "crashed", manifest=manifest,
+                       io=io).run()
+    except SimulatedCrash:
+        pass
+    resumed = CampaignRunner(tmp_path / "crashed",
+                             manifest=manifest).run(resume=True)
+    t_resumed = time.perf_counter() - started
+    assert resumed.audit_ok
+    assert resumed.journal_sha256 == uninterrupted.journal_sha256
+    overhead_pct = 100.0 * (t_resumed - t_full) / t_full
+
+    chaos = run_chaos(tmp_path / "chaos", trials=8, seed=11,
+                      manifest=manifest)
+    assert chaos.ok, chaos.render()
+
+    payload = {
+        "benchmark": "robustness",
+        "run_success_pct": round(100.0 * uninterrupted.success_rate, 2),
+        "resume_overhead_pct": round(overhead_pct, 1),
+        "chaos_trials": chaos.trials,
+        "chaos_trials_passed": chaos.passed,
+        "occasions": manifest.occasions,
+        "sites": list(manifest.sites),
+        "seed": manifest.seed,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_robustness.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}: {payload}")
+    assert payload["run_success_pct"] == 100.0
+    assert payload["chaos_trials_passed"] == payload["chaos_trials"]

@@ -19,6 +19,7 @@ wall time, throughput, cache hits) for the CLI to surface.
 
 from __future__ import annotations
 
+import struct
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -51,6 +52,20 @@ from repro.analysis.report import (
 from repro.util.tables import Table
 
 
+def _digest_or_none(path: Union[str, Path]) -> Optional[AcapFile]:
+    """Digest one pcap, mapping corruption to ``None`` (quarantine).
+
+    Module-level so it stays picklable for the Digest process pool.  A
+    file that cannot even be opened as a pcap (bad magic, truncated
+    global header, vanished from disk) is analysis-poison; the pipeline
+    quarantines it and keeps going rather than aborting the whole run.
+    """
+    try:
+        return digest_pcap(path)
+    except (ValueError, OSError, struct.error):
+        return None
+
+
 @dataclass
 class PipelineStats:
     """Observability record for one pipeline run (Fig 9 stages)."""
@@ -60,6 +75,9 @@ class PipelineStats:
     total_frames: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Pcaps too corrupt to digest (bad magic / truncated global header);
+    # dropped from the corpus with a journal event instead of aborting.
+    quarantined: int = 0
     digest_seconds: float = 0.0
     index_seconds: float = 0.0
     analyze_seconds: float = 0.0
@@ -80,7 +98,9 @@ class PipelineStats:
             f"digested {self.pcaps} pcaps ({self.total_frames} frames) in "
             f"{self.digest_seconds:.2f}s with {self.workers} worker(s) "
             f"[{self.frames_per_second:,.0f} frames/s, "
-            f"cache {self.cache_hits} hit / {self.cache_misses} miss]; "
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss"
+            + (f", {self.quarantined} quarantined" if self.quarantined else "")
+            + "]; "
             f"index {self.index_seconds:.2f}s, analyze {self.analyze_seconds:.2f}s"
         )
 
@@ -92,6 +112,7 @@ class PipelineStats:
             "total_frames": self.total_frames,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "quarantined": self.quarantined,
             "digest_seconds": self.digest_seconds,
             "index_seconds": self.index_seconds,
             "analyze_seconds": self.analyze_seconds,
@@ -119,6 +140,9 @@ class PipelineStats:
                          help="acap cache hits").inc(self.cache_hits)
         registry.counter("pipeline.cache_misses",
                          help="acap cache misses").inc(self.cache_misses)
+        registry.counter("pipeline.quarantined",
+                         help="corrupt pcaps quarantined by Digest").inc(
+            self.quarantined)
         for stage in ("digest", "index", "analyze"):
             registry.gauge(f"pipeline.{stage}_seconds", volatile=True,
                            help=f"wall time of the {stage} stage").set(
@@ -130,6 +154,7 @@ class PipelineStats:
             total_frames=self.total_frames,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            quarantined=self.quarantined,
             volatile={
                 "digest_seconds": self.digest_seconds,
                 "index_seconds": self.index_seconds,
@@ -278,19 +303,28 @@ class AnalysisPipeline:
             # map() preserves input order, so completion order -- which
             # varies run to run -- never leaks into the results.
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                digested = pool.map(digest_pcap, [paths[i] for i in todo])
+                digested = pool.map(_digest_or_none, [paths[i] for i in todo])
                 for i, acap in zip(todo, digested):
                     acaps[i] = acap
         else:
             for i in todo:
-                acaps[i] = digest_pcap(paths[i])
+                acaps[i] = _digest_or_none(paths[i])
 
+        quarantined = [paths[i] for i in todo if acaps[i] is None]
+        stats.quarantined = len(quarantined)
+        journal = get_obs().journal
+        for path in quarantined:
+            journal.emit("pipeline-quarantine",
+                         pcap=f"{path.parent.name}/{path.name}")
         if self.cache is not None:
             for i in todo:
-                self.cache.put(paths[i], acaps[i])
-        self.acaps = acaps  # type: ignore[assignment]
+                if acaps[i] is not None:
+                    self.cache.put(paths[i], acaps[i])
+        self.acaps = [acap for acap in acaps if acap is not None]
         if self.acap_dir is not None:
-            for path, acap in zip(paths, self.acaps):
+            for path, acap in zip(paths, acaps):
+                if acap is None:
+                    continue
                 out = self.acap_dir / path.parent.name / (path.stem + ".acap")
                 write_acap(acap, out)
         stats.total_frames = sum(len(acap) for acap in self.acaps)

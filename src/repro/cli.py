@@ -21,9 +21,17 @@ the reproduction's workflows the same way:
     alone: per-stage loss waterfall, per-site summary, and the
     congestion-detector scorecard.  Exits 1 if the conservation
     identity is violated.
+``python -m repro runs {list,describe} ...``
+    Inspect durable campaign run directories: which occasions are
+    committed, whether the WAL has a torn tail, what a resume would do.
+``python -m repro chaos``
+    Crash-fuzz the durable campaign layer: run a reference campaign,
+    kill N re-runs at random IO ops, resume each, and check the
+    recovery oracles (clean audit, byte-identical journal, no sample
+    lost or double-counted).  Exits 1 if any trial fails.
 ``python -m repro lint [PATH ...]``
     Run reprolint, the AST-based checker for the repo's determinism,
-    sim-time, and ledger invariants (rules RL001-RL007).  Exits 1 on
+    sim-time, and ledger invariants (rules RL001-RL008).  Exits 1 on
     violations, 2 on unparseable files.
 """
 
@@ -72,6 +80,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the content-addressed acap cache")
     profile.add_argument("--json", action="store_true",
                          help="print a machine-readable JSON summary")
+    profile.add_argument("--durable", action="store_true",
+                         help="run as a crash-safe campaign: WAL + "
+                              "checkpoints in the output dir, resumable "
+                              "with --resume")
+    profile.add_argument("--occasions", type=int, default=1,
+                         help="occasions to run (durable mode only)")
+    profile.add_argument("--traffic-span", type=float, default=0.0,
+                         help="seconds of traffic to generate per occasion "
+                              "(durable mode only; 0 = cover the whole "
+                              "sampling plan)")
+    profile.add_argument("--resume", type=Path, default=None, metavar="RUN_DIR",
+                         help="resume an interrupted durable campaign "
+                              "from its run directory")
+    profile.add_argument("--salvage", action="store_true",
+                         help="with --resume: adopt the crashed occasion's "
+                              "completed samples as DEGRADED instead of "
+                              "re-running it")
 
     campaign = sub.add_parser("campaign", help="Fig 10-style campaign")
     campaign.add_argument("--sites", type=int, default=10,
@@ -128,6 +153,30 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--json", action="store_true",
                        help="print a machine-readable JSON audit")
 
+    runs = sub.add_parser("runs", help="inspect durable campaign run dirs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="summarize every campaign under a directory")
+    runs_list.add_argument("parent", type=Path, nargs="?", default=Path("."))
+    runs_list.add_argument("--json", action="store_true")
+    runs_describe = runs_sub.add_parser(
+        "describe", help="durable state of one campaign run directory")
+    runs_describe.add_argument("run_dir", type=Path)
+    runs_describe.add_argument("--json", action="store_true")
+
+    chaos = sub.add_parser(
+        "chaos", help="crash-fuzz the durable campaign layer and verify "
+                      "recovery oracles")
+    chaos.add_argument("--trials", type=int, default=50)
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--out", type=Path, default=Path("chaos-out"))
+    chaos.add_argument("--workers", type=int, default=0,
+                       help="parallel trial processes (0 = one per CPU)")
+    chaos.add_argument("--keep-passing", action="store_true",
+                       help="keep passing trial directories on disk")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the machine-readable chaos report")
+
     lint = sub.add_parser(
         "lint", help="check repo invariants (determinism, sim time, ledger)")
     lint.add_argument("paths", nargs="*", type=Path,
@@ -158,6 +207,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plan": _cmd_plan,
         "obs": _cmd_obs,
         "audit": _cmd_audit,
+        "runs": _cmd_runs,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)
@@ -189,6 +240,8 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.resume is not None or args.durable:
+        return _cmd_profile_durable(args)
     from repro import quickstart_federation
     from repro.analysis import AnalysisPipeline, Anonymizer
     from repro.capture.session import CaptureMethod
@@ -276,6 +329,107 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "metrics": str(metrics_path),
         }, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_profile_durable(args: argparse.Namespace) -> int:
+    """``repro profile --durable`` / ``repro profile --resume RUN_DIR``."""
+    from repro.core.campaign import CampaignManifest, CampaignRunner
+
+    if args.resume is not None:
+        if not (args.resume / "campaign.manifest").exists() and \
+                not (args.resume / "campaign.wal").exists():
+            print(f"error: {args.resume} is not a campaign run directory",
+                  file=sys.stderr)
+            return 2
+        summary = CampaignRunner(args.resume).run(resume=True,
+                                                  salvage=args.salvage)
+    else:
+        sites = tuple(args.sites or ["STAR", "MICH", "UTAH", "TACC"])
+        manifest = CampaignManifest(
+            seed=args.seed, sites=sites, occasions=args.occasions,
+            traffic_scale=args.scale, sample_duration=args.sample_duration,
+            sample_interval=args.sample_interval,
+            samples_per_run=args.samples, runs_per_cycle=1,
+            cycles=args.cycles, desired_instances=args.instances,
+            snaplen=args.snaplen, method=args.method,
+            workers=max(args.workers, 1),
+            cache_enabled=not args.no_cache,
+            traffic_span=args.traffic_span)
+        summary = CampaignRunner(args.out, manifest=manifest).run()
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 0 if summary.audit_ok else 1
+    if summary.noop:
+        print(f"campaign in {summary.run_dir} is already complete "
+              f"({len(summary.skipped)} occasions); nothing to do")
+        return 0
+    for label, occasions in (("ran", summary.executed),
+                             ("skipped (already committed)", summary.skipped),
+                             ("salvaged", summary.salvaged)):
+        if occasions:
+            print(f"{label}: occasions {occasions}")
+    if summary.torn_wal:
+        print("warning: the WAL had a torn tail (crash mid-append); "
+              "it was truncated to the last committed record",
+              file=sys.stderr)
+    print(f"success rate: {summary.success_rate:.1%}; "
+          f"audit {'ok' if summary.audit_ok else 'FAILED'}")
+    print(f"wrote {summary.journal_path} "
+          f"(sha256 {summary.journal_sha256[:16]}...)")
+    print(f"resume with: repro profile --resume {summary.run_dir}")
+    return 0 if summary.audit_ok else 1
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.core.checkpoint import describe_run, list_runs
+
+    if args.runs_command == "describe":
+        if not args.run_dir.is_dir():
+            print(f"error: no such directory: {args.run_dir}",
+                  file=sys.stderr)
+            return 2
+        summaries = [describe_run(args.run_dir)]
+    else:
+        if not args.parent.is_dir():
+            print(f"error: no such directory: {args.parent}", file=sys.stderr)
+            return 2
+        summaries = list_runs(args.parent)
+    if args.json:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+        return 0
+    if not summaries:
+        print("no campaign run directories found")
+        return 0
+    for summary in summaries:
+        committed = summary.get("occasions_committed", 0)
+        total = summary.get("occasions_total")
+        progress = f"{committed}/{total}" if total is not None else f"{committed}"
+        extra = ""
+        if summary.get("torn_wal"):
+            extra += " torn-wal"
+        if summary.get("samples_salvageable"):
+            extra += f" salvageable-samples={summary['samples_salvageable']}"
+        print(f"{summary['path']}: {summary['state']} "
+              f"({progress} occasions committed){extra}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.testbed.chaos import run_chaos
+
+    report = run_chaos(args.out, trials=args.trials, seed=args.seed,
+                       workers=args.workers,
+                       keep_passing=args.keep_passing)
+    report_path = args.out / "chaos-report.json"
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(
+        json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print(f"wrote {report_path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -370,6 +524,13 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 1
 
 
+def _warn_torn(journal, path: Path) -> None:
+    """Surface a dropped torn tail (crash mid-write) on stderr."""
+    if journal.torn_tail is not None:
+        print(f"warning: {path}: dropped a torn final line (process was "
+              f"killed mid-write): {journal.torn_tail!r}", file=sys.stderr)
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import (RunJournal, diff_journals, registry_from_snapshot,
                            to_metrics_jsonl, to_prometheus)
@@ -383,6 +544,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     if args.obs_command == "dump":
         journal = RunJournal.read(args.journal)
+        _warn_torn(journal, args.journal)
         events = journal.of_kind(args.kind) if args.kind else journal.events
         for event in events:
             print(event.to_json())
@@ -390,13 +552,17 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     if args.obs_command == "tail":
         journal = RunJournal.read(args.journal)
+        _warn_torn(journal, args.journal)
         for event in journal.events[-max(0, args.lines):]:
             print(event.to_json())
         return 0
 
     if args.obs_command == "diff":
-        differences = diff_journals(RunJournal.read(args.journal_a),
-                                    RunJournal.read(args.journal_b))
+        journal_a = RunJournal.read(args.journal_a)
+        journal_b = RunJournal.read(args.journal_b)
+        _warn_torn(journal_a, args.journal_a)
+        _warn_torn(journal_b, args.journal_b)
+        differences = diff_journals(journal_a, journal_b)
         if not differences:
             if not args.quiet:
                 print("journals are identical")
@@ -408,6 +574,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     # export: re-render the journal's last metrics snapshot.
     journal = RunJournal.read(args.journal)
+    _warn_torn(journal, args.journal)
     snapshots = journal.of_kind("metrics")
     if not snapshots:
         print("error: journal has no metrics snapshot", file=sys.stderr)
@@ -421,12 +588,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from repro.obs.audit import audit_file
+    from repro.obs import RunJournal
+    from repro.obs.audit import audit_journal
 
     if not args.journal.exists():
         print(f"error: no such journal: {args.journal}", file=sys.stderr)
         return 2
-    result = audit_file(args.journal)
+    journal = RunJournal.read(args.journal)
+    _warn_torn(journal, args.journal)
+    result = audit_journal(journal)
     if not result.ledgers:
         print("error: journal carries no ledger events (did the run use "
               "`repro profile`?)", file=sys.stderr)

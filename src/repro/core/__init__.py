@@ -69,6 +69,20 @@ from repro.core.gather import (
     gather_site,
     verify_archive,
 )
+from repro.core.checkpoint import (
+    CampaignCheckpointer,
+    CampaignLog,
+    CheckpointStore,
+    WalCorruptionError,
+    describe_run,
+    list_runs,
+)
+from repro.core.campaign import (
+    CampaignManifest,
+    CampaignRunner,
+    CampaignSummary,
+    resume_campaign,
+)
 
 __all__ = [
     "AnalysisConfig",
@@ -112,4 +126,14 @@ __all__ = [
     "gather_bundle",
     "gather_site",
     "verify_archive",
+    "CampaignCheckpointer",
+    "CampaignLog",
+    "CheckpointStore",
+    "WalCorruptionError",
+    "describe_run",
+    "list_runs",
+    "CampaignManifest",
+    "CampaignRunner",
+    "CampaignSummary",
+    "resume_campaign",
 ]

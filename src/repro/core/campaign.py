@@ -1,0 +1,526 @@
+"""Crash-safe campaigns: durable checkpoint/resume over many occasions.
+
+A campaign is the paper's real workload -- months of profiling occasions
+-- and the process driving it *will* die at some point.  This module
+makes that survivable with deterministic recovery:
+
+* a :class:`CampaignManifest` pins every knob (seed, sites, plan) so a
+  resuming process provably reruns *the same* campaign;
+* every occasion derives its RNG streams from ``(seed, label)`` pairs
+  (:mod:`repro.util.rng`) recorded in the WAL, so re-running an occasion
+  reproduces it byte for byte -- checkpoints never pickle live state;
+* the :class:`repro.core.checkpoint.CampaignLog` WAL +
+  :class:`repro.core.checkpoint.CheckpointStore` snapshots make occasion
+  completion durable (see that module for the commit protocol);
+* the final ``journal.jsonl`` is the byte-concatenation of per-occasion
+  journal segments, each rebased with ``RunJournal.reseq``, so a resumed
+  campaign's journal is **byte-identical** to an uninterrupted one --
+  the oracle the chaos harness (:mod:`repro.testbed.chaos`) checks.
+
+Two resume modes:
+
+* **strict** (default): any occasion that is not durably committed --
+  including one that crashed mid-run -- is re-run in full from its
+  journaled seeds.  Output is byte-identical to never having crashed.
+* **salvage** (``--salvage``): the crashed occasion's completed samples
+  (the WAL's sample rows) are adopted as a DEGRADED outcome without
+  re-running, mirroring the instance watchdog's salvage path.  Faster,
+  but explicitly *not* byte-identical to the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.checkpoint import (CHECKPOINT_DIR, MANIFEST_NAME, SEGMENT_DIR,
+                                   WAL_NAME, CampaignCheckpointer, CampaignLog,
+                                   CheckpointStore, RecoveryState,
+                                   WalCorruptionError, canonical_json,
+                                   sha256_bytes, sha256_file)
+from repro.core.config import (AnalysisConfig, PatchworkConfig, RecoveryConfig,
+                               SamplingPlan)
+from repro.core.status import RunOutcome, RunRecord, success_rate
+from repro.util.atomio import FileIO, atomic_write_bytes, sweep_tmp_files
+from repro.util.rng import SeedSequenceFactory
+
+#: Labels of the independent RNG streams derived per occasion.
+SEED_STREAMS = ("world", "traffic", "coordinator")
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """Everything needed to re-derive a campaign deterministically."""
+
+    seed: int = 42
+    sites: Tuple[str, ...] = ("STAR", "MICH", "UTAH", "TACC")
+    occasions: int = 3
+    traffic_scale: float = 0.05
+    sample_duration: float = 5.0
+    sample_interval: float = 30.0
+    samples_per_run: int = 2
+    runs_per_cycle: int = 1
+    cycles: int = 2
+    desired_instances: int = 2
+    snaplen: int = 200
+    method: str = "tcpdump"
+    crash_probability: float = 0.0
+    recovery_enabled: bool = False
+    workers: int = 1
+    cache_enabled: bool = True
+    # Seconds of traffic to pre-generate per occasion; 0.0 means the
+    # profile CLI's conservative formula (plan duration x sites + 600).
+    # Small campaigns (the chaos harness) pin a tight span: generating
+    # flows the occasion never simulates dominates wall time otherwise.
+    traffic_span: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sites", tuple(self.sites))
+        if self.occasions < 1:
+            raise ValueError("a campaign needs at least one occasion")
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["sites"] = list(self.sites)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignManifest":
+        return cls(**{**data, "sites": tuple(data["sites"])})
+
+    @property
+    def sha256(self) -> str:
+        return sha256_bytes((canonical_json(self.to_dict()) + "\n")
+                            .encode("utf-8"))
+
+    def plan(self) -> SamplingPlan:
+        return SamplingPlan(
+            sample_duration=self.sample_duration,
+            sample_interval=self.sample_interval,
+            samples_per_run=self.samples_per_run,
+            runs_per_cycle=self.runs_per_cycle,
+            cycles=self.cycles)
+
+    def occasion_seeds(self, occasion: int) -> Dict[str, int]:
+        """Derive this occasion's independent RNG stream seeds.
+
+        Stateless: ``(campaign seed, occasion, stream label)`` fully
+        determines each value, so a resuming process re-derives exactly
+        what the crashed process journaled (and ``begin_occasion``
+        cross-checks the two).
+        """
+        factory = SeedSequenceFactory(self.seed)
+        return {stream: factory.integer(f"occasion{occasion}/{stream}",
+                                        0, 2 ** 31)
+                for stream in SEED_STREAMS}
+
+
+@dataclass
+class CampaignSummary:
+    """What one ``CampaignRunner.run()`` call accomplished."""
+
+    run_dir: str
+    occasions: int
+    executed: List[int] = field(default_factory=list)
+    skipped: List[int] = field(default_factory=list)
+    salvaged: List[int] = field(default_factory=list)
+    success_rate: float = 0.0
+    audit_ok: bool = True
+    journal_path: str = ""
+    journal_sha256: str = ""
+    records_sha256: str = ""
+    resumed: bool = False
+    noop: bool = False
+    torn_wal: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class CampaignRunner:
+    """Drives a durable campaign: fresh start, strict resume, salvage.
+
+    Layout of one run directory::
+
+        campaign.manifest   pinned knobs (atomic canonical JSON)
+        campaign.wal        the write-ahead log
+        checkpoints/        occNNNN.ckpt snapshots (atomic, checksummed)
+        journal/            occNNNN.jsonl journal segments
+        journal.jsonl       final journal = byte-concat of the segments
+        records.json        final Fig 10 run records (canonical JSON)
+        captures/<site>/    pcaps, oN_-prefixed for global uniqueness
+        acap/ acap-cache/   digests + content-addressed cache
+        logs/occNNNN/       per-occasion instance logs
+    """
+
+    def __init__(self, run_dir: Union[str, Path],
+                 manifest: Optional[CampaignManifest] = None,
+                 io: Optional[FileIO] = None):
+        self.run_dir = Path(run_dir)
+        self.manifest = manifest
+        self.io = io if io is not None else FileIO()
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.run_dir / MANIFEST_NAME
+
+    @property
+    def journal_path(self) -> Path:
+        return self.run_dir / "journal.jsonl"
+
+    def segment_path(self, occasion: int) -> Path:
+        return self.run_dir / SEGMENT_DIR / f"occ{occasion:04d}.jsonl"
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self, resume: bool = False, salvage: bool = False,
+            quiet: bool = True) -> CampaignSummary:
+        """Run (or resume) the campaign to completion.
+
+        ``resume=False`` on an existing run directory raises rather than
+        clobbering durable state; ``resume=True`` on a fresh directory
+        just starts the campaign (crashing before anything durable was
+        written *is* the zero-progress resume case).
+        """
+        manifest = self._load_or_write_manifest(resume)
+        log = CampaignLog(self.run_dir / WAL_NAME, io=self.io)
+        store = CheckpointStore(self.run_dir / CHECKPOINT_DIR, io=self.io)
+        store.sweep()
+        # A crash between temp-file write and os.replace leaves .*.tmp
+        # orphans; they hold no committed state.
+        sweep_tmp_files(self.run_dir)
+        sweep_tmp_files(self.run_dir / SEGMENT_DIR)
+        from repro.core.checkpoint import fold_records
+        records = log.open()
+        state = fold_records(records, torn=log.torn_on_open)
+        summary = CampaignSummary(run_dir=str(self.run_dir),
+                                  occasions=manifest.occasions,
+                                  resumed=bool(records),
+                                  torn_wal=log.torn_on_open)
+        try:
+            if state.manifest_sha is None:
+                log.append("campaign-begin",
+                           {"manifest_sha": manifest.sha256}, commit=True)
+            elif state.manifest_sha != manifest.sha256:
+                raise WalCorruptionError(
+                    f"{self.manifest_path}: manifest does not match the one "
+                    "this WAL was begun with; refusing to resume a different "
+                    "campaign")
+            if state.ended is not None:
+                return self._already_complete(state, summary)
+            checkpointer = CampaignCheckpointer(self.run_dir, log, store,
+                                                state=state)
+            all_records: Dict[int, List[Dict[str, Any]]] = {}
+            salvage_budget = salvage
+            for occasion in range(manifest.occasions):
+                committed = state.committed.get(occasion)
+                if committed is not None and self._verify_commit(committed):
+                    summary.skipped.append(occasion)
+                    all_records[occasion] = list(committed.get("records", []))
+                    continue
+                rows = state.salvageable(occasion)
+                if salvage_budget and rows:
+                    # Only the crashed (first uncommitted) occasion has
+                    # rows to adopt; later ones never began.
+                    salvage_budget = False
+                    commit = self._salvage_occasion(manifest, checkpointer,
+                                                    occasion, rows)
+                    summary.salvaged.append(occasion)
+                else:
+                    commit = self._run_occasion(manifest, checkpointer,
+                                                occasion)
+                    summary.executed.append(occasion)
+                all_records[occasion] = list(commit.get("records", []))
+            self._finalize(manifest, log, all_records, summary)
+        finally:
+            log.close()
+        return summary
+
+    # -- phases --------------------------------------------------------------
+
+    def _load_or_write_manifest(self, resume: bool) -> CampaignManifest:
+        if self.manifest_path.exists():
+            on_disk = CampaignManifest.from_dict(
+                json.loads(self.manifest_path.read_text()))
+            if not resume and (self.run_dir / WAL_NAME).exists():
+                raise FileExistsError(
+                    f"{self.run_dir} already holds a campaign; pass "
+                    "resume=True (CLI: --resume) to continue it")
+            if self.manifest is not None and \
+                    self.manifest.sha256 != on_disk.sha256:
+                raise WalCorruptionError(
+                    f"{self.manifest_path}: on-disk manifest differs from "
+                    "the requested one; refusing to mix campaigns")
+            self.manifest = on_disk
+            return on_disk
+        if self.manifest is None:
+            raise FileNotFoundError(
+                f"{self.manifest_path}: no manifest to resume from")
+        data = (canonical_json(self.manifest.to_dict()) + "\n").encode("utf-8")
+        atomic_write_bytes(self.manifest_path, data, io=self.io)
+        return self.manifest
+
+    def _already_complete(self, state: RecoveryState,
+                          summary: CampaignSummary) -> CampaignSummary:
+        """Resume of a finished campaign: verify, report, change nothing."""
+        ended = state.ended or {}
+        summary.noop = True
+        summary.success_rate = float(ended.get("success_rate", 0.0))
+        summary.audit_ok = bool(ended.get("audit_ok", True))
+        summary.journal_path = str(self.journal_path)
+        summary.journal_sha256 = str(ended.get("journal_sha256", ""))
+        summary.records_sha256 = str(ended.get("records_sha256", ""))
+        summary.skipped = sorted(state.committed)
+        if self.journal_path.exists() and summary.journal_sha256:
+            if sha256_file(self.journal_path) != summary.journal_sha256:
+                raise WalCorruptionError(
+                    f"{self.journal_path}: final journal does not match the "
+                    "campaign-end record")
+        return summary
+
+    def _verify_commit(self, commit: Dict[str, Any]) -> bool:
+        """Is every artifact an occasion-commit names still intact?
+
+        Any mismatch -- a checkpoint half-replaced, a segment missing, a
+        pcap truncated after the fact -- demotes the occasion back to
+        "run me again"; determinism makes the re-run safe.
+        """
+        checks: List[Tuple[Path, Optional[str]]] = []
+        if commit.get("checkpoint"):
+            checks.append((self.run_dir / CHECKPOINT_DIR / commit["checkpoint"],
+                           commit.get("checkpoint_sha256")))
+        if commit.get("journal_segment"):
+            checks.append((self.run_dir / SEGMENT_DIR /
+                           commit["journal_segment"],
+                           commit.get("journal_segment_sha256")))
+        for rel, sha in (commit.get("pcaps") or {}).items():
+            checks.append((self.run_dir / rel, sha))
+        for path, sha in checks:
+            if not path.exists():
+                return False
+            if sha is not None and sha256_file(path) != sha:
+                return False
+        return True
+
+    def _occasion_config(self, manifest: CampaignManifest,
+                         occasion: int) -> PatchworkConfig:
+        from repro.capture.session import CaptureMethod
+
+        method = {"tcpdump": CaptureMethod.TCPDUMP,
+                  "dpdk": CaptureMethod.DPDK,
+                  "fpga+dpdk": CaptureMethod.FPGA_DPDK}[manifest.method]
+        return PatchworkConfig(
+            output_dir=self.run_dir / "captures",
+            sites=list(manifest.sites),
+            plan=manifest.plan(),
+            desired_instances=manifest.desired_instances,
+            snaplen=manifest.snaplen,
+            capture_method=method,
+            pcap_prefix=f"o{occasion}_",
+            recovery=RecoveryConfig(enabled=manifest.recovery_enabled),
+            analysis=AnalysisConfig(max_workers=max(manifest.workers, 1),
+                                    cache_enabled=manifest.cache_enabled))
+
+    def _run_occasion(self, manifest: CampaignManifest,
+                      checkpointer: CampaignCheckpointer,
+                      occasion: int) -> Dict[str, Any]:
+        """Execute one occasion from its derived seeds and commit it."""
+        from repro import quickstart_federation
+        from repro.analysis import AnalysisPipeline
+        from repro.core.coordinator import Coordinator
+        from repro.obs import Observability, scoped
+        from repro.obs.ledger import attach_digests
+
+        seeds = manifest.occasion_seeds(occasion)
+        next_seq = self._next_seq(checkpointer.state, occasion)
+        checkpointer.begin_occasion(occasion, seeds)
+        federation, api, poller, orchestrator = quickstart_federation(
+            site_names=list(manifest.sites), seed=seeds["world"],
+            traffic_seed=seeds["traffic"],
+            traffic_scale=manifest.traffic_scale)
+        config = self._occasion_config(manifest, occasion)
+        plan = config.plan
+        span = manifest.traffic_span or (
+            plan.approximate_duration * len(manifest.sites) + 600.0)
+        window = 0.0
+        while window < span:
+            orchestrator.generate_window(window, min(150.0, span - window))
+            window += 150.0
+        with scoped(Observability.create(sim=federation.sim)) as obs:
+            obs.journal.reseq(next_seq)
+            coordinator = Coordinator(api, config, poller=poller,
+                                      seed=seeds["coordinator"],
+                                      checkpointer=checkpointer)
+            coordinator.occasions_run = occasion
+            bundle = coordinator.run_profile(
+                crash_probability=manifest.crash_probability)
+            bundle.write_logs(self.run_dir / "logs" / f"occ{occasion:04d}")
+            cache_dir = (self.run_dir / "acap-cache"
+                         if manifest.cache_enabled else None)
+            pipeline = AnalysisPipeline(acap_dir=self.run_dir / "acap",
+                                        max_workers=max(manifest.workers, 1),
+                                        cache_dir=cache_dir)
+            pipeline.run(bundle.pcap_paths)
+            attach_digests(bundle.ledgers, pipeline.acaps)
+            obs.snapshot_to_journal()
+            sim_end = federation.sim.now
+            journal = obs.journal
+        segment = journal.write(self.segment_path(occasion), io=self.io)
+        segment_sha = sha256_file(segment)
+        pcaps = {}
+        for pcap in bundle.pcap_paths:
+            rel = str(Path(pcap).relative_to(self.run_dir))
+            pcaps[rel] = sha256_file(pcap)
+        record_rows = [r.to_dict() for r in bundle.run_records]
+        ckpt_state = {
+            "occasion": occasion,
+            "seeds": seeds,
+            "next_seq": journal.next_seq,
+            "records": record_rows,
+            "pcaps": pcaps,
+            "sim_end": sim_end,
+            "manifest_sha": manifest.sha256,
+        }
+        _path, ckpt_sha = checkpointer.store.save(occasion, ckpt_state)
+        commit = {
+            "checkpoint": checkpointer.store.name_for(occasion),
+            "checkpoint_sha256": ckpt_sha,
+            "journal_segment": segment.name,
+            "journal_segment_sha256": segment_sha,
+            "next_seq": journal.next_seq,
+            "records": record_rows,
+            "pcaps": pcaps,
+            "sim_end": sim_end,
+        }
+        checkpointer.commit_occasion(occasion, commit)
+        return checkpointer.state.committed[occasion]
+
+    def _salvage_occasion(self, manifest: CampaignManifest,
+                          checkpointer: CampaignCheckpointer,
+                          occasion: int,
+                          rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Adopt a crashed occasion's WAL sample rows without re-running.
+
+        Sites with at least one completed sample become DEGRADED
+        (``recovered=True``, like the watchdog's salvage path); sites
+        the crash caught with nothing land INCOMPLETE.  The synthetic
+        journal segment replays each row's ledger event so the
+        conservation audit still covers the salvaged samples.
+        """
+        from repro.obs.journal import RunJournal
+
+        seeds = manifest.occasion_seeds(occasion)
+        next_seq = self._next_seq(checkpointer.state, occasion)
+        by_site: Dict[str, List[Dict[str, Any]]] = {
+            site: [] for site in manifest.sites}
+        for row in rows:
+            by_site.setdefault(str(row["site"]), []).append(row)
+        record_rows = []
+        for site in sorted(by_site):
+            site_rows = by_site[site]
+            if site_rows:
+                record = RunRecord(
+                    site=site, started_at=0.0, outcome=RunOutcome.DEGRADED,
+                    reason="salvaged after coordinator crash",
+                    samples_taken=len(site_rows),
+                    pcap_files=sum(1 for r in site_rows if r.get("pcap")),
+                    recovered=True)
+            else:
+                record = RunRecord(
+                    site=site, started_at=0.0, outcome=RunOutcome.INCOMPLETE,
+                    reason="coordinator crash")
+            record_rows.append(record.to_dict())
+        journal = RunJournal(clock=None, deterministic=True, enabled=True,
+                             start_seq=next_seq)
+        for row in rows:
+            if row.get("ledger") is not None:
+                journal.emit("ledger", t=row.get("t"), **row["ledger"])
+        journal.emit("salvage", t=None, occasion=occasion,
+                     samples=len(rows),
+                     sites={site: len(site_rows)
+                            for site, site_rows in sorted(by_site.items())})
+        segment = journal.write(self.segment_path(occasion), io=self.io)
+        segment_sha = sha256_file(segment)
+        pcaps = {str(row["pcap"]): row["pcap_sha256"] for row in rows
+                 if row.get("pcap") and row.get("pcap_sha256")
+                 and (self.run_dir / str(row["pcap"])).exists()}
+        ckpt_state = {
+            "occasion": occasion,
+            "seeds": seeds,
+            "next_seq": journal.next_seq,
+            "records": record_rows,
+            "pcaps": pcaps,
+            "sim_end": None,
+            "manifest_sha": manifest.sha256,
+            "salvaged": True,
+        }
+        _path, ckpt_sha = checkpointer.store.save(occasion, ckpt_state)
+        commit = {
+            "checkpoint": checkpointer.store.name_for(occasion),
+            "checkpoint_sha256": ckpt_sha,
+            "journal_segment": segment.name,
+            "journal_segment_sha256": segment_sha,
+            "next_seq": journal.next_seq,
+            "records": record_rows,
+            "pcaps": pcaps,
+            "sim_end": None,
+        }
+        checkpointer.commit_occasion(occasion, commit, salvaged=True)
+        return checkpointer.state.committed[occasion]
+
+    def _next_seq(self, state: RecoveryState, occasion: int) -> int:
+        """First journal sequence number of this occasion's segment."""
+        if occasion == 0:
+            return 0
+        previous = state.committed.get(occasion - 1)
+        if previous is None:
+            raise WalCorruptionError(
+                f"occasion {occasion} cannot start: occasion {occasion - 1} "
+                "was never committed (out-of-order WAL)")
+        return int(previous["next_seq"])
+
+    def _finalize(self, manifest: CampaignManifest, log: CampaignLog,
+                  all_records: Dict[int, List[Dict[str, Any]]],
+                  summary: CampaignSummary) -> None:
+        """Concatenate segments, write final artifacts, append campaign-end."""
+        from repro.obs.audit import audit_file
+
+        chunks = []
+        for occasion in range(manifest.occasions):
+            chunks.append(self.segment_path(occasion).read_bytes())
+        journal_bytes = b"".join(chunks)
+        atomic_write_bytes(self.journal_path, journal_bytes, io=self.io)
+        flat = []
+        for occasion in sorted(all_records):
+            for row in all_records[occasion]:
+                flat.append({**row, "occasion": occasion})
+        records_bytes = (canonical_json({"records": flat}) + "\n") \
+            .encode("utf-8")
+        atomic_write_bytes(self.run_dir / "records.json", records_bytes,
+                           io=self.io)
+        run_records = [RunRecord.from_dict(row) for row in flat]
+        rate = success_rate(run_records)
+        audit = audit_file(self.journal_path)
+        audit_ok = audit.ok if audit.ledgers else True
+        summary.success_rate = rate
+        summary.audit_ok = audit_ok
+        summary.journal_path = str(self.journal_path)
+        summary.journal_sha256 = sha256_bytes(journal_bytes)
+        summary.records_sha256 = sha256_bytes(records_bytes)
+        log.append("campaign-end", {
+            "occasions": manifest.occasions,
+            "journal_sha256": summary.journal_sha256,
+            "records_sha256": summary.records_sha256,
+            "success_rate": rate,
+            "audit_ok": audit_ok,
+        }, commit=True)
+
+
+def resume_campaign(run_dir: Union[str, Path], salvage: bool = False,
+                    io: Optional[FileIO] = None) -> CampaignSummary:
+    """Resume an interrupted campaign from its run directory alone."""
+    return CampaignRunner(run_dir, io=io).run(resume=True, salvage=salvage)

@@ -134,6 +134,11 @@ class PatchworkConfig:
     # Capture knobs.
     capture_method: CaptureMethod = CaptureMethod.TCPDUMP
     snaplen: int = 200
+    # Prefixed onto every pcap file name.  Durable campaigns set
+    # "o<occasion>_" so pcaps from different occasions sharing one
+    # captures directory keep globally unique, content-addressable names
+    # (the audit keys samples by "<site>/<pcap name>").
+    pcap_prefix: str = ""
     transform: Optional[FrameTransform] = None
     # Port selection: "busiest-bias" (default), "fixed", "uplinks", "all".
     selector: str = "busiest-bias"

@@ -118,6 +118,7 @@ class Coordinator:
         config: PatchworkConfig,
         poller: Optional[SNMPPoller] = None,
         seed: int = 5,
+        checkpointer=None,
     ):
         self.api = api
         self.config = config
@@ -125,6 +126,11 @@ class Coordinator:
         self.mflib = MFlib(self.poller.store)
         self.seeds = SeedSequenceFactory(seed)
         self.occasions_run = 0
+        # Durable campaign layer (repro.core.checkpoint): when set, the
+        # coordinator journals sample-level progress into the campaign
+        # WAL and skips occasions the WAL already shows committed.
+        self.checkpointer = checkpointer
+        self._current_occasion: Optional[int] = None
 
     def target_sites(self) -> List[str]:
         """Sites this occasion will profile."""
@@ -137,7 +143,7 @@ class Coordinator:
         crash_probability: float = 0.0,
         deadline_margin: float = 3.0,
         stagger: float = 5.0,
-    ) -> ProfileBundle:
+    ) -> Optional[ProfileBundle]:
         """Run one occasion across the target sites and gather results.
 
         ``crash_probability`` is the per-watchdog-check chance of an
@@ -149,7 +155,14 @@ class Coordinator:
         obs = get_obs()
         started_at = sim.now
         occasion = self.occasions_run
+        if (self.checkpointer is not None
+                and self.checkpointer.occasion_committed(occasion)):
+            # Resume: this occasion already committed durably; its
+            # artifacts were verified by the campaign runner.
+            self.occasions_run += 1
+            return None
         self.occasions_run += 1
+        self._current_occasion = occasion
         sites = self.target_sites()
         obs.registry.counter("coordinator.occasions",
                              help="profiling occasions run").inc()
@@ -239,7 +252,14 @@ class Coordinator:
             # counter) names the instance, so journals from two runs of
             # the same seeded scenario are byte-identical.
             label=rng_label,
+            on_sample=self._on_sample if self.checkpointer else None,
         )
+
+    def _on_sample(self, instance: PatchworkInstance, record) -> None:
+        """Journal one completed sample into the campaign WAL."""
+        sim = self.api.federation.sim
+        self.checkpointer.record_sample(
+            self._current_occasion, instance.site, record, t=sim.now)
 
     def _run_wave(
         self,

@@ -125,6 +125,8 @@ class PatchworkInstance:
         on_done: Optional[Callable[["PatchworkInstance"], None]] = None,
         scaling: Optional[ScalingController] = None,
         label: Optional[str] = None,
+        on_sample: Optional[
+            Callable[["PatchworkInstance", SampleRecord], None]] = None,
     ):
         self.mflib = mflib
         self.config = config
@@ -133,6 +135,9 @@ class PatchworkInstance:
         self.rng = rng or np.random.default_rng(0)
         self.crash_probability = crash_probability
         self.on_done = on_done
+        # Sample-level progress hook (the durable campaign layer's WAL
+        # row writer): called once per completed or salvaged sample.
+        self.on_sample = on_sample
         # A caller-supplied label keeps instance identity deterministic
         # across runs of the same seeded scenario (the coordinator passes
         # its occasion/site label); the process-wide counter is only the
@@ -313,12 +318,15 @@ class PatchworkInstance:
                 slot.open_ledger = None
             if slot.current_source is None:
                 continue
-            self.samples.append(SampleRecord(
+            record = SampleRecord(
                 cycle=self._cycle, run=self._run, sample=self._sample,
                 slot=slot.index, mirrored_port=slot.current_source,
                 pcap_path=stats.pcap_path, stats=stats, congestion=None,
                 ledger=ledger,
-            ))
+            )
+            self.samples.append(record)
+            if self.on_sample is not None:
+                self.on_sample(self, record)
             salvaged += 1
         if salvaged:
             self.log.info(self.api.now, kind, "salvaged partial samples",
@@ -476,6 +484,7 @@ class PatchworkInstance:
             if slot.current_source is None:
                 continue
             pcap = (self.config.output_dir / self.site /
+                    f"{self.config.pcap_prefix}"
                     f"c{self._cycle}_r{self._run}_s{self._sample}"
                     f"_slot{slot.index}_{slot.current_source}.pcap")
             slot.capture = CaptureSession(
@@ -526,13 +535,16 @@ class PatchworkInstance:
                     stats,
                     verdict=verdict.overloaded if verdict is not None else None)
                 slot.open_ledger = None
-            self.samples.append(SampleRecord(
+            record = SampleRecord(
                 cycle=self._cycle, run=self._run, sample=self._sample,
                 slot=slot.index, mirrored_port=slot.current_source,
                 pcap_path=stats.pcap_path, stats=stats, congestion=verdict,
                 ledger=ledger,
-            ))
+            )
+            self.samples.append(record)
             slot.capture = None
+            if self.on_sample is not None:
+                self.on_sample(self, record)
         self.log.info(self.api.now, "sample", "sample complete",
                       cycle=self._cycle, run=self._run, sample=self._sample)
         self._sample += 1

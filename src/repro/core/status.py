@@ -51,6 +51,43 @@ class RunRecord:
     def profiled(self) -> bool:
         return self.outcome in (RunOutcome.SUCCESS, RunOutcome.DEGRADED)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Flatten for the campaign WAL / ``records.json`` (canonical
+        JSON friendly; round-trips through :meth:`from_dict`)."""
+        return {
+            "site": self.site,
+            "started_at": self.started_at,
+            "outcome": self.outcome.value,
+            "reason": self.reason,
+            "backoffs": self.backoffs,
+            "instances": self.instances,
+            "samples_taken": self.samples_taken,
+            "pcap_files": self.pcap_files,
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "restarts": self.restarts,
+            "recovered": self.recovered,
+            "redispatched": self.redispatched,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        return cls(
+            site=str(data["site"]),
+            started_at=float(data["started_at"]),
+            outcome=RunOutcome(data["outcome"]),
+            reason=str(data.get("reason", "")),
+            backoffs=int(data.get("backoffs", 0)),
+            instances=int(data.get("instances", 0)),
+            samples_taken=int(data.get("samples_taken", 0)),
+            pcap_files=int(data.get("pcap_files", 0)),
+            retries=int(data.get("retries", 0)),
+            breaker_opens=int(data.get("breaker_opens", 0)),
+            restarts=int(data.get("restarts", 0)),
+            recovered=bool(data.get("recovered", False)),
+            redispatched=bool(data.get("redispatched", False)),
+        )
+
 
 def outcome_fractions(records: List[RunRecord]) -> Dict[RunOutcome, float]:
     """Share of each outcome across a set of run records."""

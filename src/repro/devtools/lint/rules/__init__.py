@@ -19,6 +19,7 @@ from repro.devtools.lint.rules import (  # noqa: F401  (registration imports)
     rl005_journal_purity,
     rl006_broad_except,
     rl007_drop_causes,
+    rl008_atomic_writes,
 )
 
 __all__ = ["RULES", "Rule", "register"]

@@ -1,0 +1,100 @@
+"""RL008 -- durable run state must be written atomically.
+
+The crash-safety contract (PR 6) rests on exactly two write patterns
+for WAL/checkpoint/journal paths:
+
+* **append-only** (``open(path, "ab")``) -- a crash can only tear the
+  final line, which readers tolerate and reopening truncates;
+* **atomic replace** (:func:`repro.util.atomio.atomic_write_bytes` /
+  ``atomic_write_text``: temp file + fsync + ``os.replace``) -- readers
+  see the old file or the whole new file, never a torn one.
+
+A *truncating* open (mode containing ``w`` or ``x``) or a
+``Path.write_text`` / ``Path.write_bytes`` call in a durable-state
+module destroys the old state before the new state is safely on disk: a
+crash in that window loses both.  One such write silently voids every
+recovery oracle the chaos harness checks.
+
+Scope is **inclusive**, unlike other rules: it applies only to the
+modules registered in :data:`repro.core.checkpoint.DURABLE_MODULES`
+(the write paths of ``campaign.wal``, ``checkpoints/``, journal
+segments).  ``repro/util/atomio.py`` itself is the sanctioned
+implementation and deliberately not registered.  Recovery truncation
+(``open(path, "r+b")`` + ``.truncate()``) does not clobber on open and
+stays allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+from repro.devtools.lint.rules.base import Rule, register
+
+#: Fallback when the rule runs outside an importable repro tree; kept in
+#: sync by tests/test_lint_rules.py::test_rl008_fallback_matches_registry.
+FALLBACK_DURABLE_MODULES = (
+    "repro/core/checkpoint.py",
+    "repro/core/campaign.py",
+    "repro/obs/journal.py",
+    "repro/testbed/chaos.py",
+)
+
+TRUNCATING_ATTRS = frozenset({"write_text", "write_bytes"})
+
+
+def durable_modules() -> Tuple[str, ...]:
+    """The live registry of durable-state write paths."""
+    try:
+        from repro.core.checkpoint import DURABLE_MODULES
+    except ImportError:
+        return FALLBACK_DURABLE_MODULES
+    return tuple(DURABLE_MODULES)
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open()`` call, if knowable."""
+    mode: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    else:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@register
+class AtomicWriteRule(Rule):
+    id = "RL008"
+    name = "non-atomic-durable-write"
+    summary = ("truncating write to durable run state -- use append mode "
+               "or repro.util.atomio's temp-file + os.replace idiom")
+
+    def applies_to(self, rel_path: str) -> bool:
+        # Inclusive scope: only registered durable-state modules.
+        posix = rel_path.replace("\\", "/")
+        if any(posix.endswith(suffix) for suffix in self.allow_paths()):
+            return False
+        return any(posix.endswith(module) for module in durable_modules())
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_open = (isinstance(func, ast.Name) and func.id == "open") or \
+            (isinstance(func, ast.Attribute) and func.attr == "open")
+        if is_open:
+            mode = _open_mode(node)
+            if mode is not None and any(c in mode for c in "wx"):
+                self.report(node, (
+                    f"open(..., {mode!r}) truncates durable state in place; "
+                    "a crash mid-write loses old and new state -- append "
+                    "(mode 'ab') or use repro.util.atomio.atomic_write_*"))
+        elif isinstance(func, ast.Attribute) and \
+                func.attr in TRUNCATING_ATTRS:
+            self.report(node, (
+                f".{func.attr}() clobbers durable state in place -- use "
+                "repro.util.atomio.atomic_write_* so readers never see a "
+                "torn file"))
+        self.generic_visit(node)

@@ -19,6 +19,15 @@ produce **byte-identical** journals.  Three rules make that hold:
    which a deterministic journal discards;
 3. serialization is canonical -- sorted keys, compact separators,
    ``repr``-exact floats.
+
+Crash safety: journals are written atomically (temp file +
+``os.replace`` via :mod:`repro.util.atomio`), and :meth:`RunJournal.read`
+tolerates a *torn tail* -- a partially written final line, the signature
+of a process killed mid-write -- by dropping it and recording what was
+dropped in :attr:`RunJournal.torn_tail`.  Corruption anywhere else still
+raises.  A campaign writes one journal *segment* per occasion;
+``start_seq`` rebases the sequence counter so the concatenation of
+segments is byte-identical to one uninterrupted journal.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.util.atomio import FileIO, atomic_write_text
 
 
 def jsonable(value: Any) -> Any:
@@ -72,11 +83,31 @@ class RunJournal:
     """Append-only, deterministic JSONL event stream for one scenario."""
 
     def __init__(self, clock=None, deterministic: bool = True,
-                 enabled: bool = True):
+                 enabled: bool = True, start_seq: int = 0):
         self.clock = clock
         self.deterministic = deterministic
         self.enabled = enabled
         self.events: List[JournalEvent] = []
+        self._next_seq = start_seq
+        # Set by read() when a partially written final line was dropped:
+        # the raw fragment, for diagnostics.  None = file was clean.
+        self.torn_tail: Optional[str] = None
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next emitted event will carry."""
+        return self._next_seq
+
+    def reseq(self, start_seq: int) -> None:
+        """Rebase the sequence counter of a still-empty journal.
+
+        Used by campaign resume: each occasion's journal segment starts
+        where the previous segment's sequence numbers ended, so the
+        concatenated segments read as one uninterrupted journal.
+        """
+        if self.events:
+            raise RuntimeError("cannot reseq a journal that has events")
+        self._next_seq = start_seq
 
     # -- emission ------------------------------------------------------------
 
@@ -99,8 +130,9 @@ class RunJournal:
         payload = {k: jsonable(v) for k, v in data.items()}
         if volatile and not self.deterministic:
             payload.update({k: jsonable(v) for k, v in volatile.items()})
-        event = JournalEvent(seq=len(self.events), kind=kind, t=t,
+        event = JournalEvent(seq=self._next_seq, kind=kind, t=t,
                              data=payload)
+        self._next_seq += 1
         self.events.append(event)
         return event
 
@@ -126,20 +158,49 @@ class RunJournal:
     def to_jsonl(self) -> str:
         return "".join(event.to_json() + "\n" for event in self.events)
 
-    def write(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl())
-        return path
+    def write(self, path: Union[str, Path], io: Optional[FileIO] = None) -> Path:
+        """Persist atomically: readers see the old journal or the whole
+        new one, never a torn file (crash-safety invariant)."""
+        return atomic_write_text(path, self.to_jsonl(), io=io)
 
     @classmethod
-    def read(cls, path: Union[str, Path]) -> "RunJournal":
+    def read(cls, path: Union[str, Path],
+             strict: bool = False) -> "RunJournal":
+        """Load a journal, tolerating a torn (partially written) tail.
+
+        A process killed mid-write leaves a final line that is either
+        unterminated or unparseable.  By default that line is dropped
+        and remembered in :attr:`torn_tail` (callers warn); with
+        ``strict=True``, or when the damage is *not* confined to the
+        final line, a ``ValueError`` is raised -- mid-file corruption is
+        never silently skipped.
+        """
         journal = cls(clock=None, enabled=True)
-        with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    journal.events.append(JournalEvent.from_json(line))
+        text = Path(path).read_text()
+        terminated = text.endswith("\n")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for i, line in enumerate(lines):
+            final = i == len(lines) - 1
+            try:
+                event = JournalEvent.from_json(line)
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                if final and not strict:
+                    journal.torn_tail = line[:200]
+                    break
+                raise ValueError(
+                    f"{path}: corrupt journal line {i + 1}: {exc}") from exc
+            if final and not terminated:
+                # Parsed, but the write never finished (no newline):
+                # the event is not trustworthy as committed state.
+                if strict:
+                    raise ValueError(f"{path}: unterminated final line")
+                journal.torn_tail = line[:200]
+                break
+            journal.events.append(event)
+        if journal.events:
+            journal._next_seq = journal.events[-1].seq + 1
         return journal
 
 

@@ -9,6 +9,13 @@ Wireshark, and vice versa.
 Truncation ("snaplen") is a first-class concept: the paper captures the
 first 64/200 bytes of each frame, so a record's ``incl_len`` (captured
 bytes) can be smaller than its ``orig_len`` (bytes on the wire).
+
+A capture process killed mid-write (the crash the campaign layer
+recovers from) leaves a pcap whose *final record* is cut short.  By
+default the reader surfaces that as a flagged short read -- iteration
+stops cleanly and :attr:`PcapReader.short_read` is set -- so analysis
+can quarantine the file instead of dying in ``struct``; ``strict=True``
+restores the old raise-on-truncation behaviour.
 """
 
 from __future__ import annotations
@@ -133,7 +140,12 @@ class PcapReader:
     ...     dissect(record.data)
     """
 
-    def __init__(self, path: Union[str, Path, BinaryIO]):
+    def __init__(self, path: Union[str, Path, BinaryIO],
+                 strict: bool = False):
+        self.strict = strict
+        # Set when a truncated final record was dropped (non-strict
+        # mode): the signature of a capture killed mid-write.
+        self.short_read = False
         if hasattr(path, "read"):
             self._handle: BinaryIO = path  # type: ignore[assignment]
             self._owns_handle = False
@@ -167,11 +179,17 @@ class PcapReader:
         if not raw:
             raise StopIteration
         if len(raw) < self._rec_size:
-            raise ValueError("truncated pcap record header")
+            if self.strict:
+                raise ValueError("truncated pcap record header")
+            self.short_read = True
+            raise StopIteration
         ts_sec, ts_usec, incl_len, orig_len = self._rec_unpack(raw)
         data = self._read(incl_len)
         if len(data) < incl_len:
-            raise ValueError("truncated pcap record body")
+            if self.strict:
+                raise ValueError("truncated pcap record body")
+            self.short_read = True
+            raise StopIteration
         return PcapRecord(ts_sec + ts_usec / 1_000_000, data, orig_len)
 
     def iter_raw(self) -> Iterator[tuple]:
@@ -186,11 +204,17 @@ class PcapReader:
             if not raw:
                 return
             if len(raw) < rec_size:
-                raise ValueError("truncated pcap record header")
+                if self.strict:
+                    raise ValueError("truncated pcap record header")
+                self.short_read = True
+                return
             ts_sec, ts_usec, incl_len, orig_len = unpack(raw)
             data = read(incl_len)
             if len(data) < incl_len:
-                raise ValueError("truncated pcap record body")
+                if self.strict:
+                    raise ValueError("truncated pcap record body")
+                self.short_read = True
+                return
             yield ts_sec + ts_usec / 1_000_000, data, orig_len
 
     def read_all(self) -> List[PcapRecord]:

@@ -1,0 +1,29 @@
+"""RL008 bad: truncating writes that clobber durable run state in place.
+
+A crash between the truncating open (or write_text/write_bytes) and the
+final flush loses BOTH the old state and the new state.
+"""
+
+import json
+from pathlib import Path
+
+WAL = Path("campaign.wal")
+
+
+def clobber_wal(records):
+    with open(WAL, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def clobber_checkpoint(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+def clobber_snapshot(path: Path, blob: bytes) -> None:
+    path.write_bytes(blob)
+
+
+def exclusive_create(path: Path) -> None:
+    with open(path, mode="xb") as handle:
+        handle.write(b"{}")

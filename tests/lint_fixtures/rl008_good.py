@@ -1,0 +1,34 @@
+"""RL008 good: the two sanctioned durable-write patterns (and reads).
+
+Appends can only tear the final line (readers tolerate, reopening
+truncates); atomic_write_* goes through temp file + fsync + os.replace.
+"""
+
+import json
+from pathlib import Path
+
+from repro.util.atomio import atomic_write_bytes, atomic_write_text
+
+
+def append_record(path: Path, line: str) -> None:
+    with open(path, "ab") as handle:
+        handle.write(line.encode("utf-8"))
+
+
+def commit_snapshot(path: Path, payload: dict) -> None:
+    atomic_write_text(path, json.dumps(payload) + "\n")
+
+
+def commit_blob(path: Path, blob: bytes) -> None:
+    atomic_write_bytes(path, blob)
+
+
+def truncate_torn_tail(path: Path, valid_bytes: int) -> None:
+    # Recovery truncation: "r+" does not clobber on open.
+    with open(path, "r+b") as handle:
+        handle.truncate(valid_bytes)
+
+
+def read_state(path: Path) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()

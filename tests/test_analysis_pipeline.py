@@ -74,3 +74,45 @@ class TestPipeline:
         report = AnalysisPipeline().run([])
         assert report.total_frames == 0
         assert report.sites == []
+
+
+class TestQuarantine:
+    """A corrupt pcap must be dropped from the corpus with a counted
+    quarantine, not abort the whole analysis run."""
+
+    def make_corpus(self, tmp_path, corrupt=1):
+        from repro.packets.builder import FrameBuilder, FrameSpec
+        from repro.packets.headers import Ethernet, IPv4, Payload, TCP
+        from repro.packets.pcap import PcapRecord, PcapWriter
+        frame = FrameBuilder().build(FrameSpec([
+            Ethernet("02:00:00:00:00:01", "02:00:00:00:00:02"),
+            IPv4("10.1.2.3", "10.4.5.6"), TCP(50000, 443),
+            Payload(0)], target_size=200))
+        site = tmp_path / "STAR"
+        site.mkdir()
+        paths = []
+        for i in range(2):
+            path = site / f"s{i}.pcap"
+            with PcapWriter(path, snaplen=200) as writer:
+                for j in range(5):
+                    writer.write(PcapRecord(j * 0.1, frame))
+            paths.append(path)
+        for i in range(corrupt):
+            bad = site / f"bad{i}.pcap"
+            bad.write_bytes(b"\x00" * 40)  # bad magic: analysis-poison
+            paths.append(bad)
+        return paths
+
+    def test_corrupt_pcap_quarantined_not_fatal(self, tmp_path):
+        pipeline = AnalysisPipeline(acap_dir=tmp_path / "acap")
+        report = pipeline.run(self.make_corpus(tmp_path))
+        assert pipeline.stats.quarantined == 1
+        assert len(pipeline.acaps) == 2
+        assert report.total_frames == 10
+        assert "quarantined" in pipeline.stats.render()
+
+    def test_clean_corpus_has_no_quarantines(self, tmp_path):
+        pipeline = AnalysisPipeline(acap_dir=tmp_path / "acap")
+        pipeline.run(self.make_corpus(tmp_path, corrupt=0))
+        assert pipeline.stats.quarantined == 0
+        assert "quarantined" not in pipeline.stats.render()

@@ -227,3 +227,53 @@ class TestCampaign:
         assert code == 0
         out = capsys.readouterr().out
         assert "success rate" in out
+
+
+DURABLE_ARGS = [
+    "profile", "--durable", "--sites", "STAR", "MICH",
+    "--scale", "0.005", "--sample-duration", "2", "--sample-interval", "10",
+    "--samples", "1", "--cycles", "1", "--instances", "1",
+    "--occasions", "1", "--traffic-span", "120", "--seed", "9",
+]
+
+
+class TestDurableProfile:
+    def test_durable_then_resume_noop(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert main(DURABLE_ARGS + ["--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "ran: occasions [0]" in text
+        assert "audit ok" in text
+        assert (out / "campaign.wal").exists()
+        assert (out / "journal.jsonl").exists()
+        assert main(["profile", "--resume", str(out)]) == 0
+        assert "already complete" in capsys.readouterr().out
+
+    def test_resume_rejects_non_campaign_dir(self, tmp_path, capsys):
+        assert main(["profile", "--resume", str(tmp_path)]) == 2
+        assert "not a campaign run directory" in capsys.readouterr().err
+
+    def test_runs_list_and_describe(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        main(DURABLE_ARGS + ["--out", str(out)])
+        capsys.readouterr()
+        assert main(["runs", "list", str(tmp_path)]) == 0
+        listing = capsys.readouterr().out
+        assert "complete" in listing and "1/1 occasions committed" in listing
+        assert main(["runs", "describe", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["state"] == "complete"
+
+    def test_runs_list_empty(self, tmp_path, capsys):
+        assert main(["runs", "list", str(tmp_path)]) == 0
+        assert "no campaign run directories" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_smoke_json(self, tmp_path, capsys):
+        code = main(["chaos", "--trials", "2", "--seed", "5",
+                     "--out", str(tmp_path / "chaos"), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] and payload["trials"] == 2
+        assert (tmp_path / "chaos" / "chaos-report.json").exists()

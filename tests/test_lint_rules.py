@@ -125,3 +125,26 @@ def test_rl007_fallback_matches_ledger():
     from repro.devtools.lint.rules.rl007_drop_causes import (
         FALLBACK_TAXONOMY, taxonomy)
     assert taxonomy() == FALLBACK_TAXONOMY
+
+
+def test_rl008_flags_each_clobber_flavor():
+    # "w" open, .write_text, .write_bytes, keyword mode="xb".
+    assert bad_lines("rl008_bad.py", "RL008") == {14, 20, 24, 28}
+
+
+def test_rl008_scope_is_inclusive():
+    """RL008 inverts the usual scope: it fires only inside the modules
+    registered as durable-state writers, everywhere else is exempt."""
+    rule = RULES["RL008"](None, {})  # ctx unused by applies_to
+    assert rule.applies_to("src/repro/core/checkpoint.py")
+    assert rule.applies_to("src/repro/core/campaign.py")
+    assert rule.applies_to("src/repro/obs/journal.py")
+    assert not rule.applies_to("src/repro/core/instance.py")
+    assert not rule.applies_to("src/repro/util/atomio.py")
+
+
+def test_rl008_fallback_matches_registry():
+    """The offline fallback must track the live durable-module registry."""
+    from repro.devtools.lint.rules.rl008_atomic_writes import (
+        FALLBACK_DURABLE_MODULES, durable_modules)
+    assert durable_modules() == FALLBACK_DURABLE_MODULES

@@ -3,6 +3,8 @@
 import enum
 from pathlib import Path
 
+import pytest
+
 from repro.netsim.engine import Simulator
 from repro.obs import JournalEvent, RunJournal, diff_journals, jsonable
 from repro.obs.clock import SimClock, WallClock
@@ -104,6 +106,85 @@ class TestQueriesAndSerialization:
     def test_event_json_round_trip(self):
         event = JournalEvent(seq=4, kind="x", t=None, data={"a": 1})
         assert JournalEvent.from_json(event.to_json()) == event
+
+
+class TestTornTailRecovery:
+    """A crash mid-write may tear only the final line; readers drop it
+    and remember it, and mid-file damage is never skipped."""
+
+    def torn_file(self, tmp_path, chop=7):
+        journal = RunJournal()
+        journal.emit("tick", t=1.0, n=1)
+        journal.emit("tick", t=2.0, n=2)
+        path = journal.write(tmp_path / "journal.jsonl")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-chop])  # tear the final line mid-byte
+        return path
+
+    def test_torn_tail_dropped_and_remembered(self, tmp_path):
+        path = self.torn_file(tmp_path)
+        loaded = RunJournal.read(path)
+        assert [e.data["n"] for e in loaded] == [1]
+        assert loaded.torn_tail is not None
+
+    def test_strict_read_refuses_torn_tail(self, tmp_path):
+        path = self.torn_file(tmp_path)
+        with pytest.raises(ValueError):
+            RunJournal.read(path, strict=True)
+
+    def test_unterminated_but_parseable_final_line_untrusted(self, tmp_path):
+        # The write got every byte out except the newline: the line
+        # parses, but it was never committed, so it is still dropped.
+        path = self.torn_file(tmp_path, chop=1)
+        loaded = RunJournal.read(path)
+        assert [e.data["n"] for e in loaded] == [1]
+        assert loaded.torn_tail is not None
+
+    def test_mid_file_damage_is_fatal(self, tmp_path):
+        journal = RunJournal()
+        journal.emit("tick", t=1.0, n=1)
+        journal.emit("tick", t=2.0, n=2)
+        path = journal.write(tmp_path / "journal.jsonl")
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:-5]  # damage a NON-final line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            RunJournal.read(path)
+
+    def test_clean_read_has_no_torn_tail(self, tmp_path):
+        journal = RunJournal()
+        journal.emit("tick", t=1.0)
+        path = journal.write(tmp_path / "journal.jsonl")
+        assert RunJournal.read(path).torn_tail is None
+
+
+class TestSegmentRotation:
+    """Per-occasion segments rebased with reseq() concatenate into one
+    journal whose sequence numbers are gapless."""
+
+    def test_reseq_rebases_and_concatenation_is_gapless(self, tmp_path):
+        first = RunJournal()
+        first.emit("tick", t=1.0)
+        first.emit("tick", t=2.0)
+        second = RunJournal()
+        second.reseq(first.next_seq)
+        second.emit("tick", t=3.0)
+        combined = first.to_jsonl() + second.to_jsonl()
+        path = tmp_path / "journal.jsonl"
+        path.write_text(combined)
+        loaded = RunJournal.read(path)
+        assert [e.seq for e in loaded] == [0, 1, 2]
+
+    def test_reseq_refuses_populated_journal(self):
+        journal = RunJournal()
+        journal.emit("tick", t=1.0)
+        with pytest.raises(RuntimeError):
+            journal.reseq(10)
+
+    def test_start_seq_constructor(self):
+        journal = RunJournal(start_seq=5)
+        assert journal.emit("tick", t=1.0).seq == 5
+        assert journal.next_seq == 6
 
 
 class TestDiff:

@@ -154,13 +154,45 @@ class TestFormatCompatibility:
         with pytest.raises(ValueError):
             PcapReader(io.BytesIO(b"\xa1\xb2"))
 
-    def test_truncated_record_body_rejected(self):
+    def test_truncated_record_body_rejected_when_strict(self):
         buf = io.BytesIO()
         writer = PcapWriter(buf)
         writer.write(PcapRecord(0.0, b"x" * 60))
         raw = buf.getvalue()[:-10]  # chop the record body
         with pytest.raises(ValueError):
-            PcapReader(io.BytesIO(raw)).read_all()
+            PcapReader(io.BytesIO(raw), strict=True).read_all()
+
+    def test_truncated_record_body_flagged_by_default(self):
+        # A capture killed mid-write must still yield its complete
+        # records; the torn tail is dropped and flagged, not fatal.
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        writer.write(PcapRecord(0.0, b"x" * 60))
+        writer.write(PcapRecord(1.0, b"y" * 60))
+        raw = buf.getvalue()[:-10]  # chop the second record's body
+        reader = PcapReader(io.BytesIO(raw))
+        records = reader.read_all()
+        assert len(records) == 1
+        assert records[0].data == b"x" * 60
+        assert reader.short_read
+
+    def test_truncated_record_header_flagged_by_default(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        writer.write(PcapRecord(0.0, b"x" * 60))
+        raw = buf.getvalue() + b"\x00" * 7  # partial next record header
+        reader = PcapReader(io.BytesIO(raw))
+        assert len(reader.read_all()) == 1
+        assert reader.short_read
+
+    def test_clean_file_not_flagged(self):
+        buf = io.BytesIO()
+        writer = PcapWriter(buf)
+        writer.write(PcapRecord(0.0, b"x" * 60))
+        buf.seek(0)
+        reader = PcapReader(buf)
+        assert len(reader.read_all()) == 1
+        assert not reader.short_read
 
     def test_writer_counts(self):
         buf = io.BytesIO()
