@@ -245,8 +245,12 @@ class AnalysisPipeline:
         """Dissect every pcap into an acap (optionally persisted).
 
         Cached pcaps are served from the acap cache; the rest fan out
-        over up to ``max_workers`` processes.  ``self.acaps`` always
-        matches the order of ``pcap_paths``.
+        over up to ``max_workers`` processes.  ``self.acaps`` preserves
+        the order of ``pcap_paths`` but **omits quarantined pcaps**
+        (corrupt/undissectable inputs, counted in
+        ``self.stats.quarantined``), so it can be shorter than the
+        input; match acaps to pcaps by each ``AcapFile.source``, not by
+        position.
         """
         started = time.perf_counter()  # reprolint: disable=RL001 -- volatile stage timing
         paths = [Path(p) for p in pcap_paths]

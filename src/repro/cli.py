@@ -334,6 +334,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_profile_durable(args: argparse.Namespace) -> int:
     """``repro profile --durable`` / ``repro profile --resume RUN_DIR``."""
     from repro.core.campaign import CampaignManifest, CampaignRunner
+    from repro.core.checkpoint import WalCorruptionError
 
     if args.resume is not None:
         if not (args.resume / "campaign.manifest").exists() and \
@@ -341,8 +342,19 @@ def _cmd_profile_durable(args: argparse.Namespace) -> int:
             print(f"error: {args.resume} is not a campaign run directory",
                   file=sys.stderr)
             return 2
-        summary = CampaignRunner(args.resume).run(resume=True,
-                                                  salvage=args.salvage)
+        try:
+            summary = CampaignRunner(args.resume).run(resume=True,
+                                                      salvage=args.salvage)
+        except FileNotFoundError as exc:
+            # e.g. a WAL with no manifest: resumable only if the
+            # original manifest is restored, not from the CLI alone.
+            print(f"error: cannot resume {args.resume}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except WalCorruptionError as exc:
+            print(f"error: cannot resume {args.resume}: {exc}",
+                  file=sys.stderr)
+            return 2
     else:
         sites = tuple(args.sites or ["STAR", "MICH", "UTAH", "TACC"])
         manifest = CampaignManifest(

@@ -218,10 +218,18 @@ class CampaignRunner:
             salvage_budget = salvage
             for occasion in range(manifest.occasions):
                 committed = state.committed.get(occasion)
-                if committed is not None and self._verify_commit(committed):
-                    summary.skipped.append(occasion)
-                    all_records[occasion] = list(committed.get("records", []))
-                    continue
+                if committed is not None:
+                    if self._verify_commit(committed):
+                        summary.skipped.append(occasion)
+                        all_records[occasion] = \
+                            list(committed.get("records", []))
+                        continue
+                    # Demote: an artifact the commit names is damaged or
+                    # missing.  Clear the occasion's durable-state entries
+                    # so Coordinator.occasion_committed doesn't skip the
+                    # re-run and salvage can't adopt the stale sample rows.
+                    state.committed.pop(occasion, None)
+                    state.samples.pop(occasion, None)
                 rows = state.salvageable(occasion)
                 if salvage_budget and rows:
                     # Only the crashed (first uncommitted) occasion has
@@ -279,6 +287,12 @@ class CampaignRunner:
             if sha256_file(self.journal_path) != summary.journal_sha256:
                 raise WalCorruptionError(
                     f"{self.journal_path}: final journal does not match the "
+                    "campaign-end record")
+        records_path = self.run_dir / "records.json"
+        if records_path.exists() and summary.records_sha256:
+            if sha256_file(records_path) != summary.records_sha256:
+                raise WalCorruptionError(
+                    f"{records_path}: final records do not match the "
                     "campaign-end record")
         return summary
 

@@ -128,15 +128,18 @@ def read_wal(path: Union[str, Path]) -> Tuple[List[WalRecord], bool, int]:
     raw = Path(path).read_bytes()
     # Canonical JSON is pure ASCII with escaped newlines, so a partial
     # append can never *end* with a newline: everything after the last
-    # newline is exactly the torn fragment (empty = clean termination).
-    text = raw.decode("utf-8", errors="replace")
-    body, _sep, tail = text.rpartition("\n")
+    # 0x0A byte is exactly the torn fragment (empty = clean termination).
+    # The split happens on bytes: decoding first with errors="replace"
+    # would inflate each undecodable tail byte (bitrot, a torn multi-byte
+    # write) into a 3-byte U+FFFD, undercounting valid_bytes and letting
+    # the reopening writer truncate into committed records.
+    body, _sep, tail = raw.rpartition(b"\n")
     torn = bool(tail)
-    valid_bytes = len(raw) - len(tail.encode("utf-8"))
+    valid_bytes = len(raw) - len(tail)
     records: List[WalRecord] = []
-    for i, line in enumerate(body.split("\n") if body else []):
+    for i, line_bytes in enumerate(body.split(b"\n") if body else []):
         try:
-            records.append(_decode_line(line))
+            records.append(_decode_line(line_bytes.decode("utf-8")))
         except (json.JSONDecodeError, ValueError, KeyError, TypeError) as exc:
             # Terminated lines were written in full; damage here is real
             # corruption, not the signature of a crash.

@@ -253,6 +253,14 @@ class TestDurableProfile:
         assert main(["profile", "--resume", str(tmp_path)]) == 2
         assert "not a campaign run directory" in capsys.readouterr().err
 
+    def test_resume_wal_without_manifest_is_friendly(self, tmp_path, capsys):
+        """The 'resumable-no-manifest' state `repro runs describe`
+        reports must fail with a message and exit 2, not a traceback."""
+        (tmp_path / "campaign.wal").write_bytes(b"")
+        assert main(["profile", "--resume", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err and "manifest" in err
+
     def test_runs_list_and_describe(self, tmp_path, capsys):
         out = tmp_path / "run"
         main(DURABLE_ARGS + ["--out", str(out)])

@@ -81,6 +81,26 @@ class TestCampaignLog:
         assert log2.append("occasion-begin", {"occasion": 0}).seq == 1
         log2.close()
 
+    def test_torn_tail_with_non_utf8_bytes(self, tmp_path):
+        """Bitrot/power loss can tear a line into non-UTF-8 garbage; the
+        torn-tail split must count raw bytes (a decoded U+FFFD is 3
+        bytes) or reopening truncates into the last committed record."""
+        wal = tmp_path / WAL_NAME
+        with CampaignLog(wal) as log:
+            log.append("campaign-begin", {"seed": 7}, commit=True)
+        clean_size = wal.stat().st_size
+        with open(wal, "ab") as handle:
+            handle.write(b'{"seq": 1, "kind"' + b"\xff\xfe\x80\x80")
+        records, torn, valid_bytes = read_wal(wal)
+        assert torn
+        assert len(records) == 1
+        assert valid_bytes == clean_size
+        log2 = CampaignLog(wal)
+        assert len(log2.open()) == 1
+        log2.close()
+        assert wal.stat().st_size == clean_size  # committed record intact
+        assert read_wal(wal)[0][0].data == {"seed": 7}
+
     def test_terminated_line_damage_is_fatal(self, tmp_path):
         wal = tmp_path / WAL_NAME
         with CampaignLog(wal) as log:
@@ -241,6 +261,50 @@ class TestCampaignResume:
         assert summary.skipped == [0]
         assert summary.executed == [1]
         assert summary.journal_sha256 == digests["journal_sha256"]
+
+    @pytest.mark.parametrize("damage", ["delete", "corrupt"])
+    def test_damaged_committed_checkpoint_demotes_and_reruns(
+            self, reference, tmp_path, damage):
+        """A committed occasion whose checkpoint no longer verifies must
+        be demoted and re-run (not skipped, not crashed on)."""
+        _ref_dir, digests = reference
+        crash_run(tmp_path, crash_at=22, mode="post-replace")
+        state = fold_records(read_wal(tmp_path / WAL_NAME)[0])
+        assert 0 in state.committed, \
+            "crash_at=22 no longer lands after occasion 0's commit; " \
+            "re-scan crash points (see module docstring)"
+        ckpt = tmp_path / CHECKPOINT_DIR / "occ0000.ckpt"
+        if damage == "delete":
+            ckpt.unlink()
+        else:
+            ckpt.write_bytes(b'{"tampered": true}\n')
+        summary = CampaignRunner(tmp_path).run(resume=True)
+        assert summary.executed == list(range(TINY.occasions))
+        assert summary.skipped == []
+        assert summary.journal_sha256 == digests["journal_sha256"]
+        assert summary.records_sha256 == digests["records_sha256"]
+
+    def test_damaged_commit_is_not_salvageable(self, reference, tmp_path):
+        """Demoting a failed-verification occasion also drops its WAL
+        sample rows: salvage must re-run it, never adopt stale rows."""
+        _ref_dir, _digests = reference
+        crash_run(tmp_path, crash_at=22, mode="post-replace")
+        (tmp_path / CHECKPOINT_DIR / "occ0000.ckpt").unlink()
+        summary = CampaignRunner(tmp_path).run(resume=True, salvage=True)
+        assert 0 in summary.executed
+        assert 0 not in summary.salvaged
+
+    def test_complete_run_detects_damaged_records(self, reference, tmp_path):
+        """No-op resume of a complete campaign verifies records.json
+        against the campaign-end digest, not just the journal."""
+        import shutil
+
+        run_dir, _digests = reference
+        copy = tmp_path / "copy"
+        shutil.copytree(run_dir, copy)
+        (copy / "records.json").write_bytes(b'{"records":[]}\n')
+        with pytest.raises(WalCorruptionError, match="records"):
+            CampaignRunner(copy).run(resume=True)
 
     def test_salvage_adopts_samples_as_degraded(self, tmp_path):
         crash_run(tmp_path, crash_at=10)
