@@ -90,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds of traffic to generate per occasion "
                               "(durable mode only; 0 = cover the whole "
                               "sampling plan)")
+    profile.add_argument("--shard-workers", type=int, default=0,
+                         metavar="N",
+                         help="run each site's instance in its own shard "
+                              "world and merge the journals "
+                              "deterministically (implies --durable); N > 1 "
+                              "fans shards over a process pool, and the "
+                              "merged output is byte-identical at any N")
     profile.add_argument("--resume", type=Path, default=None, metavar="RUN_DIR",
                          help="resume an interrupted durable campaign "
                               "from its run directory")
@@ -174,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel trial processes (0 = one per CPU)")
     chaos.add_argument("--keep-passing", action="store_true",
                        help="keep passing trial directories on disk")
+    chaos.add_argument("--sharded", action="store_true",
+                       help="fuzz the sharded campaign path: per-site "
+                            "shard worlds, shard-commit records, and the "
+                            "deterministic journal merge")
     chaos.add_argument("--json", action="store_true",
                        help="print the machine-readable chaos report")
 
@@ -240,7 +251,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    if args.resume is not None or args.durable:
+    if args.resume is not None or args.durable or args.shard_workers > 0:
         return _cmd_profile_durable(args)
     from repro import quickstart_federation
     from repro.analysis import AnalysisPipeline, Anonymizer
@@ -336,6 +347,7 @@ def _cmd_profile_durable(args: argparse.Namespace) -> int:
     from repro.core.campaign import CampaignManifest, CampaignRunner
     from repro.core.checkpoint import WalCorruptionError
 
+    shard_workers = max(args.shard_workers, 1)
     if args.resume is not None:
         if not (args.resume / "campaign.manifest").exists() and \
                 not (args.resume / "campaign.wal").exists():
@@ -343,8 +355,9 @@ def _cmd_profile_durable(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         try:
-            summary = CampaignRunner(args.resume).run(resume=True,
-                                                      salvage=args.salvage)
+            summary = CampaignRunner(args.resume,
+                                     shard_workers=shard_workers) \
+                .run(resume=True, salvage=args.salvage)
         except FileNotFoundError as exc:
             # e.g. a WAL with no manifest: resumable only if the
             # original manifest is restored, not from the CLI alone.
@@ -366,8 +379,10 @@ def _cmd_profile_durable(args: argparse.Namespace) -> int:
             snaplen=args.snaplen, method=args.method,
             workers=max(args.workers, 1),
             cache_enabled=not args.no_cache,
-            traffic_span=args.traffic_span)
-        summary = CampaignRunner(args.out, manifest=manifest).run()
+            traffic_span=args.traffic_span,
+            sharded=args.shard_workers > 0)
+        summary = CampaignRunner(args.out, manifest=manifest,
+                                 shard_workers=shard_workers).run()
     if args.json:
         print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
         return 0 if summary.audit_ok else 1
@@ -431,7 +446,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     report = run_chaos(args.out, trials=args.trials, seed=args.seed,
                        workers=args.workers,
-                       keep_passing=args.keep_passing)
+                       keep_passing=args.keep_passing,
+                       sharded=args.sharded)
     report_path = args.out / "chaos-report.json"
     report_path.parent.mkdir(parents=True, exist_ok=True)
     report_path.write_text(

@@ -43,7 +43,8 @@ from repro.core.checkpoint import (CHECKPOINT_DIR, MANIFEST_NAME, SEGMENT_DIR,
 from repro.core.config import (AnalysisConfig, PatchworkConfig, RecoveryConfig,
                                SamplingPlan)
 from repro.core.status import RunOutcome, RunRecord, success_rate
-from repro.util.atomio import FileIO, atomic_write_bytes, sweep_tmp_files
+from repro.util.atomio import (FileIO, atomic_write_bytes, atomic_write_text,
+                               sweep_tmp_files)
 from repro.util.rng import SeedSequenceFactory
 
 #: Labels of the independent RNG streams derived per occasion.
@@ -75,6 +76,13 @@ class CampaignManifest:
     # Small campaigns (the chaos harness) pin a tight span: generating
     # flows the occasion never simulates dominates wall time otherwise.
     traffic_span: float = 0.0
+    # Sharded execution: each site's instance runs in its own world
+    # (own simulator, own per-site RNG streams, own journal segment)
+    # and the per-site segments are merged deterministically.  Part of
+    # the manifest -- not a runtime knob -- because it changes seed
+    # derivation and therefore the canonical event stream; the *worker
+    # count* is the runtime knob (same bytes at any parallelism).
+    sharded: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sites", tuple(self.sites))
@@ -115,6 +123,52 @@ class CampaignManifest:
         return {stream: factory.integer(f"occasion{occasion}/{stream}",
                                         0, 2 ** 31)
                 for stream in SEED_STREAMS}
+
+    def shard_seeds(self, occasion: int, site: str) -> Dict[str, int]:
+        """Derive one shard's independent RNG stream seeds.
+
+        The factory child is keyed by the site label, so a shard's
+        streams depend only on ``(campaign seed, site, occasion,
+        stream)`` -- independent of worker count, scheduling order, or
+        process start method (fork vs spawn), which is what makes the
+        merged output byte-identical at any parallelism.
+        """
+        factory = SeedSequenceFactory(self.seed).child(f"site/{site}")
+        return {stream: factory.integer(f"occasion{occasion}/{stream}",
+                                        0, 2 ** 31)
+                for stream in SEED_STREAMS}
+
+    def occasion_shard_seeds(self, occasion: int) -> Dict[str, Dict[str, int]]:
+        """All shard seeds of one occasion, keyed by site."""
+        return {site: self.shard_seeds(occasion, site)
+                for site in self.sites}
+
+
+def occasion_config(manifest: CampaignManifest, occasion: int,
+                    run_dir: Union[str, Path],
+                    sites: Optional[Sequence[str]] = None) -> PatchworkConfig:
+    """Build one occasion's :class:`PatchworkConfig`.
+
+    ``sites`` restricts the profile to a subset (a shard worker passes
+    its single target site); the default profiles every manifest site.
+    """
+    from repro.capture.session import CaptureMethod
+
+    run_dir = Path(run_dir)
+    method = {"tcpdump": CaptureMethod.TCPDUMP,
+              "dpdk": CaptureMethod.DPDK,
+              "fpga+dpdk": CaptureMethod.FPGA_DPDK}[manifest.method]
+    return PatchworkConfig(
+        output_dir=run_dir / "captures",
+        sites=list(sites if sites is not None else manifest.sites),
+        plan=manifest.plan(),
+        desired_instances=manifest.desired_instances,
+        snaplen=manifest.snaplen,
+        capture_method=method,
+        pcap_prefix=f"o{occasion}_",
+        recovery=RecoveryConfig(enabled=manifest.recovery_enabled),
+        analysis=AnalysisConfig(max_workers=max(manifest.workers, 1),
+                                cache_enabled=manifest.cache_enabled))
 
 
 @dataclass
@@ -157,10 +211,16 @@ class CampaignRunner:
 
     def __init__(self, run_dir: Union[str, Path],
                  manifest: Optional[CampaignManifest] = None,
-                 io: Optional[FileIO] = None):
+                 io: Optional[FileIO] = None,
+                 shard_workers: int = 1):
         self.run_dir = Path(run_dir)
         self.manifest = manifest
         self.io = io if io is not None else FileIO()
+        # Worker-pool size for sharded manifests.  A runtime knob, not
+        # manifest state: the merged output is byte-identical at any
+        # value, so a campaign begun at one parallelism may be resumed
+        # at another.
+        self.shard_workers = max(int(shard_workers), 1)
 
     # -- paths ---------------------------------------------------------------
 
@@ -174,6 +234,9 @@ class CampaignRunner:
 
     def segment_path(self, occasion: int) -> Path:
         return self.run_dir / SEGMENT_DIR / f"occ{occasion:04d}.jsonl"
+
+    def shard_segment_dir(self, occasion: int) -> Path:
+        return self.run_dir / SEGMENT_DIR / f"occ{occasion:04d}.shards"
 
     # -- entry point ---------------------------------------------------------
 
@@ -194,6 +257,10 @@ class CampaignRunner:
         # orphans; they hold no committed state.
         sweep_tmp_files(self.run_dir)
         sweep_tmp_files(self.run_dir / SEGMENT_DIR)
+        if (self.run_dir / SEGMENT_DIR).is_dir():
+            for shard_dir in sorted(
+                    (self.run_dir / SEGMENT_DIR).glob("occ*.shards")):
+                sweep_tmp_files(shard_dir)
         from repro.core.checkpoint import fold_records
         records = log.open()
         state = fold_records(records, torn=log.torn_on_open)
@@ -238,6 +305,10 @@ class CampaignRunner:
                     commit = self._salvage_occasion(manifest, checkpointer,
                                                     occasion, rows)
                     summary.salvaged.append(occasion)
+                elif manifest.sharded:
+                    commit = self._run_occasion_sharded(manifest, checkpointer,
+                                                        occasion)
+                    summary.executed.append(occasion)
                 else:
                     commit = self._run_occasion(manifest, checkpointer,
                                                 occasion)
@@ -313,6 +384,19 @@ class CampaignRunner:
                            commit.get("journal_segment_sha256")))
         for rel, sha in (commit.get("pcaps") or {}).items():
             checks.append((self.run_dir / rel, sha))
+        return self._paths_intact(checks)
+
+    def _verify_shard_commit(self, commit: Dict[str, Any]) -> bool:
+        """Is a shard-commit's segment (and every pcap it names) intact?"""
+        checks: List[Tuple[Path, Optional[str]]] = [
+            (self.run_dir / SEGMENT_DIR / commit["journal_segment"],
+             commit.get("journal_segment_sha256"))]
+        for rel, sha in (commit.get("pcaps") or {}).items():
+            checks.append((self.run_dir / rel, sha))
+        return self._paths_intact(checks)
+
+    @staticmethod
+    def _paths_intact(checks: List[Tuple[Path, Optional[str]]]) -> bool:
         for path, sha in checks:
             if not path.exists():
                 return False
@@ -322,22 +406,7 @@ class CampaignRunner:
 
     def _occasion_config(self, manifest: CampaignManifest,
                          occasion: int) -> PatchworkConfig:
-        from repro.capture.session import CaptureMethod
-
-        method = {"tcpdump": CaptureMethod.TCPDUMP,
-                  "dpdk": CaptureMethod.DPDK,
-                  "fpga+dpdk": CaptureMethod.FPGA_DPDK}[manifest.method]
-        return PatchworkConfig(
-            output_dir=self.run_dir / "captures",
-            sites=list(manifest.sites),
-            plan=manifest.plan(),
-            desired_instances=manifest.desired_instances,
-            snaplen=manifest.snaplen,
-            capture_method=method,
-            pcap_prefix=f"o{occasion}_",
-            recovery=RecoveryConfig(enabled=manifest.recovery_enabled),
-            analysis=AnalysisConfig(max_workers=max(manifest.workers, 1),
-                                    cache_enabled=manifest.cache_enabled))
+        return occasion_config(manifest, occasion, self.run_dir)
 
     def _run_occasion(self, manifest: CampaignManifest,
                       checkpointer: CampaignCheckpointer,
@@ -413,6 +482,93 @@ class CampaignRunner:
         checkpointer.commit_occasion(occasion, commit)
         return checkpointer.state.committed[occasion]
 
+    def _run_occasion_sharded(self, manifest: CampaignManifest,
+                              checkpointer: CampaignCheckpointer,
+                              occasion: int) -> Dict[str, Any]:
+        """Execute one occasion as per-site shards and commit the merge.
+
+        Each pending site runs through :func:`repro.core.sharding.run_shard`
+        (serially for ``shard_workers <= 1``, else on a process pool);
+        the parent -- the only durable-state writer -- lands each
+        shard's segment atomically and fsyncs a ``shard-commit`` WAL
+        record, so a crash mid-occasion resumes by reusing every intact
+        shard.  When all shards are in, the per-site segments merge
+        into the occasion segment ordered by ``(sim_time, site, seq)``
+        and the occasion commits exactly like the serial path.
+        """
+        from repro.core.sharding import iter_shard_results, shard_task
+        from repro.obs.journal import RunJournal
+
+        seeds = manifest.occasion_shard_seeds(occasion)
+        next_seq = self._next_seq(checkpointer.state, occasion)
+        checkpointer.begin_occasion(occasion, seeds)
+        shard_dir = self.shard_segment_dir(occasion)
+        shard_commits: Dict[str, Dict[str, Any]] = {}
+        pending: List[str] = []
+        for site in manifest.sites:
+            commit = checkpointer.state.shards.get(occasion, {}).get(site)
+            if commit is not None and self._verify_shard_commit(commit):
+                shard_commits[site] = commit
+            else:
+                pending.append(site)
+        tasks = [shard_task(manifest, occasion, self.run_dir, site,
+                            seeds[site]) for site in pending]
+        for result in iter_shard_results(tasks, self.shard_workers):
+            site = str(result["site"])
+            segment_rel = f"{shard_dir.name}/{site}.jsonl"
+            atomic_write_text(shard_dir / f"{site}.jsonl", result["journal"],
+                              io=self.io)
+            commit = {
+                "journal_segment": segment_rel,
+                "journal_segment_sha256": sha256_file(
+                    shard_dir / f"{site}.jsonl"),
+                "records": result["records"],
+                "samples": result["samples"],
+                "pcaps": result["pcaps"],
+                "sim_end": result["sim_end"],
+            }
+            checkpointer.commit_shard(occasion, site, commit)
+            shard_commits[site] = checkpointer.state.shards[occasion][site]
+        segments = []
+        for site in manifest.sites:
+            segment = RunJournal.read(
+                self.run_dir / SEGMENT_DIR /
+                shard_commits[site]["journal_segment"], strict=True)
+            segments.append((site, segment))
+        merged = RunJournal.merge(segments, start_seq=next_seq)
+        segment_path = merged.write(self.segment_path(occasion), io=self.io)
+        segment_sha = sha256_file(segment_path)
+        record_rows = []
+        pcaps: Dict[str, str] = {}
+        sim_end = {}
+        for site in sorted(shard_commits):
+            record_rows.extend(shard_commits[site].get("records", []))
+            pcaps.update(shard_commits[site].get("pcaps", {}))
+            sim_end[site] = shard_commits[site].get("sim_end")
+        ckpt_state = {
+            "occasion": occasion,
+            "seeds": seeds,
+            "next_seq": merged.next_seq,
+            "records": record_rows,
+            "pcaps": pcaps,
+            "sim_end": sim_end,
+            "manifest_sha": manifest.sha256,
+            "sharded": True,
+        }
+        _path, ckpt_sha = checkpointer.store.save(occasion, ckpt_state)
+        commit = {
+            "checkpoint": checkpointer.store.name_for(occasion),
+            "checkpoint_sha256": ckpt_sha,
+            "journal_segment": segment_path.name,
+            "journal_segment_sha256": segment_sha,
+            "next_seq": merged.next_seq,
+            "records": record_rows,
+            "pcaps": pcaps,
+            "sim_end": sim_end,
+        }
+        checkpointer.commit_occasion(occasion, commit)
+        return checkpointer.state.committed[occasion]
+
     def _salvage_occasion(self, manifest: CampaignManifest,
                           checkpointer: CampaignCheckpointer,
                           occasion: int,
@@ -427,7 +583,8 @@ class CampaignRunner:
         """
         from repro.obs.journal import RunJournal
 
-        seeds = manifest.occasion_seeds(occasion)
+        seeds = (manifest.occasion_shard_seeds(occasion) if manifest.sharded
+                 else manifest.occasion_seeds(occasion))
         next_seq = self._next_seq(checkpointer.state, occasion)
         by_site: Dict[str, List[Dict[str, Any]]] = {
             site: [] for site in manifest.sites}
@@ -535,6 +692,8 @@ class CampaignRunner:
 
 
 def resume_campaign(run_dir: Union[str, Path], salvage: bool = False,
-                    io: Optional[FileIO] = None) -> CampaignSummary:
+                    io: Optional[FileIO] = None,
+                    shard_workers: int = 1) -> CampaignSummary:
     """Resume an interrupted campaign from its run directory alone."""
-    return CampaignRunner(run_dir, io=io).run(resume=True, salvage=salvage)
+    return CampaignRunner(run_dir, io=io, shard_workers=shard_workers) \
+        .run(resume=True, salvage=salvage)

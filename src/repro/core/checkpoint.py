@@ -30,6 +30,13 @@ The commit protocol for one occasion:
    between step 3's ``os.replace`` and step 4 leaves an orphan
    checkpoint that recovery ignores and the re-run overwrites.
 
+Sharded occasions (:mod:`repro.core.sharding`) add one record kind
+inside step 2: after each per-site worker finishes, the parent -- the
+only WAL writer -- appends the shard's sample rows and then a fsynced
+``shard-commit`` naming the shard segment and pcaps by SHA-256.  A
+resume of an uncommitted occasion re-verifies each shard commit and
+re-runs only the shards that are missing or damaged.
+
 Because every stochastic stream is derived from (seed, label) pairs
 (:mod:`repro.util.rng`), a checkpoint never serializes live RNG or
 simulator state: re-running an occasion from its journaled seeds
@@ -54,6 +61,8 @@ from repro.util.atomio import FileIO, atomic_write_bytes, sweep_tmp_files
 DURABLE_MODULES = (
     "repro/core/checkpoint.py",
     "repro/core/campaign.py",
+    "repro/core/gather.py",
+    "repro/core/sharding.py",
     "repro/obs/journal.py",
     "repro/testbed/chaos.py",
 )
@@ -243,14 +252,28 @@ class RecoveryState:
     begun: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     committed: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     samples: Dict[int, List[Dict[str, Any]]] = field(default_factory=dict)
+    # Sharded occasions: per-occasion, per-site shard commits.  Not
+    # reset by a fresh ``occasion-begin`` -- shard results are keyed to
+    # the occasion's derived seeds, which begin_occasion cross-checks,
+    # so a resuming attempt legitimately reuses verified shards.
+    shards: Dict[int, Dict[str, Dict[str, Any]]] = field(default_factory=dict)
     ended: Optional[Dict[str, Any]] = None
     torn: bool = False
 
     def salvageable(self, occasion: int) -> List[Dict[str, Any]]:
-        """Sample rows recorded for an occasion that never committed."""
+        """Sample rows recorded for an occasion that never committed.
+
+        In sharded mode the per-sample rows ride inside each fsynced
+        ``shard-commit`` record (the worker cannot write the WAL, so a
+        shard is the unit of durability); those rows are salvageable
+        exactly like the in-process path's incremental ``sample`` rows.
+        """
         if occasion in self.committed:
             return []
-        return list(self.samples.get(occasion, []))
+        rows = list(self.samples.get(occasion, []))
+        for site in sorted(self.shards.get(occasion, {})):
+            rows.extend(self.shards[occasion][site].get("samples", []))
+        return rows
 
 
 def fold_records(records: List[WalRecord],
@@ -274,12 +297,55 @@ def fold_records(records: List[WalRecord],
         elif record.kind == "sample":
             occasion = int(data["occasion"])
             state.samples.setdefault(occasion, []).append(data)
+        elif record.kind == "shard-commit":
+            occasion = int(data["occasion"])
+            state.shards.setdefault(occasion, {})[str(data["site"])] = data
         elif record.kind in ("occasion-commit", "occasion-salvaged"):
             occasion = int(data["occasion"])
             state.committed[occasion] = data
         elif record.kind == "campaign-end":
             state.ended = data
     return state
+
+
+def sample_row(run_dir: Union[str, Path], occasion: int, site: str,
+               record, t: float) -> Dict[str, Any]:
+    """Build the WAL ``sample`` row for one completed sample.
+
+    ``record`` is a :class:`repro.core.instance.SampleRecord`; the row
+    carries enough to rebuild the sample's ledger event and a
+    content-addressed pointer to its pcap.  Shared by the in-process
+    checkpointer and the shard workers (which return rows for the
+    parent -- the single WAL writer -- to append).
+    """
+    run_dir = Path(run_dir)
+    pcap = record.pcap_path
+    rel = None
+    sha = None
+    if pcap is not None and Path(pcap).exists():
+        pcap = Path(pcap)
+        try:
+            rel = str(pcap.relative_to(run_dir))
+        except ValueError:
+            rel = str(pcap)
+        sha = sha256_file(pcap)
+    ledger = record.ledger.to_event() if record.ledger is not None else None
+    return {
+        "occasion": occasion,
+        "site": site,
+        "cycle": record.cycle,
+        "run": record.run,
+        "sample": record.sample,
+        "slot": record.slot,
+        "mirrored_port": record.mirrored_port,
+        "pcap": rel,
+        "pcap_sha256": sha,
+        "frames_seen": record.stats.frames_seen,
+        "frames_captured": record.stats.frames_captured,
+        "bytes_captured": record.stats.bytes_captured,
+        "t": t,
+        "ledger": ledger,
+    }
 
 
 class CampaignCheckpointer:
@@ -319,41 +385,23 @@ class CampaignCheckpointer:
 
     def record_sample(self, occasion: int, site: str, record,
                       t: float) -> None:
-        """Append one sample-progress row (flush, no fsync).
-
-        ``record`` is a :class:`repro.core.instance.SampleRecord`; the
-        row carries enough to rebuild the sample's ledger event and a
-        content-addressed pointer to its pcap.
-        """
-        pcap = record.pcap_path
-        rel = None
-        sha = None
-        if pcap is not None and Path(pcap).exists():
-            pcap = Path(pcap)
-            try:
-                rel = str(pcap.relative_to(self.run_dir))
-            except ValueError:
-                rel = str(pcap)
-            sha = sha256_file(pcap)
-        ledger = record.ledger.to_event() if record.ledger is not None else None
-        row = {
-            "occasion": occasion,
-            "site": site,
-            "cycle": record.cycle,
-            "run": record.run,
-            "sample": record.sample,
-            "slot": record.slot,
-            "mirrored_port": record.mirrored_port,
-            "pcap": rel,
-            "pcap_sha256": sha,
-            "frames_seen": record.stats.frames_seen,
-            "frames_captured": record.stats.frames_captured,
-            "bytes_captured": record.stats.bytes_captured,
-            "t": t,
-            "ledger": ledger,
-        }
+        """Append one sample-progress row (flush, no fsync)."""
+        row = sample_row(self.run_dir, occasion, site, record, t)
         self.log.append("sample", row)
         self.state.samples.setdefault(occasion, []).append(row)
+
+    def commit_shard(self, occasion: int, site: str,
+                     data: Dict[str, Any]) -> None:
+        """Durably record one finished shard (fsynced).
+
+        A parent crash after this record lets resume reuse the shard --
+        segment, pcaps, and sample rows -- instead of re-running it.
+        """
+        payload = dict(data)
+        payload["occasion"] = occasion
+        payload["site"] = site
+        self.log.append("shard-commit", payload, commit=True)
+        self.state.shards.setdefault(occasion, {})[site] = payload
 
     def commit_occasion(self, occasion: int, commit_data: Dict[str, Any],
                         salvaged: bool = False) -> None:

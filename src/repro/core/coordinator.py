@@ -131,6 +131,11 @@ class Coordinator:
         # WAL and skips occasions the WAL already shows committed.
         self.checkpointer = checkpointer
         self._current_occasion: Optional[int] = None
+        # The all-sites ("*") scorecard row.  A shard worker profiles a
+        # single site, so its "overall" row would just duplicate the
+        # per-site row once per shard in the merged journal; sharded
+        # runs disable it and derive fleet totals from per-site rows.
+        self.emit_overall_scorecard = True
 
     def target_sites(self) -> List[str]:
         """Sites this occasion will profile."""
@@ -216,7 +221,8 @@ class Coordinator:
             obs.journal.emit("scorecard", site=site, **card.to_dict())
         if bundle.scorecards:
             overall = bundle.scorecard
-            obs.journal.emit("scorecard", site="*", **overall.to_dict())
+            if self.emit_overall_scorecard:
+                obs.journal.emit("scorecard", site="*", **overall.to_dict())
             registry = obs.registry
             registry.counter(
                 "scorecard.true_positives",

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.util.atomio import FileIO, atomic_write_bytes
+
 MANIFEST_NAME = "MANIFEST.json"
 
 
@@ -43,8 +45,16 @@ class GatheredSite:
 
 
 def gather_site(site: str, site_dir: Path, out_dir: Path,
-                log_text: Optional[str] = None) -> GatheredSite:
-    """Compress one site's output directory into ``<site>.tar.gz``."""
+                log_text: Optional[str] = None,
+                file_io: Optional[FileIO] = None) -> GatheredSite:
+    """Compress one site's output directory into ``<site>.tar.gz``.
+
+    The archive is assembled in memory and landed with the atomic
+    temp-file + ``os.replace`` idiom (RL008): a gather interrupted
+    mid-compression leaves either no archive or the previous complete
+    one on disk, never a truncated ``.tar.gz`` for ``verify_archive``
+    to trip over later.
+    """
     site_dir = Path(site_dir)
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -52,7 +62,8 @@ def gather_site(site: str, site_dir: Path, out_dir: Path,
     manifest: Dict[str, str] = {}
     raw_bytes = 0
     files = sorted(p for p in site_dir.rglob("*") if p.is_file())
-    with tarfile.open(archive_path, "w:gz") as archive:
+    buffer = io.BytesIO()
+    with tarfile.open(fileobj=buffer, mode="w:gz") as archive:  # reprolint: disable=RL008 -- writes an in-memory buffer, landed via atomic_write_bytes below
         for path in files:
             arcname = f"{site}/{path.relative_to(site_dir)}"
             # Read each capture once: hash and archive from the same
@@ -75,6 +86,7 @@ def gather_site(site: str, site_dir: Path, out_dir: Path,
         info = tarfile.TarInfo(f"{site}/{MANIFEST_NAME}")
         info.size = len(manifest_data)
         archive.addfile(info, io.BytesIO(manifest_data))
+    atomic_write_bytes(archive_path, buffer.getvalue(), io=file_io)
     return GatheredSite(
         site=site,
         archive_path=archive_path,
@@ -111,22 +123,49 @@ def gather_bundle(bundle, out_dir: Union[str, Path],
 
 
 def verify_archive(archive_path: Union[str, Path]) -> bool:
-    """Check every archived file against the embedded manifest."""
+    """Check every archived file against the embedded manifest.
+
+    The manifest is matched by its **exact** archive path,
+    ``<site>/MANIFEST.json`` at the archive root -- a captured file
+    whose name merely ends in the manifest name (say
+    ``<site>/sub/MANIFEST.json``) is ordinary content to be verified,
+    not a manifest.  Should the exact name somehow appear twice, the
+    last occurrence wins, matching both tar extraction semantics and
+    ``gather_site`` appending the manifest last.  Every non-manifest
+    member must be listed with a matching SHA-256, and every listed
+    file must be present: extras and absences both fail.
+    """
     archive_path = Path(archive_path)
     with tarfile.open(archive_path, "r:gz") as archive:
-        manifest = None
-        for member in archive.getmembers():
-            if member.name.endswith(MANIFEST_NAME):
-                manifest = json.loads(archive.extractfile(member).read())
-                break
-        if manifest is None:
+        members = [m for m in archive.getmembers() if m.isfile()]
+        if not members:
             return False
-        for name, expected in manifest.items():
-            member = archive.getmember(name)
+        root = members[0].name.split("/", 1)[0]
+        manifest_name = f"{root}/{MANIFEST_NAME}"
+        manifest_member = None
+        for member in members:
+            if member.name == manifest_name:
+                manifest_member = member
+        if manifest_member is None:
+            return False
+        try:
+            manifest = json.loads(archive.extractfile(manifest_member).read())
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return False
+        if not isinstance(manifest, dict):
+            return False
+        seen = set()
+        for member in members:
+            if member.name == manifest_name:
+                continue
+            expected = manifest.get(member.name)
+            if expected is None:
+                return False
             data = archive.extractfile(member).read()
             if hashlib.sha256(data).hexdigest() != expected:
                 return False
-    return True
+            seen.add(member.name)
+        return seen == set(manifest)
 
 
 def extract_archive(archive_path: Union[str, Path],
@@ -143,8 +182,6 @@ def extract_archive(archive_path: Union[str, Path],
             target = dest / member.name
             if not str(target.resolve()).startswith(str(dest.resolve())):
                 raise ValueError(f"unsafe path in archive: {member.name}")
-            target.parent.mkdir(parents=True, exist_ok=True)
-            with open(target, "wb") as handle:
-                handle.write(archive.extractfile(member).read())
+            atomic_write_bytes(target, archive.extractfile(member).read())
             extracted.append(target)
     return extracted

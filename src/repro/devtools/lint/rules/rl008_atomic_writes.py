@@ -36,6 +36,8 @@ from repro.devtools.lint.rules.base import Rule, register
 FALLBACK_DURABLE_MODULES = (
     "repro/core/checkpoint.py",
     "repro/core/campaign.py",
+    "repro/core/gather.py",
+    "repro/core/sharding.py",
     "repro/obs/journal.py",
     "repro/testbed/chaos.py",
 )

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
@@ -92,6 +92,9 @@ class RunJournal:
         # Set by read() when a partially written final line was dropped:
         # the raw fragment, for diagnostics.  None = file was clean.
         self.torn_tail: Optional[str] = None
+        # Populated by merge(): one entry per input segment whose read
+        # dropped a torn tail.  Empty = all segments were clean.
+        self.merge_warnings: List[str] = []
 
     @property
     def next_seq(self) -> int:
@@ -99,15 +102,21 @@ class RunJournal:
         return self._next_seq
 
     def reseq(self, start_seq: int) -> None:
-        """Rebase the sequence counter of a still-empty journal.
+        """Rebase the sequence counter so events number from ``start_seq``.
 
         Used by campaign resume: each occasion's journal segment starts
         where the previous segment's sequence numbers ended, so the
-        concatenated segments read as one uninterrupted journal.
+        concatenated segments read as one uninterrupted journal.  On a
+        journal that already holds events (a merged or re-read segment),
+        the existing events are renumbered contiguously -- their order
+        is preserved, only the ``seq`` field changes.
         """
         if self.events:
-            raise RuntimeError("cannot reseq a journal that has events")
-        self._next_seq = start_seq
+            self.events = [
+                replace(event, seq=start_seq + i)
+                for i, event in enumerate(self.events)
+            ]
+        self._next_seq = start_seq + len(self.events)
 
     # -- emission ------------------------------------------------------------
 
@@ -202,6 +211,45 @@ class RunJournal:
         if journal.events:
             journal._next_seq = journal.events[-1].seq + 1
         return journal
+
+    # -- merging -------------------------------------------------------------
+
+    @classmethod
+    def merge(cls, segments, start_seq: int = 0) -> "RunJournal":
+        """Deterministically interleave per-site journal segments.
+
+        ``segments`` is a sequence of ``(site, RunJournal)`` pairs, one
+        per shard.  Events are ordered by ``(sim_time, site, seq)``:
+        untimed events inherit the sim time of the last timestamped
+        event before them in their own segment (so a segment's internal
+        order is never disturbed), ties across sites break on the site
+        label, and ties within a site on the original sequence number.
+        The merged events are renumbered contiguously from
+        ``start_seq``, exactly as a serial run would have numbered them.
+
+        A segment read back with a torn tail (crash signature) is still
+        merged, but the loss is surfaced in :attr:`merge_warnings` --
+        never silently swallowed.
+        """
+        merged = cls(clock=None, enabled=True, start_seq=start_seq)
+        keyed = []
+        for site, segment in segments:
+            if getattr(segment, "torn_tail", None) is not None:
+                merged.merge_warnings.append(
+                    f"segment {site!r}: torn tail dropped during read: "
+                    f"{segment.torn_tail}")
+            last_t = float("-inf")
+            for event in segment.events:
+                if event.t is not None:
+                    last_t = event.t
+                keyed.append(((last_t, str(site), event.seq), event))
+        keyed.sort(key=lambda pair: pair[0])
+        merged.events = [
+            replace(event, seq=start_seq + i)
+            for i, (_, event) in enumerate(keyed)
+        ]
+        merged._next_seq = start_seq + len(merged.events)
+        return merged
 
 
 def diff_journals(a: RunJournal, b: RunJournal,

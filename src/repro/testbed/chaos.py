@@ -106,14 +106,19 @@ class CrashingIO(FileIO):
         super_io.fsync_dir(path)
 
 
-def default_manifest(seed: int = 1) -> CampaignManifest:
+def default_manifest(seed: int = 1,
+                     sharded: bool = False) -> CampaignManifest:
     """The smallest campaign that still exercises every crash window:
     two occasions (cross-occasion sequence chaining + skip-on-resume),
-    two sites (a federation's minimum), one sample per occasion."""
+    two sites (a federation's minimum), one sample per occasion.
+    ``sharded=True`` switches on per-site shard worlds, adding the
+    shard-commit records and the deterministic merge to the fuzzed
+    surface."""
     return CampaignManifest(
         seed=seed, sites=("STAR", "MICH"), occasions=2, traffic_scale=0.005,
         sample_duration=2.0, sample_interval=10.0, samples_per_run=1,
-        runs_per_cycle=1, cycles=1, desired_instances=1, traffic_span=120.0)
+        runs_per_cycle=1, cycles=1, desired_instances=1, traffic_span=120.0,
+        sharded=sharded)
 
 
 @dataclass
@@ -235,16 +240,21 @@ def _trial_task(task: Tuple) -> Tuple[int, Dict[str, Any]]:
 
 def run_chaos(out_dir: Union[str, Path], trials: int = 50, seed: int = 1,
               manifest: Optional[CampaignManifest] = None,
-              keep_passing: bool = False, workers: int = 0) -> ChaosReport:
+              keep_passing: bool = False, workers: int = 0,
+              sharded: bool = False) -> ChaosReport:
     """Run a full chaos batch: reference + ``trials`` fuzzed crashes.
 
     Trials are independent (own run directory, own derived RNG), so
     they fan out over ``workers`` processes (0 = one per CPU).  Passing
     trial directories are deleted (disk stays bounded); failing ones
     are kept for post-mortem.  The reference run is kept either way.
+    ``sharded`` fuzzes the sharded campaign path instead (shard worlds
+    run serially in-process, so the parent's IO op sequence -- the
+    fuzzed crash surface -- stays deterministic).
     """
     out_dir = Path(out_dir)
-    manifest = manifest if manifest is not None else default_manifest(seed)
+    manifest = manifest if manifest is not None \
+        else default_manifest(seed, sharded=sharded)
     report = ChaosReport()
     report.reference = run_reference(manifest, out_dir / "reference")
     rng = derive_rng(seed, "chaos")

@@ -16,6 +16,15 @@ from typing import Optional
 
 import numpy as np
 
+#: The canonical seed domain: every master seed is reduced into this
+#: mask before it touches a SeedSequence, and every derived child seed
+#: already lives inside it.  One shared domain keeps derivation *closed
+#: under composition*: ``derive_rng(factory.child(a).seed, b)`` sees
+#: exactly the integer ``child`` produced, never a value that a wider
+#: mask in one code path and a narrower mask in another would split
+#: into two different streams (the shard-seeding drift bug).
+SEED_DOMAIN = (1 << 63) - 1
+
 
 def _label_entropy(label: str) -> int:
     """Map an arbitrary string label to a stable 128-bit integer."""
@@ -29,7 +38,7 @@ def derive_rng(seed: int, label: str) -> np.random.Generator:
     The same ``(seed, label)`` pair always yields the same stream, and
     distinct labels yield statistically independent streams.
     """
-    sequence = np.random.SeedSequence([seed & ((1 << 64) - 1), _label_entropy(label)])
+    sequence = np.random.SeedSequence([seed & SEED_DOMAIN, _label_entropy(label)])
     return np.random.Generator(np.random.PCG64(sequence))
 
 
@@ -60,7 +69,7 @@ class SeedSequenceFactory:
         Useful when a subsystem wants to hand out its own sub-streams
         without knowing the labels its parent used.
         """
-        child_seed = _label_entropy(f"{self.seed}/{label}") & ((1 << 63) - 1)
+        child_seed = _label_entropy(f"{self.seed}/{label}") & SEED_DOMAIN
         return SeedSequenceFactory(child_seed)
 
     def integer(self, label: str, low: int, high: Optional[int] = None) -> int:

@@ -45,7 +45,6 @@ class TestGatherSite:
                                log_text="x")
         # Rebuild the archive with one file's bytes flipped.
         import io
-        import json
         corrupted = tmp_path / "corrupt.tar.gz"
         with tarfile.open(gathered.archive_path) as src, \
                 tarfile.open(corrupted, "w:gz") as dst:
@@ -78,3 +77,124 @@ class TestGatherBundle:
         for site_bundle in gathered:
             assert verify_archive(site_bundle.archive_path)
             assert site_bundle.compression_ratio > 1.0
+
+
+def _rebuild(src_path, dst_path, mutate):
+    """Copy an archive member-by-member, letting ``mutate`` rewrite the
+    (name, data) stream; returns the path to the rebuilt archive."""
+    import io
+    members = []
+    with tarfile.open(src_path) as src:
+        for member in src.getmembers():
+            members.append((member.name, src.extractfile(member).read()))
+    with tarfile.open(dst_path, "w:gz") as dst:
+        for name, data in mutate(members):
+            info = tarfile.TarInfo(name)
+            info.size = len(data)
+            dst.addfile(info, io.BytesIO(data))
+    return dst_path
+
+
+class TestVerifyManifestShadowing:
+    """Regression tests for the endswith-manifest bug: a captured file
+    whose *name* merely ends in MANIFEST.json used to shadow the real
+    manifest, so a crafted nested decoy could vacuously pass (or fail)
+    verification of untouched captures."""
+
+    def test_nested_manifest_named_capture_is_verified_as_content(
+            self, site_dir, tmp_path):
+        sub = site_dir / "sub"
+        sub.mkdir()
+        (sub / "MANIFEST.json").write_bytes(b"not a manifest, just a capture")
+        gathered = gather_site("STAR", site_dir, tmp_path / "g")
+        assert verify_archive(gathered.archive_path)
+        # Corrupt the decoy: it must be caught like any other member.
+        bad = _rebuild(
+            gathered.archive_path, tmp_path / "bad.tar.gz",
+            lambda members: [(n, b"tampered" if n == "STAR/sub/MANIFEST.json"
+                              else d) for n, d in members])
+        assert not verify_archive(bad)
+
+    def test_empty_decoy_manifest_cannot_vacuously_pass(
+            self, site_dir, tmp_path):
+        """The old code picked the first endswith match; an empty-dict
+        ``sub/MANIFEST.json`` then verified *nothing* and returned True."""
+        sub = site_dir / "sub"
+        sub.mkdir()
+        (sub / "MANIFEST.json").write_bytes(b"{}")
+        gathered = gather_site("STAR", site_dir, tmp_path / "g")
+        tampered = _rebuild(
+            gathered.archive_path, tmp_path / "tampered.tar.gz",
+            lambda members: [(n, b"\xff" + d[1:] if n.endswith("s0.pcap")
+                              else d) for n, d in members])
+        assert not verify_archive(tampered)
+
+    def test_extra_member_fails(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "g")
+        extra = _rebuild(
+            gathered.archive_path, tmp_path / "extra.tar.gz",
+            lambda members: members + [("STAR/smuggled.pcap", b"oops")])
+        assert not verify_archive(extra)
+
+    def test_missing_member_fails(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "g")
+        pruned = _rebuild(
+            gathered.archive_path, tmp_path / "pruned.tar.gz",
+            lambda members: [(n, d) for n, d in members
+                             if not n.endswith("s1.pcap")])
+        assert not verify_archive(pruned)
+
+    def test_undecodable_manifest_fails(self, site_dir, tmp_path):
+        gathered = gather_site("STAR", site_dir, tmp_path / "g")
+        garbled = _rebuild(
+            gathered.archive_path, tmp_path / "garbled.tar.gz",
+            lambda members: [(n, b"\xff\xfe not json" if n.endswith(
+                "STAR/MANIFEST.json") else d) for n, d in members])
+        assert not verify_archive(garbled)
+
+
+class TestGatherCrashSafety:
+    """Satellite 3: the archive lands via temp-file + os.replace, so a
+    crash mid-gather leaves no torn .tar.gz behind."""
+
+    def _crash_at_every_op(self, site_dir, out_dir):
+        from repro.testbed.chaos import CrashingIO
+        from repro.util.atomio import FileIO, SimulatedCrash
+        from repro.util.rng import derive_rng
+
+        probe = FileIO()
+        gather_site("STAR", site_dir, out_dir, log_text="x", file_io=probe)
+        assert probe.ops > 0, "gather must route writes through the IO seam"
+        for crash_at in range(1, probe.ops + 1):
+            yield crash_at, CrashingIO(crash_at, derive_rng(1, f"g{crash_at}")), \
+                SimulatedCrash
+
+    def test_crash_leaves_no_torn_archive(self, site_dir, tmp_path):
+        for crash_at, crashing_io, SimulatedCrash in self._crash_at_every_op(
+                site_dir, tmp_path / "probe"):
+            out_dir = tmp_path / f"crash{crash_at}"
+            with pytest.raises(SimulatedCrash):
+                gather_site("STAR", site_dir, out_dir,
+                            log_text="x", file_io=crashing_io)
+            archive_path = out_dir / "STAR.tar.gz"
+            if archive_path.exists():
+                # The replace landed: the archive must be whole.
+                assert verify_archive(archive_path), \
+                    f"torn archive after crash at op {crash_at}"
+
+    def test_crash_preserves_previous_archive(self, site_dir, tmp_path):
+        from repro.testbed.chaos import CrashingIO
+        from repro.util.atomio import SimulatedCrash
+        from repro.util.rng import derive_rng
+
+        out_dir = tmp_path / "g"
+        first = gather_site("STAR", site_dir, out_dir, log_text="v1")
+        before = first.archive_path.read_bytes()
+        (site_dir / "c0_r0_s2.pcap").write_bytes(b"\xa1\xb2\xc3\xd4" + b"\x02" * 100)
+        crashing_io = CrashingIO(1, derive_rng(2, "gather"), mode="pre-replace")
+        with pytest.raises(SimulatedCrash):
+            gather_site("STAR", site_dir, out_dir,
+                        log_text="v2", file_io=crashing_io)
+        # Old complete archive still in place, still verifiable.
+        assert first.archive_path.read_bytes() == before
+        assert verify_archive(first.archive_path)

@@ -175,16 +175,113 @@ class TestSegmentRotation:
         loaded = RunJournal.read(path)
         assert [e.seq for e in loaded] == [0, 1, 2]
 
-    def test_reseq_refuses_populated_journal(self):
+    def test_reseq_renumbers_populated_journal(self):
+        """A populated journal rebases contiguously, order untouched."""
         journal = RunJournal()
-        journal.emit("tick", t=1.0)
-        with pytest.raises(RuntimeError):
-            journal.reseq(10)
+        journal.emit("tick", t=1.0, n=1)
+        journal.emit("tock", t=2.0, n=2)
+        journal.reseq(10)
+        assert [e.seq for e in journal] == [10, 11]
+        assert [e.kind for e in journal] == ["tick", "tock"]
+        assert journal.next_seq == 12
+        assert journal.emit("tick", t=3.0).seq == 12
 
     def test_start_seq_constructor(self):
         journal = RunJournal(start_seq=5)
         assert journal.emit("tick", t=1.0).seq == 5
         assert journal.next_seq == 6
+
+
+class TestMerge:
+    """RunJournal.merge: deterministic (sim_time, site, seq) interleave
+    of per-site shard segments -- the sharded campaign's core step."""
+
+    @staticmethod
+    def _segment(site, stamps):
+        journal = RunJournal()
+        for t in stamps:
+            journal.emit("tick", t=t, site=site)
+        return journal
+
+    def test_orders_by_time_then_site(self):
+        a = self._segment("STAR", [1.0, 3.0])
+        b = self._segment("MICH", [2.0, 3.0])
+        merged = RunJournal.merge([("STAR", a), ("MICH", b)])
+        order = [(e.t, e.data["site"]) for e in merged]
+        assert order == [(1.0, "STAR"), (2.0, "MICH"),
+                         (3.0, "MICH"), (3.0, "STAR")]
+        assert [e.seq for e in merged] == [0, 1, 2, 3]
+
+    def test_equal_timestamps_break_on_site_then_seq(self):
+        """Every event at the same instant: site label, then original
+        sequence, fully determine the order -- no input-order leakage."""
+        a = self._segment("STAR", [5.0, 5.0])
+        b = self._segment("MICH", [5.0, 5.0])
+        forward = RunJournal.merge([("STAR", a), ("MICH", b)])
+        backward = RunJournal.merge([("MICH", b), ("STAR", a)])
+        assert forward.to_jsonl() == backward.to_jsonl()
+        assert [e.data["site"] for e in forward] == \
+            ["MICH", "MICH", "STAR", "STAR"]
+
+    def test_untimed_events_inherit_preceding_time(self):
+        """A t=None event sorts with the last timestamped event before
+        it in its own segment, so segment-internal order survives."""
+        a = RunJournal()
+        a.emit("tick", t=1.0, site="STAR")
+        a.emit("note", t=None, site="STAR")
+        a.emit("tick", t=9.0, site="STAR")
+        b = self._segment("MICH", [2.0])
+        merged = RunJournal.merge([("STAR", a), ("MICH", b)])
+        kinds = [(e.kind, e.data["site"]) for e in merged]
+        assert kinds == [("tick", "STAR"), ("note", "STAR"),
+                         ("tick", "MICH"), ("tick", "STAR")]
+
+    def test_seq_rebasing_over_rotated_segments(self, tmp_path):
+        """Segments that were themselves rotated (non-zero start_seq)
+        merge into one contiguous stream from start_seq, and the merge
+        of read-back segments is byte-stable."""
+        a = RunJournal(start_seq=40)
+        a.emit("tick", t=1.0, site="STAR")
+        a.emit("tick", t=4.0, site="STAR")
+        b = RunJournal(start_seq=90)
+        b.emit("tick", t=2.0, site="MICH")
+        merged = RunJournal.merge([("STAR", a), ("MICH", b)], start_seq=7)
+        assert [e.seq for e in merged] == [7, 8, 9]
+        assert merged.next_seq == 10
+        # Round-trip through disk: identical merge result.
+        pa, pb = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write(pa)
+        b.write(pb)
+        again = RunJournal.merge(
+            [("STAR", RunJournal.read(pa)), ("MICH", RunJournal.read(pb))],
+            start_seq=7)
+        assert again.to_jsonl() == merged.to_jsonl()
+
+    def test_torn_tail_segment_surfaces_warning(self, tmp_path):
+        """A shard segment truncated by a crash still merges, but the
+        loss is reported in merge_warnings -- never silent."""
+        a = self._segment("STAR", [1.0, 2.0])
+        path = tmp_path / "torn.jsonl"
+        path.write_text(a.to_jsonl() + '{"seq": 2, "kind": "tick"')
+        torn = RunJournal.read(path)
+        assert torn.torn_tail is not None
+        clean = self._segment("MICH", [1.5])
+        merged = RunJournal.merge([("STAR", torn), ("MICH", clean)])
+        assert len(merged) == 3
+        assert len(merged.merge_warnings) == 1
+        assert "STAR" in merged.merge_warnings[0]
+        assert "torn tail" in merged.merge_warnings[0]
+
+    def test_clean_merge_has_no_warnings(self):
+        merged = RunJournal.merge(
+            [("STAR", self._segment("STAR", [1.0]))])
+        assert merged.merge_warnings == []
+
+    def test_merge_of_empty_segments(self):
+        merged = RunJournal.merge([("STAR", RunJournal()),
+                                   ("MICH", RunJournal())], start_seq=3)
+        assert len(merged) == 0
+        assert merged.next_seq == 3
 
 
 class TestDiff:

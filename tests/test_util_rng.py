@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.rng import SEED_DOMAIN, SeedSequenceFactory, derive_rng
 
 
 class TestDeriveRng:
@@ -50,3 +50,76 @@ class TestSeedSequenceFactory:
     def test_integer_is_stable(self):
         assert (SeedSequenceFactory(9).integer("k", 0, 1000)
                 == SeedSequenceFactory(9).integer("k", 0, 1000))
+
+
+class TestSeedDomain:
+    """One shared 63-bit seed domain (the PR-7 bugfix): derive_rng and
+    SeedSequenceFactory.child must reduce seeds identically, or a child
+    seed produced by one and consumed by the other splits into two
+    different streams depending on which code path masks it."""
+
+    def test_single_domain_constant(self):
+        assert SEED_DOMAIN == (1 << 63) - 1
+
+    def test_child_seeds_live_inside_the_derive_domain(self):
+        for label in ("site/STAR", "site/MICH", "chaos", "x/y/z"):
+            child = SeedSequenceFactory(42).child(label)
+            assert 0 <= child.seed <= SEED_DOMAIN
+
+    def test_derivation_closed_under_composition(self):
+        """Masking a child seed again must be the identity: the stream a
+        child factory hands out equals derive_rng on its raw seed."""
+        child = SeedSequenceFactory(42).child("site/STAR")
+        direct = derive_rng(child.seed, "occasion0/world").random(8)
+        via_factory = child.rng("occasion0/world").random(8)
+        assert np.array_equal(direct, via_factory)
+        # And re-masking cannot move the seed (it is already in-domain).
+        assert child.seed & SEED_DOMAIN == child.seed
+
+    def test_out_of_domain_master_seed_folds_consistently(self):
+        """A master seed above the domain reduces the same way in both
+        derive_rng and the factory paths."""
+        big = (1 << 64) - 3      # above SEED_DOMAIN, below the old 64-bit mask
+        a = derive_rng(big, "x").random(8)
+        b = derive_rng(big & SEED_DOMAIN, "x").random(8)
+        assert np.array_equal(a, b)
+
+
+class TestShardSeedStability:
+    """Per-site worker derivation must be identical across process start
+    methods -- a spawn pool re-imports modules while fork inherits state,
+    and shard seeding may depend on neither."""
+
+    @staticmethod
+    def _derive(site):
+        from repro.util.rng import SeedSequenceFactory as Factory
+        factory = Factory(42).child(f"site/{site}")
+        return {stream: factory.integer(f"occasion0/{stream}", 0, 2 ** 31)
+                for stream in ("world", "traffic", "coordinator")}
+
+    def test_spawn_and_fork_agree(self):
+        import multiprocessing
+
+        inline = {site: self._derive(site) for site in ("STAR", "MICH")}
+        for method in ("fork", "spawn"):
+            if method not in multiprocessing.get_all_start_methods():
+                continue
+            ctx = multiprocessing.get_context(method)
+            with ctx.Pool(1) as pool:
+                derived = {site: pool.apply(_derive_shard_seeds, (site,))
+                           for site in ("STAR", "MICH")}
+            assert derived == inline, f"{method} derivation drifted"
+
+    def test_manifest_shard_seeds_match_direct_derivation(self):
+        from repro.core.campaign import CampaignManifest
+
+        manifest = CampaignManifest(seed=42, sites=("STAR", "MICH"),
+                                    occasions=1, sharded=True)
+        assert manifest.shard_seeds(0, "STAR") == self._derive("STAR")
+        assert manifest.occasion_shard_seeds(0) == {
+            "STAR": self._derive("STAR"), "MICH": self._derive("MICH")}
+
+
+def _derive_shard_seeds(site):
+    """Module-level so a spawn pool can pickle it by reference."""
+    return TestShardSeedStability._derive(site)
