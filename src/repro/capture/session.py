@@ -22,6 +22,7 @@ from repro.netsim.engine import Simulator
 from repro.netsim.frame import Frame
 from repro.obs import get_obs
 from repro.packets.pcap import PcapRecord, PcapWriter
+from repro.telemetry.query.inband import StampLog, peel
 from repro.testbed.nic import NicPort
 
 FrameTransform = Callable[[bytes], bytes]
@@ -82,6 +83,7 @@ class CaptureSession:
         tcpdump_model: Optional[TcpdumpModel] = None,
         dpdk_model: Optional[DpdkCaptureModel] = None,
         fpga_config: Optional[FpgaOffloadConfig] = None,
+        int_strip: bool = False,
     ):
         if snaplen <= 0:
             raise ValueError("snaplen must be positive")
@@ -91,6 +93,11 @@ class CaptureSession:
         self.method = method
         self.snaplen = snaplen
         self.transform = transform
+        # In-band telemetry: when enabled, a trailing telemetry shim is
+        # peeled off each arriving frame *before* any capture processing,
+        # so pcap bytes and wire lengths match an unstamped run exactly.
+        self.int_strip = int_strip
+        self.int_stamps = StampLog()
         self._tcpdump = tcpdump_model or TcpdumpModel(snaplen=snaplen)
         self._dpdk = dpdk_model or DpdkCaptureModel(truncation=snaplen)
         if method is CaptureMethod.FPGA_DPDK:
@@ -111,6 +118,7 @@ class CaptureSession:
             raise RuntimeError("capture session already active")
         self._tcpdump.reset()
         self._dpdk.reset()
+        self.int_stamps = StampLog()
         if self.pcap_path is not None:
             self.pcap_path.parent.mkdir(parents=True, exist_ok=True)
             self._writer = PcapWriter(self.pcap_path, snaplen=self.snaplen)
@@ -179,6 +187,10 @@ class CaptureSession:
     def _on_frame(self, frame: Frame) -> None:
         if not self._active:
             return
+        if self.int_strip:
+            frame, shim = peel(frame)
+            if shim is not None:
+                self.int_stamps.add(self.sim.now, shim)
         self.stats.frames_seen += 1
         self.stats.bytes_on_wire += frame.wire_len
         if self.method is CaptureMethod.TCPDUMP:

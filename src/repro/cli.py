@@ -71,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--method", choices=["tcpdump", "dpdk", "fpga+dpdk"],
                          default="tcpdump")
     profile.add_argument("--anonymize", action="store_true")
+    profile.add_argument("--telemetry-queries", action="store_true",
+                         help="enable streaming telemetry: switch-side "
+                              "query operators with sketch reports, "
+                              "in-band queue-state stamping, and the "
+                              "sketch/in-band congestion detectors "
+                              "scored alongside the SNMP verdict")
+    profile.add_argument("--telemetry-window", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="sketch-report tumbling window "
+                              "(with --telemetry-queries; default 1.0)")
     profile.add_argument("--charts", action="store_true",
                          help="also render SVG charts")
     profile.add_argument("--seed", type=int, default=42)
@@ -156,9 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("journal", type=Path,
                        help="a journal.jsonl written by `repro profile`")
     audit.add_argument("--csv", type=Path, default=None,
-                       help="also write the loss waterfall as CSV here")
+                       help="also write the loss waterfall as CSV here "
+                            "(with --detectors: the detector comparison)")
     audit.add_argument("--json", action="store_true",
                        help="print a machine-readable JSON audit")
+    audit.add_argument("--detectors", action="store_true",
+                       help="print the three-way congestion-detector "
+                            "comparison (snmp / sketch / inband) instead "
+                            "of the full audit report")
 
     runs = sub.add_parser("runs", help="inspect durable campaign run dirs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
@@ -257,7 +272,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.analysis import AnalysisPipeline, Anonymizer
     from repro.capture.session import CaptureMethod
     from repro.core import (AnalysisConfig, Coordinator, PatchworkConfig,
-                            SamplingPlan)
+                            SamplingPlan, TelemetryConfig)
     from repro.obs import Observability, scoped, to_prometheus
 
     sites = args.sites or ["STAR", "MICH", "UTAH", "TACC"]
@@ -279,7 +294,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         output_dir=args.out, plan=plan, desired_instances=args.instances,
         snaplen=args.snaplen, capture_method=method, transform=transform,
         analysis=AnalysisConfig(max_workers=args.workers,
-                                cache_enabled=not args.no_cache))
+                                cache_enabled=not args.no_cache),
+        telemetry=TelemetryConfig(enabled=args.telemetry_queries,
+                                  window=args.telemetry_window,
+                                  seed=args.seed))
     quiet = args.json
 
     def say(text: str) -> None:
@@ -380,7 +398,9 @@ def _cmd_profile_durable(args: argparse.Namespace) -> int:
             workers=max(args.workers, 1),
             cache_enabled=not args.no_cache,
             traffic_span=args.traffic_span,
-            sharded=args.shard_workers > 0)
+            sharded=args.shard_workers > 0,
+            telemetry_queries=args.telemetry_queries,
+            telemetry_window=args.telemetry_window)
         summary = CampaignRunner(args.out, manifest=manifest,
                                  shard_workers=shard_workers).run()
     if args.json:
@@ -629,10 +649,22 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         print("error: journal carries no ledger events (did the run use "
               "`repro profile`?)", file=sys.stderr)
         return 2
+    if args.detectors and not result.detector_scorecards:
+        print("error: journal carries no detector readings (run with "
+              "`repro profile --telemetry-queries`)", file=sys.stderr)
+        return 2
     if args.csv is not None:
-        result.waterfall().to_csv(args.csv)
+        table = (result.detector_table() if args.detectors
+                 else result.waterfall())
+        table.to_csv(args.csv)
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        payload = (result.to_dict()["detectors"] if args.detectors
+                   else result.to_dict())
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.detectors:
+        print(result.detector_table().render())
+        if args.csv is not None:
+            print(f"\nwrote detector comparison to {args.csv}")
     else:
         print(result.render())
         if args.csv is not None:

@@ -34,7 +34,7 @@ testbed it profiles.  The package mirrors the paper's Section 6 design:
 """
 
 from repro.core.config import (AnalysisConfig, PatchworkConfig, RecoveryConfig,
-                               SamplingPlan)
+                               SamplingPlan, TelemetryConfig)
 from repro.core.status import (RunOutcome, RunRecord, publish_outcomes,
                                recovery_summary)
 from repro.core.retry import (
@@ -89,6 +89,7 @@ __all__ = [
     "PatchworkConfig",
     "RecoveryConfig",
     "SamplingPlan",
+    "TelemetryConfig",
     "RunOutcome",
     "RunRecord",
     "recovery_summary",

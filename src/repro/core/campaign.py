@@ -41,7 +41,7 @@ from repro.core.checkpoint import (CHECKPOINT_DIR, MANIFEST_NAME, SEGMENT_DIR,
                                    WalCorruptionError, canonical_json,
                                    sha256_bytes, sha256_file)
 from repro.core.config import (AnalysisConfig, PatchworkConfig, RecoveryConfig,
-                               SamplingPlan)
+                               SamplingPlan, TelemetryConfig)
 from repro.core.status import RunOutcome, RunRecord, success_rate
 from repro.util.atomio import (FileIO, atomic_write_bytes, atomic_write_text,
                                sweep_tmp_files)
@@ -83,6 +83,12 @@ class CampaignManifest:
     # derivation and therefore the canonical event stream; the *worker
     # count* is the runtime knob (same bytes at any parallelism).
     sharded: bool = False
+    # Streaming telemetry: switch-side query operators + in-band
+    # stamping + the sketch/in-band congestion detectors.  Manifest
+    # state (not a runtime knob) because enabling it changes the
+    # canonical event stream.
+    telemetry_queries: bool = False
+    telemetry_window: float = 1.0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sites", tuple(self.sites))
@@ -168,7 +174,10 @@ def occasion_config(manifest: CampaignManifest, occasion: int,
         pcap_prefix=f"o{occasion}_",
         recovery=RecoveryConfig(enabled=manifest.recovery_enabled),
         analysis=AnalysisConfig(max_workers=max(manifest.workers, 1),
-                                cache_enabled=manifest.cache_enabled))
+                                cache_enabled=manifest.cache_enabled),
+        telemetry=TelemetryConfig(enabled=manifest.telemetry_queries,
+                                  window=manifest.telemetry_window,
+                                  seed=manifest.seed))
 
 
 @dataclass

@@ -22,7 +22,12 @@ from repro.core.config import PatchworkConfig
 from repro.core.instance import InstanceResult, PatchworkInstance
 from repro.core.status import RunOutcome, RunRecord, publish_outcomes
 from repro.obs import get_obs
-from repro.obs.ledger import CongestionScorecard, scorecard_from_ledgers
+from repro.obs.ledger import (
+    CongestionScorecard,
+    DetectorScorecard,
+    detector_scorecards_from_ledgers,
+    scorecard_from_ledgers,
+)
 from repro.telemetry.mflib import MFlib
 from repro.telemetry.snmp import SNMPPoller
 from repro.testbed.api import TestbedAPI
@@ -41,6 +46,10 @@ class ProfileBundle:
     # Per-site congestion-detector scorecards (verdict vs ground-truth
     # mirror-egress drops from the conservation ledger).
     scorecards: Dict[str, CongestionScorecard] = field(default_factory=dict)
+    # Per-site, per-detector scorecards with latency/bytes axes; only
+    # populated when the run carried streaming-telemetry readings.
+    detector_scorecards: Dict[str, Dict[str, DetectorScorecard]] = \
+        field(default_factory=dict)
 
     @property
     def scorecard(self) -> CongestionScorecard:
@@ -48,6 +57,15 @@ class ProfileBundle:
         merged = CongestionScorecard()
         for site in sorted(self.scorecards):
             merged.merge(self.scorecards[site])
+        return merged
+
+    def merged_detector_scorecards(self) -> Dict[str, DetectorScorecard]:
+        """All sites merged, keyed by detector name."""
+        merged: Dict[str, DetectorScorecard] = {}
+        for site in sorted(self.detector_scorecards):
+            for name in sorted(self.detector_scorecards[site]):
+                merged.setdefault(name, DetectorScorecard()).merge(
+                    self.detector_scorecards[site][name])
         return merged
 
     @property
@@ -219,10 +237,23 @@ class Coordinator:
             card = scorecard_from_ledgers(rows)
             bundle.scorecards[site] = card
             obs.journal.emit("scorecard", site=site, **card.to_dict())
+            # Three-way detector comparison: only when rows carry
+            # streaming-telemetry readings, so telemetry-off journals
+            # stay byte-identical to pre-telemetry builds.
+            if any(row.detectors for row in rows):
+                cards = detector_scorecards_from_ledgers(rows)
+                bundle.detector_scorecards[site] = cards
+                for name in sorted(cards):
+                    obs.journal.emit("detector-scorecard", site=site,
+                                     detector=name, **cards[name].to_dict())
         if bundle.scorecards:
             overall = bundle.scorecard
             if self.emit_overall_scorecard:
                 obs.journal.emit("scorecard", site="*", **overall.to_dict())
+                merged = bundle.merged_detector_scorecards()
+                for name in sorted(merged):
+                    obs.journal.emit("detector-scorecard", site="*",
+                                     detector=name, **merged[name].to_dict())
             registry = obs.registry
             registry.counter(
                 "scorecard.true_positives",

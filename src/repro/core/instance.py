@@ -45,7 +45,17 @@ from repro.core.watchdog import Watchdog
 from repro.obs import get_obs
 from repro.obs.ledger import LedgerRecorder, SampleLedger
 from repro.telemetry.mflib import MFlib
-from repro.telemetry.snmp import SNMPPoller
+from repro.telemetry.query import (
+    EGRESS_LOAD_QUERY,
+    InbandCongestionDetector,
+    IntStamper,
+    Query,
+    QueryRuntime,
+    SketchCongestionDetector,
+    SketchReport,
+    snmp_reading,
+)
+from repro.telemetry.snmp import SNMPPoller, walk_bytes
 from repro.testbed.api import TestbedAPI
 from repro.testbed.errors import MirrorConflictError, TestbedError
 from repro.testbed.nic import NicPort
@@ -167,6 +177,22 @@ class PatchworkInstance:
             config.selector, n=config.selector_n, fixed_ports=config.fixed_ports
         )
         self.detector = CongestionDetector(mflib)
+        # Streaming telemetry (repro.telemetry.query): the runtime and
+        # stamper are installed in _build_slots once the mirror
+        # destinations are known; the two extra detectors are judged on
+        # every sample alongside the SNMP verdict.
+        telemetry = config.telemetry
+        self._telemetry_runtime: Optional[QueryRuntime] = None
+        self._telemetry_reports: List[SketchReport] = []
+        self._poll_snapshot = 0
+        if telemetry.enabled:
+            self._sketch_detector: Optional[SketchCongestionDetector] = \
+                SketchCongestionDetector(headroom=telemetry.headroom)
+            self._inband_detector: Optional[InbandCongestionDetector] = \
+                InbandCongestionDetector(telemetry.occupancy_threshold)
+        else:
+            self._sketch_detector = None
+            self._inband_detector = None
         self.scaling = scaling
         self.acquisition: Optional[AcquisitionResult] = None
         self.result: Optional[InstanceResult] = None
@@ -302,6 +328,10 @@ class PatchworkInstance:
 
     def _salvage_captures(self, kind: str) -> int:
         """Stop in-flight captures, keeping their pcaps as partial samples."""
+        if self._telemetry_runtime is not None:
+            # The window ends with the fault; salvaged samples carry no
+            # detector readings (the signal was interrupted mid-window).
+            self._telemetry_runtime.finalize(self.api.now)
         salvaged = 0
         for slot in self._slots:
             if slot.capture is None:
@@ -373,6 +403,56 @@ class PatchworkInstance:
                 index += 1
         self.log.info(self.api.now, "setup", "mirror slots ready",
                       slots=len(self._slots))
+        if self.config.telemetry.enabled and self._slots:
+            self._install_telemetry()
+
+    def _install_telemetry(self) -> None:
+        """Arm the streaming-telemetry subsystem on this site's switch.
+
+        Two standing queries run switch-side against the mirror
+        destination Tx channels (where the cloned traffic serializes):
+
+        * ``egress-load`` -- count-min over bytes per egress port, the
+          signal the sketch congestion detector thresholds against the
+          destination line rate;
+        * ``top-talkers`` -- heavy-hitter top-k source MACs by bytes,
+          the Sonata-style application query riding the same runtime.
+
+        The INT stamper rides the mirror clone path of the same switch.
+        """
+        telemetry = self.config.telemetry
+        switch = self.api.federation.site(self.site).switch
+        switch.int_stamper = IntStamper(stamp_every=telemetry.stamp_every)
+        dest_ports = tuple(sorted({slot.dest_port_id
+                                   for slot in self._slots}))
+        plans = [
+            Query(EGRESS_LOAD_QUERY)
+            .filter(("direction", "==", "tx"))
+            .map(key="port", value="wire_len")
+            .reduce("count-min", epsilon=telemetry.epsilon,
+                    delta=telemetry.delta)
+            .every(telemetry.window)
+            .watch(ports=dest_ports, directions=("tx",))
+            .build(),
+            Query("top-talkers")
+            .map(key="src_mac", value="wire_len")
+            .reduce("heavy-hitter", epsilon=telemetry.epsilon,
+                    delta=telemetry.delta, k=telemetry.heavy_hitters)
+            .every(telemetry.window)
+            .watch(ports=dest_ports, directions=("tx",))
+            .build(),
+        ]
+        self._telemetry_runtime = QueryRuntime(
+            sim=self.api.federation.sim, site=self.site,
+            seed=telemetry.seed, on_report=self._on_telemetry_report)
+        self._telemetry_runtime.install(switch, plans)
+        self.log.info(self.api.now, "setup", "telemetry queries installed",
+                      queries=len(plans), window=telemetry.window)
+
+    def _on_telemetry_report(self, report: SketchReport) -> None:
+        self._telemetry_reports.append(report)
+        get_obs().journal.emit("telemetry-report", t=report.window_end,
+                               site=self.site, **report.to_event())
 
     def _eligible_ports(self) -> List[str]:
         """Ports this instance may mirror.
@@ -479,6 +559,7 @@ class PatchworkInstance:
             return
         if self.poller is not None:
             self.poller.poll_now()  # fresh rates bracketing the sample
+            self._poll_snapshot = self.poller.polls_completed
         start = self.api.now
         for slot in self._slots:
             if slot.current_source is None:
@@ -494,6 +575,7 @@ class PatchworkInstance:
                 method=self.config.capture_method,
                 snaplen=self.config.snaplen,
                 transform=self.config.transform,
+                int_strip=self.config.telemetry.enabled,
             )
             slot.capture.start()
             # Open the conservation window in the same event as the
@@ -510,6 +592,15 @@ class PatchworkInstance:
                 pcap=f"{self.site}/{pcap.name}",
                 method=self.config.capture_method.value,
             )
+        if self._telemetry_runtime is not None:
+            # Same-event arming: the window clock starts exactly when
+            # the captures subscribe, so sketch windows and in-band
+            # stamps line up with the ledger window.
+            self._telemetry_reports = []
+            stamper = self.api.federation.site(self.site).switch.int_stamper
+            if stamper is not None:
+                stamper.reset()
+            self._telemetry_runtime.arm(start)
         self._loop_event = self.api.federation.sim.schedule(
             self.config.plan.sample_duration, self._end_sample, start, epoch
         )
@@ -521,19 +612,29 @@ class PatchworkInstance:
             return
         if self.poller is not None:
             self.poller.poll_now()
+        if self._telemetry_runtime is not None:
+            # Force-flush the partial window before judging the sample,
+            # so the sketch detector sees evidence up to this instant.
+            self._telemetry_runtime.finalize(self.api.now)
         for slot in self._slots:
             if slot.capture is None:
                 continue
-            stats = slot.capture.stop()
+            capture = slot.capture
+            stats = capture.stop()
             verdict = self.detector.check(
                 self.site, slot.current_source, slot.rate_bps,
                 sample_start, self.api.now, log=self.log,
             )
+            detectors = None
+            if self._telemetry_runtime is not None:
+                detectors = self._detector_readings(
+                    slot, capture, stats, verdict, sample_start, self.api.now)
             ledger = None
             if slot.open_ledger is not None:
                 ledger = slot.open_ledger.close(
                     stats,
-                    verdict=verdict.overloaded if verdict is not None else None)
+                    verdict=verdict.overloaded if verdict is not None else None,
+                    detectors=detectors)
                 slot.open_ledger = None
             record = SampleRecord(
                 cycle=self._cycle, run=self._run, sample=self._sample,
@@ -547,6 +648,10 @@ class PatchworkInstance:
                 self.on_sample(self, record)
         self.log.info(self.api.now, "sample", "sample complete",
                       cycle=self._cycle, run=self._run, sample=self._sample)
+        self._after_sample_bookkeeping(epoch)
+
+    def _after_sample_bookkeeping(self, epoch: int) -> None:
+        """Advance the sample/run/cycle cursors and schedule the next step."""
         self._sample += 1
         plan = self.config.plan
         if self._sample < plan.samples_per_run:
@@ -562,6 +667,33 @@ class PatchworkInstance:
                 gap, self._begin_sample, epoch)
             return
         self._advance_after_cycle(epoch)
+
+    def _detector_readings(self, slot: _MirrorSlot, capture: CaptureSession,
+                           stats: CaptureStats,
+                           verdict: Optional[CongestionVerdict],
+                           start: float, end: float) -> Dict[str, Dict[str, object]]:
+        """Judge all three congestion detectors for one closed sample.
+
+        The SNMP reading reuses the verdict already computed (evidence
+        only exists once the bracketing end-of-sample poll lands, so its
+        latency is the full window).  The sketch and in-band readings
+        come from this sample's reports and peeled stamps.
+        """
+        readings: Dict[str, Dict[str, object]] = {}
+        snmp_bytes = 0
+        if self.poller is not None:
+            walks = max(0, self.poller.polls_completed - self._poll_snapshot) + 1
+            port_count = len(self.api.federation.site(self.site).switch.ports)
+            snmp_bytes = walk_bytes(port_count, walks)
+        readings["snmp"] = snmp_reading(
+            verdict.overloaded if verdict is not None else None,
+            end - start, snmp_bytes).to_dict()
+        readings["sketch"] = self._sketch_detector.check(
+            self._telemetry_reports, slot.dest_port_id, slot.rate_bps,
+            start, end).to_dict()
+        readings["inband"] = self._inband_detector.check(
+            capture.int_stamps, stats.frames_seen, start, end).to_dict()
+        return readings
 
     def _apply_scaling(self) -> None:
         """Consult the dynamic-scaling policy at a cycle boundary."""
@@ -648,6 +780,10 @@ class PatchworkInstance:
         # Gather partial work even on abort: in-flight pcaps are closed
         # and recorded so they travel with the result.
         self._salvage_captures("teardown")
+        if self._telemetry_runtime is not None:
+            self._telemetry_runtime.uninstall()
+            self._telemetry_runtime = None
+            self.api.federation.site(self.site).switch.int_stamper = None
         for extra in self._extra_slices:
             try:
                 self.api.delete_slice(extra.name)

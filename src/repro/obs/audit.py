@@ -18,7 +18,9 @@ from repro.obs.ledger import (
     CAUSES,
     STAGE_OF_CAUSE,
     CongestionScorecard,
+    DetectorScorecard,
     SampleLedger,
+    detector_scorecards_from_ledgers,
     scorecard_from_ledgers,
 )
 from repro.util.tables import Table
@@ -32,6 +34,10 @@ class AuditResult:
     violations: List[str] = field(default_factory=list)
     scorecards: Dict[str, CongestionScorecard] = field(default_factory=dict)
     scorecard: CongestionScorecard = field(default_factory=CongestionScorecard)
+    # Per-detector scorecards (snmp / sketch / inband) over rows that
+    # carry streaming-telemetry readings; empty for telemetry-off runs.
+    detector_scorecards: Dict[str, DetectorScorecard] = \
+        field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -119,6 +125,25 @@ class AuditResult:
                        fmt(card.recall)])
         return table
 
+    def detector_table(self) -> Table:
+        """The three-way detector comparison (``repro audit --detectors``)."""
+        table = Table(["detector", "samples", "tp", "fp", "fn", "tn",
+                       "unanswerable", "precision", "recall", "latency_s",
+                       "telemetry_bytes"],
+                      title="Detector comparison "
+                            "(latency-to-detect vs telemetry bytes)")
+
+        def fmt(value: Optional[float]) -> str:
+            return "n/a" if value is None else f"{value:.3f}"
+
+        for name in sorted(self.detector_scorecards):
+            card = self.detector_scorecards[name]
+            table.add_row([name, card.samples, card.tp, card.fp, card.fn,
+                           card.tn, card.unanswerable, fmt(card.precision),
+                           fmt(card.recall), fmt(card.latency_to_detect),
+                           card.telemetry_bytes])
+        return table
+
     def render(self) -> str:
         """Full text report (deterministic for a given journal)."""
         lines = [
@@ -134,6 +159,9 @@ class AuditResult:
             "",
             self.scorecard_table().render(),
         ]
+        if self.detector_scorecards:
+            lines.append("")
+            lines.append(self.detector_table().render())
         if self.violations:
             lines.append("")
             lines.append("Violations:")
@@ -152,6 +180,9 @@ class AuditResult:
             "scorecard": self.scorecard.to_dict(),
             "scorecards": {site: card.to_dict()
                            for site, card in sorted(self.scorecards.items())},
+            "detectors": {name: card.to_dict()
+                          for name, card in
+                          sorted(self.detector_scorecards.items())},
         }
 
 
@@ -195,6 +226,9 @@ def audit_journal(journal: RunJournal) -> AuditResult:
                                       if r.site == site)
         result.scorecards[site] = card
         result.scorecard.merge(card)
+    if any(row.detectors for row in result.ledgers):
+        result.detector_scorecards = detector_scorecards_from_ledgers(
+            result.ledgers)
     return result
 
 

@@ -114,6 +114,15 @@ class SampleLedger:
     # when unanswerable or the sample was salvaged before detection).
     verdict_overloaded: Optional[bool] = None
 
+    # Streaming-telemetry detector readings, keyed by detector name
+    # ("snmp" / "sketch" / "inband"), each a dict with "overloaded",
+    # "latency" (seconds from window start; None unless overloaded) and
+    # "bytes" (telemetry cost charged to this sample).  Empty when the
+    # run had streaming telemetry disabled -- and then omitted from the
+    # journal event entirely, keeping telemetry-off journals
+    # byte-identical to pre-telemetry builds.
+    detectors: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
     # Digest reconciliation, filled in by :func:`attach_digests`.
     digested: Optional[int] = None
     truncated: int = 0
@@ -143,7 +152,7 @@ class SampleLedger:
 
     def to_event(self) -> Dict[str, object]:
         """Flatten into journal-event data (canonical-JSON friendly)."""
-        return {
+        event: Dict[str, object] = {
             "site": self.site,
             "instance": self.instance,
             "cycle": self.cycle,
@@ -171,6 +180,11 @@ class SampleLedger:
             "verdict": self.verdict_overloaded,
             "conserved": self.conservation_error() == 0,
         }
+        if self.detectors:
+            event["detectors"] = {name: dict(reading)
+                                  for name, reading in
+                                  sorted(self.detectors.items())}
+        return event
 
     @classmethod
     def from_event(cls, data: Dict[str, object]) -> "SampleLedger":
@@ -203,6 +217,8 @@ class SampleLedger:
             source_rx_drops=int(data.get("source_rx_drops", 0)),
             source_tx_drops=int(data.get("source_tx_drops", 0)),
             verdict_overloaded=data.get("verdict"),
+            detectors={str(name): dict(reading) for name, reading in
+                       dict(data.get("detectors", {})).items()},
         )
 
 
@@ -235,12 +251,16 @@ class OpenSampleLedger:
         self._closed = False
 
     def close(self, capture_stats, verdict: Optional[bool] = None,
-              aborted: bool = False) -> SampleLedger:
+              aborted: bool = False,
+              detectors: Optional[Dict[str, Dict[str, object]]] = None,
+              ) -> SampleLedger:
         """Reconcile the window against the final capture statistics.
 
         ``aborted`` marks a salvaged (fault-interrupted) sample: clones
         still in flight are charged to ``fault-window`` rather than
         ``in-flight``, since the capture will never collect them.
+        ``detectors`` carries the streaming-telemetry readings (name ->
+        overloaded/latency/bytes dict) when that subsystem is enabled.
         """
         if self._closed:
             raise RuntimeError("ledger window already closed")
@@ -296,6 +316,7 @@ class OpenSampleLedger:
             source_rx_drops=src_drops_rx,
             source_tx_drops=src_drops_tx,
             verdict_overloaded=verdict,
+            detectors=dict(detectors) if detectors else {},
             **self._meta,
         )
         self._recorder.publish(row)
@@ -450,6 +471,96 @@ def scorecard_from_ledgers(
     for row in ledgers:
         card.add(row.verdict_overloaded, row.mirror_overloaded_truth)
     return card
+
+
+@dataclass
+class DetectorScorecard(CongestionScorecard):
+    """A scorecard with the streaming-telemetry tradeoff axes.
+
+    Beyond the confusion counts, tracks mean *latency to detect* over
+    true positives (how long after the window opened the detector had
+    the evidence) and total *telemetry bytes* charged to the judged
+    samples -- the two axes the tradeoff benchmark plots per detector.
+    """
+
+    latency_total: float = 0.0
+    detections: int = 0          # true positives with a known latency
+    telemetry_bytes: int = 0
+
+    def add_reading(self, predicted: Optional[bool], truth: bool,
+                    latency: Optional[float], tbytes: int) -> None:
+        self.add(predicted, truth)
+        self.telemetry_bytes += int(tbytes)
+        if predicted and truth and latency is not None:
+            self.latency_total += float(latency)
+            self.detections += 1
+
+    def merge(self, other: "CongestionScorecard") -> None:
+        super().merge(other)
+        if isinstance(other, DetectorScorecard):
+            self.latency_total += other.latency_total
+            self.detections += other.detections
+            self.telemetry_bytes += other.telemetry_bytes
+
+    @property
+    def latency_to_detect(self) -> Optional[float]:
+        """Mean seconds from window open to detection (true positives)."""
+        if self.detections == 0:
+            return None
+        return self.latency_total / self.detections
+
+    def to_dict(self) -> Dict[str, object]:
+        data = super().to_dict()
+        data["latency_to_detect"] = self.latency_to_detect
+        data["telemetry_bytes"] = self.telemetry_bytes
+        data["detections"] = self.detections
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DetectorScorecard":
+        card = cls(tp=int(data["tp"]), fp=int(data["fp"]),
+                   fn=int(data["fn"]), tn=int(data["tn"]),
+                   unanswerable=int(data["unanswerable"]),
+                   detections=int(data.get("detections", 0)),
+                   telemetry_bytes=int(data.get("telemetry_bytes", 0)))
+        latency = data.get("latency_to_detect")
+        if latency is not None and card.detections:
+            card.latency_total = float(latency) * card.detections
+        return card
+
+    def describe(self) -> str:
+        latency = self.latency_to_detect
+        shown = "n/a" if latency is None else f"{latency:.2f}s"
+        return (super().describe() +
+                f" latency={shown} bytes={self.telemetry_bytes}")
+
+
+def detector_scorecards_from_ledgers(
+        ledgers: Iterable[SampleLedger]) -> Dict[str, DetectorScorecard]:
+    """Per-detector scorecards over rows that carry detector readings.
+
+    Rows without readings (telemetry disabled, or salvaged before any
+    detector ran) still contribute their SNMP verdict to the ``snmp``
+    card -- with no latency or byte accounting -- so the three-way view
+    degrades gracefully over legacy journals.
+    """
+    cards: Dict[str, DetectorScorecard] = {}
+    for row in ledgers:
+        truth = row.mirror_overloaded_truth
+        if row.detectors:
+            for name in sorted(row.detectors):
+                reading = row.detectors[name]
+                latency = reading.get("latency")
+                cards.setdefault(name, DetectorScorecard()).add_reading(
+                    reading.get("overloaded"),
+                    truth,
+                    float(latency) if latency is not None else None,
+                    int(reading.get("bytes", 0)),
+                )
+        else:
+            cards.setdefault("snmp", DetectorScorecard()).add_reading(
+                row.verdict_overloaded, truth, None, 0)
+    return cards
 
 
 def attach_digests(ledgers: Iterable[SampleLedger], acaps) -> int:

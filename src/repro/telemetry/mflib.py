@@ -47,11 +47,16 @@ class MFlib:
     def port_rates(self, site: str, port_id: str, start: float, end: float) -> Optional[PortRates]:
         """Average rates between the polls nearest ``start`` and ``end``.
 
-        Returns None when fewer than two samples cover the window (the
-        counters were not polled often enough to answer).
+        Returns None when the window cannot be answered: fewer than two
+        samples cover it (the counters were not polled often enough), or
+        the window itself is degenerate (zero or negative duration, e.g.
+        a caller bracketing an instantaneous event).  Degenerate windows
+        are a query-data problem, not a programming error, so they get
+        the same "telemetry cannot answer" None as a missing poll --
+        never a zero-delta division.
         """
         if end <= start:
-            raise ValueError("query window must have positive duration")
+            return None
         first_tx = self._anchor(site, port_id, "tx_bytes", start, end)
         last_tx = self.store.latest_before(site, port_id, "tx_bytes", end)
         first_rx = self._anchor(site, port_id, "rx_bytes", start, end)

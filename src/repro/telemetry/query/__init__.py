@@ -1,0 +1,59 @@
+"""Query-driven streaming telemetry.
+
+Three layers, built to beat 5-minute SNMP polling on the
+latency-to-detect vs telemetry-bytes tradeoff:
+
+1. A declarative query language (:mod:`~repro.telemetry.query.plan`)
+   compiled into incremental switch-side operators with sketch
+   pre-aggregation (:mod:`~repro.telemetry.query.operators`,
+   :mod:`~repro.telemetry.query.sketch`).
+2. An INT-style in-band path stamping per-frame egress queue state into
+   a telemetry shim (:mod:`~repro.telemetry.query.inband`).
+3. Congestion detectors over both streams
+   (:mod:`~repro.telemetry.query.detectors`), scored on the same ledger
+   ground truth as the SNMP verdict.
+"""
+
+from repro.telemetry.query.detectors import (
+    EGRESS_LOAD_QUERY,
+    DetectorReading,
+    InbandCongestionDetector,
+    SketchCongestionDetector,
+    snmp_reading,
+)
+from repro.telemetry.query.inband import (
+    SHIM_LEN,
+    IntStamper,
+    StampLog,
+    TelemetryShim,
+    peel,
+)
+from repro.telemetry.query.operators import (
+    CompiledQuery,
+    QueryRuntime,
+    SketchReport,
+    compile_plan,
+)
+from repro.telemetry.query.plan import Query, QueryPlan
+from repro.telemetry.query.sketch import CountMinSketch, HeavyHitters
+
+__all__ = [
+    "EGRESS_LOAD_QUERY",
+    "SHIM_LEN",
+    "CompiledQuery",
+    "CountMinSketch",
+    "DetectorReading",
+    "HeavyHitters",
+    "InbandCongestionDetector",
+    "IntStamper",
+    "Query",
+    "QueryPlan",
+    "QueryRuntime",
+    "SketchCongestionDetector",
+    "SketchReport",
+    "StampLog",
+    "TelemetryShim",
+    "compile_plan",
+    "peel",
+    "snmp_reading",
+]

@@ -1,0 +1,224 @@
+"""The declarative query language: ``Query(...).filter(...).map(...).reduce(...)``.
+
+A telemetry query is a Sonata-style dataflow over the frames crossing a
+set of switch channels::
+
+    plan = (Query("egress-load")
+            .filter(("direction", "==", "tx"))
+            .map(key="port", value="wire_len")
+            .reduce("count-min", epsilon=0.05, delta=0.05)
+            .every(1.0)
+            .watch(ports=("p-mirror",), directions=("tx",)))
+
+The builder produces an immutable :class:`QueryPlan`; the compiler in
+:mod:`repro.telemetry.query.operators` lowers the plan into incremental
+operators that run switch-side in the netsim dataplane.  Keeping the
+plan declarative (tuples and strings, no callables) is what makes it
+journal-able and byte-stable: the compiled operators are a pure function
+of ``(plan, campaign seed, site)``.
+
+Frame fields available to ``filter``/``map`` stages (see
+:class:`FrameView`): ``port``, ``direction``, ``wire_len``, ``src_mac``,
+``dst_mac``, ``ethertype``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Fields a predicate or map stage may reference.
+FRAME_FIELDS = ("port", "direction", "wire_len", "src_mac", "dst_mac",
+                "ethertype")
+
+#: Comparison operators a filter predicate may use.
+FILTER_OPS = ("==", "!=", "in", ">", ">=", "<", "<=")
+
+#: Reduce stages the compiler knows how to lower.
+REDUCE_KINDS = ("sum", "count-min", "heavy-hitter")
+
+#: Value expressions a map stage may aggregate.
+MAP_VALUES = ("wire_len", "frames")
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """One declarative predicate: ``field <op> value``."""
+
+    fld: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.fld not in FRAME_FIELDS:
+            raise ValueError(f"unknown frame field {self.fld!r}; "
+                             f"expected one of {FRAME_FIELDS}")
+        if self.op not in FILTER_OPS:
+            raise ValueError(f"unknown filter op {self.op!r}; "
+                             f"expected one of {FILTER_OPS}")
+        if self.op == "in" and not isinstance(self.value, (tuple, frozenset)):
+            object.__setattr__(self, "value", tuple(self.value))
+
+
+@dataclass(frozen=True)
+class MapSpec:
+    """The map stage: group frames by ``key``, aggregate ``value``."""
+
+    key: str
+    value: str = "wire_len"
+
+    def __post_init__(self) -> None:
+        if self.key not in FRAME_FIELDS:
+            raise ValueError(f"unknown map key {self.key!r}")
+        if self.value not in MAP_VALUES:
+            raise ValueError(f"unknown map value {self.value!r}; "
+                             f"expected one of {MAP_VALUES}")
+
+
+@dataclass(frozen=True)
+class ReduceSpec:
+    """The reduce stage and its sketch parameters."""
+
+    kind: str
+    epsilon: float = 0.05
+    delta: float = 0.05
+    k: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in REDUCE_KINDS:
+            raise ValueError(f"unknown reduce kind {self.kind!r}; "
+                             f"expected one of {REDUCE_KINDS}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A fully-specified, immutable telemetry query."""
+
+    name: str
+    filters: Tuple[FilterSpec, ...]
+    map: MapSpec
+    reduce: ReduceSpec
+    window: float
+    ports: Tuple[str, ...] = ()
+    directions: Tuple[str, ...] = ("tx",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("query needs a name")
+        if self.window <= 0:
+            raise ValueError("query window must be positive")
+        for direction in self.directions:
+            if direction not in ("rx", "tx"):
+                raise ValueError(f"bad watch direction {direction!r}")
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering of the plan."""
+        preds = " and ".join(f"{f.fld} {f.op} {f.value!r}"
+                             for f in self.filters) or "true"
+        return (f"{self.name}: filter({preds}) | "
+                f"map(key={self.map.key}, value={self.map.value}) | "
+                f"reduce({self.reduce.kind}) every {self.window}s")
+
+
+class Query:
+    """Fluent builder for :class:`QueryPlan`.
+
+    Each method returns ``self`` so stages chain; :meth:`build` (or any
+    compiler entry point) freezes the result.  A query must have a map
+    and a reduce stage; filters, window, and watch scope have defaults.
+    """
+
+    def __init__(self, name: str):
+        self._name = name
+        self._filters: list = []
+        self._map: MapSpec | None = None
+        self._reduce: ReduceSpec | None = None
+        self._window = 1.0
+        self._ports: Tuple[str, ...] = ()
+        self._directions: Tuple[str, ...] = ("tx",)
+
+    def filter(self, *predicates: Tuple[str, str, object]) -> "Query":
+        """Add ``(field, op, value)`` predicates (AND-ed together)."""
+        for fld, op, value in predicates:
+            self._filters.append(FilterSpec(fld, op, value))
+        return self
+
+    def map(self, key: str, value: str = "wire_len") -> "Query":
+        """Group by ``key``; aggregate ``value`` per group."""
+        self._map = MapSpec(key, value)
+        return self
+
+    def reduce(self, kind: str, epsilon: float = 0.05, delta: float = 0.05,
+               k: int = 8) -> "Query":
+        """Choose the reducer: ``sum``, ``count-min`` or ``heavy-hitter``."""
+        self._reduce = ReduceSpec(kind, epsilon, delta, k)
+        return self
+
+    def every(self, window: float) -> "Query":
+        """Tumbling-window period in sim seconds."""
+        self._window = float(window)
+        return self
+
+    def watch(self, ports: Tuple[str, ...] = (),
+              directions: Tuple[str, ...] = ("tx",)) -> "Query":
+        """Restrict the query to specific switch ports / directions.
+
+        An empty ``ports`` tuple means "every port on the switch" --
+        the runtime expands it at install time.
+        """
+        self._ports = tuple(ports)
+        self._directions = tuple(directions)
+        return self
+
+    def build(self) -> QueryPlan:
+        if self._map is None:
+            raise ValueError(f"query {self._name!r} is missing a map stage")
+        if self._reduce is None:
+            raise ValueError(f"query {self._name!r} is missing a reduce stage")
+        return QueryPlan(
+            name=self._name,
+            filters=tuple(self._filters),
+            map=self._map,
+            reduce=self._reduce,
+            window=self._window,
+            ports=self._ports,
+            directions=self._directions,
+        )
+
+
+@dataclass
+class FrameView:
+    """Lazily-derived frame fields the operators evaluate against.
+
+    The view is built once per tap callback and shared by every query
+    watching that channel, so header parsing happens at most once per
+    frame regardless of how many queries are installed.
+    """
+
+    port: str
+    direction: str
+    wire_len: int
+    head: bytes = field(repr=False, default=b"")
+
+    @property
+    def dst_mac(self) -> str:
+        return self.head[0:6].hex() if len(self.head) >= 6 else ""
+
+    @property
+    def src_mac(self) -> str:
+        return self.head[6:12].hex() if len(self.head) >= 12 else ""
+
+    @property
+    def ethertype(self) -> int:
+        if len(self.head) >= 14:
+            return int.from_bytes(self.head[12:14], "big")
+        return 0
+
+    def value(self, fld: str) -> object:
+        return getattr(self, fld)

@@ -1,0 +1,167 @@
+"""Sketch reducers: count-min and heavy-hitter pre-aggregation.
+
+Sonata-style telemetry compiles reduce stages into *sketches* so the
+switch ships a compact, fixed-size summary per window instead of a full
+counter dump.  Two sketches back :mod:`repro.telemetry.query`:
+
+* :class:`CountMinSketch` -- the classic Cormode/Muthukrishnan
+  structure.  ``width = ceil(e / epsilon)`` columns and
+  ``depth = ceil(ln(1 / delta))`` rows give the standard guarantee:
+  the estimate **never undercounts**, and overcounts by more than
+  ``epsilon * total_weight`` with probability at most ``delta``.
+* :class:`HeavyHitters` -- a top-k tracker over a count-min substrate:
+  every update refreshes the key's estimate and the k largest keys are
+  retained with deterministic ``(-estimate, key)`` ordering.
+
+Determinism: hash rows use pairwise-independent multiply-add hashing
+over the Mersenne prime ``2**61 - 1``.  The per-row coefficients are
+drawn from :func:`repro.util.rng.derive_rng` under a caller-supplied
+``(seed, label)`` pair, so the same query under the same campaign seed
+hashes identically in every process -- sketch reports are byte-identical
+across runs and across ``--shard-workers`` counts.  Key strings are
+folded to integers with BLAKE2b, which is keyless and stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import derive_rng
+
+#: Modulus for the multiply-add hash family (a Mersenne prime, so the
+#: ``mod p`` reduction is exact for 61-bit coefficients).
+_MERSENNE_P = (1 << 61) - 1
+
+#: Serialized counter size: a switch ships 32-bit column counters.
+COUNTER_BYTES = 4
+
+#: Fixed per-report framing: site/query ids, window bounds, frame count.
+REPORT_HEADER_BYTES = 16
+
+#: One serialized heavy-hitter entry: 8-byte key digest + 32-bit count.
+HH_ENTRY_BYTES = 12
+
+
+def key_to_int(key: str) -> int:
+    """Fold a key string into a stable 64-bit integer (BLAKE2b)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class CountMinSketch:
+    """A count-min sketch with deterministic, seed-derived hash rows."""
+
+    def __init__(self, epsilon: float = 0.05, delta: float = 0.05,
+                 seed: int = 0, label: str = "cm"):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.width = max(1, math.ceil(math.e / epsilon))
+        self.depth = max(1, math.ceil(math.log(1.0 / delta)))
+        rng = derive_rng(seed, f"{label}/hash-rows")
+        # Draw (a, b) per row; a must be nonzero for pairwise independence.
+        self._rows: List[Tuple[int, int]] = [
+            (int(rng.integers(1, _MERSENNE_P)), int(rng.integers(0, _MERSENNE_P)))
+        ]
+        for _ in range(self.depth - 1):
+            self._rows.append((int(rng.integers(1, _MERSENNE_P)),
+                               int(rng.integers(0, _MERSENNE_P))))
+        self._table: List[List[int]] = [[0] * self.width
+                                        for _ in range(self.depth)]
+        self.total_weight = 0
+        self.updates = 0
+
+    def _columns(self, key: str) -> List[int]:
+        x = key_to_int(key)
+        return [((a * x + b) % _MERSENNE_P) % self.width
+                for a, b in self._rows]
+
+    def update(self, key: str, weight: int = 1) -> int:
+        """Add ``weight`` to ``key``; returns the new estimate."""
+        if weight < 0:
+            raise ValueError("sketch weights cannot be negative")
+        self.total_weight += weight
+        self.updates += 1
+        estimate: Optional[int] = None
+        for row, column in enumerate(self._columns(key)):
+            cell = self._table[row][column] + weight
+            self._table[row][column] = cell
+            if estimate is None or cell < estimate:
+                estimate = cell
+        return int(estimate or 0)
+
+    def estimate(self, key: str) -> int:
+        """Point estimate for ``key`` (never below the true count)."""
+        return min(self._table[row][column]
+                   for row, column in enumerate(self._columns(key)))
+
+    def reset(self) -> None:
+        """Zero the counters for the next window (tumbling windows)."""
+        for row in self._table:
+            for i in range(self.width):
+                row[i] = 0
+        self.total_weight = 0
+        self.updates = 0
+
+    @property
+    def table_bytes(self) -> int:
+        """Serialized size of the counter table a switch would ship."""
+        return self.width * self.depth * COUNTER_BYTES
+
+    def state(self) -> Tuple[Tuple[int, ...], ...]:
+        """The raw counter table (for byte-identity assertions)."""
+        return tuple(tuple(row) for row in self._table)
+
+    def __repr__(self) -> str:
+        return (f"<CountMinSketch {self.width}x{self.depth} "
+                f"eps={self.epsilon} delta={self.delta}>")
+
+
+class HeavyHitters:
+    """Top-k keys by estimated weight, over a count-min substrate."""
+
+    def __init__(self, k: int = 8, epsilon: float = 0.05,
+                 delta: float = 0.05, seed: int = 0, label: str = "hh"):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.sketch = CountMinSketch(epsilon=epsilon, delta=delta,
+                                     seed=seed, label=label)
+        self._candidates: Dict[str, int] = {}
+
+    def update(self, key: str, weight: int = 1) -> None:
+        estimate = self.sketch.update(key, weight)
+        self._candidates[key] = estimate
+        if len(self._candidates) > 2 * self.k:
+            self._prune()
+
+    def _prune(self) -> None:
+        keep = sorted(self._candidates.items(),
+                      key=lambda item: (-item[1], item[0]))[: self.k]
+        self._candidates = dict(keep)
+
+    def top(self) -> List[Tuple[str, int]]:
+        """The k heaviest keys, ordered by ``(-estimate, key)``."""
+        return sorted(self._candidates.items(),
+                      key=lambda item: (-item[1], item[0]))[: self.k]
+
+    def reset(self) -> None:
+        self.sketch.reset()
+        self._candidates = {}
+
+    @property
+    def total_weight(self) -> int:
+        return self.sketch.total_weight
+
+    @property
+    def report_bytes(self) -> int:
+        """A heavy-hitter report ships only the top-k entries."""
+        return len(self.top()) * HH_ENTRY_BYTES
+
+    def __repr__(self) -> str:
+        return f"<HeavyHitters k={self.k} over {self.sketch!r}>"

@@ -30,6 +30,17 @@ POLLED_COUNTERS = (
     "rx_dropped_bytes",
 )
 
+#: Cost model for one polled counter on the wire: OID + Counter64 value
+#: in the SNMP response varbind, amortized.  Used by the telemetry-bytes
+#: accounting that compares the poller against sketch reports and
+#: in-band stamps.
+SNMP_BYTES_PER_COUNTER = 16
+
+
+def walk_bytes(port_count: int, walks: int = 1) -> int:
+    """Telemetry bytes one switch ships for ``walks`` full counter walks."""
+    return walks * port_count * len(POLLED_COUNTERS) * SNMP_BYTES_PER_COUNTER
+
 
 class SNMPPoller:
     """Periodic counter collection for a whole federation."""

@@ -108,6 +108,11 @@ class Switch:
         self.mirrors: Dict[str, MirrorSession] = {}  # keyed by source port id
         self._mirror_taps: Dict[str, List] = {}
         self.unknown_dst_frames = 0
+        # Optional INT-style stamper (repro.telemetry.query.inband): when
+        # installed, mirrored clones get a telemetry shim recording the
+        # egress queue state at clone time.  Duck-typed so the testbed
+        # layer stays independent of the telemetry package.
+        self.int_stamper = None
 
     # -- port management --------------------------------------------------
 
@@ -201,16 +206,32 @@ class Switch:
         dest = self.ports[dest_port_id]
         taps = []
         if "rx" in session.directions:
-            tap = lambda frame: dest.link.tx.offer(frame.clone())
+            tap = lambda frame: self._offer_mirror_clone(frame, dest)
             source.link.rx.add_tap(tap)
             taps.append(("rx", tap))
         if "tx" in session.directions:
-            tap = lambda frame: dest.link.tx.offer(frame.clone())
+            tap = lambda frame: self._offer_mirror_clone(frame, dest)
             source.link.tx.add_tap(tap)
             taps.append(("tx", tap))
         self.mirrors[source_port_id] = session
         self._mirror_taps[source_port_id] = taps
         return session
+
+    def _offer_mirror_clone(self, frame: Frame, dest: SwitchPort) -> None:
+        """Clone a mirrored frame onto the destination Tx channel.
+
+        When an INT stamper is installed, the clone is stamped with the
+        egress queue state *before* it is enqueued -- the depth the clone
+        itself experiences, matching what a dataplane shim would record.
+        """
+        clone = frame.clone()
+        stamper = self.int_stamper
+        if stamper is not None:
+            channel = dest.link.tx
+            clone = stamper.stamp(clone, dest.port_id, self.sim.now,
+                                  channel.queue_depth_bytes,
+                                  channel.queue_limit_bytes)
+        dest.link.tx.offer(clone)
 
     def delete_mirror(self, source_port_id: str) -> None:
         """Tear down the mirror session on ``source_port_id``."""
