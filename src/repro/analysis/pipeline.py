@@ -256,8 +256,14 @@ class AnalysisPipeline:
         paths = [Path(p) for p in pcap_paths]
         acaps: List[Optional[AcapFile]] = [None] * len(paths)
         stats = self.stats = PipelineStats(pcaps=len(paths))
-        with get_obs().tracer.span("analysis.digest", pcaps=len(paths)):
+        with get_obs().tracer.span("analysis.digest", pcaps=len(paths)) as span:
             self._digest(paths, acaps, stats)
+            # Close with the fan-out outcome so the trace tree carries
+            # cache effectiveness per digest (the lexical exit's end()
+            # is then a no-op).
+            span.end(cache_hits=stats.cache_hits,
+                     cache_misses=stats.cache_misses,
+                     quarantined=stats.quarantined)
         stats.digest_seconds = time.perf_counter() - started  # reprolint: disable=RL001 -- volatile stage timing
         self._journal_digests()
         return self.acaps

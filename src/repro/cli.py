@@ -175,6 +175,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "comparison (snmp / sketch / inband) instead "
                             "of the full audit report")
 
+    trace = sub.add_parser(
+        "trace", help="distributed-trace analysis of a run journal")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_tree_p = trace_sub.add_parser(
+        "tree", help="render the reconstructed span tree")
+    trace_tree_p.add_argument("journal", type=Path,
+                              help="a journal.jsonl or a campaign run dir")
+    trace_tree_p.add_argument("--depth", type=int, default=None,
+                              help="limit rendering depth")
+    trace_tree_p.add_argument("--json", action="store_true",
+                              help="print the tree as JSON")
+    trace_cp = trace_sub.add_parser(
+        "critical-path", help="the span chain that bounds the run "
+                              "(sim time)")
+    trace_cp.add_argument("journal", type=Path,
+                          help="a journal.jsonl or a campaign run dir")
+    trace_cp.add_argument("--json", action="store_true")
+    trace_cp.add_argument("--csv", type=Path, default=None,
+                          help="also write the path table as CSV here")
+    trace_export = trace_sub.add_parser(
+        "export", help="export the trace for external viewers")
+    trace_export.add_argument("journal", type=Path,
+                              help="a journal.jsonl or a campaign run dir")
+    trace_export.add_argument("--format", choices=["chrome", "folded"],
+                              default="chrome",
+                              help="chrome: Perfetto-loadable Trace Event "
+                                   "JSON; folded: flamegraph folded stacks")
+    trace_export.add_argument("-o", "--out", type=Path, default=None,
+                              help="write here instead of stdout")
+    trace_stats = trace_sub.add_parser(
+        "stats", help="per-stage span latency aggregates")
+    trace_stats.add_argument("journal", type=Path,
+                             help="a journal.jsonl or a campaign run dir")
+    trace_stats.add_argument("--json", action="store_true")
+    trace_stats.add_argument("--csv", type=Path, default=None,
+                             help="also write the stage table as CSV here")
+    trace_stats.add_argument("--prom", action="store_true",
+                             help="render stage histograms as Prometheus "
+                                  "text (p50/p95/p99 quantiles included)")
+
     runs = sub.add_parser("runs", help="inspect durable campaign run dirs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
     runs_list = runs_sub.add_parser(
@@ -233,6 +273,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plan": _cmd_plan,
         "obs": _cmd_obs,
         "audit": _cmd_audit,
+        "trace": _cmd_trace,
         "runs": _cmd_runs,
         "chaos": _cmd_chaos,
         "lint": _cmd_lint,
@@ -670,6 +711,120 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         if args.csv is not None:
             print(f"\nwrote loss waterfall to {args.csv}")
     return 0 if result.ok else 1
+
+
+def _trace_journal_paths(target: Path) -> Optional[List[Path]]:
+    """Resolve a trace target to journal files, in stream order.
+
+    A file is taken as-is.  A campaign run dir resolves to its final
+    ``journal.jsonl`` when present, else to its rotated per-occasion
+    segments (``segments/occ*.jsonl``) in sequence order.
+    """
+    if target.is_file():
+        return [target]
+    if target.is_dir():
+        combined = target / "journal.jsonl"
+        if combined.is_file():
+            return [combined]
+        segments = sorted((target / "segments").glob("occ*.jsonl"))
+        if segments:
+            return segments
+    return None
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import RunJournal
+    from repro.obs.export import to_prometheus
+    from repro.obs.trace import (TraceTree, chrome_trace_json,
+                                 critical_path_summary, to_folded_stacks)
+    from repro.util.tables import Table
+
+    paths = _trace_journal_paths(args.journal)
+    if paths is None:
+        print(f"error: no such journal: {args.journal}", file=sys.stderr)
+        return 2
+    journals = []
+    for path in paths:
+        journal = RunJournal.read(path)
+        _warn_torn(journal, path)
+        journals.append(journal)
+    tree = TraceTree.from_journals(journals)
+    if not tree.spans:
+        print("error: journal carries no span events (was observability "
+              "enabled?)", file=sys.stderr)
+        return 2
+
+    def fmt(value) -> str:
+        return "n/a" if value is None else f"{value:.6f}"
+
+    if args.trace_command == "tree":
+        if args.json:
+            payload = {
+                "spans": len(tree.spans),
+                "sites": tree.sites(),
+                "dangling": [s.to_dict() | {"children": None}
+                             for s in tree.dangling()],
+                "orphan_closes": tree.orphan_closes,
+                "roots": [root.to_dict() for root in tree.roots],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(tree.render(max_depth=args.depth), end="")
+            dangling = tree.dangling()
+            if dangling:
+                print(f"\n{len(dangling)} dangling span(s) "
+                      f"(opened, never closed)")
+        return 0
+    if args.trace_command == "critical-path":
+        path_spans = tree.critical_path()
+        summary = critical_path_summary(path_spans)
+        table = Table(["depth", "span", "name", "site", "opened_at",
+                       "closed_at", "sim_duration"],
+                      title="Critical path (sim time)")
+        for depth, span in enumerate(path_spans):
+            table.add_row([depth, span.span_id, span.name, span.site,
+                           fmt(span.opened_at), fmt(span.closed_at),
+                           fmt(span.sim_duration)])
+        if args.csv is not None:
+            table.to_csv(args.csv)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(table.render())
+            print(f"\ncritical path bounds the run at "
+                  f"{summary['total_sim']:.3f}s sim time")
+            if args.csv is not None:
+                print(f"wrote critical path to {args.csv}")
+        return 0
+    if args.trace_command == "export":
+        text = (chrome_trace_json(tree) if args.format == "chrome"
+                else to_folded_stacks(tree))
+        if args.out is not None:
+            args.out.write_text(text)
+            print(f"wrote {args.format} trace to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    # stats
+    rows = tree.stage_stats()
+    table = Table(["stage", "count", "dangling", "sim_total", "sim_self",
+                   "wall_total"], title="Per-stage span aggregates")
+    for row in rows:
+        table.add_row([row["stage"], row["count"], row["dangling"],
+                       fmt(row["sim_total"]), fmt(row["sim_self"]),
+                       fmt(row["wall_total"]) if row["wall_known"]
+                       else "n/a"])
+    if args.csv is not None:
+        table.to_csv(args.csv)
+    if args.prom:
+        print(to_prometheus(tree.to_registry()), end="")
+    elif args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(table.render())
+        if args.csv is not None:
+            print(f"\nwrote stage table to {args.csv}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

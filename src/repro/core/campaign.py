@@ -230,6 +230,21 @@ class CampaignRunner:
         # value, so a campaign begun at one parallelism may be resumed
         # at another.
         self.shard_workers = max(int(shard_workers), 1)
+        # Parent-side wall-clock trace (built by run()): spans for
+        # verify/reuse, salvage, shard dispatch/land, merge, and commit
+        # land in run_dir/trace.jsonl -- a *non-deterministic* journal,
+        # deliberately outside the byte-identity contract, which is why
+        # these spans don't go into the canonical journal (shard-land
+        # order varies with worker count).
+        self._trace_obs = None
+
+    @property
+    def trace(self):
+        """The parent-side tracer (inert until run() builds a live one)."""
+        if self._trace_obs is None:
+            from repro.obs import Observability
+            self._trace_obs = Observability.disabled()
+        return self._trace_obs.tracer
 
     # -- paths ---------------------------------------------------------------
 
@@ -271,12 +286,23 @@ class CampaignRunner:
                     (self.run_dir / SEGMENT_DIR).glob("occ*.shards")):
                 sweep_tmp_files(shard_dir)
         from repro.core.checkpoint import fold_records
+        from repro.obs import Observability
         records = log.open()
         state = fold_records(records, torn=log.torn_on_open)
         summary = CampaignSummary(run_dir=str(self.run_dir),
                                   occasions=manifest.occasions,
                                   resumed=bool(records),
                                   torn_wal=log.torn_on_open)
+        # Wall-clock tracing of the parent's own work (verify, shard
+        # dispatch/land, merge, commit).  Written to trace.jsonl, not
+        # the canonical journal: arrival order varies with worker
+        # count, so these spans must stay outside the byte-identity
+        # contract.
+        self._trace_obs = Observability.create(deterministic=False)
+        run_span = self.trace.start_span(
+            "campaign.run", occasions=manifest.occasions,
+            sharded=manifest.sharded, workers=self.shard_workers,
+            resumed=bool(records))
         try:
             if state.manifest_sha is None:
                 log.append("campaign-begin",
@@ -295,7 +321,11 @@ class CampaignRunner:
             for occasion in range(manifest.occasions):
                 committed = state.committed.get(occasion)
                 if committed is not None:
-                    if self._verify_commit(committed):
+                    verify_span = self.trace.start_span(
+                        "occasion.verify", occasion=occasion)
+                    intact = self._verify_commit(committed)
+                    verify_span.end(intact=intact)
+                    if intact:
                         summary.skipped.append(occasion)
                         all_records[occasion] = \
                             list(committed.get("records", []))
@@ -311,20 +341,30 @@ class CampaignRunner:
                     # Only the crashed (first uncommitted) occasion has
                     # rows to adopt; later ones never began.
                     salvage_budget = False
-                    commit = self._salvage_occasion(manifest, checkpointer,
-                                                    occasion, rows)
+                    with self.trace.span("occasion.salvage",
+                                         occasion=occasion, rows=len(rows)):
+                        commit = self._salvage_occasion(
+                            manifest, checkpointer, occasion, rows)
                     summary.salvaged.append(occasion)
                 elif manifest.sharded:
-                    commit = self._run_occasion_sharded(manifest, checkpointer,
-                                                        occasion)
+                    with self.trace.span("occasion.run", occasion=occasion,
+                                         sharded=True):
+                        commit = self._run_occasion_sharded(
+                            manifest, checkpointer, occasion)
                     summary.executed.append(occasion)
                 else:
-                    commit = self._run_occasion(manifest, checkpointer,
-                                                occasion)
+                    with self.trace.span("occasion.run", occasion=occasion,
+                                         sharded=False):
+                        commit = self._run_occasion(manifest, checkpointer,
+                                                    occasion)
                     summary.executed.append(occasion)
                 all_records[occasion] = list(commit.get("records", []))
-            self._finalize(manifest, log, all_records, summary)
+            with self.trace.span("campaign.finalize"):
+                self._finalize(manifest, log, all_records, summary)
         finally:
+            run_span.end()
+            if self.run_dir.is_dir():
+                self._trace_obs.journal.write(self.run_dir / "trace.jsonl")
             log.close()
         return summary
 
@@ -507,23 +547,38 @@ class CampaignRunner:
         """
         from repro.core.sharding import iter_shard_results, shard_task
         from repro.obs.journal import RunJournal
+        from repro.obs.tracing import TraceContext
 
         seeds = manifest.occasion_shard_seeds(occasion)
         next_seq = self._next_seq(checkpointer.state, occasion)
         checkpointer.begin_occasion(occasion, seeds)
         shard_dir = self.shard_segment_dir(occasion)
+        # Root span id for this occasion's trace tree.  Every shard's
+        # top-level spans parent under it via the TraceContext pickled
+        # into the shard task, so the merged journal reads as one
+        # campaign-rooted tree at any --shard-workers N.
+        root_id = f"campaign/occ{occasion}"
         shard_commits: Dict[str, Dict[str, Any]] = {}
         pending: List[str] = []
-        for site in manifest.sites:
-            commit = checkpointer.state.shards.get(occasion, {}).get(site)
-            if commit is not None and self._verify_shard_commit(commit):
-                shard_commits[site] = commit
-            else:
-                pending.append(site)
+        with self.trace.span("shard.verify", occasion=occasion):
+            for site in manifest.sites:
+                commit = checkpointer.state.shards.get(occasion, {}).get(site)
+                if commit is not None and self._verify_shard_commit(commit):
+                    shard_commits[site] = commit
+                else:
+                    pending.append(site)
         tasks = [shard_task(manifest, occasion, self.run_dir, site,
-                            seeds[site]) for site in pending]
+                            seeds[site],
+                            trace=TraceContext(site=site,
+                                               root=root_id).to_dict())
+                 for site in pending]
+        dispatch_span = self.trace.start_span(
+            "shard.dispatch", occasion=occasion, shards=len(tasks),
+            reused=len(shard_commits), workers=self.shard_workers)
         for result in iter_shard_results(tasks, self.shard_workers):
             site = str(result["site"])
+            land_span = self.trace.start_span("shard.land", site=site,
+                                              occasion=occasion)
             segment_rel = f"{shard_dir.name}/{site}.jsonl"
             atomic_write_text(shard_dir / f"{site}.jsonl", result["journal"],
                               io=self.io)
@@ -538,15 +593,40 @@ class CampaignRunner:
             }
             checkpointer.commit_shard(occasion, site, commit)
             shard_commits[site] = checkpointer.state.shards[occasion][site]
+            land_span.end()
+        dispatch_span.end()
+        merge_span = self.trace.start_span("journal.merge", occasion=occasion,
+                                           segments=len(manifest.sites))
         segments = []
         for site in manifest.sites:
             segment = RunJournal.read(
                 self.run_dir / SEGMENT_DIR /
                 shard_commits[site]["journal_segment"], strict=True)
             segments.append((site, segment))
-        merged = RunJournal.merge(segments, start_seq=next_seq)
-        segment_path = merged.write(self.segment_path(occasion), io=self.io)
+        merged = RunJournal.merge(segments, start_seq=0)
+        # Wrap the merged shard stream in the occasion root span.  The
+        # wrapper is deterministic at any worker count: the open pins
+        # t=0.0 and the close pins the latest shard sim end, both pure
+        # functions of the (byte-identical) shard journals.
+        journal = RunJournal(clock=None, enabled=True)
+        journal.merge_warnings = merged.merge_warnings
+        journal.emit("span-open", t=0.0, span=root_id, parent=None,
+                     name="campaign.occasion",
+                     attrs={"occasion": occasion, "sharded": True,
+                            "sites": list(manifest.sites)})
+        journal.events.extend(merged.events)
+        journal.reseq(0)
+        close_t = max(
+            (float(shard_commits[site]["sim_end"])
+             for site in manifest.sites
+             if shard_commits[site].get("sim_end") is not None),
+            default=0.0)
+        journal.emit("span-close", t=close_t, span=root_id,
+                     name="campaign.occasion", attrs={})
+        journal.reseq(next_seq)
+        segment_path = journal.write(self.segment_path(occasion), io=self.io)
         segment_sha = sha256_file(segment_path)
+        merge_span.end(events=len(journal.events))
         record_rows = []
         pcaps: Dict[str, str] = {}
         sim_end = {}
@@ -557,25 +637,26 @@ class CampaignRunner:
         ckpt_state = {
             "occasion": occasion,
             "seeds": seeds,
-            "next_seq": merged.next_seq,
+            "next_seq": journal.next_seq,
             "records": record_rows,
             "pcaps": pcaps,
             "sim_end": sim_end,
             "manifest_sha": manifest.sha256,
             "sharded": True,
         }
-        _path, ckpt_sha = checkpointer.store.save(occasion, ckpt_state)
-        commit = {
-            "checkpoint": checkpointer.store.name_for(occasion),
-            "checkpoint_sha256": ckpt_sha,
-            "journal_segment": segment_path.name,
-            "journal_segment_sha256": segment_sha,
-            "next_seq": merged.next_seq,
-            "records": record_rows,
-            "pcaps": pcaps,
-            "sim_end": sim_end,
-        }
-        checkpointer.commit_occasion(occasion, commit)
+        with self.trace.span("occasion.commit", occasion=occasion):
+            _path, ckpt_sha = checkpointer.store.save(occasion, ckpt_state)
+            commit = {
+                "checkpoint": checkpointer.store.name_for(occasion),
+                "checkpoint_sha256": ckpt_sha,
+                "journal_segment": segment_path.name,
+                "journal_segment_sha256": segment_sha,
+                "next_seq": journal.next_seq,
+                "records": record_rows,
+                "pcaps": pcaps,
+                "sim_end": sim_end,
+            }
+            checkpointer.commit_occasion(occasion, commit)
         return checkpointer.state.committed[occasion]
 
     def _salvage_occasion(self, manifest: CampaignManifest,

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.checkpoint import sample_row, sha256_file
 
@@ -60,14 +60,23 @@ class _ShardSampleCollector:
 
 
 def shard_task(manifest, occasion: int, run_dir: Union[str, Path],
-               site: str, seeds: Dict[str, int]) -> Dict[str, Any]:
-    """Build the picklable work order for one shard."""
+               site: str, seeds: Dict[str, int],
+               trace: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build the picklable work order for one shard.
+
+    ``trace`` is the shard's serialized
+    :class:`~repro.obs.tracing.TraceContext` (site namespace + campaign
+    root span), minted by the parent so the shard's spans carry
+    globally unique ``"<site>/<n>"`` identities and hang off the
+    occasion's root in the merged trace tree.
+    """
     return {
         "manifest": manifest.to_dict(),
         "occasion": int(occasion),
         "run_dir": str(run_dir),
         "site": str(site),
         "seeds": dict(seeds),
+        "trace": dict(trace) if trace is not None else None,
     }
 
 
@@ -89,6 +98,7 @@ def run_shard(task: Dict[str, Any]) -> Dict[str, Any]:
     from repro.core.coordinator import Coordinator
     from repro.obs import Observability, scoped
     from repro.obs.ledger import attach_digests
+    from repro.obs.tracing import TraceContext
 
     manifest = CampaignManifest.from_dict(task["manifest"])
     occasion = int(task["occasion"])
@@ -115,6 +125,11 @@ def run_shard(task: Dict[str, Any]) -> Dict[str, Any]:
         window += 150.0
     collector = _ShardSampleCollector(run_dir, occasion)
     with scoped(Observability.create(sim=federation.sim)) as obs:
+        if task.get("trace") is not None:
+            # Namespace this shard's span ids ("<site>/<n>") and parent
+            # its top-level spans under the campaign root, so the
+            # merged journal forms one campaign-rooted trace tree.
+            obs.tracer.context = TraceContext.from_dict(task["trace"])
         coordinator = Coordinator(api, config, poller=poller,
                                   seed=seeds["coordinator"],
                                   checkpointer=collector)

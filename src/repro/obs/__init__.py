@@ -40,6 +40,7 @@ from typing import Iterator, Optional
 
 from repro.obs.clock import SimClock, WallClock
 from repro.obs.export import (
+    histogram_quantile,
     parse_metrics_jsonl,
     parse_prometheus,
     prometheus_name,
@@ -55,7 +56,22 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.tracing import NULL_SPAN, Span, Tracer, trace_tree
+from repro.obs.trace import (
+    TraceSpan,
+    TraceTree,
+    chrome_trace_json,
+    critical_path_summary,
+    to_chrome_trace,
+    to_folded_stacks,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    qualify_span_id,
+    trace_tree,
+)
 
 
 class Observability:
@@ -175,18 +191,27 @@ __all__ = [
     "RunJournal",
     "SimClock",
     "Span",
+    "TraceContext",
+    "TraceSpan",
+    "TraceTree",
     "Tracer",
     "WallClock",
+    "chrome_trace_json",
     "configure",
+    "critical_path_summary",
     "diff_journals",
     "get_obs",
+    "histogram_quantile",
     "jsonable",
     "parse_metrics_jsonl",
     "parse_prometheus",
     "prometheus_name",
+    "qualify_span_id",
     "registry_from_snapshot",
     "scoped",
     "set_obs",
+    "to_chrome_trace",
+    "to_folded_stacks",
     "to_metrics_jsonl",
     "to_prometheus",
     "trace_tree",

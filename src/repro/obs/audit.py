@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.obs.journal import RunJournal
+from repro.obs.trace import TraceTree
 from repro.obs.ledger import (
     CAUSES,
     STAGE_OF_CAUSE,
@@ -32,6 +33,10 @@ class AuditResult:
 
     ledgers: List[SampleLedger] = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
+    # Non-fatal findings: dangling spans (opened, never closed -- the
+    # crash / salvage-abort signature) and similar.  Warnings never
+    # flip `ok`; they flag runs worth a closer look.
+    warnings: List[str] = field(default_factory=list)
     scorecards: Dict[str, CongestionScorecard] = field(default_factory=dict)
     scorecard: CongestionScorecard = field(default_factory=CongestionScorecard)
     # Per-detector scorecards (snmp / sketch / inband) over rows that
@@ -166,6 +171,10 @@ class AuditResult:
             lines.append("")
             lines.append("Violations:")
             lines.extend(f"  {v}" for v in self.violations)
+        if self.warnings:
+            lines.append("")
+            lines.append("Warnings:")
+            lines.extend(f"  {w}" for w in self.warnings)
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -175,6 +184,7 @@ class AuditResult:
             "captured": self.captured,
             "ok": self.ok,
             "violations": list(self.violations),
+            "warnings": list(self.warnings),
             "waterfall": self.waterfall().to_dict(),
             "per_site": self.per_site().to_dict(),
             "scorecard": self.scorecard.to_dict(),
@@ -229,6 +239,10 @@ def audit_journal(journal: RunJournal) -> AuditResult:
     if any(row.detectors for row in result.ledgers):
         result.detector_scorecards = detector_scorecards_from_ledgers(
             result.ledgers)
+    for span in TraceTree.from_journal(journal).dangling():
+        result.warnings.append(
+            f"dangling span: {span.name} [{span.span_id}] @{span.site} "
+            f"opened t={span.opened_at} never closed")
     return result
 
 

@@ -11,11 +11,39 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles rendered for every histogram in the Prometheus export.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def histogram_quantile(hist: Histogram, q: float) -> Optional[float]:
+    """Estimate the q-quantile of a fixed-bucket histogram.
+
+    Linear interpolation within the containing bucket, exactly like
+    PromQL's ``histogram_quantile``: the first bucket interpolates from
+    zero, and a quantile landing in the ``+Inf`` bucket reports the
+    highest finite bound (the estimate cannot exceed what the buckets
+    resolve).  Returns ``None`` for an empty histogram.
+    """
+    if hist.count == 0 or not (0.0 <= q <= 1.0):
+        return None
+    target = q * hist.count
+    cumulative = 0
+    for i, bucket_count in enumerate(hist.bucket_counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= target and bucket_count > 0:
+            if i == len(hist.bounds):
+                return float(hist.bounds[-1])
+            lower = float(hist.bounds[i - 1]) if i > 0 else 0.0
+            upper = float(hist.bounds[i])
+            return lower + (upper - lower) * (target - previous) / bucket_count
+    return float(hist.bounds[-1])
 
 
 def prometheus_name(name: str) -> str:
@@ -46,6 +74,11 @@ def to_prometheus(registry: MetricsRegistry,
             lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{name}_sum {_fmt(inst.total)}")
             lines.append(f"{name}_count {inst.count}")
+            for q in QUANTILES:
+                value = histogram_quantile(inst, q)
+                if value is not None:
+                    lines.append(
+                        f'{name}{{quantile="{_fmt(q)}"}} {_fmt(value)}')
     return "\n".join(lines) + ("\n" if lines else "")
 
 

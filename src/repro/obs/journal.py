@@ -214,6 +214,37 @@ class RunJournal:
 
     # -- merging -------------------------------------------------------------
 
+    #: Event kinds carrying span identities that merge() must qualify.
+    SPAN_KINDS = ("span-open", "span-close")
+
+    @staticmethod
+    def _qualify_span_event(event: "JournalEvent",
+                            site: str) -> "JournalEvent":
+        """Namespace a span event's bare ids under the segment's site.
+
+        Each shard tracer numbers spans from 0, so two segments' span
+        ``0`` would collide after concatenation and cross-link their
+        trees.  Spans journaled under a
+        :class:`~repro.obs.tracing.TraceContext` are already qualified
+        (string ids) and pass through untouched -- this is the backstop
+        for un-namespaced segments, rebasing span ids on the way into
+        the merge exactly as ``seq`` is rebased.
+        """
+        if event.kind not in RunJournal.SPAN_KINDS:
+            return event
+        span = event.data.get("span")
+        parent = event.data.get("parent")
+        bare_span = isinstance(span, int) and not isinstance(span, bool)
+        bare_parent = isinstance(parent, int) and not isinstance(parent, bool)
+        if not bare_span and not bare_parent:
+            return event
+        data = dict(event.data)
+        if bare_span:
+            data["span"] = f"{site}/{span}"
+        if bare_parent:
+            data["parent"] = f"{site}/{parent}"
+        return replace(event, data=data)
+
     @classmethod
     def merge(cls, segments, start_seq: int = 0) -> "RunJournal":
         """Deterministically interleave per-site journal segments.
@@ -226,6 +257,9 @@ class RunJournal:
         label, and ties within a site on the original sequence number.
         The merged events are renumbered contiguously from
         ``start_seq``, exactly as a serial run would have numbered them.
+        Span identities are rebased the same way: a segment's bare
+        (process-local) span ids are qualified as ``"<site>/<n>"`` so no
+        two segments' spans collide in the merged trace tree.
 
         A segment read back with a torn tail (crash signature) is still
         merged, but the loss is surfaced in :attr:`merge_warnings` --
@@ -242,6 +276,7 @@ class RunJournal:
             for event in segment.events:
                 if event.t is not None:
                     last_t = event.t
+                event = cls._qualify_span_event(event, str(site))
                 keyed.append(((last_t, str(site), event.seq), event))
         keyed.sort(key=lambda pair: pair[0])
         merged.events = [

@@ -1,0 +1,455 @@
+"""Trace reconstruction: span trees, durations, and the critical path.
+
+:mod:`repro.obs.tracing` journals ``span-open`` / ``span-close`` events;
+this module turns any journal -- serial, sharded-and-merged, or a series
+of rotated campaign segments -- back into a coherent tree of
+:class:`TraceSpan` nodes and answers the questions the ROADMAP's scale
+items need answered: where does campaign time go, and which chain of
+spans bounds the run.
+
+Reconstruction rules (the parts that earn their keep):
+
+* **Qualified identities.**  Sharded journals carry ``"<site>/<n>"``
+  span ids (see :class:`~repro.obs.tracing.TraceContext`); serial
+  journals carry bare integers.  Both resolve here; a span's *site* is
+  its id's namespace prefix when qualified, its ``site`` attribute when
+  present, else inherited from its parent.
+* **Generations.**  Rotated segments restart the tracer's id counter,
+  so one campaign journal legitimately contains several opens of span
+  ``0``.  Every ``span-open`` starts a *new* node; a ``span-close``
+  matches the most recent still-open instance of its id.  Id reuse
+  never merges two distinct spans.
+* **Damage tolerance.**  A close without an open (truncated segment
+  head) is counted, not fatal; an open without a close (crash, torn
+  tail, salvage-abort) leaves a *dangling* span that :func:`repro
+  .obs.audit.audit_journal` surfaces as a warning.  A parent id with no
+  open event in the journal (a shard segment inspected standalone)
+  gets a synthetic placeholder root so its children still group.
+
+The *critical path* is defined in sim time: starting from the root
+whose subtree ends last, repeatedly descend into the child whose
+subtree ends last.  That chain is exactly the sequence of spans that
+bounds when the run finishes -- shortening any span off the path cannot
+move the end time.  Per-stage aggregates feed the existing
+:class:`~repro.obs.registry.MetricsRegistry` so the Prometheus/JSONL
+exporters and quantile rendering apply unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import SpanId
+
+#: Bucket bounds (seconds) for per-stage duration histograms: spans
+#: range from sub-millisecond port polls to multi-hour occasions.
+STAGE_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 300.0, 3600.0)
+
+
+@dataclass
+class TraceSpan:
+    """One reconstructed span (a node in the trace tree)."""
+
+    span_id: SpanId
+    name: str
+    site: str
+    attrs: Dict[str, Any]
+    opened_at: Optional[float]
+    seq: int
+    closed_at: Optional[float] = None
+    #: Wall-clock duration in seconds, present only when the source
+    #: journal was non-deterministic (``wall_s`` volatile payload).
+    wall_s: Optional[float] = None
+    closed: bool = False
+    #: True for placeholder nodes invented for parent ids that have no
+    #: open event in the journal (standalone shard segments).
+    synthetic: bool = False
+    parent: Optional["TraceSpan"] = field(default=None, repr=False)
+    children: List["TraceSpan"] = field(default_factory=list, repr=False)
+
+    @property
+    def dangling(self) -> bool:
+        """Opened but never closed (crash / salvage-abort signature)."""
+        return not self.closed and not self.synthetic
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        """Inclusive sim-time duration; None when either edge is missing."""
+        if self.opened_at is None or self.closed_at is None:
+            return None
+        return self.closed_at - self.opened_at
+
+    @property
+    def sim_self(self) -> Optional[float]:
+        """Exclusive sim time: inclusive minus children's inclusive.
+
+        Clamped at zero -- concurrent children (parallel instances under
+        one occasion) can legitimately overlap their parent's window.
+        """
+        total = self.sim_duration
+        if total is None:
+            return None
+        spent = sum(c.sim_duration or 0.0 for c in self.children)
+        return max(0.0, total - spent)
+
+    @property
+    def wall_self(self) -> Optional[float]:
+        if self.wall_s is None:
+            return None
+        spent = sum(c.wall_s or 0.0 for c in self.children)
+        return max(0.0, self.wall_s - spent)
+
+    def end_time(self) -> float:
+        """When this span's subtree ends: its close, or -- while dangling
+        -- the latest close among descendants, else its open."""
+        best = self.closed_at
+        if best is None:
+            best = self.opened_at if self.opened_at is not None else 0.0
+            for child in self.children:
+                best = max(best, child.end_time())
+        return best
+
+    def path(self) -> List["TraceSpan"]:
+        """Ancestors from the outermost real span down to this one."""
+        nodes: List[TraceSpan] = []
+        node: Optional[TraceSpan] = self
+        while node is not None and not node.synthetic:
+            nodes.append(node)
+            node = node.parent
+        return list(reversed(nodes))
+
+    def walk(self) -> Iterable["TraceSpan"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span": self.span_id,
+            "name": self.name,
+            "site": self.site,
+            "attrs": self.attrs,
+            "opened_at": self.opened_at,
+            "closed_at": self.closed_at,
+            "sim_duration": self.sim_duration,
+            "wall_s": self.wall_s,
+            "dangling": self.dangling,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class TraceTree:
+    """The reconstructed forest of spans from one or more journals."""
+
+    def __init__(self) -> None:
+        self.roots: List[TraceSpan] = []
+        self.spans: List[TraceSpan] = []  # open order, synthetics excluded
+        #: span-close events whose id had no still-open instance
+        #: (truncated segment head); counted, never fatal.
+        self.orphan_closes: int = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_journal(cls, journal) -> "TraceTree":
+        return cls.from_journals([journal])
+
+    @classmethod
+    def from_journals(cls, journals: Iterable[Any]) -> "TraceTree":
+        """Rebuild the tree from journal segments *in order*.
+
+        Pass rotated campaign segments in their sequence order: the
+        event stream is treated as one concatenated journal, which is
+        exactly what campaign resume guarantees the segments to be.
+        """
+        tree = cls()
+        placeholders: Dict[SpanId, TraceSpan] = {}
+        latest: Dict[SpanId, TraceSpan] = {}
+        instances: Dict[SpanId, List[TraceSpan]] = {}
+        seq = 0
+        for journal in journals:
+            for event in journal.events:
+                if event.kind == "span-open":
+                    tree._open(event, seq, placeholders, latest, instances)
+                    seq += 1
+                elif event.kind == "span-close":
+                    tree._close(event, instances)
+        return tree
+
+    def _open(self, event, seq: int, placeholders, latest, instances) -> None:
+        span_id = event.data["span"]
+        parent_id = event.data.get("parent")
+        attrs = dict(event.data.get("attrs", {}))
+        parent: Optional[TraceSpan] = None
+        if parent_id is not None:
+            parent = latest.get(parent_id)
+            if parent is None:
+                parent = placeholders.get(parent_id)
+            if parent is None:
+                # Parent opened outside this journal (e.g. a shard
+                # segment read standalone): group its children under a
+                # synthetic root rather than scattering them.
+                parent = TraceSpan(span_id=parent_id, name="<missing>",
+                                   site=_site_of(parent_id, {}, None),
+                                   attrs={}, opened_at=None, seq=-1,
+                                   synthetic=True)
+                placeholders[parent_id] = parent
+                self.roots.append(parent)
+        node = TraceSpan(span_id=span_id, name=event.data.get("name", ""),
+                         site=_site_of(span_id, attrs, parent),
+                         attrs=attrs, opened_at=event.t, seq=seq,
+                         parent=parent)
+        if parent is None:
+            self.roots.append(node)
+        else:
+            parent.children.append(node)
+        latest[span_id] = node
+        instances.setdefault(span_id, []).append(node)
+        self.spans.append(node)
+
+    def _close(self, event, instances) -> None:
+        span_id = event.data["span"]
+        node = None
+        for candidate in reversed(instances.get(span_id, [])):
+            if not candidate.closed:
+                node = candidate
+                break
+        if node is None:
+            self.orphan_closes += 1
+            return
+        node.closed = True
+        node.closed_at = event.t
+        node.attrs.update(event.data.get("attrs", {}))
+        wall = event.data.get("wall_s")
+        if wall is not None:
+            node.wall_s = float(wall)
+
+    # -- queries -------------------------------------------------------------
+
+    def dangling(self) -> List[TraceSpan]:
+        """Spans opened but never closed, in open order."""
+        return [s for s in self.spans if s.dangling]
+
+    def sites(self) -> List[str]:
+        return sorted({s.site for s in self.spans})
+
+    def critical_path(self) -> List[TraceSpan]:
+        """The chain of spans that bounds the run's end, in sim time.
+
+        Start from the root whose subtree ends last; at every level
+        descend into the child whose subtree ends last (ties break on
+        open time then journal order, so the path is deterministic).
+        Only spans *on* this chain can move the end of the run.
+        """
+        real_roots = [r for r in self.roots if not r.synthetic] + [
+            c for r in self.roots if r.synthetic for c in r.children]
+        if not real_roots:
+            return []
+        node = max(real_roots, key=_path_key)
+        path = [node]
+        while node.children:
+            node = max(node.children, key=_path_key)
+            path.append(node)
+        return path
+
+    def stage_stats(self) -> List[Dict[str, Any]]:
+        """Per-stage (span-name) aggregates, sorted by total sim time."""
+        stages: Dict[str, Dict[str, Any]] = {}
+        for span in self.spans:
+            row = stages.setdefault(span.name, {
+                "stage": span.name, "count": 0, "dangling": 0,
+                "sim_total": 0.0, "sim_self": 0.0,
+                "wall_total": 0.0, "wall_known": 0})
+            row["count"] += 1
+            if span.dangling:
+                row["dangling"] += 1
+            if span.sim_duration is not None:
+                row["sim_total"] += span.sim_duration
+                row["sim_self"] += span.sim_self or 0.0
+            if span.wall_s is not None:
+                row["wall_total"] += span.wall_s
+                row["wall_known"] += 1
+        return sorted(stages.values(),
+                      key=lambda r: (-r["sim_total"], r["stage"]))
+
+    def to_registry(self,
+                    registry: Optional[MetricsRegistry] = None
+                    ) -> MetricsRegistry:
+        """Aggregate per-stage latency histograms into a registry.
+
+        One sim-time histogram per span name plus a dangling-span
+        counter; wall-time histograms (volatile) only when the journal
+        carried wall durations.  Rendered by the existing Prometheus /
+        JSONL exporters, quantiles included.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        for span in self.spans:
+            if span.sim_duration is not None:
+                registry.histogram(
+                    f"trace.stage.{span.name}.sim_seconds",
+                    buckets=STAGE_BUCKETS,
+                    help=f"sim-time span durations for {span.name}",
+                ).observe(span.sim_duration)
+            if span.wall_s is not None:
+                registry.histogram(
+                    f"trace.stage.{span.name}.wall_seconds",
+                    buckets=STAGE_BUCKETS, volatile=True,
+                    help=f"wall-time span durations for {span.name}",
+                ).observe(span.wall_s)
+            if span.dangling:
+                registry.counter(
+                    "trace.spans.dangling",
+                    help="spans opened but never closed").inc()
+        return registry
+
+    def render(self, max_depth: Optional[int] = None) -> str:
+        """An indented text rendering of the forest."""
+        lines: List[str] = []
+        for root in self.roots:
+            self._render_node(root, 0, lines, max_depth)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def _render_node(self, node: TraceSpan, depth: int, lines: List[str],
+                     max_depth: Optional[int]) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        dur = node.sim_duration
+        label = f"{dur:.3f}s" if dur is not None else (
+            "synthetic" if node.synthetic else "DANGLING")
+        site = f" @{node.site}" if node.site else ""
+        lines.append(f"{'  ' * depth}{node.name}{site} "
+                     f"[{node.span_id}] {label}")
+        for child in node.children:
+            self._render_node(child, depth + 1, lines, max_depth)
+
+
+def _site_of(span_id: SpanId, attrs: Dict[str, Any],
+             parent: Optional[TraceSpan]) -> str:
+    """A span's site: explicit attr > qualified-id prefix > inherited."""
+    site = attrs.get("site")
+    if site:
+        return str(site)
+    if isinstance(span_id, str) and "/" in span_id:
+        return span_id.split("/", 1)[0]
+    if parent is not None and parent.site:
+        return parent.site
+    return "main"
+
+
+def _path_key(node: TraceSpan) -> Tuple[float, float, int]:
+    opened = node.opened_at if node.opened_at is not None else 0.0
+    return (node.end_time(), opened, node.seq)
+
+
+def critical_path_summary(path: List[TraceSpan]) -> Dict[str, Any]:
+    """Per-stage shares of the critical path (the benchmark's payload).
+
+    Each path span's *exclusive* sim time is attributed to its stage;
+    shares are fractions of the path root's inclusive duration.
+    """
+    if not path:
+        return {"total_sim": 0.0, "stages": {}}
+    total = path[0].sim_duration or 0.0
+    stages: Dict[str, float] = {}
+    for span in path:
+        exclusive = span.sim_self if span is not path[-1] \
+            else span.sim_duration
+        stages[span.name] = stages.get(span.name, 0.0) + (exclusive or 0.0)
+    shares = {name: (value / total if total else 0.0)
+              for name, value in sorted(stages.items())}
+    return {
+        "total_sim": total,
+        "stages": shares,
+        "path": [{"span": s.span_id, "name": s.name, "site": s.site,
+                  "sim_duration": s.sim_duration} for s in path],
+    }
+
+
+# -- exporters ----------------------------------------------------------------
+
+def to_chrome_trace(tree: TraceTree) -> Dict[str, Any]:
+    """Chrome Trace Event JSON (Perfetto-loadable): pid per site, tid
+    per instance.
+
+    Timestamps are sim time in microseconds, so the export is a pure
+    function of the (deterministic) journal: byte-identical at any
+    ``--shard-workers N``.  Dangling spans export with ``dur=0`` and a
+    ``dangling`` arg rather than an unmatched begin event.
+    """
+    sites = tree.sites()
+    pids = {site: i + 1 for i, site in enumerate(sites)}
+    threads: Dict[str, Dict[str, int]] = {site: {} for site in sites}
+
+    def tid_of(span: TraceSpan) -> Tuple[int, str]:
+        node: Optional[TraceSpan] = span
+        while node is not None:
+            instance = node.attrs.get("instance")
+            if instance is not None:
+                label = f"instance {instance}"
+                tids = threads[span.site]
+                if label not in tids:
+                    tids[label] = len(tids) + 1
+                return tids[label], label
+            node = node.parent
+        return 0, "main"
+
+    events: List[Dict[str, Any]] = []
+    span_events: List[Dict[str, Any]] = []
+    seen_threads = set()
+    for span in tree.spans:
+        pid = pids[span.site]
+        tid, label = tid_of(span)
+        seen_threads.add((span.site, tid, label))
+        opened = span.opened_at if span.opened_at is not None else 0.0
+        duration = span.sim_duration
+        args = dict(span.attrs)
+        if span.dangling:
+            args["dangling"] = True
+        span_events.append({
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "name": span.name,
+            "cat": span.site,
+            "ts": opened * 1e6,
+            "dur": (duration or 0.0) * 1e6,
+            "args": args,
+        })
+    for site in sites:
+        events.append({"ph": "M", "pid": pids[site], "tid": 0,
+                       "name": "process_name", "args": {"name": site}})
+    for site, tid, label in sorted(seen_threads):
+        events.append({"ph": "M", "pid": pids[site], "tid": tid,
+                       "name": "thread_name", "args": {"name": label}})
+    events.extend(span_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tree: TraceTree) -> str:
+    """Canonical serialization of :func:`to_chrome_trace` (stable bytes)."""
+    return json.dumps(to_chrome_trace(tree), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def to_folded_stacks(tree: TraceTree) -> str:
+    """Folded-stacks flamegraph lines: ``root;child;leaf <usec>``.
+
+    Values are each span's *exclusive* sim time in integer microseconds
+    (the flamegraph convention); zero-weight frames are dropped.  Lines
+    are sorted, so the export is deterministic.
+    """
+    weights: Dict[str, int] = {}
+    for span in tree.spans:
+        exclusive = span.sim_self
+        if exclusive is None:
+            continue
+        usec = int(round(exclusive * 1e6))
+        if usec <= 0:
+            continue
+        stack = ";".join(node.name for node in span.path())
+        weights[stack] = weights.get(stack, 0) + usec
+    return "".join(f"{stack} {value}\n"
+                   for stack, value in sorted(weights.items()))

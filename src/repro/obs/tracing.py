@@ -20,29 +20,87 @@ Two APIs, because the control plane is event-driven:
   default their parent to the innermost open lexical span but do not
   become the current span themselves -- concurrent instances would
   otherwise steal each other's children.
+
+Distributed identity: a span id is process-local (a counter from 0), so
+two shard workers' journals both contain a span ``0`` and naive
+concatenation cross-links their trees.  A :class:`TraceContext` --
+minted by the parent campaign runner and pickled into each shard task --
+namespaces every id the shard's tracer hands out as ``"<site>/<n>"`` and
+re-parents the shard's top-level spans under the campaign root span, so
+the merged journal reads as one coherent campaign-rooted trace tree.
+:meth:`repro.obs.journal.RunJournal.merge` applies the same
+qualification to un-namespaced segments as a backstop, exactly as it
+already rebases ``seq``.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+#: A span identity as journaled: a bare process-local counter (``int``)
+#: or a ``"<site>/<n>"`` string qualified by a :class:`TraceContext`.
+SpanId = Union[int, str]
+
+
+def qualify_span_id(site: str, span_id: SpanId) -> SpanId:
+    """Namespace a process-local span id under a site label.
+
+    Already-qualified (string) ids pass through unchanged, so the
+    operation is idempotent -- merging a merged journal is safe.
+    """
+    if isinstance(span_id, str):
+        return span_id
+    return f"{site}/{span_id}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Cross-process trace identity for one shard worker.
+
+    ``site`` namespaces every span id the shard's tracer mints
+    (``"<site>/<n>"``); ``root`` is the qualified id of the campaign
+    root span the shard's top-level spans parent under.  Frozen and
+    picklable: the parent builds it, the shard task carries it.
+    """
+
+    site: str
+    root: Optional[SpanId] = None
+
+    def qualify(self, span_id: int) -> str:
+        return f"{self.site}/{span_id}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"site": self.site, "root": self.root}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceContext":
+        return cls(site=str(data["site"]), root=data.get("root"))
 
 
 class Span:
     """One open (or closed) trace region."""
 
     __slots__ = ("span_id", "name", "parent_id", "attrs", "opened_at",
-                 "closed_at", "_tracer")
+                 "closed_at", "opened_wall", "_tracer")
 
-    def __init__(self, span_id: int, name: str, parent_id: Optional[int],
+    def __init__(self, span_id: SpanId, name: str,
+                 parent_id: Optional[SpanId],
                  attrs: Dict[str, Any], opened_at: Optional[float],
-                 tracer: "Optional[Tracer]"):
+                 tracer: "Optional[Tracer]",
+                 opened_wall: Optional[float] = None):
         self.span_id = span_id
         self.name = name
         self.parent_id = parent_id
         self.attrs = attrs
         self.opened_at = opened_at
         self.closed_at: Optional[float] = None
+        # Wall-clock open reading (perf_counter); only taken when the
+        # journal keeps volatile values, so deterministic runs pay one
+        # attribute check and journal nothing wall-derived.
+        self.opened_wall = opened_wall
         self._tracer = tracer
 
     @property
@@ -72,6 +130,7 @@ class _NullSpan:
     attrs: Dict[str, Any] = {}
     opened_at = None
     closed_at = None
+    opened_wall = None
     open = False
 
     def end(self, **attrs: Any) -> None:
@@ -84,10 +143,14 @@ NULL_SPAN = _NullSpan()
 class Tracer:
     """Creates spans and journals their open/close events."""
 
-    def __init__(self, journal, clock, enabled: bool = True):
+    def __init__(self, journal, clock, enabled: bool = True,
+                 context: Optional[TraceContext] = None):
         self.journal = journal
         self.clock = clock
         self.enabled = enabled
+        # Cross-process identity (shard workers): namespaces span ids
+        # and re-parents top-level spans under the campaign root.
+        self.context = context
         self._next_id = 0
         self._stack: List[Span] = []  # innermost lexical span last
 
@@ -108,15 +171,27 @@ class Tracer:
             return NULL_SPAN
         if parent is None:
             parent = self.current
-        parent_id = parent.span_id if parent is not None and \
-            parent.span_id >= 0 else None
-        span_id = self._next_id
+        parent_id: Optional[SpanId] = None
+        if parent is not None and parent.span_id != NULL_SPAN.span_id:
+            parent_id = parent.span_id
+        elif self.context is not None:
+            # Shard top-level spans hang off the campaign root so the
+            # merged journal forms one campaign-rooted tree.
+            parent_id = self.context.root
+        span_id: SpanId = self._next_id
         self._next_id += 1
+        if self.context is not None:
+            span_id = self.context.qualify(span_id)
         opened_at = self._now()
-        span = Span(span_id, name, parent_id, dict(attrs), opened_at, self)
+        opened_wall = None
+        if not self.journal.deterministic:
+            # reprolint: disable=RL001 -- wall duration; journaled volatile-only
+            opened_wall = time.perf_counter()
+        span_attrs = dict(attrs)
         self.journal.emit("span-open", t=opened_at, span=span_id,
-                          parent=parent_id, name=name, attrs=span.attrs)
-        return span
+                          parent=parent_id, name=name, attrs=span_attrs)
+        return Span(span_id, name, parent_id, span_attrs, opened_at, self,
+                    opened_wall=opened_wall)
 
     @contextmanager
     def span(self, name: str, parent: Optional[Span] = None, **attrs: Any):
@@ -144,13 +219,23 @@ class Tracer:
     def _close(self, span: Span, attrs: Dict[str, Any]) -> None:
         span.attrs.update(attrs)
         span.closed_at = self._now()
+        volatile = None
+        if span.opened_wall is not None:
+            # reprolint: disable=RL001 -- wall duration; journaled volatile-only
+            volatile = {"wall_s": time.perf_counter() - span.opened_wall}
         self.journal.emit("span-close", t=span.closed_at, span=span.span_id,
-                          name=span.name, attrs=attrs or {})
+                          name=span.name, attrs=attrs or {},
+                          volatile=volatile)
 
 
-def trace_tree(journal) -> Dict[Optional[int], List[Dict[str, Any]]]:
-    """Rebuild the span tree from a journal: parent id -> child spans."""
-    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+def trace_tree(journal) -> Dict[Optional[SpanId], List[Dict[str, Any]]]:
+    """Rebuild the span tree from a journal: parent id -> child spans.
+
+    A flat adjacency view kept for quick interactive inspection; the
+    full reconstruction (durations, critical path, dangling spans,
+    rotated-segment id reuse) lives in :mod:`repro.obs.trace`.
+    """
+    children: Dict[Optional[SpanId], List[Dict[str, Any]]] = {}
     closes = {e.data["span"]: e for e in journal.of_kind("span-close")}
     for event in journal.of_kind("span-open"):
         span_id = event.data["span"]

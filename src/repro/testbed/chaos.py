@@ -217,6 +217,21 @@ def run_trial(manifest: CampaignManifest, trial_dir: Union[str, Path],
         if not salvage and sorted(keys) != reference["sample_keys"]:
             oracles.append("samples: sample set differs from the "
                            "uninterrupted run")
+        if not salvage:
+            # A clean (strict) resume re-runs any interrupted occasion
+            # from scratch, so the final journal must contain no span
+            # that was opened but never closed -- dangling spans are
+            # the signature of adopted partial work.
+            from repro.obs.journal import RunJournal
+            from repro.obs.trace import TraceTree
+
+            tree = TraceTree.from_journal(RunJournal.read(journal_path))
+            dangling = tree.dangling()
+            if dangling:
+                oracles.append(
+                    f"spans: {len(dangling)} dangling span(s) after clean "
+                    f"resume (first: {dangling[0].name} "
+                    f"[{dangling[0].span_id}])")
     return {
         "crash_at": crash_at,
         "crashed": crashed,

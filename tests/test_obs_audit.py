@@ -238,3 +238,40 @@ class TestAuditCli:
         path = journal.write(tmp_path / "bare.jsonl")
         assert main(["audit", str(path)]) == 2
         assert "no ledger events" in capsys.readouterr().err
+
+
+class TestDanglingSpanWarnings:
+    def test_clean_run_has_no_warnings(self, audited_run):
+        obs, _, _ = audited_run
+        result = audit_journal(obs.journal)
+        assert result.warnings == []
+        assert "Warnings" not in result.render()
+
+    def test_never_closed_span_surfaces_as_warning(self, audited_run):
+        obs, _, _ = audited_run
+        doctored = RunJournal()
+        for event in obs.journal:
+            doctored.emit(event.kind, t=event.t, **event.data)
+        doctored.emit("span-open", t=7.0, span="STAR/99", parent=None,
+                      name="capture.session", attrs={"site": "STAR"})
+        result = audit_journal(doctored)
+        warning, = [w for w in result.warnings if "dangling span" in w]
+        assert "capture.session" in warning
+        assert "STAR" in warning
+        # Warnings are advisory: conservation still holds, so the
+        # audit's verdict must not flip.
+        assert result.ok
+        assert "Warnings:" in result.render()
+        assert result.to_dict()["warnings"] == result.warnings
+
+    def test_cli_renders_warning_but_exits_zero(self, audited_run,
+                                                tmp_path, capsys):
+        obs, _, _ = audited_run
+        doctored = RunJournal()
+        for event in obs.journal:
+            doctored.emit(event.kind, t=event.t, **event.data)
+        doctored.emit("span-open", t=7.0, span="STAR/99", parent=None,
+                      name="capture.session", attrs={"site": "STAR"})
+        path = doctored.write(tmp_path / "dangling.jsonl")
+        assert main(["audit", str(path)]) == 0
+        assert "dangling span" in capsys.readouterr().out

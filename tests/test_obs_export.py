@@ -9,6 +9,7 @@ from repro.obs import (
     to_metrics_jsonl,
     to_prometheus,
 )
+from repro.obs.export import histogram_quantile
 
 
 def make_registry():
@@ -56,6 +57,53 @@ class TestPrometheus:
         registry.counter("stable").inc()
         text = to_prometheus(registry, include_volatile=False)
         assert "stable" in text and "wall_seconds" not in text
+
+
+class TestHistogramQuantiles:
+    def hist(self, values, buckets=(30.0, 60.0)):
+        h = MetricsRegistry().histogram("h", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_interpolates_within_bucket(self):
+        # (10, 45, 99) -> one observation per bucket; the median target
+        # of 1.5 lands halfway into the (30, 60] bucket.
+        assert histogram_quantile(self.hist((10.0, 45.0, 99.0)), 0.5) == 45.0
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert histogram_quantile(self.hist((10.0, 20.0)), 0.5) == 15.0
+
+    def test_overflow_bucket_reports_highest_finite_bound(self):
+        # PromQL's convention: the estimate cannot exceed what the
+        # buckets resolve.
+        assert histogram_quantile(self.hist((99.0, 99.0)), 0.99) == 60.0
+
+    def test_empty_and_out_of_range(self):
+        assert histogram_quantile(self.hist(()), 0.5) is None
+        assert histogram_quantile(self.hist((10.0,)), 1.5) is None
+        assert histogram_quantile(self.hist((10.0,)), -0.1) is None
+
+    def test_rendered_after_count_line(self):
+        lines = to_prometheus(make_registry()).splitlines()
+        count = lines.index("allocator_latency_seconds_count 3")
+        assert lines[count + 1:count + 4] == [
+            'allocator_latency_seconds{quantile="0.5"} 45',
+            'allocator_latency_seconds{quantile="0.95"} 60',
+            'allocator_latency_seconds{quantile="0.99"} 60',
+        ]
+
+    def test_quantiles_survive_snapshot_round_trip(self):
+        # Quantiles are derived at render time, so rebuilding from a
+        # snapshot must reproduce them exactly (no state was lost).
+        registry = make_registry()
+        rebuilt = registry_from_snapshot(registry.snapshot())
+        wanted = [line for line in to_prometheus(registry).splitlines()
+                  if "quantile=" in line]
+        assert wanted
+        got = [line for line in to_prometheus(rebuilt).splitlines()
+               if "quantile=" in line]
+        assert got == wanted
 
 
 class TestMetricsJsonl:
