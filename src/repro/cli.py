@@ -260,6 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also print pragma-suppressed violations")
     lint.add_argument("--list-rules", action="store_true",
                       help="describe every rule and exit")
+    lint.add_argument("--sarif", action="store_true",
+                      help="emit a SARIF 2.1.0 log (GitHub code scanning)")
+    lint.add_argument("--graph", type=Path, default=None, metavar="PATH",
+                      help="write the project index (call graph + event "
+                           "registry) as JSON")
+    lint.add_argument("--events-md", type=Path, default=None, metavar="PATH",
+                      help="regenerate the journal event registry "
+                           "(EVENTS.md) from the tree")
+    lint.add_argument("--check-events", type=Path, default=None,
+                      metavar="PATH",
+                      help="fail (exit 1) if the committed event registry "
+                           "is stale vs. the tree")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="ignore and do not write the project-index "
+                           "fact cache")
     return parser
 
 
@@ -828,9 +843,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.devtools.lint import (apply_overrides, load_config,
+    from repro.devtools.lint import (apply_overrides, events_md_stale,
+                                     load_config, render_events_md,
                                      render_json, render_rule_list,
-                                     render_text, run_lint)
+                                     render_sarif, render_text, run_lint)
 
     if args.list_rules:
         print(render_rule_list())
@@ -842,6 +858,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     config = load_config(explicit=args.config)
     apply_overrides(config, select=tuple(args.select),
                     ignore=tuple(args.ignore))
+    if args.no_cache:
+        config.use_cache = False
     unknown = [r for r in config.select + config.ignore
                if r.upper() not in _known_rules()]
     if unknown:
@@ -849,18 +867,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               f"(see `repro lint --list-rules`)", file=sys.stderr)
         return 2
     result = run_lint(paths=args.paths or None, config=config)
-    if args.json:
+    observe_only = _observe_only_kinds(config)
+    if args.graph is not None and result.index is not None:
+        args.graph.parent.mkdir(parents=True, exist_ok=True)
+        args.graph.write_text(
+            json.dumps(result.index.to_graph_dict(), indent=2,
+                       sort_keys=True) + "\n", encoding="utf-8")
+    if args.events_md is not None and result.index is not None:
+        args.events_md.parent.mkdir(parents=True, exist_ok=True)
+        args.events_md.write_text(
+            render_events_md(result.index, observe_only), encoding="utf-8")
+        print(f"wrote event registry to {args.events_md}")
+    if args.check_events is not None and result.index is not None:
+        if events_md_stale(result.index, observe_only, args.check_events):
+            print(f"error: {args.check_events} is stale vs. the source "
+                  f"tree; regenerate with `repro lint --events-md "
+                  f"{args.check_events}`", file=sys.stderr)
+            return 1
+    if args.sarif:
+        print(json.dumps(render_sarif(result), indent=2, sort_keys=True))
+    elif args.json:
         print(render_json(result))
-    else:
+    elif args.events_md is None:
         print(render_text(result, show_suppressed=args.show_suppressed))
     if result.errors:
         return 2
     return 0 if not result.violations else 1
 
 
+def _observe_only_kinds(config) -> List[str]:
+    declared = config.options_for("RL009").get("observe_only", [])
+    if isinstance(declared, str):
+        declared = [declared]
+    return [str(kind) for kind in declared]
+
+
 def _known_rules() -> List[str]:
-    from repro.devtools.lint import RULES
-    return list(RULES)
+    from repro.devtools.lint import PROJECT_RULES, RULES
+    return list(RULES) + list(PROJECT_RULES)
 
 
 if __name__ == "__main__":  # pragma: no cover

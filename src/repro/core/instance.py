@@ -44,6 +44,7 @@ from repro.core.status import RunOutcome
 from repro.core.watchdog import Watchdog
 from repro.obs import get_obs
 from repro.obs.ledger import LedgerRecorder, SampleLedger
+from repro.util.rng import derive_rng
 from repro.telemetry.mflib import MFlib
 from repro.telemetry.query import (
     EGRESS_LOAD_QUERY,
@@ -142,7 +143,8 @@ class PatchworkInstance:
         self.config = config
         self.site = site
         self.poller = poller
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None \
+            else derive_rng(0, "instance/default")
         self.crash_probability = crash_probability
         self.on_done = on_done
         # Sample-level progress hook (the durable campaign layer's WAL

@@ -311,9 +311,12 @@ class ResilientAPI:
                 continue
             breaker.record_success()
             if was_open:
-                # A successful half-open probe: the breaker closed.
+                # A successful half-open probe: the breaker closed.  The
+                # failure streak is over, so `failures` resets to 0 --
+                # keeping one {site, state, label, failures} schema for
+                # every `breaker` event (RL009).
                 self._journal.emit("breaker", t=self._api.now, site=site,
-                                   state="closed", label=label)
+                                   state="closed", label=label, failures=0)
             if attempt > 0:
                 self._note("info", f"{label} succeeded after retries",
                            site=site, attempts=attempt + 1)

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.logs import InstanceLog
 from repro.netsim.engine import Event, Simulator
 from repro.obs import get_obs
+from repro.util.rng import derive_rng
 
 
 class Watchdog:
@@ -50,7 +51,7 @@ class Watchdog:
         self.on_abort = on_abort
         self.interval = interval
         self.crash_probability = crash_probability_per_check
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None else derive_rng(0, "watchdog/default")
         self.liveness_fn = liveness_fn
         self.checks = 0
         self.trips = 0
@@ -84,13 +85,15 @@ class Watchdog:
         if self._event is None:
             self._event = self.sim.schedule(self.interval, self._check)
 
-    def _trip(self, reason: str) -> None:
+    def _trip(self, reason: str, used: float) -> None:
         self.tripped = True
         self.trips += 1
         self._m_trips.inc()
+        # One schema per kind (RL009): trip and healthy checks share the
+        # {site, instance, verdict, reason, used} key set.
         self._journal.emit("watchdog", t=self.sim.now, site=self.log.site,
                            instance=self.log.instance, verdict="trip",
-                           reason=reason)
+                           reason=reason, used=int(used))
         self.on_abort(reason)
 
     def _check(self) -> None:
@@ -104,21 +107,21 @@ class Watchdog:
             self.log.error(self.sim.now, "watchdog",
                            "instance storage exhausted",
                            used=int(used), quota=int(self.disk_quota_bytes))
-            self._trip("storage exhausted")
+            self._trip("storage exhausted", used)
             return
         if self.liveness_fn is not None:
             dead = self.liveness_fn()
             if dead is not None:
                 self.log.error(self.sim.now, "watchdog", dead)
-                self._trip(dead)
+                self._trip(dead, used)
                 return
         if self.crash_probability > 0 and self.rng.random() < self.crash_probability:
             self.log.error(self.sim.now, "watchdog", "instance crashed")
-            self._trip("instance crashed")
+            self._trip("instance crashed", used)
             return
         self._journal.emit("watchdog", t=self.sim.now, site=self.log.site,
                            instance=self.log.instance, verdict="healthy",
-                           used=int(used))
+                           reason=None, used=int(used))
         self.log.info(self.sim.now, "watchdog", "healthy",
                       used=int(used), quota=int(self.disk_quota_bytes))
         self._event = self.sim.schedule(self.interval, self._check)

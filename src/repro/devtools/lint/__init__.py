@@ -10,11 +10,17 @@ reproduction actually lives or dies by:
 * **ledger hygiene** -- every dropped frame carries a cause from the
   central taxonomy (the frame-conservation ledger, PR 4).
 
-reprolint enforces them statically with seven AST rules (RL001-RL007;
-``repro lint --list-rules``), a line/file pragma escape hatch
-(``# reprolint: disable=RLxxx -- reason``), and per-rule configuration
-in ``[tool.reprolint]``.  See DESIGN.md section 9 for the invariant
-catalogue and the incidents each rule is distilled from.
+reprolint enforces them statically in two phases: per-file AST rules
+(RL000-RL008) over each module, then whole-program rules (RL009-RL012:
+journal event-schema contracts, process-boundary picklability,
+parent-only durability, seed-provenance taint) over a cached project
+index (``lint/project.py``) of symbols, call edges, and propagated
+string constants.  A line/file pragma escape hatch
+(``# reprolint: disable=RLxxx -- reason``; reasons are mandatory,
+RL000) and per-rule configuration in ``[tool.reprolint]`` complete the
+surface.  See DESIGN.md sections 9 and 14 for the invariant catalogue
+and the incidents each rule is distilled from, and ``EVENTS.md`` for
+the generated journal event registry.
 """
 
 from __future__ import annotations
@@ -22,13 +28,20 @@ from __future__ import annotations
 from repro.devtools.lint.config import (LintConfig, apply_overrides,
                                         load_config)
 from repro.devtools.lint.engine import LintResult, run_lint
+from repro.devtools.lint.events import (event_registry, events_md_stale,
+                                        render_events_md)
+from repro.devtools.lint.project import ProjectIndex
 from repro.devtools.lint.report import (render_json, render_rule_list,
                                         render_text)
-from repro.devtools.lint.rules import RULES, Rule, register
+from repro.devtools.lint.rules import (PROJECT_RULES, RULES, ProjectRule,
+                                       Rule, register, register_project)
+from repro.devtools.lint.sarif import render_sarif
 from repro.devtools.lint.violations import PARSE_ERROR, Violation
 
 __all__ = [
-    "LintConfig", "LintResult", "PARSE_ERROR", "RULES", "Rule", "Violation",
-    "apply_overrides", "load_config", "register", "render_json",
-    "render_rule_list", "render_text", "run_lint",
+    "LintConfig", "LintResult", "PARSE_ERROR", "PROJECT_RULES",
+    "ProjectIndex", "ProjectRule", "RULES", "Rule", "Violation",
+    "apply_overrides", "event_registry", "events_md_stale", "load_config",
+    "register", "register_project", "render_events_md", "render_json",
+    "render_rule_list", "render_sarif", "render_text", "run_lint",
 ]

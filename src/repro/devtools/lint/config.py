@@ -32,6 +32,11 @@ class LintConfig:
     select: List[str] = field(default_factory=list)
     ignore: List[str] = field(default_factory=list)
     rule_options: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Per-file fact cache for the project index (content-hash keyed).
+    #: Relative paths resolve against ``root``; ``use_cache=False``
+    #: (CLI ``--no-cache``) forces cold extraction.
+    cache_path: str = ".reprolint-cache.json"
+    use_cache: bool = True
 
     def options_for(self, rule_id: str) -> Dict[str, object]:
         return self.rule_options.get(rule_id, {})
@@ -40,6 +45,12 @@ class LintConfig:
         if self.select and rule_id not in self.select:
             return False
         return rule_id not in self.ignore
+
+    def resolved_cache_path(self) -> Optional[Path]:
+        if not self.use_cache or not self.cache_path:
+            return None
+        path = Path(self.cache_path)
+        return path if path.is_absolute() else self.root / path
 
 
 def _read_pyproject(path: Path) -> Optional[Dict[str, object]]:
@@ -99,6 +110,9 @@ def load_config(explicit: Optional[Path] = None,
     paths = _str_list(section.get("paths"))
     if paths:
         config.paths = paths
+    cache_path = section.get("cache_path")
+    if isinstance(cache_path, str):
+        config.cache_path = cache_path
     return config
 
 

@@ -13,7 +13,7 @@ import ast
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.devtools.lint.pragmas import parse_pragmas
+from repro.devtools.lint.pragmas import parse_pragma_sites, parse_pragmas
 
 
 class FileContext:
@@ -27,6 +27,7 @@ class FileContext:
         self.lines: List[str] = source.splitlines()
         self.tree = tree
         self.line_pragmas, self.file_pragmas = parse_pragmas(source)
+        self.pragma_sites = parse_pragma_sites(source)
         self.imports: Dict[str, str] = _import_table(tree)
 
     # -- source access ---------------------------------------------------

@@ -1,0 +1,127 @@
+"""The journal event registry: the machine-checked schema contract.
+
+Built from the :class:`~repro.devtools.lint.project.ProjectIndex`, the
+registry pairs every ``journal.emit(kind, ...)`` site in the tree with
+every consumer match (``of_kind("k")``, ``event.kind == "k"``,
+``event.kind in KINDS``).  It is the single source of truth behind three
+surfaces:
+
+* **RL009** flags contract breaks (typos, orphan consumers, key drift);
+* ``repro lint --graph`` embeds the registry in its JSON dump;
+* ``EVENTS.md`` is the rendered, committed form -- CI regenerates it and
+  fails on drift, so the documented schema can never trail the code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List
+
+_HEADER = """\
+# Journal event registry
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with:  repro lint --events-md EVENTS.md
+     CI fails if this file is stale vs. the source tree. -->
+
+Every event kind written to the canonical `RunJournal`, extracted from
+the source tree by reprolint's whole-program index (RL009 enforces the
+contract).  `keys` is the union of data keys over all emit sites of the
+kind; *open* marks sites that splat a dynamic mapping (`**row`), whose
+keys the static pass cannot enumerate.  `observe-only` kinds are
+emitted for humans and dashboards and have no in-tree consumer by
+design (declared in `[tool.reprolint.rules.RL009] observe_only`).
+"""
+
+
+def event_registry(index) -> List[Dict[str, Any]]:
+    """One record per event kind, sorted by kind name."""
+    kinds: Dict[str, Dict[str, Any]] = {}
+
+    def entry(kind: str) -> Dict[str, Any]:
+        return kinds.setdefault(kind, {
+            "kind": kind,
+            "emit_sites": [],
+            "consumers": [],
+            "keys": [],
+            "open": False,
+        })
+
+    for emit in index.emits():
+        kind = emit["kind"]
+        if kind is None:
+            continue
+        record = entry(kind)
+        record["emit_sites"].append({
+            "path": emit["path"],
+            "line": emit["line"],
+            "keys": emit["keys"],
+            "open": emit["open"],
+            "func": emit.get("func"),
+        })
+        record["keys"] = sorted(set(record["keys"]) | set(emit["keys"]))
+        record["open"] = record["open"] or emit["open"]
+    for consume in index.consumes():
+        record = entry(consume["kind"])
+        record["consumers"].append({
+            "path": consume["path"],
+            "line": consume["line"],
+            "via": consume["via"],
+        })
+    out = []
+    for kind in sorted(kinds):
+        record = kinds[kind]
+        record["emit_sites"].sort(key=lambda s: (s["path"], s["line"]))
+        record["consumers"].sort(key=lambda s: (s["path"], s["line"]))
+        out.append(record)
+    return out
+
+
+def render_events_md(index, observe_only: List[str]) -> str:
+    """The committed, human-readable form of the registry."""
+    observe = set(observe_only)
+    lines = [_HEADER]
+    registry = event_registry(index)
+    emitted = [r for r in registry if r["emit_sites"]]
+    lines.append(f"{len(emitted)} event kinds.\n")
+    lines.append("| kind | keys | emit sites | consumers | status |")
+    lines.append("|------|------|-----------|-----------|--------|")
+    for record in emitted:
+        kind = record["kind"]
+        keys = ", ".join(f"`{k}`" for k in record["keys"]) or "—"
+        if record["open"]:
+            keys += " *(+open)*"
+        emits = "<br>".join(f"`{s['path']}:{s['line']}`"
+                            for s in record["emit_sites"])
+        consumers = "<br>".join(
+            f"`{s['path']}:{s['line']}` ({s['via']})"
+            for s in record["consumers"]) or "—"
+        if record["consumers"]:
+            status = "consumed"
+        elif kind in observe:
+            status = "observe-only"
+        else:
+            status = "**unconsumed**"
+        lines.append(f"| `{kind}` | {keys} | {emits} | {consumers} "
+                     f"| {status} |")
+    orphans = [r for r in registry
+               if r["consumers"] and not r["emit_sites"]]
+    if orphans:
+        lines.append("\n## Consumed but never emitted\n")
+        for record in orphans:
+            sites = ", ".join(f"`{s['path']}:{s['line']}`"
+                              for s in record["consumers"])
+            lines.append(f"- `{record['kind']}` — {sites}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def events_md_stale(index, observe_only: List[str],
+                    path: Path) -> bool:
+    """True when the committed EVENTS.md no longer matches the tree."""
+    expected = render_events_md(index, observe_only)
+    try:
+        current = path.read_text(encoding="utf-8")
+    except OSError:
+        return True
+    return current != expected

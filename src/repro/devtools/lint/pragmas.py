@@ -10,11 +10,12 @@ Two scopes:
 * **file** -- a pragma comment on a line of its own, using
   ``disable-file=``, suppresses the named rules for the whole module::
 
-      # reprolint: disable-file=RL006
+      # reprolint: disable-file=RL006 -- fixture exercises broad excepts
 
 Rule lists are comma-separated; ``all`` names every rule.  Anything
-after ``--`` is a human-readable justification and is ignored by the
-parser (but encouraged: a pragma with no reason invites cargo-culting).
+after ``--`` is the human-readable justification.  Reasons are
+**mandatory**: RL000 (pragma hygiene) reports every pragma whose reason
+is missing or empty, so a suppression can never land without saying why.
 """
 
 from __future__ import annotations
@@ -22,28 +23,42 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 _PRAGMA = re.compile(
     r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
-    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?:\s*--.*)?$"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?:\s*--\s*(?P<reason>.*))?$"
 )
+
+
+@dataclass(frozen=True)
+class PragmaSite:
+    """One pragma comment: where it sits, what it silences, and why."""
+
+    line: int
+    scope: str  # "disable" | "disable-file"
+    rules: Tuple[str, ...]
+    reason: Optional[str]  # None = no `--` clause at all
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason and self.reason.strip())
 
 
 def _rule_set(raw: str) -> Set[str]:
     return {part.strip().upper() for part in raw.split(",") if part.strip()}
 
 
-def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """Extract (line -> rules, file-wide rules) from a module's source.
+def parse_pragma_sites(source: str) -> List[PragmaSite]:
+    """Every pragma comment in a module, in line order.
 
     Uses the tokenizer rather than a line regex so pragma-looking text
     inside string literals (e.g. this linter's own tests) is ignored.
-    Tokenization errors fall back to empty maps -- the engine reports
+    Tokenization errors fall back to an empty list -- the engine reports
     the syntax error separately.
     """
-    by_line: Dict[int, Set[str]] = {}
-    file_wide: Set[str] = set()
+    sites: List[PragmaSite] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
@@ -52,13 +67,26 @@ def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
             match = _PRAGMA.search(token.string)
             if not match:
                 continue
-            rules = _rule_set(match.group("rules"))
-            if match.group("scope") == "disable-file":
-                file_wide |= rules
-            else:
-                by_line.setdefault(token.start[0], set()).update(rules)
+            sites.append(PragmaSite(
+                line=token.start[0],
+                scope=match.group("scope"),
+                rules=tuple(sorted(_rule_set(match.group("rules")))),
+                reason=match.group("reason"),
+            ))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return {}, set()
+        return []
+    return sites
+
+
+def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract (line -> rules, file-wide rules) from a module's source."""
+    by_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for site in parse_pragma_sites(source):
+        if site.scope == "disable-file":
+            file_wide |= set(site.rules)
+        else:
+            by_line.setdefault(site.line, set()).update(site.rules)
     return by_line, file_wide
 
 

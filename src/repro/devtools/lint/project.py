@@ -1,0 +1,964 @@
+"""Phase 1 of two-phase lint: the whole-program project index.
+
+Per-file AST rules (RL001--RL008) are blind at the seams between
+modules and processes -- a journal ``emit("sheduled", ...)`` typo, a
+shard task closing over a live simulator, a WAL append sneaking into
+worker-reachable code.  The project index is the shared substrate the
+interprocedural rules (RL009--RL012) run against:
+
+* **module resolution** -- repo-relative path -> dotted module name;
+* **symbol table** -- every module-level function, class, and method;
+* **call graph** -- caller -> resolved callee edges, with method calls
+  resolved through ``self`` and constructor-typed local receivers;
+* **string-constant propagation** -- module/class-level string and
+  tuple-of-string constants plus parameter defaults, so an event kind
+  passed as a name (``snapshot_to_journal``'s ``kind="metrics"``) or a
+  membership test against ``RunJournal.SPAN_KINDS`` still resolves;
+* **journal schema facts** -- every ``journal.emit(kind, ...)`` site
+  with its keyword-key set, and every consumer match
+  (``of_kind("k")`` / ``event.kind == "k"`` / ``kind in CONSTANT``);
+* **process-boundary facts** -- every ``ProcessPoolExecutor``
+  submit/map and ``iter_shard_results`` call with a function-local
+  taint report over its arguments;
+* **durability facts** -- every raw ``os.replace``/``os.fsync`` and
+  ``CampaignLog``/``CheckpointStore`` construction, attributed to its
+  enclosing function.
+
+Facts are plain JSON-serializable dicts, extracted once per file and
+**cached on the file's content hash** (``.reprolint-cache.json`` by
+default) so repeated lint runs only re-extract edited files.  The
+extraction is a pure function of one file's source, which is what makes
+the cache sound: same bytes, same facts.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.lint.context import FileContext, names_in
+
+#: Bump when the fact schema changes: stale cache entries are discarded
+#: wholesale rather than misread.
+FACTS_VERSION = 1
+
+#: Constructors whose results are not picklable-by-construction and so
+#: must never flow into a process-boundary call (matched on the last
+#: one or two segments of the resolved call name).
+UNPICKLABLE_CTORS = frozenset({
+    "open", "tarfile.open", "socket.socket", "io.StringIO", "io.BytesIO",
+    "RunJournal", "RunJournal.read", "Observability.create", "Tracer",
+    "get_obs", "configure", "CampaignLog", "CheckpointStore",
+    "ProcessPoolExecutor", "ThreadPoolExecutor", "Simulator",
+    "quickstart_federation", "FederationBuilder",
+})
+
+#: Calls that produce live RNG *objects* (vs seeds).  Used by RL012's
+#: boundary check: generators must not cross process boundaries.
+RNG_PRODUCERS = frozenset({
+    "default_rng", "derive_rng", "Generator", "PCG64", "PCG64DXSM",
+    "Random", "rng",
+})
+
+#: Bare RNG constructors whose seed argument needs provenance (RL012).
+RNG_CTORS = frozenset({
+    "numpy.random.default_rng", "numpy.random.Generator",
+    "numpy.random.PCG64", "numpy.random.PCG64DXSM",
+    "numpy.random.SeedSequence", "random.Random",
+})
+
+#: Hash-of-string derivations accepted as seed provenance: the label is
+#: the domain, exactly as in ``derive_rng``'s ``_label_entropy``.
+STRING_HASHES = frozenset({
+    "zlib.crc32", "crc32", "_label_entropy", "stable_hash",
+    "hashlib.sha256", "hashlib.md5", "hashlib.blake2b",
+})
+
+#: Durability APIs whose call sites RL011 confines to parent-side
+#: modules (matched on the last one or two resolved-name segments).
+DURABILITY_APIS = frozenset({
+    "os.replace", "os.fsync", "CampaignLog", "CheckpointStore",
+})
+
+
+def module_name(rel_path: str) -> str:
+    """Dotted module name for a repo-relative posix path."""
+    parts = rel_path.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+def _tail_names(qual: str) -> Tuple[str, ...]:
+    """The (last-segment, last-two-segments) match keys for a name."""
+    parts = qual.split(".")
+    keys = [parts[-1]]
+    if len(parts) >= 2:
+        keys.append(".".join(parts[-2:]))
+    return tuple(keys)
+
+
+def _matches(qual: Optional[str], vocabulary: frozenset) -> bool:
+    if not qual:
+        return False
+    return any(key in vocabulary for key in _tail_names(qual))
+
+
+def _const_strings(node: ast.AST) -> Optional[List[str]]:
+    """The string payload of a constant expr: str -> [s], tuple/list of
+    str -> list, anything else -> None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        items = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) \
+                    and isinstance(element.value, str):
+                items.append(element.value)
+            else:
+                return None
+        return items
+    return None
+
+
+class _FactExtractor(ast.NodeVisitor):
+    """One walk over a module's AST collecting every project-level fact."""
+
+    def __init__(self, ctx: FileContext):
+        self.ctx = ctx
+        self.module = module_name(ctx.rel_path)
+        self.facts: Dict[str, Any] = {
+            "module": self.module,
+            "functions": [],
+            "classes": [],
+            "calls": [],
+            "emits": [],
+            "consumes": [],
+            "constants": {},
+            "rng_sites": [],
+            "derive_calls": [],
+            "seed_params": {},
+            "boundaries": [],
+            "durability": [],
+        }
+        self._class_stack: List[str] = []
+        self._func_stack: List[ast.AST] = []
+        # Local names bound to module-level defs, for intra-module call
+        # resolution: "run_shard" -> "repro.core.sharding.run_shard".
+        self._local_defs: Dict[str, str] = {}
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                self._local_defs[node.name] = f"{self.module}.{node.name}"
+        # Per-function receiver typing: local name -> class qualname,
+        # from `x = Class(...)` and `with Class(...) as x`.
+        self._receiver_types: Dict[str, str] = {}
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def _qual(self, name: str) -> str:
+        scope = [self.module] + self._class_stack + [name]
+        return ".".join(scope)
+
+    def _current_function(self) -> Optional[str]:
+        if not self._func_stack:
+            return None
+        names = [self.module] + self._class_stack[:]
+        # Nested functions keep their full lexical chain.
+        return ".".join(names + [f.name for f in self._func_stack])
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.facts["classes"].append({
+            "name": self._qual(node.name),
+            "line": node.lineno,
+            "methods": sorted(
+                child.name for child in node.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))),
+        })
+        self._class_stack.append(node.name)
+        self._collect_constants(node.body, prefix=node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._collect_constants(node.body, prefix=None)
+        self.generic_visit(node)
+
+    def _collect_constants(self, body: Sequence[ast.stmt],
+                           prefix: Optional[str]) -> None:
+        for stmt in body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            strings = _const_strings(value)
+            if strings is None:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    key = f"{prefix}.{target.id}" if prefix else target.id
+                    self.facts["constants"][key] = strings
+
+    def _handle_function(self, node) -> None:
+        qual = self._qual(node.name)
+        self.facts["functions"].append({
+            "name": qual,
+            "line": node.lineno,
+            "params": [a.arg for a in node.args.args],
+        })
+        self._func_stack.append(node)
+        saved = dict(self._receiver_types)
+        if not self._class_stack and len(self._func_stack) == 1:
+            self._receiver_types = {}
+        self._type_receivers(node)
+        self.generic_visit(node)
+        self._analyze_function(node, qual)
+        self._receiver_types = saved
+        self._func_stack.pop()
+
+    visit_FunctionDef = _handle_function
+    visit_AsyncFunctionDef = _handle_function
+
+    # -- receiver typing ---------------------------------------------------
+
+    def _type_receivers(self, fn: ast.AST) -> None:
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                qual = self._resolve_call(stmt.value)
+                if qual is None or not qual[:1].isalpha():
+                    continue
+                head = qual.split(".")[-1]
+                if not head[:1].isupper():  # heuristics: classes are CapWords
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._receiver_types[target.id] = qual
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    if isinstance(item.context_expr, ast.Call) \
+                            and isinstance(item.optional_vars, ast.Name):
+                        qual = self._resolve_call(item.context_expr)
+                        if qual and qual.split(".")[-1][:1].isupper():
+                            self._receiver_types[item.optional_vars.id] = qual
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Best-effort canonical name for a call's target."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self._local_defs:
+                return self._local_defs[func.id]
+            return self.ctx.imports.get(func.id, func.id)
+        if isinstance(func, ast.Attribute):
+            # self.method() -> enclosing class's method.
+            if isinstance(func.value, ast.Name):
+                head = func.value.id
+                if head == "self" and self._class_stack:
+                    return ".".join([self.module] + self._class_stack
+                                    + [func.attr])
+                if head in self._receiver_types:
+                    return f"{self._receiver_types[head]}.{func.attr}"
+            qual = self.ctx.qualname(func)
+            if qual is not None:
+                # Resolve a locally-defined class head: Foo.bar with
+                # class Foo in this module -> module.Foo.bar.
+                head, _, rest = qual.partition(".")
+                if rest and head in self._local_defs:
+                    return f"{self._local_defs[head]}.{rest}"
+            return qual
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qual = self._resolve_call(node)
+        caller = self._current_function() or f"{self.module}.<module>"
+        if qual is not None:
+            int_args = [i for i, arg in enumerate(node.args)
+                        if isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, int)
+                        and not isinstance(arg.value, bool)]
+            int_kwargs = sorted(
+                kw.arg for kw in node.keywords
+                if kw.arg is not None and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, int)
+                and not isinstance(kw.value.value, bool))
+            self.facts["calls"].append({
+                "caller": caller,
+                "callee": qual,
+                "line": node.lineno,
+                "col": node.col_offset,
+                "int_args": int_args,
+                "int_kwargs": int_kwargs,
+            })
+        self._record_emit(node)
+        self._record_consume_call(node)
+        self._record_rng(node, qual)
+        self._record_durability(node, qual, caller)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self._record_consume_compare(node)
+        self.generic_visit(node)
+
+    # -- journal schema facts ----------------------------------------------
+
+    def _journal_receiver(self, func: ast.expr) -> bool:
+        if not isinstance(func, ast.Attribute):
+            return False
+        return any("journal" in name.lower()
+                   for name in names_in(func.value))
+
+    def _journal_scope(self) -> bool:
+        """Does the enclosing function (or module) talk about journals?
+
+        Scopes the ``event.kind == "..."`` consumer pattern to code that
+        actually iterates journal events, so WAL-record dispatch in
+        ``checkpoint.fold_records`` (a different kind namespace) stays
+        out of the event registry.
+        """
+        scope: ast.AST = self._func_stack[-1] if self._func_stack \
+            else self.ctx.tree
+        return any("journal" in name.lower() for name in names_in(scope))
+
+    def _resolve_kind(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            # A parameter whose default is a string constant: the only
+            # call-site override in-tree is none, so the default is the
+            # emitted kind (snapshot_to_journal's kind="metrics").
+            for fn in reversed(self._func_stack):
+                args = fn.args
+                defaults = args.defaults
+                offset = len(args.args) - len(defaults)
+                for i, arg in enumerate(args.args):
+                    if arg.arg == expr.id and i >= offset:
+                        default = defaults[i - offset]
+                        if isinstance(default, ast.Constant) \
+                                and isinstance(default.value, str):
+                            return default.value
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                    if arg.arg == expr.id and isinstance(default, ast.Constant) \
+                            and isinstance(default.value, str):
+                        return default.value
+            strings = self.facts["constants"].get(expr.id)
+            if strings and len(strings) == 1:
+                return strings[0]
+        if isinstance(expr, ast.Attribute):
+            strings = self._constant_strings_for(expr)
+            if strings and len(strings) == 1 \
+                    and not strings[0].startswith("\x00"):
+                return strings[0]
+        return None
+
+    def _constant_strings_for(self, expr: ast.expr) -> Optional[List[str]]:
+        """Strings behind a Name/Attribute constant reference, if any."""
+        if isinstance(expr, ast.Name):
+            return self.facts["constants"].get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            # Class-qualified: RunJournal.SPAN_KINDS -> "SPAN_KINDS" /
+            # "RunJournal.SPAN_KINDS" looked up locally; cross-module
+            # fallback happens at index level via the bare tail.
+            tail = expr.attr
+            qual = self.ctx.qualname(expr)
+            for key in ((qual,) if qual else ()) + (tail,):
+                hit = self.facts["constants"].get(key)
+                if hit is not None:
+                    return hit
+            head = expr.value
+            if isinstance(head, ast.Name):
+                hit = self.facts["constants"].get(f"{head.id}.{tail}")
+                if hit is not None:
+                    return hit
+            if tail.isupper():
+                # CONSTANT-cased attribute on another module's class
+                # (RunJournal.SPAN_KINDS): defer resolution to the
+                # index, which sees every module's constants.
+                return ["\x00" + tail]
+            return None
+        return None
+
+    def _record_emit(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"
+                and self._journal_receiver(func)):
+            return
+        kind_expr: Optional[ast.expr] = None
+        if node.args:
+            kind_expr = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "kind":
+                    kind_expr = kw.value
+        keys = sorted(kw.arg for kw in node.keywords
+                      if kw.arg not in (None, "t", "volatile", "kind"))
+        self.facts["emits"].append({
+            "kind": self._resolve_kind(kind_expr) if kind_expr is not None
+            else None,
+            "keys": keys,
+            "open": any(kw.arg is None for kw in node.keywords),
+            "line": node.lineno,
+            "col": node.col_offset,
+            "snippet": self.ctx.snippet(node),
+            "func": self._current_function(),
+        })
+
+    def _record_consume_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "of_kind"
+                and self._journal_receiver(func)):
+            return
+        if not node.args:
+            return
+        kind = self._resolve_kind(node.args[0])
+        if kind is None:
+            return  # dynamic lookup (repro obs dump --kind): not a contract
+        self.facts["consumes"].append({
+            "kind": kind,
+            "via": "of_kind",
+            "line": node.lineno,
+            "col": node.col_offset,
+            "snippet": self.ctx.snippet(node),
+        })
+
+    def _record_consume_compare(self, node: ast.Compare) -> None:
+        left = node.left
+        if not (isinstance(left, ast.Attribute) and left.attr == "kind"
+                and len(node.ops) == 1):
+            return
+        if not self._journal_scope():
+            return
+        op = node.ops[0]
+        comparator = node.comparators[0]
+        via = None
+        kinds: List[str] = []
+        if isinstance(op, (ast.Eq, ast.NotEq)):
+            kind = self._resolve_kind(comparator)
+            if kind is not None:
+                kinds, via = [kind], "kind-eq"
+        elif isinstance(op, (ast.In, ast.NotIn)):
+            strings = _const_strings(comparator)
+            if strings is None:
+                strings = self._constant_strings_for(comparator)
+            if strings:
+                kinds, via = strings, "kind-in"
+        for kind in kinds:
+            self.facts["consumes"].append({
+                "kind": kind,
+                "via": via,
+                "line": node.lineno,
+                "col": node.col_offset,
+                "snippet": self.ctx.snippet(node),
+            })
+
+    # -- RNG provenance facts ----------------------------------------------
+
+    def _seed_provenance(self, expr: Optional[ast.expr],
+                         fn: Optional[ast.AST]) -> str:
+        if expr is None:
+            return "missing"
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, int) and not isinstance(expr.value, bool):
+                return "int-literal"
+            return "other"
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                qual = self._resolve_call(sub)
+                if _matches(qual, STRING_HASHES):
+                    return "derived-string"
+                if qual and qual.split(".")[-1] in ("child", "rng",
+                                                    "spawn", "entropy"):
+                    return "derived"
+            if isinstance(sub, ast.Attribute) and sub.attr == "seed":
+                return "derived"
+        if isinstance(expr, ast.Name) and fn is not None:
+            params = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+            if expr.id in params:
+                return f"param:{expr.id}"
+        return "other"
+
+    def _record_rng(self, node: ast.Call, qual: Optional[str]) -> None:
+        if qual in RNG_CTORS or (qual is not None
+                                 and _matches(qual, frozenset({"random.Random"}))):
+            fn = self._func_stack[-1] if self._func_stack else None
+            seed_expr = node.args[0] if node.args else None
+            if seed_expr is None:
+                for kw in node.keywords:
+                    if kw.arg in ("seed", "bit_generator"):
+                        seed_expr = kw.value
+            provenance = self._seed_provenance(seed_expr, fn)
+            self.facts["rng_sites"].append({
+                "ctor": qual,
+                "seed": provenance,
+                "line": node.lineno,
+                "col": node.col_offset,
+                "snippet": self.ctx.snippet(node),
+                "func": self._current_function(),
+            })
+            if provenance.startswith("param:"):
+                func_qual = self._current_function()
+                if func_qual is not None:
+                    param = provenance.split(":", 1)[1]
+                    fn_args = [a.arg for a in fn.args.args]
+                    self.facts["seed_params"].setdefault(
+                        func_qual, sorted(set(
+                            self.facts["seed_params"].get(func_qual, [])
+                        ) | {param}))
+                    # record positional index for caller matching
+                    self.facts["seed_params"][func_qual] = sorted(set(
+                        self.facts["seed_params"][func_qual]) | {param})
+                    _ = fn_args
+        # derive_rng / factory.rng / factory.child: the label must be a
+        # string-domain expression, never a bare number.
+        label_expr: Optional[ast.expr] = None
+        if qual is not None and qual.split(".")[-1] == "derive_rng":
+            if len(node.args) >= 2:
+                label_expr = node.args[1]
+            for kw in node.keywords:
+                if kw.arg == "label":
+                    label_expr = kw.value
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("rng", "child") \
+                and any("seed" in n.lower() or "factory" in n.lower()
+                        for n in names_in(node.func.value)):
+            if node.args:
+                label_expr = node.args[0]
+        if label_expr is not None:
+            if isinstance(label_expr, ast.Constant) \
+                    and not isinstance(label_expr.value, str):
+                verdict = "nonstring"
+            else:
+                verdict = "ok"
+            self.facts["derive_calls"].append({
+                "label": verdict,
+                "line": node.lineno,
+                "col": node.col_offset,
+                "snippet": self.ctx.snippet(node),
+            })
+
+    # -- durability facts ----------------------------------------------------
+
+    def _record_durability(self, node: ast.Call, qual: Optional[str],
+                           caller: str) -> None:
+        if not _matches(qual, DURABILITY_APIS):
+            return
+        self.facts["durability"].append({
+            "api": qual,
+            "line": node.lineno,
+            "col": node.col_offset,
+            "snippet": self.ctx.snippet(node),
+            "func": caller,
+        })
+
+    # -- per-function boundary taint -----------------------------------------
+
+    def _analyze_function(self, fn: ast.AST, qual: str) -> None:
+        boundaries: List[Tuple[ast.Call, str]] = []
+        pools: Dict[str, str] = {}  # local name -> "process" | "thread"
+        for name, cls in self._receiver_types.items():
+            tail = cls.split(".")[-1]
+            if tail == "ProcessPoolExecutor":
+                pools[name] = "process"
+            elif tail == "ThreadPoolExecutor":
+                pools[name] = "thread"
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in ("submit", "map") \
+                    and isinstance(func.value, ast.Name) \
+                    and pools.get(func.value.id) == "process":
+                boundaries.append((node, func.attr))
+            else:
+                resolved = self._resolve_call(node)
+                if resolved is not None \
+                        and resolved.split(".")[-1] == "iter_shard_results":
+                    boundaries.append((node, "iter_shard_results"))
+        if not boundaries:
+            return
+        tainted = self._taint(fn)
+        nested = {child.name for child in ast.walk(fn)
+                  if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                  and child is not fn}
+        for call, kind in boundaries:
+            record: Dict[str, Any] = {
+                "kind": kind,
+                "line": call.lineno,
+                "col": call.col_offset,
+                "snippet": self.ctx.snippet(call),
+                "fn": None,
+                "fn_issue": None,
+                "tainted": [],
+                "func": qual,
+            }
+            args = list(call.args)
+            if kind in ("submit", "map") and args:
+                target = args.pop(0)
+                if isinstance(target, ast.Lambda):
+                    record["fn_issue"] = "lambda"
+                elif isinstance(target, ast.Name) and target.id in nested:
+                    record["fn_issue"] = "nested-function"
+                elif isinstance(target, ast.Name):
+                    record["fn"] = self._local_defs.get(
+                        target.id, self.ctx.imports.get(target.id, target.id))
+                elif isinstance(target, ast.Attribute):
+                    record["fn"] = self.ctx.qualname(target)
+            payload = args + [kw.value for kw in call.keywords]
+            for expr in payload:
+                for category, sources in tainted.items():
+                    hit = self._value_taint(expr, category, set(sources))
+                    if hit is not None:
+                        record["tainted"].append({
+                            "expr": hit,
+                            "category": category,
+                            "line": expr.lineno,
+                            "col": expr.col_offset,
+                        })
+            self.facts["boundaries"].append(record)
+
+    def _value_taint(self, value: ast.expr, category: str,
+                     tainted: set) -> Optional[str]:
+        """Does this expression *evaluate to* (or carry, as a container
+        element) a tainted value?
+
+        Structural, not name-mention: containers, comprehensions,
+        ternaries, ``or``-defaults, and subscripts of tainted containers
+        propagate; call *arguments* do not (``int(rng.integers(...))``
+        is a number, not an RNG).  Returns the offending name/callee for
+        the report, or None.
+        """
+        vocabulary = UNPICKLABLE_CTORS if category == "unpicklable" \
+            else RNG_PRODUCERS
+        if isinstance(value, ast.Name):
+            return value.id if value.id in tainted else None
+        if isinstance(value, ast.Starred):
+            return self._value_taint(value.value, category, tainted)
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            for element in value.elts:
+                hit = self._value_taint(element, category, tainted)
+                if hit is not None:
+                    return hit
+            return None
+        if isinstance(value, ast.Dict):
+            for element in value.values:
+                if element is None:
+                    continue
+                hit = self._value_taint(element, category, tainted)
+                if hit is not None:
+                    return hit
+            return None
+        if isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            hit = self._value_taint(value.elt, category, tainted)
+            if hit is not None:
+                return hit
+            for comp in value.generators:
+                hit = self._value_taint(comp.iter, category, tainted)
+                if hit is not None:
+                    return hit
+            return None
+        if isinstance(value, ast.DictComp):
+            return self._value_taint(value.value, category, tainted)
+        if isinstance(value, ast.IfExp):
+            return (self._value_taint(value.body, category, tainted)
+                    or self._value_taint(value.orelse, category, tainted))
+        if isinstance(value, ast.BoolOp):  # e.g. `rng or default_rng(0)`
+            for element in value.values:
+                hit = self._value_taint(element, category, tainted)
+                if hit is not None:
+                    return hit
+            return None
+        if isinstance(value, ast.Call):
+            qual = self._resolve_call(value)
+            if qual and any(k in vocabulary for k in _tail_names(qual)):
+                return qual
+            return None
+        if isinstance(value, ast.Subscript):
+            # An element of a tainted container is tainted.
+            return self._value_taint(value.value, category, tainted)
+        if isinstance(value, ast.Await):
+            return self._value_taint(value.value, category, tainted)
+        return None
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> List[str]:
+        """Names a binding actually taints: plain targets and, for
+        subscript/attribute stores, the *container* -- never the index
+        expression (``commits[site] = x`` taints ``commits``, not
+        ``site``)."""
+        if isinstance(target, ast.Name):
+            return [target.id]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: List[str] = []
+            for element in target.elts:
+                out.extend(_FactExtractor._target_names(element))
+            return out
+        if isinstance(target, ast.Starred):
+            return _FactExtractor._target_names(target.value)
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            return _FactExtractor._target_names(target.value)
+        return []
+
+    def _taint(self, fn: ast.AST) -> Dict[str, List[str]]:
+        """Names bound (transitively) to unpicklable or RNG values."""
+        tainted: Dict[str, set] = {"unpicklable": set(), "rng": set()}
+        assigns = [stmt for stmt in ast.walk(fn)
+                   if isinstance(stmt, (ast.Assign, ast.AnnAssign))
+                   and getattr(stmt, "value", None) is not None]
+        with_items = [(item.optional_vars, item.context_expr)
+                      for stmt in ast.walk(fn) if isinstance(stmt, ast.With)
+                      for item in stmt.items if item.optional_vars is not None]
+        bindings = [(s.targets if isinstance(s, ast.Assign) else [s.target],
+                     s.value) for s in assigns]
+        bindings += [([t], v) for t, v in with_items]
+        changed = True
+        while changed:
+            changed = False
+            for targets, value in bindings:
+                for category in tainted:
+                    if self._value_taint(value, category,
+                                         tainted[category]) is None:
+                        continue
+                    for target in targets:
+                        for name in self._target_names(target):
+                            if name not in tainted[category]:
+                                tainted[category].add(name)
+                                changed = True
+        return {key: sorted(values) for key, values in tainted.items()}
+
+
+def extract_facts(ctx: FileContext) -> Dict[str, Any]:
+    """Pure fact extraction for one parsed file."""
+    extractor = _FactExtractor(ctx)
+    extractor.visit(ctx.tree)
+    return extractor.facts
+
+
+def content_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class IndexCache:
+    """Content-hash-keyed cache of per-file facts (JSON on disk)."""
+
+    def __init__(self, path: Optional[Path]):
+        self.path = path
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = None
+            if isinstance(data, dict) \
+                    and data.get("version") == FACTS_VERSION \
+                    and isinstance(data.get("files"), dict):
+                self.entries = data["files"]
+
+    def get(self, rel_path: str, sha: str) -> Optional[Dict[str, Any]]:
+        entry = self.entries.get(rel_path)
+        if entry is not None and entry.get("sha") == sha:
+            self.hits += 1
+            return entry.get("facts")
+        self.misses += 1
+        return None
+
+    def put(self, rel_path: str, sha: str, facts: Dict[str, Any]) -> None:
+        self.entries[rel_path] = {"sha": sha, "facts": facts}
+
+    def save(self, rel_paths: Sequence[str]) -> None:
+        """Persist entries for the linted set (atomic, sorted keys)."""
+        if self.path is None:
+            return
+        payload = {
+            "version": FACTS_VERSION,
+            "files": {rel: self.entries[rel] for rel in sorted(rel_paths)
+                      if rel in self.entries},
+        }
+        try:
+            from repro.util.atomio import atomic_write_text
+            atomic_write_text(self.path, json.dumps(
+                payload, indent=None, sort_keys=True, separators=(",", ":")))
+        except OSError:
+            pass  # cache is best-effort; lint results never depend on it
+
+
+class ProjectIndex:
+    """The merged whole-program view phase-2 rules run against."""
+
+    def __init__(self):
+        self.files: Dict[str, Dict[str, Any]] = {}  # rel_path -> facts
+        self.defs: Dict[str, Tuple[str, int]] = {}  # qualname -> (path, line)
+        self.classes: Dict[str, Dict[str, Any]] = {}
+        self.edges: Dict[str, List[str]] = {}
+        self.constants: Dict[str, List[str]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Sequence[FileContext],
+              cache_path: Optional[Path] = None) -> "ProjectIndex":
+        index = cls()
+        cache = IndexCache(cache_path)
+        rel_paths = []
+        for ctx in contexts:
+            sha = content_sha(ctx.source)
+            facts = cache.get(ctx.rel_path, sha)
+            if facts is None:
+                facts = extract_facts(ctx)
+                cache.put(ctx.rel_path, sha, facts)
+            index.files[ctx.rel_path] = facts
+            rel_paths.append(ctx.rel_path)
+        index.cache_hits = cache.hits
+        index.cache_misses = cache.misses
+        cache.save(rel_paths)
+        index._link()
+        return index
+
+    def _link(self) -> None:
+        for rel_path, facts in self.files.items():
+            for fn in facts["functions"]:
+                self.defs[fn["name"]] = (rel_path, fn["line"])
+            for cls_rec in facts["classes"]:
+                self.classes[cls_rec["name"]] = cls_rec
+                self.defs.setdefault(cls_rec["name"],
+                                     (rel_path, cls_rec["line"]))
+            for key, strings in facts["constants"].items():
+                module = facts["module"]
+                self.constants[f"{module}.{key}"] = strings
+                self.constants.setdefault(key.split(".")[-1], strings)
+        edges: Dict[str, set] = {}
+        for facts in self.files.values():
+            for call in facts["calls"]:
+                callee = self._resolve_def(call["callee"])
+                if callee is None:
+                    continue
+                edges.setdefault(call["caller"], set()).add(callee)
+        self.edges = {caller: sorted(callees)
+                      for caller, callees in edges.items()}
+
+    def _resolve_def(self, callee: Optional[str]) -> Optional[str]:
+        """Map a recorded callee string onto a known definition."""
+        if callee is None:
+            return None
+        if callee in self.defs:
+            if callee in self.classes:
+                init = f"{callee}.__init__"
+                return init if init in self.defs else callee
+            return callee
+        # Method on an imported class: repro.x.Class.method.
+        head, _, method = callee.rpartition(".")
+        if head in self.classes and f"{head}.{method}" not in self.defs:
+            return None
+        return None
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable_from(self, entry: str) -> List[str]:
+        """Every definition reachable from ``entry`` via resolved edges."""
+        seen = {entry}
+        frontier = [entry]
+        while frontier:
+            current = frontier.pop()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return sorted(seen)
+
+    def call_path(self, entry: str, target: str) -> Optional[List[str]]:
+        """One shortest entry -> target path, or None."""
+        from collections import deque
+        parents: Dict[str, Optional[str]] = {entry: None}
+        queue = deque([entry])
+        while queue:
+            current = queue.popleft()
+            if current == target:
+                path = [current]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                return list(reversed(path))
+            for callee in self.edges.get(current, ()):
+                if callee not in parents:
+                    parents[callee] = current
+                    queue.append(callee)
+        return None
+
+    def emits(self) -> List[Dict[str, Any]]:
+        out = []
+        for rel_path in sorted(self.files):
+            for emit in self.files[rel_path]["emits"]:
+                out.append({**emit, "path": rel_path})
+        return out
+
+    def consumes(self) -> List[Dict[str, Any]]:
+        out = []
+        for rel_path in sorted(self.files):
+            for consume in self.files[rel_path]["consumes"]:
+                kind = consume["kind"]
+                if kind.startswith("\x00"):  # deferred constant reference
+                    strings = self.constants.get(kind[1:])
+                    if not strings:
+                        continue
+                    for resolved in strings:
+                        out.append({**consume, "kind": resolved,
+                                    "path": rel_path})
+                    continue
+                out.append({**consume, "path": rel_path})
+        return out
+
+    def boundaries(self) -> List[Dict[str, Any]]:
+        out = []
+        for rel_path in sorted(self.files):
+            for boundary in self.files[rel_path]["boundaries"]:
+                out.append({**boundary, "path": rel_path})
+        return out
+
+    def durability_sites(self) -> List[Dict[str, Any]]:
+        out = []
+        for rel_path in sorted(self.files):
+            for site in self.files[rel_path]["durability"]:
+                out.append({**site, "path": rel_path})
+        return out
+
+    def rng_sites(self) -> List[Dict[str, Any]]:
+        out = []
+        for rel_path in sorted(self.files):
+            facts = self.files[rel_path]
+            for site in facts["rng_sites"]:
+                out.append({**site, "path": rel_path})
+        return out
+
+    def location_of(self, qualname: str) -> Tuple[str, int]:
+        return self.defs.get(qualname, ("<unknown>", 1))
+
+    # -- the machine-readable dump (`repro lint --graph`) -------------------
+
+    def to_graph_dict(self) -> Dict[str, Any]:
+        from repro.devtools.lint.events import event_registry
+        return {
+            "facts_version": FACTS_VERSION,
+            "files": sorted(self.files),
+            "modules": sorted({facts["module"]
+                               for facts in self.files.values()}),
+            "definitions": {name: {"path": path, "line": line}
+                            for name, (path, line) in sorted(self.defs.items())},
+            "call_graph": {caller: callees
+                           for caller, callees in sorted(self.edges.items())},
+            "events": event_registry(self),
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+        }

@@ -11,7 +11,7 @@ import json
 from typing import Dict, List
 
 from repro.devtools.lint.engine import LintResult
-from repro.devtools.lint.rules import RULES
+from repro.devtools.lint.rules import PROJECT_RULES, RULES
 from repro.devtools.lint.violations import Violation
 
 
@@ -51,9 +51,11 @@ def render_json(result: LintResult) -> str:
 
 def render_rule_list() -> str:
     lines = []
-    for rule_id in sorted(RULES):
-        rule = RULES[rule_id]
-        lines.append(f"{rule_id}  {rule.name}")
+    merged = {**RULES, **PROJECT_RULES}
+    for rule_id in sorted(merged):
+        rule = merged[rule_id]
+        family = "project" if rule_id in PROJECT_RULES else "file"
+        lines.append(f"{rule_id}  {rule.name}  [{family}]")
         lines.append(f"       {rule.summary}")
         if rule.default_allow:
             allowed = ", ".join(rule.default_allow)

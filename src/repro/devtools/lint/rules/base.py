@@ -20,6 +20,10 @@ from repro.devtools.lint.violations import Violation
 
 RULES: Dict[str, Type["Rule"]] = {}
 
+#: Phase-2 rules: run once per lint invocation against the whole-program
+#: :class:`~repro.devtools.lint.project.ProjectIndex`, not per file.
+PROJECT_RULES: Dict[str, Type["ProjectRule"]] = {}
+
 
 def register(cls: Type["Rule"]) -> Type["Rule"]:
     """Class decorator adding a rule to the global registry."""
@@ -29,12 +33,24 @@ def register(cls: Type["Rule"]) -> Type["Rule"]:
     return cls
 
 
+def register_project(cls: Type["ProjectRule"]) -> Type["ProjectRule"]:
+    """Class decorator adding an interprocedural rule to the registry."""
+    if not cls.id or cls.id in PROJECT_RULES or cls.id in RULES:
+        raise ValueError(f"duplicate or empty rule id: {cls.id!r}")
+    PROJECT_RULES[cls.id] = cls
+    return cls
+
+
 class Rule(ast.NodeVisitor):
     """Base class for reprolint rules (subclass and ``@register``)."""
 
     id: str = ""
     name: str = ""
     summary: str = ""
+    #: Pragma-suppressible?  RL000 (pragma hygiene) sets this False so a
+    #: reasonless ``disable=all`` cannot silence the rule that polices
+    #: reasonless pragmas.
+    suppressible: bool = True
     #: Repo-relative path suffixes where this rule never applies (the
     #: architectural escape hatch -- e.g. RL001 allows ``obs/clock.py``,
     #: the one sanctioned wall-clock boundary).  Extended, not replaced,
@@ -65,6 +81,48 @@ class Rule(ast.NodeVisitor):
         return self.violations
 
     # -- option helpers --------------------------------------------------
+
+    def allow_paths(self) -> tuple:
+        extra = self.options.get("allow", [])
+        if isinstance(extra, str):
+            extra = [extra]
+        return tuple(self.default_allow) + tuple(extra)
+
+    def applies_to(self, rel_path: str) -> bool:
+        posix = rel_path.replace("\\", "/")
+        return not any(posix.endswith(suffix) for suffix in self.allow_paths())
+
+
+class ProjectRule:
+    """Base class for whole-program (phase-2) rules.
+
+    Unlike :class:`Rule`, a project rule sees the merged
+    :class:`~repro.devtools.lint.project.ProjectIndex` and reports
+    violations located anywhere in the linted set.  It shares the id /
+    summary / allowlist surface so ``--select``, ``--list-rules``,
+    per-rule pyproject options, and pragma suppression all work
+    identically; the engine maps each violation back to its file's
+    pragma table before deciding suppression.
+    """
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+    default_allow: tuple = ()
+
+    def __init__(self, index, options: Dict[str, object]):
+        self.index = index
+        self.options = options
+        self.violations: List[Violation] = []
+
+    def report_at(self, path: str, line: int, col: int, message: str,
+                  snippet: str = "") -> None:
+        self.violations.append(Violation(
+            path=path, line=line, col=col, rule=self.id,
+            message=message, snippet=snippet))
+
+    def run(self) -> List[Violation]:
+        raise NotImplementedError
 
     def allow_paths(self) -> tuple:
         extra = self.options.get("allow", [])

@@ -1,0 +1,44 @@
+"""RL000: every suppression pragma must carry a reason.
+
+A ``# reprolint: disable=...`` without a ``-- why`` clause is an
+invariant waiver nobody can audit: six months later there is no way to
+tell a sanctioned architectural exception from a shortcut.  This rule
+makes the justification part of the pragma grammar, so the suppression
+inventory in ``repro lint --show-suppressed`` always reads as a list of
+*decisions*, not mysteries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.devtools.lint.rules.base import Rule, register
+from repro.devtools.lint.violations import Violation
+
+
+@register
+class PragmaReasonRule(Rule):
+    id = "RL000"
+    name = "pragma-reason"
+    summary = ("suppression pragmas must state a reason "
+               "(`# reprolint: disable=RLxxx -- why`)")
+    suppressible = False  # a reasonless `disable=all` must not hide RL000
+
+    def run(self) -> List[Violation]:
+        for site in self.ctx.pragma_sites:
+            if site.has_reason:
+                continue
+            rules = ",".join(site.rules)
+            line_text = ""
+            if 1 <= site.line <= len(self.ctx.lines):
+                line_text = self.ctx.lines[site.line - 1].strip()
+            self.violations.append(Violation(
+                path=self.ctx.rel_path,
+                line=site.line,
+                col=0,
+                rule=self.id,
+                message=(f"pragma `{site.scope}={rules}` has no reason; "
+                         f"append ` -- <why this suppression is sound>`"),
+                snippet=line_text,
+            ))
+        return self.violations

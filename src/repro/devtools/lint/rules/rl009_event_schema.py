@@ -1,0 +1,112 @@
+"""RL009: journal event-schema contract.
+
+The canonical journal is the run's contract: `repro audit`, trace
+reconstruction, and resume all read it back by event kind.  A typo'd
+kind at an emit site (``emit("sheduled", ...)``) is invisible at
+runtime -- the consumer's ``of_kind("scheduled")`` simply matches
+nothing -- so the contract is enforced statically instead:
+
+* **emitted-but-never-consumed** kinds are flagged (with a did-you-mean
+  suggestion against the consumed vocabulary) unless declared in the
+  ``observe_only`` option -- kinds written for dashboards and humans;
+* **consumed-but-never-emitted** kinds are always flagged: a reader
+  waiting on an event nobody writes is dead code or a typo;
+* **key-set drift** between emit sites of the same kind is flagged,
+  because schema drift between writers breaks byte-identical resume.
+  Sites that splat a dynamic mapping (``**row``) contribute an open
+  key set and only their *named* keys are compared.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import List
+
+from repro.devtools.lint.events import event_registry
+from repro.devtools.lint.rules.base import ProjectRule, register_project
+from repro.devtools.lint.violations import Violation
+
+
+@register_project
+class EventSchemaRule(ProjectRule):
+    id = "RL009"
+    name = "event-schema"
+    summary = ("journal event kinds must be consumed (or observe-only) "
+               "and keep one key set per kind")
+
+    def _observe_only(self) -> set:
+        declared = self.options.get("observe_only", [])
+        if isinstance(declared, str):
+            declared = [declared]
+        return set(declared)
+
+    def run(self) -> List[Violation]:
+        registry = event_registry(self.index)
+        observe_only = self._observe_only()
+        emitted = {r["kind"] for r in registry if r["emit_sites"]}
+        consumed = {r["kind"] for r in registry if r["consumers"]}
+        vocabulary = sorted(consumed | observe_only)
+
+        for record in registry:
+            kind = record["kind"]
+            if record["emit_sites"] and not record["consumers"] \
+                    and kind not in observe_only:
+                hint = ""
+                close = difflib.get_close_matches(kind, vocabulary, n=1,
+                                                  cutoff=0.75)
+                if close:
+                    hint = f" (did you mean `{close[0]}`?)"
+                else:
+                    hint = (" (add a consumer, or declare it in "
+                            "[tool.reprolint.rules.RL009] observe_only)")
+                for site in record["emit_sites"]:
+                    self.report_at(
+                        site["path"], site["line"], 0,
+                        f"event kind `{kind}` is emitted but never "
+                        f"consumed{hint}")
+            if record["consumers"] and not record["emit_sites"]:
+                close = difflib.get_close_matches(kind, sorted(emitted),
+                                                  n=1, cutoff=0.75)
+                hint = f" (did you mean `{close[0]}`?)" if close else ""
+                for site in record["consumers"]:
+                    self.report_at(
+                        site["path"], site["line"], 0,
+                        f"event kind `{kind}` is consumed but never "
+                        f"emitted{hint}")
+            self._check_key_drift(record)
+
+        # Emit sites whose kind the index could not resolve to a string
+        # are outside the contract -- flag them so the registry stays
+        # total over the tree.
+        for emit in self.index.emits():
+            if emit["kind"] is None:
+                self.report_at(
+                    emit["path"], emit["line"], emit.get("col", 0),
+                    "emit kind is not a resolvable string constant; the "
+                    "event registry cannot cover it",
+                    snippet=emit.get("snippet", ""))
+        return self.violations
+
+    def _check_key_drift(self, record) -> None:
+        sites = [s for s in record["emit_sites"] if not s["open"]]
+        if len(sites) < 2:
+            return
+        canonical = sites[0]
+        canonical_keys = set(canonical["keys"])
+        for site in sites[1:]:
+            keys = set(site["keys"])
+            if keys == canonical_keys:
+                continue
+            missing = sorted(canonical_keys - keys)
+            extra = sorted(keys - canonical_keys)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"extra {extra}")
+            self.report_at(
+                site["path"], site["line"], 0,
+                f"emit of `{record['kind']}` drifts from the key set at "
+                f"{canonical['path']}:{canonical['line']} "
+                f"({'; '.join(detail)}); same-kind events must share one "
+                f"schema")

@@ -1,0 +1,94 @@
+"""RL011: parent-only durability.
+
+Crash-safety is a *parent-side* responsibility: the campaign WAL
+(``CampaignLog``), checkpoint commits (``CheckpointStore``), and atomic
+replaces (``os.replace``/``os.fsync``) must only ever run in the
+coordinating process.  A worker that appends to the WAL races the
+parent's recovery scan; a worker that ``os.replace``s a checkpoint can
+tear a commit the parent believes atomic.  Two checks:
+
+* **module confinement** -- direct durability calls are only allowed in
+  the declared parent-side modules (``allow_modules`` option; defaults
+  cover ``core/campaign.py``, ``core/checkpoint.py``,
+  ``util/atomio.py``, and the chaos harness whose raw replaces *are*
+  the crash-fuzzing IO shim);
+* **worker reachability** -- no function submitted across a process
+  boundary (the index's boundary facts) may reach a durability call
+  through the call graph.  Boundaries inside allowed modules are
+  exempt: the chaos harness deliberately runs full durable campaigns
+  inside its trial workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devtools.lint.rules.base import ProjectRule, register_project
+from repro.devtools.lint.violations import Violation
+
+_DEFAULT_ALLOW_MODULES = (
+    "core/campaign.py",
+    "core/checkpoint.py",
+    "util/atomio.py",
+    "testbed/chaos.py",
+)
+
+
+@register_project
+class ParentDurabilityRule(ProjectRule):
+    id = "RL011"
+    name = "parent-durability"
+    summary = ("WAL appends, checkpoint commits, and os.replace are "
+               "confined to parent-side modules; worker functions must "
+               "not reach them")
+
+    def _allowed_modules(self) -> tuple:
+        extra = self.options.get("allow_modules", [])
+        if isinstance(extra, str):
+            extra = [extra]
+        return _DEFAULT_ALLOW_MODULES + tuple(extra)
+
+    def _module_allowed(self, rel_path: str) -> bool:
+        posix = rel_path.replace("\\", "/")
+        return any(posix.endswith(suffix)
+                   for suffix in self._allowed_modules())
+
+    def run(self) -> List[Violation]:
+        sites = self.index.durability_sites()
+
+        # Check 1: direct durability calls outside parent-side modules.
+        for site in sites:
+            if self._module_allowed(site["path"]):
+                continue
+            self.report_at(
+                site["path"], site["line"], site["col"],
+                f"durability call `{site['api']}` outside the parent-side "
+                f"modules ({', '.join(self._allowed_modules())}); WAL and "
+                f"checkpoint writes belong to the coordinating process",
+                snippet=site["snippet"])
+
+        # Check 2: worker entry points must not *reach* durability calls.
+        durable_fns: Dict[str, dict] = {}
+        for site in sites:
+            if site["func"]:
+                durable_fns.setdefault(site["func"], site)
+        for boundary in self.index.boundaries():
+            if self._module_allowed(boundary["path"]):
+                continue
+            entry = boundary.get("fn")
+            if not entry or entry not in self.index.defs:
+                continue
+            for reached in self.index.reachable_from(entry):
+                if reached not in durable_fns:
+                    continue
+                site = durable_fns[reached]
+                path = self.index.call_path(entry, reached) or [entry,
+                                                                reached]
+                chain = " -> ".join(p.split(".")[-1] for p in path)
+                self.report_at(
+                    boundary["path"], boundary["line"], boundary["col"],
+                    f"worker function `{entry}` reaches durability call "
+                    f"`{site['api']}` ({site['path']}:{site['line']}) via "
+                    f"{chain}; workers must stay WAL-free",
+                    snippet=boundary["snippet"])
+        return self.violations

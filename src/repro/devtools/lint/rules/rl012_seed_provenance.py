@@ -1,0 +1,128 @@
+"""RL012: seed-provenance taint.
+
+Byte-identical runs depend on every RNG in the system tracing back to
+the one master seed through *named* derivation domains
+(``derive_rng(seed, "site/lan0")``, ``SeedSequenceFactory.child``).  A
+raw integer seed (``default_rng(42)``) silently forks the provenance
+tree: the run still looks deterministic, but its streams no longer
+re-derive from the campaign seed, so resume and shard-merge identity
+quietly break.  Three checks over the project index:
+
+* **raw integer seeds** -- any RNG construction outside ``util/rng.py``
+  whose seed is an int literal (directly, or an int literal passed by a
+  caller into a seed-typed parameter via the call graph);
+* **numeric derivation labels** -- ``derive_rng``/``factory.rng``/
+  ``factory.child`` called with a non-string label defeats the domain
+  separation the label provides;
+* **RNG objects at process boundaries** -- a ``Generator`` crossing a
+  ``submit``/``iter_shard_results`` boundary ships generator *state*
+  where a seed should travel; workers must re-derive locally.
+
+Hash-of-string seeds (``zlib.crc32(f"...".encode())``) are accepted:
+the string is the domain, same contract as ``derive_rng``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.devtools.lint.rules.base import ProjectRule, register_project
+from repro.devtools.lint.violations import Violation
+
+#: The sanctioned derivation module: raw ints here are the master-seed
+#: roots everything else derives from.
+_RNG_MODULE = "util/rng.py"
+
+#: Functions allowed to *receive* raw integer seeds: they are the
+#: derivation entry points.
+_SEED_SINKS = ("derive_rng", "SeedSequenceFactory")
+
+
+@register_project
+class SeedProvenanceRule(ProjectRule):
+    id = "RL012"
+    name = "seed-provenance"
+    summary = ("RNG constructions must derive from derive_rng/"
+               "SeedSequenceFactory with a string domain; no raw int "
+               "seeds, no RNG objects across process boundaries")
+
+    def run(self) -> List[Violation]:
+        self._check_rng_sites()
+        self._check_labels()
+        self._check_seed_params()
+        self._check_boundaries()
+        return self.violations
+
+    def _in_rng_module(self, rel_path: str) -> bool:
+        return rel_path.replace("\\", "/").endswith(_RNG_MODULE)
+
+    def _check_rng_sites(self) -> None:
+        for site in self.index.rng_sites():
+            if self._in_rng_module(site["path"]):
+                continue
+            if site["seed"] == "int-literal":
+                self.report_at(
+                    site["path"], site["line"], site["col"],
+                    f"raw integer seed in `{site['ctor']}`; derive the "
+                    f"stream instead: derive_rng(seed, \"<domain>\") or "
+                    f"SeedSequenceFactory.child",
+                    snippet=site["snippet"])
+
+    def _check_labels(self) -> None:
+        for rel_path in sorted(self.index.files):
+            for call in self.index.files[rel_path]["derive_calls"]:
+                if call["label"] != "nonstring":
+                    continue
+                self.report_at(
+                    rel_path, call["line"], call["col"],
+                    "derivation label must be a string domain "
+                    "(\"site/component\"), not a number; numeric labels "
+                    "defeat domain separation",
+                    snippet=call["snippet"])
+
+    def _check_seed_params(self) -> None:
+        """Int literals flowing into seed-typed parameters via calls."""
+        seed_params = {}
+        for facts in self.index.files.values():
+            for func, params in facts["seed_params"].items():
+                seed_params[func] = set(params)
+        if not seed_params:
+            return
+        param_order = {}
+        for facts in self.index.files.values():
+            for fn in facts["functions"]:
+                param_order[fn["name"]] = fn["params"]
+        for rel_path in sorted(self.index.files):
+            for call in self.index.files[rel_path]["calls"]:
+                callee = call["callee"]
+                resolved = callee if callee in seed_params else None
+                if resolved is None:
+                    continue
+                if any(part in callee for part in _SEED_SINKS):
+                    continue  # derivation roots take the raw master seed
+                params = param_order.get(resolved, [])
+                flagged_positional = [
+                    params[i] for i in call["int_args"]
+                    if i < len(params) and params[i] in seed_params[resolved]]
+                flagged_kw = [name for name in call["int_kwargs"]
+                              if name in seed_params[resolved]]
+                for param in flagged_positional + flagged_kw:
+                    self.report_at(
+                        rel_path, call["line"], call["col"],
+                        f"int literal passed as seed parameter "
+                        f"`{param}` of `{callee}`; thread a derived seed "
+                        f"(derive_rng / SeedSequenceFactory.child) "
+                        f"instead")
+
+    def _check_boundaries(self) -> None:
+        for boundary in self.index.boundaries():
+            for taint in boundary["tainted"]:
+                if taint["category"] != "rng":
+                    continue
+                self.report_at(
+                    boundary["path"], taint["line"], taint["col"],
+                    f"RNG object `{taint['expr']}` crosses the "
+                    f"`{boundary['kind']}` process boundary in "
+                    f"{boundary['func']}; ship the seed/domain and "
+                    f"re-derive in the worker",
+                    snippet=boundary["snippet"])

@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one driver (``reprolint``), one rule descriptor per registered
+rule, one result per live violation.  Parse errors map to SARIF
+``error``-level results under the ``E000`` rule so a broken file shows
+up in the code-scanning UI rather than silently shrinking coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    from repro.devtools.lint.rules import PROJECT_RULES, RULES
+    descriptors = []
+    for rule_id in sorted(set(RULES) | set(PROJECT_RULES)):
+        rule_cls = RULES.get(rule_id) or PROJECT_RULES[rule_id]
+        descriptors.append({
+            "id": rule_id,
+            "name": rule_cls.name or rule_id,
+            "shortDescription": {"text": rule_cls.summary or rule_id},
+            "defaultConfiguration": {"level": "error"},
+        })
+    descriptors.append({
+        "id": "E000",
+        "name": "parse-error",
+        "shortDescription": {"text": "file could not be parsed"},
+        "defaultConfiguration": {"level": "error"},
+    })
+    return descriptors
+
+
+def _result(violation, level: str) -> Dict[str, Any]:
+    message = violation.message
+    if violation.snippet:
+        message = f"{message} [{violation.snippet}]"
+    return {
+        "ruleId": violation.rule,
+        "level": level,
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": violation.path.replace("\\", "/"),
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(1, violation.line),
+                    "startColumn": max(1, violation.col + 1),
+                },
+            },
+        }],
+    }
+
+
+def render_sarif(result, tool_version: str = "2.0") -> Dict[str, Any]:
+    """The SARIF log document for one :class:`LintResult`."""
+    results = [_result(v, "error") for v in result.violations]
+    results += [_result(e, "error") for e in result.errors]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "https://example.invalid/repro/reprolint",
+                    "version": tool_version,
+                    "rules": _rule_descriptors(),
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Set
 import numpy as np
 
 from repro.obs import get_obs
+from repro.util.rng import derive_rng
 
 
 @dataclass
@@ -66,7 +67,8 @@ class FaultInjector:
                  base_failure_rate: float = 0.0):
         if not 0.0 <= base_failure_rate < 1.0:
             raise ValueError("base_failure_rate must be in [0, 1)")
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None \
+            else derive_rng(0, "faults/default")
         self.base_failure_rate = base_failure_rate
         self.windows: List[OutageWindow] = []
         self.injected_failures = 0

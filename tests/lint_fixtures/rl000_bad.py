@@ -1,0 +1,12 @@
+"""RL000 bad: suppression pragmas with no justification.
+
+A pragma without a `-- reason` clause waives an invariant with no
+audit trail; every one of these must be reported.
+"""
+
+import time
+
+# reprolint: disable-file=RL006
+
+started = time.perf_counter()  # reprolint: disable=RL001
+elapsed = time.perf_counter() - started  # reprolint: disable=RL001 --

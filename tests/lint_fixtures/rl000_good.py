@@ -1,0 +1,8 @@
+"""RL000 good: every suppression pragma states why it is sound."""
+
+import time
+
+# reprolint: disable-file=RL006 -- fixture exercises broad excepts
+
+started = time.perf_counter()  # reprolint: disable=RL001 -- volatile stage timing
+elapsed = time.perf_counter() - started  # reprolint: disable=RL001 -- volatile stage timing

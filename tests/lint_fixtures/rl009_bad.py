@@ -1,0 +1,18 @@
+"""RL009 bad: every way the journal event-schema contract can break.
+
+Line-pinned sins:
+- ``"sheduled"`` is a typo of the consumed kind ``"scheduled"`` -- the
+  emit is orphaned and the consumer starves (did-you-mean both ways);
+- the second ``"report"`` emit drifts its key set from the first;
+- ``"report"`` is emitted but nothing ever reads it back.
+"""
+
+
+def emit_events(journal, now):
+    journal.emit("sheduled", t=now, site="site-a", frames=10)
+    journal.emit("report", t=now, site="site-a", frames=10, drops=0)
+    journal.emit("report", t=now, site="site-a", bytes=512)
+
+
+def read_back(journal):
+    return list(journal.of_kind("scheduled"))

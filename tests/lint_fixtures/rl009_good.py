@@ -1,0 +1,24 @@
+"""RL009 good: a closed emit/consume contract.
+
+Every emitted kind has an in-tree consumer, same-kind emits share one
+key set, and kind names resolve through constants and parameter
+defaults -- the propagation the index exists to do.
+"""
+
+SPAN_KINDS = ("window-open", "window-close")
+
+
+def emit_events(journal, now, kind="snapshot"):
+    journal.emit("scheduled", t=now, site="site-a", frames=10)
+    journal.emit("scheduled", t=now, site="site-b", frames=3)
+    journal.emit(kind, t=now, site="site-a", frames=10)
+    journal.emit("window-open", t=now, window=1)
+    journal.emit("window-close", t=now, window=1)
+
+
+def read_back(journal):
+    scheduled = list(journal.of_kind("scheduled"))
+    snapshots = list(journal.of_kind("snapshot"))
+    windows = [event for event in journal.events
+               if event.kind in SPAN_KINDS]
+    return scheduled, snapshots, windows

@@ -1,0 +1,33 @@
+"""RL010 bad: unpicklable values shipped across process boundaries.
+
+Line-pinned sins: an open file handle submitted as an argument, a
+lambda and a nested closure as the submitted callable, and live
+``RunJournal`` objects flowing into ``iter_shard_results``.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.sharding import iter_shard_results
+from repro.obs.journal import RunJournal
+
+
+def work(payload):
+    return len(payload)
+
+
+def fan_out(paths):
+    handle = open("data.bin", "rb")
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, handle)]
+        futures.append(pool.submit(lambda: 1))
+
+        def local_work():
+            return 2
+
+        futures.append(pool.submit(local_work))
+    return [f.result() for f in futures]
+
+
+def merge_shards(paths, workers):
+    journals = [RunJournal.read(path) for path in paths]
+    return list(iter_shard_results(journals, workers))

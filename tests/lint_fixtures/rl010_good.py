@@ -1,0 +1,42 @@
+"""RL010 good: picklable-by-construction boundary crossings.
+
+Module-level callables, primitive/frozen-dataclass task payloads, and
+thread pools (which never pickle) all pass.  The handle opened in the
+parent stays in the parent; only its *contents* cross.
+"""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.sharding import iter_shard_results, shard_task
+
+
+@dataclass(frozen=True)
+class Task:
+    site: str
+    seed: int
+
+
+def work(task):
+    return task.seed
+
+
+def fan_out(sites, seed):
+    tasks = [Task(site, seed + i) for i, site in enumerate(sites)]
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, task) for task in tasks]
+    return [f.result() for f in futures]
+
+
+def fan_out_threads(paths):
+    with open("data.bin", "rb") as handle:
+        payload = handle.read()
+    with ThreadPoolExecutor() as pool:
+        futures = [pool.submit(lambda p=p: len(p), p) for p in [payload]]
+    return [f.result() for f in futures]
+
+
+def merge_shards(manifest, occasion, run_dir, sites, seeds, workers):
+    tasks = [shard_task(manifest, occasion, run_dir, site, seeds[site])
+             for site in sites]
+    return list(iter_shard_results(tasks, workers))

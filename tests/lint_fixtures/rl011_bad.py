@@ -1,0 +1,38 @@
+"""RL011 bad: durability leaking out of the parent process.
+
+Line-pinned sins: a raw ``os.replace`` commit and a ``CampaignLog``
+construction outside the parent-side modules, and a worker entry point
+submitted to a process pool that *reaches* an ``os.replace`` through
+the call graph.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.campaign import CampaignLog
+
+
+def sloppy_commit(tmp, final):
+    os.replace(tmp, final)
+
+
+def sloppy_wal(run_dir):
+    return CampaignLog(run_dir / "wal.jsonl")
+
+
+def _persist(result, path):
+    tmp = path.with_suffix(".tmp")
+    tmp.write_bytes(result)
+    os.replace(tmp, path)
+
+
+def worker_entry(task):
+    result = bytes(task.seed)
+    _persist(result, task.out_path)
+    return task.site
+
+
+def fan_out(tasks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker_entry, task) for task in tasks]
+    return [f.result() for f in futures]

@@ -1,0 +1,24 @@
+"""RL011 good: workers compute, the parent commits.
+
+Worker functions return plain results; every durable write happens on
+the parent side of the boundary after the future resolves (and the
+actual replace/fsync machinery lives in the allowed modules --
+``util/atomio.py`` -- which this fixture only *calls*).
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.util.atomio import atomic_write_text
+
+
+def worker_entry(task):
+    return f"{task.site}:{task.seed}"
+
+
+def fan_out(tasks, out_dir):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker_entry, task) for task in tasks]
+        results = [f.result() for f in futures]
+    for task, result in zip(tasks, results):
+        atomic_write_text(out_dir / f"{task.site}.txt", result)
+    return results

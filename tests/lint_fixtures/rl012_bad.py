@@ -1,0 +1,40 @@
+"""RL012 bad: seed provenance severed from the derivation tree.
+
+Line-pinned sins: a raw integer seed in ``default_rng``, a numeric
+derivation label, an int literal passed into a seed-typed parameter
+through the call graph, and a live RNG object shipped across a process
+boundary instead of a seed.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+
+def forked_stream():
+    return np.random.default_rng(42)
+
+
+def numeric_domain(seed):
+    return derive_rng(seed, 123)
+
+
+def build_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def int_literal_caller():
+    return build_stream(1234)
+
+
+def sample(rng, task):
+    return float(rng.random()) + task
+
+
+def fan_out(tasks):
+    rng = derive_rng(3, "fixture/pool")
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(sample, rng, task) for task in tasks]
+    return [f.result() for f in futures]

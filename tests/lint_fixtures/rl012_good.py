@@ -1,0 +1,42 @@
+"""RL012 good: every stream derives from the seed tree.
+
+String-domain derivation (``derive_rng``/``SeedSequenceFactory``),
+hash-of-string seeds (the string is the domain), seeds threaded as
+parameters, and process boundaries crossed by *seeds* with the worker
+re-deriving locally.
+"""
+
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.util.rng import SeedSequenceFactory, derive_rng
+
+
+def derived_stream(seed):
+    return derive_rng(seed, "fixture/site-a")
+
+
+def factory_stream(factory: SeedSequenceFactory, site):
+    return factory.rng(f"fixture/{site}")
+
+
+def hashed_stream(seed, site):
+    return np.random.default_rng(zlib.crc32(f"{seed}/{site}".encode()))
+
+
+def threaded_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def sample(seed, domain, task):
+    rng = derive_rng(seed, domain)
+    return float(rng.random()) + task
+
+
+def fan_out(seed, tasks):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(sample, seed, f"fixture/task{i}", task)
+                   for i, task in enumerate(tasks)]
+    return [f.result() for f in futures]

@@ -11,6 +11,7 @@ from repro.core.retry import (
     ResilientAPI,
     RetryPolicy,
 )
+from repro.obs import Observability, scoped
 from repro.testbed import TestbedAPI
 from repro.testbed.errors import AllocationError, TransientBackendError
 from repro.testbed.slice_model import NodeRequest, SliceRequest
@@ -220,3 +221,38 @@ class TestResilientAPI:
         live = wrapped.create_slice(request("STAR"))
         assert live is not None
         assert wrapped.breaker_for("STAR").state(sim.now) is BreakerState.CLOSED
+
+
+class TestJournalSchema:
+    """RL009 regression: one key set per ``breaker`` event kind.
+
+    The open transition always carried ``failures`` but the closed one
+    once did not, so consumers keying on ``failures`` broke on recovery
+    events.  Pin the canonical schema -- and that a close resets the
+    streak to 0 -- so the drift cannot come back."""
+
+    CANONICAL_KEYS = {"site", "state", "label", "failures"}
+
+    def test_open_and_close_share_one_key_set(self, federation):
+        sim = federation.sim
+        federation.faults.add_outage(0.0, 400.0, sites={"STAR"})
+        with scoped(Observability.create(sim=sim)) as obs:
+            wrapped = ResilientAPI(
+                TestbedAPI(federation),
+                policy=RetryPolicy(max_attempts=4, base_delay=20.0,
+                                   max_delay=80.0, jitter=0.5,
+                                   deadline=600.0),
+                breaker_threshold=3, breaker_cooldown=60.0,
+                rng=np.random.default_rng(11),
+            )
+            with pytest.raises(TransientBackendError):
+                wrapped.create_slice(request("STAR"))      # opens
+            sim.run(until=500.0)   # outage over, breaker cooled down
+            wrapped.create_slice(request("STAR"))          # probe closes
+        events = obs.journal.of_kind("breaker")
+        assert {e.data["state"] for e in events} == {"open", "closed"}
+        assert events[-1].data["state"] == "closed"
+        for event in events:
+            assert set(event.data) == self.CANONICAL_KEYS
+        assert events[-1].data["failures"] == 0
+        assert events[0].data["failures"] >= 3

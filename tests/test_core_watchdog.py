@@ -6,6 +6,7 @@ import pytest
 from repro.core.logs import InstanceLog
 from repro.core.watchdog import Watchdog
 from repro.netsim.engine import Simulator
+from repro.obs import Observability, scoped
 
 
 def make(sim, used_fn, quota=1000.0, crash=0.0, interval=10.0,
@@ -152,3 +153,39 @@ class TestLiveness:
         watchdog.start()
         sim.run(until=15.0)
         assert aborts == ["storage exhausted"]
+
+
+class TestJournalSchema:
+    """RL009 regression: one key set per ``watchdog`` event kind.
+
+    The trip and healthy paths once emitted different shapes (trip had
+    ``reason`` but no ``used``; healthy the reverse), so a consumer
+    reading one field saw KeyErrors on the other verdict.  Pin the
+    canonical schema here so the drift cannot come back."""
+
+    CANONICAL_KEYS = {"site", "instance", "verdict", "reason", "used"}
+
+    def test_healthy_and_trip_share_one_key_set(self):
+        sim = Simulator()
+        with scoped(Observability.create(sim=sim)) as obs:
+            used = {"bytes": 0.0}
+            watchdog, _aborts = make(sim, lambda: used["bytes"], quota=1000.0)
+            watchdog.start()
+            sim.run(until=15.0)      # one healthy check
+            used["bytes"] = 5000.0
+            sim.run(until=25.0)      # one trip
+        events = obs.journal.of_kind("watchdog")
+        assert {e.data["verdict"] for e in events} == {"healthy", "trip"}
+        for event in events:
+            assert set(event.data) == self.CANONICAL_KEYS
+
+    def test_healthy_reason_is_null_not_absent(self):
+        sim = Simulator()
+        with scoped(Observability.create(sim=sim)) as obs:
+            watchdog, _aborts = make(sim, lambda: 10.0)
+            watchdog.start()
+            sim.run(until=15.0)
+        [event] = obs.journal.of_kind("watchdog")
+        assert event.data["verdict"] == "healthy"
+        assert event.data["reason"] is None
+        assert event.data["used"] == 10

@@ -8,8 +8,8 @@ import textwrap
 import pytest
 
 from repro.cli import main
-from repro.devtools.lint import (LintConfig, PARSE_ERROR, RULES, load_config,
-                                 render_json, run_lint)
+from repro.devtools.lint import (LintConfig, PARSE_ERROR, PROJECT_RULES,
+                                 RULES, load_config, render_json, run_lint)
 
 
 def write(tmp_path, name, body):
@@ -35,7 +35,7 @@ def test_clean_file_yields_clean_result(tmp_path):
     result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))
     assert result.ok
     assert result.files_checked == 1
-    assert result.rules_run == sorted(RULES)
+    assert result.rules_run == sorted(set(RULES) | set(PROJECT_RULES))
 
 
 def test_violation_found_and_located(tmp_path):
@@ -89,7 +89,7 @@ def test_line_pragma_only_names_its_rules(tmp_path):
         import time
 
         def wait():
-            time.sleep(1.0)  # reprolint: disable=RL001
+            time.sleep(1.0)  # reprolint: disable=RL001 -- wrong rule named
         """
     write(tmp_path, "pragma.py", body)
     result = run_lint(paths=[tmp_path], config=LintConfig(root=tmp_path))

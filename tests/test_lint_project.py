@@ -1,0 +1,233 @@
+"""Whole-program index: cache behavior, event registry, SARIF, graph.
+
+The fact cache must be invisible to correctness: a warm run returns
+exactly what a cold run returns, and editing one file re-extracts only
+that file.  The event registry must round-trip (regenerating EVENTS.md
+against an unchanged tree is a no-op -- the CI drift gate).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.cli import main
+from repro.devtools.lint import (LintConfig, render_events_md, render_sarif,
+                                 run_lint)
+from repro.devtools.lint.project import FACTS_VERSION
+
+GOOD = """\
+    KINDS = ("tick",)
+
+    def emit(journal, now):
+        journal.emit("tick", t=now, n=1)
+
+    def read(journal):
+        return [e for e in journal.events if e.kind in KINDS]
+    """
+
+BAD_SLEEP = """\
+    import time
+
+    def wait():
+        time.sleep(1.0)
+    """
+
+
+def write(tmp_path, name, body):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+def config_for(tmp_path, **kwargs) -> LintConfig:
+    return LintConfig(root=tmp_path, **kwargs)
+
+
+def cli_config(tmp_path) -> str:
+    """A minimal pyproject anchoring the CLI's root at tmp_path."""
+    path = tmp_path / "pyproject.toml"
+    path.write_text('[tool.reprolint]\npaths = ["."]\n')
+    return str(path)
+
+
+# -- cache: hit, invalidation, parity ------------------------------------
+
+
+def test_cache_hits_on_unchanged_tree(tmp_path):
+    write(tmp_path, "a.py", GOOD)
+    write(tmp_path, "b.py", GOOD.replace("tick", "tock"))
+    cold = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    assert cold.index_stats["cache_misses"] == 2
+    assert cold.index_stats["cache_hits"] == 0
+    assert (tmp_path / ".reprolint-cache.json").is_file()
+    warm = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    assert warm.index_stats["cache_hits"] == 2
+    assert warm.index_stats["cache_misses"] == 0
+
+
+def test_cache_invalidates_only_the_edited_file(tmp_path):
+    write(tmp_path, "a.py", GOOD)
+    write(tmp_path, "b.py", GOOD.replace("tick", "tock"))
+    run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    write(tmp_path, "b.py", GOOD.replace("tick", "tocks"))
+    warm = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    assert warm.index_stats["cache_hits"] == 1
+    assert warm.index_stats["cache_misses"] == 1
+
+
+def test_cold_and_warm_runs_agree(tmp_path):
+    """Cache parity: identical violations, emits, and call edges."""
+    write(tmp_path, "a.py", GOOD)
+    write(tmp_path, "bad.py", BAD_SLEEP)
+    cold = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    warm = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    nocache = run_lint(paths=[tmp_path],
+                       config=config_for(tmp_path, use_cache=False))
+    for a, b in ((cold, warm), (cold, nocache)):
+        assert [v.to_dict() for v in a.violations] \
+            == [v.to_dict() for v in b.violations]
+        graph_a = a.index.to_graph_dict()
+        graph_b = b.index.to_graph_dict()
+        graph_a.pop("cache"), graph_b.pop("cache")
+        assert graph_a == graph_b
+
+
+def test_corrupt_cache_is_discarded(tmp_path):
+    write(tmp_path, "a.py", GOOD)
+    (tmp_path / ".reprolint-cache.json").write_text("{not json")
+    result = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    assert result.index_stats["cache_misses"] == 1
+    data = json.loads((tmp_path / ".reprolint-cache.json").read_text())
+    assert data["version"] == FACTS_VERSION
+
+
+def test_stale_version_cache_is_discarded(tmp_path):
+    write(tmp_path, "a.py", GOOD)
+    run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    cache_file = tmp_path / ".reprolint-cache.json"
+    data = json.loads(cache_file.read_text())
+    data["version"] = FACTS_VERSION + 1
+    cache_file.write_text(json.dumps(data))
+    result = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    assert result.index_stats["cache_misses"] == 1
+
+
+# -- the event registry and its drift gate -------------------------------
+
+
+def test_events_md_regeneration_is_a_noop(tmp_path):
+    """The committed-EVENTS.md contract: render, re-render, identical."""
+    write(tmp_path, "a.py", GOOD)
+    result = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    first = render_events_md(result.index, [])
+    again = render_events_md(result.index, [])
+    assert first == again
+    rerun = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    assert render_events_md(rerun.index, []) == first
+
+
+def test_shipped_events_md_is_current():
+    """EVENTS.md in the repo must match the tree (the CI drift gate,
+    runnable locally)."""
+    from pathlib import Path
+
+    from repro.devtools.lint import events_md_stale, load_config
+
+    config = load_config()
+    config.use_cache = False
+    result = run_lint(config=config)
+    observe = config.options_for("RL009").get("observe_only", [])
+    events_md = Path(config.root) / "EVENTS.md"
+    assert events_md.is_file(), "EVENTS.md missing from the repo"
+    assert not events_md_stale(result.index, list(observe), events_md), \
+        "EVENTS.md is stale; regenerate with `repro lint --events-md EVENTS.md`"
+
+
+def test_cli_check_events_detects_drift(tmp_path, capsys):
+    write(tmp_path, "a.py", GOOD)
+    config = cli_config(tmp_path)
+    target = tmp_path / "EVENTS.md"
+    assert main(["lint", "--config", config,
+                 "--no-cache", "--events-md", str(target)]) == 0
+    assert main(["lint", "--config", config,
+                 "--no-cache", "--check-events", str(target)]) == 0
+    target.write_text(target.read_text() + "\ndrifted\n")
+    assert main(["lint", "--config", config,
+                 "--no-cache", "--check-events", str(target)]) == 1
+    assert "stale" in capsys.readouterr().err
+
+
+# -- SARIF ---------------------------------------------------------------
+
+
+def test_sarif_document_shape(tmp_path):
+    write(tmp_path, "bad.py", BAD_SLEEP)
+    result = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    doc = render_sarif(result)
+    assert doc["version"] == "2.1.0"
+    [run] = doc["runs"]
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"RL000", "RL003", "RL009", "RL012", "E000"} <= rule_ids
+    [finding] = run["results"]
+    assert finding["ruleId"] == "RL003"
+    assert finding["level"] == "error"
+    location = finding["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "bad.py"
+    assert location["region"]["startLine"] == 4
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_cli_sarif_flag(tmp_path, capsys):
+    write(tmp_path, "bad.py", BAD_SLEEP)
+    assert main(["lint", "--config", cli_config(tmp_path),
+                 "--no-cache", "--sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"][0]["ruleId"] == "RL003"
+
+
+# -- the graph dump ------------------------------------------------------
+
+
+def test_graph_dump_contents(tmp_path):
+    write(tmp_path, "mod.py", """\
+        def leaf():
+            return 1
+
+        def root():
+            return leaf()
+        """)
+    result = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    graph = result.index.to_graph_dict()
+    assert graph["facts_version"] == FACTS_VERSION
+    assert "mod.root" in graph["definitions"]
+    assert graph["call_graph"]["mod.root"] == ["mod.leaf"]
+    assert graph["cache"] == {"hits": 0, "misses": 1}
+
+
+def test_cli_graph_flag(tmp_path, capsys):
+    write(tmp_path, "a.py", GOOD)
+    target = tmp_path / "graph.json"
+    assert main(["lint", "--config", cli_config(tmp_path),
+                 "--no-cache", "--graph", str(target)]) == 0
+    capsys.readouterr()
+    graph = json.loads(target.read_text())
+    assert graph["files"] == ["a.py"]
+    assert [e["kind"] for e in graph["events"]] == ["tick"]
+
+
+# -- RL000 engine integration --------------------------------------------
+
+
+def test_reasonless_disable_all_cannot_hide_rl000(tmp_path):
+    write(tmp_path, "sneaky.py", """\
+        # reprolint: disable-file=all
+        import time
+
+        def wait():
+            time.sleep(1.0)
+        """)
+    result = run_lint(paths=[tmp_path], config=config_for(tmp_path))
+    assert [v.rule for v in result.violations] == ["RL000"]
+    assert [v.rule for v in result.suppressed] == ["RL003"]
